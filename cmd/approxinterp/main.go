@@ -1,0 +1,89 @@
+// Command approxinterp runs the approximate-interpretation pre-analysis on
+// a project and dumps the collected hints as JSON (the paper's phase 1).
+//
+// Usage:
+//
+//	approxinterp -corpus motivating-express            # hints to stdout
+//	approxinterp -dir ./myproject -o hints.json        # hints to a file
+//	approxinterp -corpus mini-router -stats            # coverage statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/approx"
+	"repro/internal/corpus"
+	"repro/internal/modules"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "", "project directory to analyze")
+		corpusName = flag.String("corpus", "", "built-in benchmark to analyze")
+		out        = flag.String("o", "", "write hints JSON to this file (default stdout)")
+		stats      = flag.Bool("stats", false, "print coverage statistics to stderr")
+		loopBudget = flag.Int64("loop-budget", 20000, "max loop iterations per forced execution")
+		depth      = flag.Int("depth", 200, "max call-stack depth per forced execution")
+		forceBr    = flag.Bool("force-branches", false, "§6 extension: also execute untaken if/else branches while forcing")
+	)
+	flag.Parse()
+
+	var project *modules.Project
+	switch {
+	case *dir != "":
+		p, err := modules.LoadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		project = p
+	case *corpusName != "":
+		b := corpus.ByName(*corpusName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q", *corpusName))
+		}
+		project = b.Project
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	res, err := approx.Run(project, approx.Options{
+		MaxLoopIters:  *loopBudget,
+		MaxDepth:      *depth,
+		ForceBranches: *forceBr,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "modules loaded:     %d\n", res.ModulesLoaded)
+		fmt.Fprintf(os.Stderr, "worklist items:     %d\n", res.ItemsProcessed)
+		fmt.Fprintf(os.Stderr, "functions visited:  %d / %d (%.0f%%)\n",
+			res.FunctionsVisited, res.FunctionsTotal, 100*res.VisitedRatio())
+		fmt.Fprintf(os.Stderr, "budget aborts:      %d\n", res.Aborted)
+		fmt.Fprintf(os.Stderr, "failed executions:  %d\n", res.Failed)
+		fmt.Fprintf(os.Stderr, "hints produced:     %d\n", res.Hints.Count())
+		fmt.Fprintf(os.Stderr, "duration:           %s\n", res.Duration)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := res.Hints.WriteJSON(w); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "approxinterp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command evaluate regenerates the paper's evaluation: every table and
+// figure of §5 plus the §4 ablation, over the built-in corpus.
+//
+// Usage:
+//
+//	evaluate -all                 # everything (141 projects + dyn subset)
+//	evaluate -table1 -table2      # selected experiments
+//	evaluate -quick -fig4         # dyn-CG subset only (36 projects, fast)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "restrict to the 36 dyn-CG benchmarks")
+		table1   = flag.Bool("table1", false, "Table 1: benchmark inventory")
+		fig4     = flag.Bool("fig4", false, "Figure 4: call edges")
+		fig5     = flag.Bool("fig5", false, "Figure 5: reachable functions")
+		fig6     = flag.Bool("fig6", false, "Figure 6: resolved call sites")
+		fig7     = flag.Bool("fig7", false, "Figure 7: monomorphic call sites")
+		table2   = flag.Bool("table2", false, "Table 2: recall/precision")
+		table3   = flag.Bool("table3", false, "Table 3: running times")
+		vuln     = flag.Bool("vuln", false, "vulnerability reachability study")
+		hintsF   = flag.Bool("hints", false, "hint statistics")
+		ablation = flag.Bool("ablation", false, "relational vs name-only hints (§4)")
+		exts     = flag.Bool("extensions", false, "§6 extensions: unknown-arg hints, eval-code hints, hint reuse")
+		scale    = flag.Bool("scale", false, "scalability: per-phase time by program size")
+		summary  = flag.Bool("summary", false, "aggregate summary statistics")
+		csvDir   = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
+	)
+	flag.Parse()
+
+	if *all {
+		*table1, *fig4, *fig5, *fig6, *fig7 = true, true, true, true, true
+		*table2, *table3, *vuln, *hintsF, *ablation, *summary = true, true, true, true, true, true
+		*exts = true
+		*scale = true
+	}
+	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *table2 || *table3 || *vuln || *hintsF || *ablation || *summary || *exts || *scale) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	benches := corpus.All()
+	if *quick {
+		benches = corpus.WithDynCG()
+	}
+	needDyn := *table2 || *table3 || *vuln || *summary
+
+	fmt.Printf("Evaluating %d benchmarks (dynamic call graphs: %v)…\n", len(benches), needDyn)
+	outs, err := experiments.RunCorpus(benches, needDyn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate:", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		writeCSV := func(name string, render func(w *os.File)) {
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate:", err)
+				os.Exit(1)
+			}
+			render(f)
+			f.Close()
+			fmt.Printf("wrote %s\n", filepath.Join(*csvDir, name))
+		}
+		for fig := 4; fig <= 7; fig++ {
+			fig := fig
+			writeCSV(fmt.Sprintf("figure%d.csv", fig), func(f *os.File) {
+				experiments.WriteFigureCSV(f, outs, fig)
+			})
+		}
+		writeCSV("table2.csv", func(f *os.File) { experiments.WriteTable2CSV(f, outs) })
+	}
+
+	if *table1 {
+		experiments.Banner(w, "Table 1")
+		experiments.RenderTable1(w, outs)
+	}
+	figFlags := []struct {
+		num int
+		on  *bool
+	}{{4, fig4}, {5, fig5}, {6, fig6}, {7, fig7}}
+	for _, f := range figFlags {
+		if *f.on {
+			experiments.Banner(w, fmt.Sprintf("Figure %d", f.num))
+			experiments.RenderFigure(w, outs, f.num)
+		}
+	}
+	if *table2 {
+		experiments.Banner(w, "Table 2")
+		experiments.RenderTable2(w, outs)
+	}
+	if *table3 {
+		experiments.Banner(w, "Table 3")
+		experiments.RenderTable3(w, outs)
+	}
+	if *vuln {
+		experiments.Banner(w, "Vulnerability reachability")
+		dynBenches := corpus.WithDynCG()
+		vr, err := experiments.VulnStudy(dynBenches, outs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: vuln study:", err)
+			os.Exit(1)
+		}
+		experiments.RenderVuln(w, vr)
+	}
+	if *hintsF {
+		experiments.Banner(w, "Hint statistics")
+		experiments.RenderHintStats(w, outs)
+	}
+	if *ablation {
+		experiments.Banner(w, "Ablation (§4)")
+		var abl []*experiments.AblationOutcome
+		for _, b := range corpus.WithDynCG() {
+			o, err := experiments.RunAblation(b)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate: ablation:", err)
+				os.Exit(1)
+			}
+			abl = append(abl, o)
+		}
+		experiments.RenderAblation(w, abl)
+	}
+	if *exts {
+		experiments.Banner(w, "§6 extensions")
+		eo, err := experiments.RunExtensionsCorpus(corpus.WithDynCG()[:12])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: extensions:", err)
+			os.Exit(1)
+		}
+		experiments.RenderExtensions(w, eo)
+	}
+	if *scale {
+		experiments.Banner(w, "Scalability")
+		experiments.RenderScalability(w, experiments.Scalability(outs))
+	}
+	if *summary {
+		experiments.Banner(w, "Summary (§5 headline numbers)")
+		experiments.RenderSummary(w, experiments.Aggregate(outs))
+	}
+}

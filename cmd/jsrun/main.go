@@ -1,0 +1,96 @@
+// Command jsrun executes a JavaScript project in the concrete interpreter:
+// the quickest way to see the substrate work.
+//
+// Usage:
+//
+//	jsrun -dir path/to/project        # run a project from disk
+//	jsrun -corpus mini-events         # run a built-in benchmark
+//	jsrun -e 'console.log(1 + 2)'     # evaluate a snippet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/interp"
+	"repro/internal/modules"
+	"repro/internal/parser"
+	"repro/internal/value"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "", "project directory to run")
+		corpusName = flag.String("corpus", "", "built-in benchmark to run (see -list)")
+		expr       = flag.String("e", "", "JavaScript snippet to evaluate")
+		list       = flag.Bool("list", false, "list built-in benchmarks")
+		tests      = flag.Bool("tests", false, "run the project's test entries instead of main")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range corpus.All() {
+			mark := " "
+			if b.HasDynCG {
+				mark = "T" // has test suite
+			}
+			fmt.Printf("%s %s\n", mark, b.Project.Name)
+		}
+		return
+	}
+
+	if *expr != "" {
+		it := interp.New(interp.Options{Stdout: os.Stdout})
+		prog, err := parser.Parse("<cmdline>", *expr)
+		if err != nil {
+			fatal(err)
+		}
+		v, err := it.RunProgram(prog, value.NewScope(it.GlobalScope()), value.Undefined{})
+		if err != nil {
+			fatal(err)
+		}
+		if _, isUndef := v.(value.Undefined); !isUndef {
+			fmt.Println(value.Inspect(v))
+		}
+		return
+	}
+
+	var project *modules.Project
+	switch {
+	case *dir != "":
+		p, err := modules.LoadDir(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		project = p
+	case *corpusName != "":
+		b := corpus.ByName(*corpusName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (use -list)", *corpusName))
+		}
+		project = b.Project
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	it := interp.New(interp.Options{Stdout: os.Stdout})
+	registry := modules.NewRegistry(project, it)
+	entries := project.MainEntries
+	if *tests {
+		entries = project.TestEntries
+	}
+	for _, e := range entries {
+		fmt.Fprintf(os.Stderr, "running %s\n", e)
+		if _, err := registry.Load(e); err != nil {
+			fatal(fmt.Errorf("%s: %w", e, err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Determinacy: watching approximate interpretation discover likely
+// determinate facts in mixin code (paper §2/§3).
+//
+// This example runs only the pre-analysis on the merge-descriptors mixin
+// pattern and prints every hint with an explanation, showing how the
+// relational (base allocation site, property name, value allocation site)
+// triples arise from a single concrete execution of the library
+// initialization code.
+//
+//	go run ./examples/determinacy
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/approx"
+	"repro/internal/corpus"
+)
+
+func main() {
+	project := corpus.Motivating()
+	res, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Approximate interpretation of the motivating example")
+	fmt.Printf("worklist items processed: %d\n", res.ItemsProcessed)
+	fmt.Printf("modules loaded:           %d\n", res.ModulesLoaded)
+	fmt.Printf("functions visited:        %d of %d (%.0f%%)\n\n",
+		res.FunctionsVisited, res.FunctionsTotal, 100*res.VisitedRatio())
+
+	fmt.Println("ℋ_W — write hints (ℓ, p, ℓ″): object from ℓ″ written to property p")
+	fmt.Println("of object from ℓ. Grouped by target allocation site:")
+	byTarget := map[string][]string{}
+	for _, w := range res.Hints.WriteHints() {
+		key := w.Target.String()
+		byTarget[key] = append(byTarget[key],
+			fmt.Sprintf("  .%-18s ← %v", w.Prop, w.Value))
+	}
+	var targets []string
+	for t := range byTarget {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		fmt.Printf("\n%s   %s\n", t, describe(t))
+		for _, line := range byTarget[t] {
+			fmt.Println(line)
+		}
+	}
+
+	fmt.Println("\nℋ_R — read hints ℓ ↦ {ℓ′}: objects from ℓ′ observed as results of")
+	fmt.Println("the dynamic property read at ℓ:")
+	for _, site := range res.Hints.ReadSites() {
+		fmt.Printf("  %v ↦ %v\n", site, res.Hints.ReadValues(site))
+	}
+
+	fmt.Println("\nThese facts are *likely determinate*: a single forced execution")
+	fmt.Println("observed them, and because library API initialization is input-")
+	fmt.Println("independent, they hold in every execution (paper §2).")
+}
+
+func describe(target string) string {
+	switch {
+	case strings.Contains(target, "express/application.js:4"):
+		return "(the proto object of Fig. 1d, line 35 in the paper)"
+	case strings.Contains(target, "express/index.js:6"):
+		return "(the web-application function of Fig. 1b, line 14 in the paper)"
+	case strings.Contains(target, "node:events"):
+		return "(EventEmitter.prototype)"
+	default:
+		return ""
+	}
+}

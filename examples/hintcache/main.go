@@ -1,0 +1,79 @@
+// Hint reuse: the §6 "reusing approximate interpretation results" idea.
+//
+// More than 90% of a typical Node.js application is third-party code, and
+// in the motivating example every interesting hint comes from the Express
+// library, not the application. This example analyzes three different
+// applications built on the same library, reusing the library's hints
+// through a content-addressed cache, and shows that the reused hints give
+// each application the same recovered call edges as a from-scratch
+// pre-analysis.
+//
+//	go run ./examples/hintcache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/approx"
+	"repro/internal/corpus"
+	"repro/internal/modules"
+	"repro/internal/static"
+)
+
+func main() {
+	// Three applications over the identical express library.
+	apps := []*modules.Project{
+		corpus.Motivating(),
+		withServer("blog-app", `var express = require('express');
+var app = express();
+app.get('/posts', function listPosts(req, res) { res.send('posts'); });
+app.post('/posts', function createPost(req, res) { res.send('created'); });
+app.listen(3000);
+`),
+		withServer("api-app", `var express = require('express');
+var app = express();
+app.put('/v1/items', function putItem(req, res) { res.send('ok'); });
+app.delete('/v1/items', function deleteItem(req, res) { res.send('gone'); });
+app.listen(4000);
+`),
+	}
+
+	cache := approx.NewCache()
+	for _, app := range apps {
+		res, err := approx.RunWithCache(app, cache, approx.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := approx.Run(app, approx.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The cached pipeline must recover the same call edges as the
+		// from-scratch one.
+		cachedCG, err := static.Analyze(app, static.Options{Mode: static.WithHints, Hints: res.Hints})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fullCG, err := static.Analyze(app, static.Options{Mode: static.WithHints, Hints: full.Hints})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s hints cached=%-4d full=%-4d | edges cached=%-3d full=%-3d | cache h/m=%d/%d\n",
+			app.Name, res.Hints.Count(), full.Hints.Count(),
+			cachedCG.Graph.NumEdges(), fullCG.Graph.NumEdges(),
+			cache.Hits, cache.Misses)
+	}
+	fmt.Println("\nAfter the first application, the library's hints come entirely")
+	fmt.Println("from the cache (hits grow, misses stay flat) — the paper's point")
+	fmt.Println("that Express needs approximate interpretation only once.")
+}
+
+func withServer(name, server string) *modules.Project {
+	p := corpus.Motivating()
+	p.Name = name
+	p.Files["/app/server.js"] = server
+	p.TestEntries = nil
+	return p
+}

@@ -1,0 +1,56 @@
+// Vulnerability reachability: the §5 downstream use case.
+//
+// Call-graph-based vulnerability analyses ask whether any function with a
+// known advisory is reachable from the application. Unsound call graphs
+// under-report: a vulnerable function installed on an API object through a
+// dynamic property write looks unreachable to the baseline analysis. This
+// example runs the study over a slice of the corpus and shows the hints
+// recovering reachability.
+//
+//	go run ./examples/vulnreach
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+)
+
+func main() {
+	benches := corpus.WithDynCG()[:12] // a corpus slice, for speed
+
+	fmt.Printf("analyzing %d projects…\n\n", len(benches))
+	outs, err := experiments.RunCorpus(benches, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-26s %8s %18s %18s\n", "project", "vulns", "reachable (base)", "reachable (hints)")
+	vr, err := experiments.VulnStudy(benches, outs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Per-project detail.
+	for i, b := range benches {
+		vulns, err := corpus.Vulnerabilities(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		single, err := experiments.VulnStudy(benches[i:i+1], outs[i:i+1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s %8d %18d %18d\n",
+			b.Project.Name, len(vulns), single.ReachableBaseline, single.ReachableExtended)
+	}
+
+	fmt.Println()
+	fmt.Printf("total advisories:            %d\n", vr.TotalVulns)
+	fmt.Printf("reachable with baseline CG:  %d\n", vr.ReachableBaseline)
+	fmt.Printf("reachable with extended CG:  %d\n", vr.ReachableExtended)
+	fmt.Printf("reachable functions overall: %d → %d\n", vr.ReachableFnsBase, vr.ReachableFnsExt)
+	fmt.Println("\n(the paper reports 447 advisories, 52 → 55 reachable, and")
+	fmt.Println(" 42,661 → 53,805 reachable functions on its npm corpus)")
+}

@@ -1,0 +1,389 @@
+// Package approx implements approximate interpretation (paper §3): a fully
+// automatic dynamic pre-analysis based on forced execution that infers
+// likely determinate facts (hints) about dynamic property accesses.
+//
+// A worklist is seeded with the program's modules; executing an item
+// discovers function definitions, which are scheduled and later forced with
+// the proxy value p* bound to this, arguments, and all parameters
+// (f.apply(w, p*)). Each function definition is forced at most once.
+// Observed dynamic property reads and writes produce the read hints ℋ_R and
+// write hints ℋ_W consumed by the static analysis (package static).
+package approx
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/hints"
+	"repro/internal/interp"
+	"repro/internal/loc"
+	"repro/internal/modules"
+	"repro/internal/value"
+)
+
+// Options tunes the forced-execution budgets.
+type Options struct {
+	// MaxLoopIters bounds total loop iterations per worklist item
+	// (default 20000). The paper aborts long-running executions the same
+	// way; lowering it trades hints for speed (§5).
+	MaxLoopIters int64
+	// MaxDepth bounds the call-stack depth per item (default 200).
+	MaxDepth int
+	// MaxItems bounds the total number of worklist items processed, as a
+	// safety net for generated corpora (default 100000).
+	MaxItems int
+	// ForceBranches enables the §6 "approximate interpretation of function
+	// fragments" extension: while forcing a function, the untaken branch
+	// of each if/else executes as well, discovering definitions behind
+	// conditions forced execution cannot satisfy. Off by default — it
+	// trades extra coverage (and hints) for more approximation.
+	ForceBranches bool
+	// SkipForcingIn, when non-nil, suppresses the forcing of function
+	// definitions in files for which it returns true (their modules still
+	// load and execute concretely). RunWithCache uses it to avoid re-
+	// forcing library code whose hints are already cached (§6 reuse).
+	SkipForcingIn func(file string) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxLoopIters == 0 {
+		o.MaxLoopIters = 20000
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 200
+	}
+	if o.MaxItems == 0 {
+		o.MaxItems = 100000
+	}
+	return o
+}
+
+// Result is the outcome of one approximate-interpretation run.
+type Result struct {
+	Hints *hints.Hints
+
+	// FunctionsTotal is the number of function definitions in the program
+	// source (all packages).
+	FunctionsTotal int
+	// FunctionsVisited is the number of function definitions executed
+	// (the paper reports ~60% of functions visited).
+	FunctionsVisited int
+	// ModulesLoaded is the number of modules executed.
+	ModulesLoaded int
+	// ItemsProcessed counts worklist items.
+	ItemsProcessed int
+	// Aborted counts items stopped by the execution budget.
+	Aborted int
+	// Failed counts items that ended with an uncaught exception.
+	Failed int
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// VisitedRatio returns the fraction of function definitions executed.
+func (r *Result) VisitedRatio() float64 {
+	if r.FunctionsTotal == 0 {
+		return 0
+	}
+	return float64(r.FunctionsVisited) / float64(r.FunctionsTotal)
+}
+
+// workItem is a pending module or function value.
+type workItem struct {
+	module string        // non-empty for module items
+	fn     *value.Object // non-nil for function items
+}
+
+// collector implements interp.Hooks, accumulating hints and scheduling
+// discovered functions.
+type collector struct {
+	interp.NopHooks
+	a *analyzer
+}
+
+type analyzer struct {
+	opts     Options
+	it       *interp.Interp
+	registry *modules.Registry
+	h        *hints.Hints
+
+	worklist []workItem
+	// visited holds function-definition locations and module paths already
+	// processed (the paper's Visited set).
+	visited map[loc.Loc]bool
+	modSeen map[string]bool
+	// scheduled avoids flooding the worklist with many closures of the
+	// same definition.
+	scheduled map[loc.Loc]bool
+	// thisMap is the paper's this: Object → Object map, recorded at static
+	// property writes of user functions.
+	thisMap map[*value.Object]*value.Object
+
+	visitedFns int
+	modules    int
+	aborted    int
+	failed     int
+}
+
+// Run performs approximate interpretation of the project and returns the
+// collected hints and statistics.
+func Run(project *modules.Project, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	a := &analyzer{
+		opts:      opts,
+		h:         hints.New(),
+		visited:   map[loc.Loc]bool{},
+		modSeen:   map[string]bool{},
+		scheduled: map[loc.Loc]bool{},
+		thisMap:   map[*value.Object]*value.Object{},
+	}
+	col := &collector{a: a}
+	a.it = interp.New(interp.Options{
+		Hooks:        col,
+		Proxy:        true,
+		Lenient:      true,
+		MaxLoopIters: opts.MaxLoopIters,
+		MaxDepth:     opts.MaxDepth,
+	})
+	a.registry = modules.NewRegistry(project, a.it)
+	a.registry.Sandbox = true
+
+	start := time.Now()
+
+	// Seed the worklist with the application-code modules (paper §3:
+	// "initialized with a collection of JavaScript modules from the
+	// program to be analyzed").
+	seeds := project.MainEntries
+	if len(seeds) == 0 {
+		for _, p := range project.SortedPaths() {
+			if project.IsMainModule(p) {
+				seeds = append(seeds, p)
+			}
+		}
+	}
+	for _, m := range seeds {
+		a.worklist = append(a.worklist, workItem{module: m})
+	}
+
+	items := 0
+	for len(a.worklist) > 0 && items < opts.MaxItems {
+		item := a.worklist[0]
+		a.worklist = a.worklist[1:]
+		items++
+		a.runItem(item)
+	}
+
+	total, err := countFunctions(project, a.registry)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Hints:            a.h,
+		FunctionsTotal:   total,
+		FunctionsVisited: a.visitedFns,
+		ModulesLoaded:    a.modules,
+		ItemsProcessed:   items,
+		Aborted:          a.aborted,
+		Failed:           a.failed,
+		Duration:         time.Since(start),
+	}, nil
+}
+
+func (a *analyzer) runItem(item workItem) {
+	a.it.ResetBudget()
+	var err error
+	switch {
+	case item.module != "":
+		if a.modSeen[item.module] {
+			return
+		}
+		a.modSeen[item.module] = true
+		a.modules++
+		_, err = a.registry.Load(item.module)
+	case item.fn != nil:
+		l := item.fn.Alloc
+		if !l.Valid() || a.visited[l] {
+			return
+		}
+		a.markVisited(item.fn)
+		w := a.forceReceiver(item.fn)
+		if a.opts.ForceBranches {
+			// Branch forcing applies only while forcing functions; module
+			// loading stays faithful to concrete semantics.
+			a.it.SetForceBranches(true)
+		}
+		_, err = a.it.ForceCall(item.fn, w)
+		a.it.SetForceBranches(false)
+	}
+	if err != nil {
+		var budget *interp.BudgetError
+		var thrown *interp.Thrown
+		switch {
+		case errors.As(err, &budget):
+			a.aborted++
+		case errors.As(err, &thrown):
+			a.failed++
+		default:
+			a.failed++
+		}
+	}
+}
+
+// forceReceiver picks the this value for forcing fn: the object recorded in
+// the this-map (wrapped so absent properties delegate to p*), or p*.
+func (a *analyzer) forceReceiver(fn *value.Object) value.Value {
+	base := a.thisMap[fn]
+	if base == nil {
+		return a.it.Proxy()
+	}
+	// Wrap: reads find base's properties through the prototype chain and
+	// fall back to p* when absent (paper: "we wrap it into a proxy object
+	// that delegates to p* for absent properties").
+	wrapper := value.NewObject(base)
+	wrapper.ProxyTarget = base
+	return wrapper
+}
+
+func (a *analyzer) markVisited(fn *value.Object) {
+	l := fn.Alloc
+	if !l.Valid() || a.visited[l] {
+		return
+	}
+	a.visited[l] = true
+	// The visited-functions statistic counts program code only, matching
+	// FunctionsTotal (built-in node: library functions are excluded).
+	if !strings.HasPrefix(l.File, "node:") {
+		a.visitedFns++
+	}
+}
+
+// isUserFunction reports whether fn is a function defined in program code
+// (not a native, not from the built-in node: library sources).
+func isUserFunction(fn *value.Object) bool {
+	if fn == nil || fn.Fn == nil || fn.Fn.Decl == nil {
+		return false
+	}
+	return !strings.HasPrefix(fn.Alloc.File, "node:")
+}
+
+// ------------------------------------------------------------------- hooks
+
+// FunctionDefined schedules newly discovered function definitions; a
+// definition already visited (or already queued) is not scheduled again.
+func (c *collector) FunctionDefined(fn *value.Object, l loc.Loc) {
+	a := c.a
+	if !l.Valid() || a.visited[l] || a.scheduled[l] {
+		return
+	}
+	if strings.HasPrefix(l.File, "node:") {
+		// Built-in library functions are modeled statically; forcing them
+		// adds noise without hints (they are the "standard library" in the
+		// paper's sense).
+		return
+	}
+	if a.opts.SkipForcingIn != nil && a.opts.SkipForcingIn(l.File) {
+		return
+	}
+	a.scheduled[l] = true
+	a.worklist = append(a.worklist, workItem{fn: fn})
+}
+
+// BeforeCall marks functions visited when they are (transitively) executed,
+// so the worklist does not force them again (paper §3, call rule 4).
+func (c *collector) BeforeCall(site loc.Loc, callee *value.Object, this value.Value, args []value.Value) {
+	if callee.Fn != nil && callee.Fn.Decl != nil {
+		c.a.markVisited(callee)
+	}
+}
+
+// DynamicRead adds ℓ′ = loc(result) to ℋ_R(ℓ) when the result is an object
+// with a recorded allocation site.
+func (c *collector) DynamicRead(site loc.Loc, base value.Value, key string, result value.Value) {
+	// §6 "unknown function arguments" extension: a dynamic read on the
+	// proxy value with a concrete property name becomes a property-name
+	// hint, letting the static analysis treat the operation as a static
+	// read of that name.
+	if bo, ok := base.(*value.Object); ok && bo.IsProxy() {
+		c.a.h.AddPropRead(site, key)
+		return
+	}
+	obj, ok := result.(*value.Object)
+	if !ok || obj.IsProxy() {
+		return
+	}
+	c.a.h.AddRead(site, obj.Alloc)
+}
+
+// DynamicWrite adds (loc(base), p, loc(val)) to ℋ_W when both allocation
+// sites are recorded.
+func (c *collector) DynamicWrite(site loc.Loc, base value.Value, key string, val value.Value) {
+	bo, ok := base.(*value.Object)
+	if !ok || bo.IsProxy() {
+		return
+	}
+	vo, ok := val.(*value.Object)
+	if !ok || vo.IsProxy() {
+		return
+	}
+	target := bo.Alloc
+	// Writes through a this-wrapper attribute to the wrapped object.
+	if !target.Valid() && bo.ProxyTarget != nil {
+		target = bo.ProxyTarget.Alloc
+	}
+	c.a.h.AddWrite(site, target, key, vo.Alloc)
+}
+
+// StaticWrite maintains the this-map: when a user function is written to a
+// static property of an object, that object becomes the function's guessed
+// receiver for later forcing (paper §3, static property writes).
+func (c *collector) StaticWrite(base value.Value, prop string, val value.Value) {
+	fn, ok := val.(*value.Object)
+	if !ok || !isUserFunction(fn) {
+		return
+	}
+	bo, ok := base.(*value.Object)
+	if !ok || bo.IsProxy() {
+		return
+	}
+	if _, exists := c.a.thisMap[fn]; !exists {
+		c.a.thisMap[fn] = bo
+	}
+}
+
+// EvalCode records §6 dynamically-generated-code hints: the observed
+// program text can be analyzed statically as additional code.
+func (c *collector) EvalCode(module, source string) {
+	if strings.HasPrefix(module, "node:") || strings.Contains(module, "#eval") {
+		return
+	}
+	c.a.h.AddEval(module, source)
+}
+
+// RequireResolved records dynamic module-load hints (paper §3 extension).
+func (c *collector) RequireResolved(site loc.Loc, name string, dynamic bool) {
+	if !dynamic || !site.Valid() {
+		return
+	}
+	path, err := c.a.registry.Resolve(c.a.it.CurrentModule(), name)
+	if err != nil {
+		return
+	}
+	c.a.h.AddModule(site, path)
+}
+
+// countFunctions statically counts function definitions in all project
+// files (used for the visited-functions ratio reported in §5).
+func countFunctions(project *modules.Project, reg *modules.Registry) (int, error) {
+	progs, err := reg.ParseAll()
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, prog := range progs {
+		total += len(ast.Functions(prog))
+	}
+	return total, nil
+}

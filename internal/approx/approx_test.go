@@ -1,0 +1,432 @@
+package approx
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hints"
+	"repro/internal/loc"
+	"repro/internal/modules"
+)
+
+// motivatingProject builds the paper's Fig. 1 example: an Express-style web
+// server whose library initializes its API with mixins and dynamic property
+// writes.
+func motivatingProject() *modules.Project {
+	return &modules.Project{
+		Name: "motivating",
+		Files: map[string]string{
+			"/app/server.js": `const express = require('express');
+const app = express();
+app.get('/', function(req, res) {
+  res.send('Hello world!');
+  server.close();
+});
+var server = app.listen(8080);
+`,
+			"/node_modules/express/index.js": `var mixin = require('merge-descriptors');
+var EventEmitter = require('events');
+var proto = require('./application');
+exports = module.exports = createApplication;
+function createApplication() {
+  var app = function(req, res, next) {
+    app.handle(req, res, next);
+  };
+  mixin(app, EventEmitter.prototype, false);
+  mixin(app, proto, false);
+  return app;
+}
+`,
+			"/node_modules/merge-descriptors/index.js": `module.exports = merge;
+function merge(dest, src, redefine) {
+  Object.getOwnPropertyNames(src).forEach(function forOwnPropertyName(name) {
+    var descriptor = Object.getOwnPropertyDescriptor(src, name);
+    Object.defineProperty(dest, name, descriptor);
+  });
+  return dest;
+}
+`,
+			"/node_modules/express/application.js": `var methods = require('methods');
+var slice = Array.prototype.slice;
+var http = require('http');
+var app = exports = module.exports = {};
+methods.forEach(function(method) {
+  app[method] = function(path) {
+    var route = this._router.route(path);
+    route[method].apply(route, slice.call(arguments, 1));
+    return this;
+  };
+});
+app.listen = function listen() {
+  var server = http.createServer(this);
+  return server.listen.apply(server, arguments);
+};
+`,
+			"/node_modules/methods/index.js": `var base = ['get', 'post', 'put', 'delete'];
+var out = [];
+base.forEach(function(m) {
+  out.push(m.toLowerCase());
+});
+module.exports = out;
+`,
+		},
+		MainEntries: []string{"/app/server.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+func TestMotivatingExampleHints(t *testing.T) {
+	res, err := Run(motivatingProject(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := res.Hints
+	if h.Count() == 0 {
+		t.Fatal("no hints produced")
+	}
+
+	// The object {} allocated on application.js line 4 must receive write
+	// hints for "get" (the function on line 6) and "listen" (line 12).
+	appObj := loc.Loc{File: "/node_modules/express/application.js", Line: 4, Col: 38}
+	getFn := loc.Loc{File: "/node_modules/express/application.js", Line: 6, Col: 17}
+	listenFn := loc.Loc{File: "/node_modules/express/application.js", Line: 12, Col: 14}
+
+	wants := []hints.WriteHint{
+		{Target: appObj, Prop: "get", Value: getFn},
+		{Target: appObj, Prop: "post", Value: getFn},
+		{Target: appObj, Prop: "delete", Value: getFn},
+	}
+	// Compare on the relational triple only; the op site is ablation-only.
+	have := map[hints.WriteHint]bool{}
+	for _, w := range h.WriteHints() {
+		w.Site = loc.Loc{}
+		have[w] = true
+	}
+	for _, w := range wants {
+		if !have[w] {
+			t.Errorf("missing write hint %v → want one of:\n%v", w, h.WriteHints())
+		}
+	}
+
+	// The mixin copies must also produce hints targeting the web
+	// application function allocated in createApplication (index.js line 6).
+	appFn := loc.Loc{File: "/node_modules/express/index.js", Line: 6, Col: 13}
+	foundMixinGet := false
+	foundMixinListen := false
+	for _, w := range h.WriteHints() {
+		if w.Target == appFn && w.Prop == "get" && w.Value == getFn {
+			foundMixinGet = true
+		}
+		if w.Target == appFn && w.Prop == "listen" && w.Value == listenFn {
+			foundMixinListen = true
+		}
+	}
+	if !foundMixinGet {
+		t.Errorf("missing mixin write hint (appFn.get); hints:\n%v", h.WriteHints())
+	}
+	if !foundMixinListen {
+		t.Errorf("missing mixin write hint (appFn.listen); hints:\n%v", h.WriteHints())
+	}
+}
+
+func TestVisitedFunctions(t *testing.T) {
+	res, err := Run(motivatingProject(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FunctionsTotal == 0 {
+		t.Fatal("no functions counted")
+	}
+	if res.FunctionsVisited == 0 {
+		t.Fatal("no functions visited")
+	}
+	ratio := res.VisitedRatio()
+	if ratio <= 0.3 || ratio > 1.0 {
+		t.Errorf("visited ratio = %.2f (visited %d of %d), expected healthy coverage",
+			ratio, res.FunctionsVisited, res.FunctionsTotal)
+	}
+	if res.ModulesLoaded == 0 {
+		t.Error("no modules loaded")
+	}
+}
+
+func TestForcedExecutionReachesNestedCode(t *testing.T) {
+	// The call route[method] on the nested function is only reached in real
+	// executions when an HTTP request arrives; forced execution must reach
+	// it anyway (paper §3: "this mechanism is able to reach the method call
+	// on line 41 … even if the function … is only reached in real
+	// executions … if HTTP requests appear").
+	res, err := Run(motivatingProject(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forcing the inner function executes `route[method]` with route = p*
+	// (this._router is absent → p* via the this-wrapper) — no read hint can
+	// be produced from p*, but the function must count as visited.
+	getFn := loc.Loc{File: "/node_modules/express/application.js", Line: 6, Col: 17}
+	_ = getFn
+	if res.FunctionsVisited < 4 {
+		t.Errorf("visited only %d functions", res.FunctionsVisited)
+	}
+}
+
+func TestDeterministicHints(t *testing.T) {
+	r1, err := Run(motivatingProject(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(motivatingProject(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.Hints.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Hints.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("approximate interpretation is not deterministic")
+	}
+}
+
+func TestHintsRoundTrip(t *testing.T) {
+	res, err := Run(motivatingProject(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Hints.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := hints.ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Count() != res.Hints.Count() {
+		t.Errorf("round trip lost hints: %d → %d", res.Hints.Count(), parsed.Count())
+	}
+}
+
+func TestBudgetAbortsLongExecutions(t *testing.T) {
+	project := &modules.Project{
+		Name: "looper",
+		Files: map[string]string{
+			"/app/index.js": `
+function spin() {
+  var n = 0;
+  while (true) { n++; }
+}
+var o = {};
+o["k" + 1] = spin;
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{MaxLoopIters: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted == 0 {
+		t.Error("expected at least one aborted execution")
+	}
+	// The dynamic write o["k1"] = spin must still have produced a hint.
+	if len(res.Hints.Writes) == 0 {
+		t.Error("expected a write hint despite the aborted forcing")
+	}
+}
+
+func TestEvalCodeProducesNoAllocSites(t *testing.T) {
+	project := &modules.Project{
+		Name: "evaluser",
+		Files: map[string]string{
+			"/app/index.js": `
+var tbl = {};
+eval("tbl['fromEval'] = function() { return 1; };");
+var key = "dyn";
+tbl[key] = function fromStatic() { return 2; };
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawEval, sawStatic := false, false
+	for _, w := range res.Hints.WriteHints() {
+		if w.Prop == "fromEval" {
+			sawEval = true
+		}
+		if w.Prop == "dyn" {
+			sawStatic = true
+		}
+	}
+	if sawEval {
+		t.Error("eval-created function must have no allocation site, so no hint")
+	}
+	if !sawStatic {
+		t.Error("statically-defined function written in the same module must produce a hint")
+	}
+}
+
+func TestEvalWritesOfStaticObjects(t *testing.T) {
+	// Dynamic writes inside eval'd code where both objects originate from
+	// statically known code must still produce hints (paper §3).
+	project := &modules.Project{
+		Name: "evalwrite",
+		Files: map[string]string{
+			"/app/index.js": `
+var target = {};
+var fn = function known() { return 3; };
+eval("target['viaEval'] = fn;");
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range res.Hints.WriteHints() {
+		if w.Prop == "viaEval" && w.Target.Line == 2 && w.Value.Line == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected hint from eval'd write of static objects; got %v", res.Hints.WriteHints())
+	}
+}
+
+func TestDynamicModuleHints(t *testing.T) {
+	project := &modules.Project{
+		Name: "dynrequire",
+		Files: map[string]string{
+			"/app/index.js": `
+var which = "plugin-" + "a";
+var mod = require("./" + which);
+`,
+			"/app/plugin-a.js": `module.exports = function pluginA() {};`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mods := res.Hints.ModuleHints()
+	if len(mods) != 1 {
+		t.Fatalf("module hints = %v", mods)
+	}
+	if mods[0].Path != "/app/plugin-a.js" {
+		t.Errorf("module hint path = %q", mods[0].Path)
+	}
+}
+
+func TestSandboxMocksExternalModules(t *testing.T) {
+	// fs access during approximate interpretation must hit the mock: the
+	// callback is invoked with p* and execution continues.
+	project := &modules.Project{
+		Name: "fsuser",
+		Files: map[string]string{
+			"/app/index.js": `
+var fs = require('fs');
+var registry = {};
+fs.readFile("/etc/passwd", function(err, data) {
+  // Reached via the mock: register a handler dynamically.
+  var k = "on" + "Data";
+  registry[k] = function handler() { return data; };
+});
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range res.Hints.WriteHints() {
+		if w.Prop == "onData" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("mock did not invoke the callback; hints: %v", res.Hints.WriteHints())
+	}
+}
+
+func TestThisMapReceivers(t *testing.T) {
+	// A function assigned to a static property is later forced with that
+	// object as receiver, so this.name resolves concretely.
+	project := &modules.Project{
+		Name: "thismap",
+		Files: map[string]string{
+			"/app/index.js": `
+var registry = {};
+var obj = {};
+obj.table = {};
+obj.install = function() {
+  // Forced with this = obj (wrapped): this.table is the real table.
+  var k = "inst" + "alled";
+  this.table[k] = function installed() {};
+};
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range res.Hints.WriteHints() {
+		if w.Prop == "installed" && w.Target.Line == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("this-map receiver not used; hints: %v", res.Hints.WriteHints())
+	}
+}
+
+func TestAsyncInitializationHints(t *testing.T) {
+	// API installed inside an async initializer: forced execution runs the
+	// async body synchronously and still observes the dynamic writes.
+	project := &modules.Project{
+		Name: "async-init",
+		Files: map[string]string{
+			"/app/index.js": `var registry = {};
+async function install() {
+  var key = "hand" + "ler";
+  registry[key] = function installed() { return 1; };
+  return registry;
+}
+exports.install = install;
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, w := range res.Hints.WriteHints() {
+		if w.Prop == "handler" && w.Target.Line == 1 && w.Value.Line == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("async initializer produced no hint; got %v", res.Hints.WriteHints())
+	}
+}

@@ -1,0 +1,180 @@
+package approx
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"repro/internal/hints"
+	"repro/internal/modules"
+)
+
+// This file implements the §6 "Reusing approximate interpretation results"
+// extension. More than 90% of a typical Node.js application is third-party
+// code, and in the motivating example all interesting hints come from the
+// Express library, not the application — so once a library has been
+// subjected to approximate interpretation, its hints can be reused for
+// every application that depends on it.
+
+// PackageKey returns a content hash identifying a dependency package's
+// code within a project (the cache key: identical package sources across
+// projects share hints).
+func PackageKey(project *modules.Project, pkg string) string {
+	prefix := "/node_modules/" + pkg + "/"
+	single := "/node_modules/" + pkg + ".js"
+	var paths []string
+	for _, p := range project.SortedPaths() {
+		if strings.HasPrefix(p, prefix) || p == single {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	h := fnv.New64a()
+	for _, p := range paths {
+		fmt.Fprintf(h, "%s\x00%s\x00", p, project.Files[p])
+	}
+	return fmt.Sprintf("%s@%016x", pkg, h.Sum64())
+}
+
+// PackageEntry returns the entry module of a dependency package, or "".
+func PackageEntry(project *modules.Project, pkg string) string {
+	for _, cand := range []string{
+		"/node_modules/" + pkg + "/index.js",
+		"/node_modules/" + pkg + "/main.js",
+		"/node_modules/" + pkg + ".js",
+	} {
+		if _, ok := project.Files[cand]; ok {
+			return cand
+		}
+	}
+	return ""
+}
+
+// RunPackage performs approximate interpretation of a single dependency
+// package (in the context of the full project, so its own dependencies
+// resolve) and returns the hints whose locations lie inside the package or
+// the built-in node: modules — the reusable, application-independent part.
+func RunPackage(project *modules.Project, pkg string, opts Options) (*hints.Hints, error) {
+	entry := PackageEntry(project, pkg)
+	if entry == "" {
+		return hints.New(), nil
+	}
+	sub := &modules.Project{
+		Name:        project.Name + "#" + pkg,
+		Files:       project.Files,
+		MainEntries: []string{entry},
+		MainPrefix:  "/node_modules/" + pkg,
+	}
+	res, err := Run(sub, opts)
+	if err != nil {
+		return nil, err
+	}
+	return filterHintsToPackage(res.Hints, pkg), nil
+}
+
+// filterHintsToPackage keeps the hints that only reference locations inside
+// the package (or node: built-ins) — those are valid for any application
+// using the package.
+func filterHintsToPackage(h *hints.Hints, pkg string) *hints.Hints {
+	prefix := "/node_modules/" + pkg + "/"
+	single := "/node_modules/" + pkg + ".js"
+	inside := func(file string) bool {
+		return strings.HasPrefix(file, prefix) || file == single ||
+			strings.HasPrefix(file, "node:")
+	}
+	out := hints.New()
+	for _, site := range h.ReadSites() {
+		if !inside(site.File) {
+			continue
+		}
+		for _, v := range h.ReadValues(site) {
+			if inside(v.File) {
+				out.AddRead(site, v)
+			}
+		}
+	}
+	for _, w := range h.WriteHints() {
+		if inside(w.Target.File) && inside(w.Value.File) {
+			out.AddWrite(w.Site, w.Target, w.Prop, w.Value)
+		}
+	}
+	for _, m := range h.ModuleHints() {
+		if inside(m.Site.File) && inside(m.Path) {
+			out.AddModule(m.Site, m.Path)
+		}
+	}
+	for _, e := range h.EvalHints() {
+		if inside(e.Module) {
+			out.AddEval(e.Module, e.Source)
+		}
+	}
+	for _, site := range h.PropReadSites() {
+		if !inside(site.File) {
+			continue
+		}
+		for _, name := range h.PropReadNames(site) {
+			out.AddPropRead(site, name)
+		}
+	}
+	return out
+}
+
+// Cache memoizes per-package hints across projects by content hash.
+type Cache struct {
+	entries map[string]*hints.Hints
+	// Hits and Misses count lookups, for reporting reuse rates.
+	Hits, Misses int
+}
+
+// NewCache returns an empty hint cache.
+func NewCache() *Cache { return &Cache{entries: map[string]*hints.Hints{}} }
+
+// PackageHints returns the (possibly cached) library hints for pkg within
+// project.
+func (c *Cache) PackageHints(project *modules.Project, pkg string, opts Options) (*hints.Hints, error) {
+	key := PackageKey(project, pkg)
+	if h, ok := c.entries[key]; ok {
+		c.Hits++
+		return h, nil
+	}
+	c.Misses++
+	h, err := RunPackage(project, pkg, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.entries[key] = h
+	return h, nil
+}
+
+// RunWithCache performs approximate interpretation of the project reusing
+// cached library hints: dependency packages are processed through the
+// cache (skipped entirely on a hit), and the application pass does not
+// re-force library function definitions — their hints come from the cache.
+// The merged hints cover everything a plain Run observes.
+func RunWithCache(project *modules.Project, cache *Cache, opts Options) (*Result, error) {
+	merged := hints.New()
+	for _, pkg := range project.Packages() {
+		if pkg == "<main>" {
+			continue
+		}
+		ph, err := cache.PackageHints(project, pkg, opts)
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(ph)
+	}
+	// Application-code pass: library modules still load and run their
+	// top-level code concretely, but their function definitions are not
+	// forced again.
+	appOpts := opts
+	appOpts.SkipForcingIn = func(file string) bool {
+		return strings.HasPrefix(file, "/node_modules/")
+	}
+	res, err := Run(project, appOpts)
+	if err != nil {
+		return nil, err
+	}
+	res.Hints.Merge(merged)
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package approx
+
+import (
+	"testing"
+
+	"repro/internal/loc"
+	"repro/internal/modules"
+)
+
+func TestPackageKeyStability(t *testing.T) {
+	p1 := motivatingProject()
+	p2 := motivatingProject()
+	k1 := PackageKey(p1, "express")
+	k2 := PackageKey(p2, "express")
+	if k1 != k2 {
+		t.Errorf("identical packages hash differently: %s vs %s", k1, k2)
+	}
+	// Changing the package changes the key.
+	p2.Files["/node_modules/express/index.js"] += "\n// changed\n"
+	if PackageKey(p2, "express") == k1 {
+		t.Error("modified package kept the same key")
+	}
+	// Other packages have distinct keys.
+	if PackageKey(p1, "methods") == k1 {
+		t.Error("distinct packages share a key")
+	}
+}
+
+func TestRunPackageProducesLibraryHints(t *testing.T) {
+	project := motivatingProject()
+	h, err := RunPackage(project, "express", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The method-table hints live entirely inside the express package.
+	appObj := loc.Loc{File: "/node_modules/express/application.js", Line: 4, Col: 38}
+	found := false
+	for _, w := range h.WriteHints() {
+		if w.Target == appObj && w.Prop == "get" {
+			found = true
+		}
+		// Everything must reference only express or node: locations.
+		for _, l := range []loc.Loc{w.Target, w.Value} {
+			if l.File != "" && !isExpressOrBuiltin(l.File) {
+				t.Errorf("leaked hint location %v", l)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("package hints missing the method-table write; got %v", h.WriteHints())
+	}
+}
+
+func isExpressOrBuiltin(file string) bool {
+	return len(file) >= 5 && (file[:5] == "node:" ||
+		len(file) >= len("/node_modules/express") && file[:len("/node_modules/express")] == "/node_modules/express")
+}
+
+func TestCacheHitsAcrossProjects(t *testing.T) {
+	cache := NewCache()
+	// Two different applications over the identical express library.
+	p1 := motivatingProject()
+	p2 := motivatingProject()
+	p2.Name = "second-app"
+	p2.Files["/app/server.js"] = `var express = require('express');
+var app = express();
+app.post('/submit', function onSubmit(req, res) {});
+app.listen(9090);
+`
+
+	r1, err := RunWithCache(p1, cache, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missesAfterFirst := cache.Misses
+	r2, err := RunWithCache(p2, cache, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Misses != missesAfterFirst {
+		t.Errorf("second project should be all cache hits; misses %d → %d",
+			missesAfterFirst, cache.Misses)
+	}
+	if cache.Hits == 0 {
+		t.Error("no cache hits recorded")
+	}
+	if r1.Hints.Count() == 0 || r2.Hints.Count() == 0 {
+		t.Error("cached runs produced no hints")
+	}
+}
+
+func TestRunWithCacheSupersetOfPlainRun(t *testing.T) {
+	// Cached-library hints merged with the application pass must cover at
+	// least everything a plain full run finds (the library pass explores
+	// library entry points the application may not reach).
+	project := motivatingProject()
+	plain, err := Run(project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunWithCache(project, NewCache(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range plain.Hints.Writes {
+		if !cached.Hints.Writes[w] {
+			t.Errorf("cached run lost write hint %v", w)
+		}
+	}
+	if cached.Hints.Count() < plain.Hints.Count() {
+		t.Errorf("cached run has fewer hints: %d < %d",
+			cached.Hints.Count(), plain.Hints.Count())
+	}
+}
+
+func TestRunPackageMissingPackage(t *testing.T) {
+	project := &modules.Project{
+		Name:  "nopkg",
+		Files: map[string]string{"/app/index.js": "var x = 1;"},
+	}
+	h, err := RunPackage(project, "ghost", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Count() != 0 {
+		t.Errorf("hints for missing package: %d", h.Count())
+	}
+}

@@ -1,0 +1,127 @@
+package approx
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/modules"
+)
+
+// hiddenBranchProject defines API functions behind a condition forced
+// execution cannot satisfy (a proxy is never === a specific string).
+func hiddenBranchProject() *modules.Project {
+	return &modules.Project{
+		Name: "hidden-branches",
+		Files: map[string]string{
+			"/app/index.js": `var registry = {};
+function setup(mode) {
+  if (mode === "secret-mode") {
+    var hidden = function hiddenImpl(x) { return x; };
+    registry["un" + "lock"] = hidden;
+  } else {
+    registry["no" + "rmal"] = function normalImpl(x) { return x; };
+  }
+}
+exports.setup = setup;
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+func TestForceBranchesDiscoversHiddenCode(t *testing.T) {
+	// Without the extension, forcing setup(p*) takes only the else branch
+	// (p* === "secret-mode" is false): hiddenImpl stays invisible.
+	plain, err := Run(hiddenBranchProject(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPlain := false
+	for _, w := range plain.Hints.WriteHints() {
+		if w.Prop == "unlock" {
+			foundPlain = true
+		}
+	}
+	if foundPlain {
+		t.Fatal("hidden branch should be unreachable without the extension")
+	}
+
+	// With branch forcing, both branches run: the hidden definition is
+	// discovered, forced, and its dynamic write produces a hint.
+	forced, err := Run(hiddenBranchProject(), Options{ForceBranches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundHidden, foundNormal := false, false
+	for _, w := range forced.Hints.WriteHints() {
+		if w.Prop == "unlock" {
+			foundHidden = true
+		}
+		if w.Prop == "normal" {
+			foundNormal = true
+		}
+	}
+	if !foundHidden {
+		t.Errorf("branch forcing missed the hidden write; hints: %v", forced.Hints.WriteHints())
+	}
+	if !foundNormal {
+		t.Error("taken branch lost its hint under branch forcing")
+	}
+	if forced.FunctionsVisited <= plain.FunctionsVisited {
+		t.Errorf("visited functions should increase: %d → %d",
+			plain.FunctionsVisited, forced.FunctionsVisited)
+	}
+}
+
+func TestForceBranchesRaisesCorpusCoverage(t *testing.T) {
+	// The generated corpus hides definitions behind unsatisfiable guards
+	// (its "cold" functions); branch forcing must lift the visited ratio.
+	b := corpus.All()[60]
+	plain, err := Run(b.Project, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := Run(b.Project, Options{ForceBranches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forced.VisitedRatio() <= plain.VisitedRatio() {
+		t.Errorf("visited ratio should rise with branch forcing: %.2f → %.2f",
+			plain.VisitedRatio(), forced.VisitedRatio())
+	}
+	// Hints are a superset-or-equal in count terms (strictly more explored
+	// code can only add observations; dedup keeps the originals).
+	if forced.Hints.Count() < plain.Hints.Count() {
+		t.Errorf("branch forcing lost hints: %d → %d",
+			plain.Hints.Count(), forced.Hints.Count())
+	}
+}
+
+func TestForceBranchesModuleLoadingUnaffected(t *testing.T) {
+	// Branch forcing must not corrupt concrete module initialization: the
+	// else-branch of top-level code still never runs.
+	project := &modules.Project{
+		Name: "toplevel-guard",
+		Files: map[string]string{
+			"/app/index.js": `var table = {};
+if (1 < 2) {
+  table["ta" + "ken"] = function takenFn() {};
+} else {
+  table["un" + "taken"] = function untakenFn() {};
+}
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Run(project, Options{ForceBranches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range res.Hints.WriteHints() {
+		if w.Prop == "untaken" {
+			t.Error("module-level untaken branch must not execute")
+		}
+	}
+}

@@ -1,0 +1,437 @@
+// Package ast defines the abstract syntax tree for the JavaScript subset.
+//
+// Every node carries its source location. Locations of object literals,
+// array literals, function definitions, and call/property-access operations
+// double as allocation sites and operation labels (ℓ in the paper), shared
+// between the approximate interpreter and the static analysis.
+package ast
+
+import "repro/internal/loc"
+
+// Node is implemented by every AST node.
+type Node interface {
+	Pos() loc.Loc
+}
+
+// Stmt is implemented by statement nodes.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is implemented by expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Program is a parsed module: the top-level statement list of one file.
+type Program struct {
+	File string
+	Body []Stmt
+}
+
+// Pos returns the location of the start of the file.
+func (p *Program) Pos() loc.Loc { return loc.Loc{File: p.File, Line: 1, Col: 1} }
+
+// ---------------------------------------------------------------- statements
+
+// VarKind is the declaration keyword of a variable statement.
+type VarKind string
+
+// Variable declaration kinds.
+const (
+	Var   VarKind = "var"
+	Let   VarKind = "let"
+	Const VarKind = "const"
+)
+
+// Declarator is a single name = init pair within a variable statement.
+type Declarator struct {
+	Name string
+	Init Expr // may be nil
+	Loc  loc.Loc
+}
+
+// VarDecl is a variable statement: var/let/const a = 1, b;
+type VarDecl struct {
+	Kind  VarKind
+	Decls []*Declarator
+	Loc   loc.Loc
+}
+
+// FuncDecl is a function declaration statement; the function itself is Fn.
+type FuncDecl struct {
+	Fn *FuncLit
+}
+
+// ExprStmt is an expression used as a statement.
+type ExprStmt struct {
+	X Expr
+}
+
+// BlockStmt is a brace-delimited statement list.
+type BlockStmt struct {
+	Body []Stmt
+	Loc  loc.Loc
+}
+
+// IfStmt is a conditional statement; Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Loc  loc.Loc
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body Stmt
+	Loc  loc.Loc
+}
+
+// DoWhileStmt is a do…while loop.
+type DoWhileStmt struct {
+	Body Stmt
+	Cond Expr
+	Loc  loc.Loc
+}
+
+// ForStmt is a classic three-clause for loop; any clause may be nil.
+type ForStmt struct {
+	Init Stmt // VarDecl or ExprStmt, may be nil
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+	Loc  loc.Loc
+}
+
+// ForInStmt covers both for-in (IsOf false) and for-of (IsOf true) loops.
+type ForInStmt struct {
+	DeclKind VarKind // "" when the loop variable is a plain assignment target
+	Name     string
+	Obj      Expr
+	Body     Stmt
+	IsOf     bool
+	Loc      loc.Loc
+}
+
+// ReturnStmt returns X (or undefined when X is nil) from a function.
+type ReturnStmt struct {
+	X   Expr // may be nil
+	Loc loc.Loc
+}
+
+// BreakStmt exits the nearest enclosing loop or switch.
+type BreakStmt struct {
+	Loc loc.Loc
+}
+
+// ContinueStmt continues the nearest enclosing loop.
+type ContinueStmt struct {
+	Loc loc.Loc
+}
+
+// ThrowStmt throws X as an exception.
+type ThrowStmt struct {
+	X   Expr
+	Loc loc.Loc
+}
+
+// TryStmt is try/catch/finally; Catch and Finally may each be nil, but not
+// both.
+type TryStmt struct {
+	Block      *BlockStmt
+	CatchParam string // "" when catch binds no parameter or there is no catch
+	Catch      *BlockStmt
+	Finally    *BlockStmt
+	Loc        loc.Loc
+}
+
+// SwitchCase is one case (or default, when Test is nil) of a switch.
+type SwitchCase struct {
+	Test Expr // nil for default
+	Body []Stmt
+	Loc  loc.Loc
+}
+
+// SwitchStmt is a switch statement.
+type SwitchStmt struct {
+	Disc  Expr
+	Cases []*SwitchCase
+	Loc   loc.Loc
+}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct {
+	Loc loc.Loc
+}
+
+func (s *VarDecl) Pos() loc.Loc      { return s.Loc }
+func (s *FuncDecl) Pos() loc.Loc     { return s.Fn.Loc }
+func (s *ExprStmt) Pos() loc.Loc     { return s.X.Pos() }
+func (s *BlockStmt) Pos() loc.Loc    { return s.Loc }
+func (s *IfStmt) Pos() loc.Loc       { return s.Loc }
+func (s *WhileStmt) Pos() loc.Loc    { return s.Loc }
+func (s *DoWhileStmt) Pos() loc.Loc  { return s.Loc }
+func (s *ForStmt) Pos() loc.Loc      { return s.Loc }
+func (s *ForInStmt) Pos() loc.Loc    { return s.Loc }
+func (s *ReturnStmt) Pos() loc.Loc   { return s.Loc }
+func (s *BreakStmt) Pos() loc.Loc    { return s.Loc }
+func (s *ContinueStmt) Pos() loc.Loc { return s.Loc }
+func (s *ThrowStmt) Pos() loc.Loc    { return s.Loc }
+func (s *TryStmt) Pos() loc.Loc      { return s.Loc }
+func (s *SwitchStmt) Pos() loc.Loc   { return s.Loc }
+func (s *EmptyStmt) Pos() loc.Loc    { return s.Loc }
+
+func (*VarDecl) stmtNode()      {}
+func (*FuncDecl) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*BlockStmt) stmtNode()    {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*DoWhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()      {}
+func (*ForInStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ThrowStmt) stmtNode()    {}
+func (*TryStmt) stmtNode()      {}
+func (*SwitchStmt) stmtNode()   {}
+func (*EmptyStmt) stmtNode()    {}
+
+// --------------------------------------------------------------- expressions
+
+// Ident is a variable reference.
+type Ident struct {
+	Name string
+	Loc  loc.Loc
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	Value float64
+	Raw   string
+	Loc   loc.Loc
+}
+
+// StringLit is a quoted string literal.
+type StringLit struct {
+	Value string
+	Loc   loc.Loc
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Value bool
+	Loc   loc.Loc
+}
+
+// NullLit is the null literal.
+type NullLit struct {
+	Loc loc.Loc
+}
+
+// UndefinedLit is the undefined literal (modeled as a literal, not a global).
+type UndefinedLit struct {
+	Loc loc.Loc
+}
+
+// RegexLit is a regular-expression literal.
+type RegexLit struct {
+	Pattern string
+	Flags   string
+	Loc     loc.Loc
+}
+
+// TemplateLit is a template literal `a${x}b`: Quasis has one more element
+// than Exprs, interleaved Quasis[0] Exprs[0] Quasis[1] … .
+type TemplateLit struct {
+	Quasis []string
+	Exprs  []Expr
+	Loc    loc.Loc
+}
+
+// ArrayLit is an array literal; its location is an allocation site.
+type ArrayLit struct {
+	Elems []Expr // a *SpreadExpr element splices an iterable
+	Loc   loc.Loc
+}
+
+// PropKind distinguishes ordinary properties from accessors.
+type PropKind int
+
+// Object-literal property kinds.
+const (
+	NormalProp PropKind = iota
+	GetterProp
+	SetterProp
+)
+
+// Property is one entry of an object literal.
+type Property struct {
+	Key      string // static key; unused when Computed is non-nil
+	Computed Expr   // computed key expression, or nil
+	Value    Expr
+	Kind     PropKind
+	Loc      loc.Loc
+}
+
+// ObjectLit is an object literal; its location is an allocation site.
+type ObjectLit struct {
+	Props []*Property
+	Loc   loc.Loc
+}
+
+// FuncLit is a function definition (declaration body, function expression,
+// or arrow function). Its location is both an allocation site and the
+// function-definition label used by Visited sets and call graphs.
+type FuncLit struct {
+	Name    string // "" for anonymous functions
+	Params  []string
+	RestIdx int // index of rest parameter, or -1
+	Body    *BlockStmt
+	// ExprBody is set instead of Body for expression-bodied arrows.
+	ExprBody Expr
+	IsArrow  bool
+	// IsAsync marks async functions; their results are promises and their
+	// bodies may use the await operator.
+	IsAsync bool
+	Loc     loc.Loc
+}
+
+// CallExpr is a function call; its location is the call-site label.
+type CallExpr struct {
+	Callee Expr
+	Args   []Expr // a *SpreadExpr argument splices an array
+	Loc    loc.Loc
+}
+
+// NewExpr is a constructor call; its location is an allocation site.
+type NewExpr struct {
+	Callee Expr
+	Args   []Expr
+	Loc    loc.Loc
+}
+
+// MemberExpr is a property access. When Computed is false the access is
+// static (E.p, property name in Prop); when true it is dynamic (E[E'],
+// name expression in PropExpr) and Loc labels the dynamic read operation.
+type MemberExpr struct {
+	Obj      Expr
+	Prop     string
+	PropExpr Expr
+	Computed bool
+	Loc      loc.Loc
+}
+
+// AssignExpr assigns Value to Target, possibly with a compound operator.
+type AssignExpr struct {
+	Op     string // "=", "+=", …
+	Target Expr   // *Ident or *MemberExpr
+	Value  Expr
+	Loc    loc.Loc
+}
+
+// BinaryExpr is an arithmetic, comparison, or relational operation.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+	Loc  loc.Loc
+}
+
+// LogicalExpr is a short-circuiting &&, ||, or ?? operation.
+type LogicalExpr struct {
+	Op   string
+	L, R Expr
+	Loc  loc.Loc
+}
+
+// UnaryExpr is a prefix operator application (!, -, +, ~, typeof, void,
+// delete).
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Loc loc.Loc
+}
+
+// UpdateExpr is ++ or -- in prefix or postfix position.
+type UpdateExpr struct {
+	Op     string // "++" or "--"
+	X      Expr
+	Prefix bool
+	Loc    loc.Loc
+}
+
+// CondExpr is the ternary conditional.
+type CondExpr struct {
+	Cond, Then, Else Expr
+	Loc              loc.Loc
+}
+
+// SeqExpr is the comma operator.
+type SeqExpr struct {
+	Exprs []Expr
+	Loc   loc.Loc
+}
+
+// ThisExpr is the this keyword.
+type ThisExpr struct {
+	Loc loc.Loc
+}
+
+// SpreadExpr is …x in call arguments or array literals.
+type SpreadExpr struct {
+	X   Expr
+	Loc loc.Loc
+}
+
+func (e *Ident) Pos() loc.Loc        { return e.Loc }
+func (e *NumberLit) Pos() loc.Loc    { return e.Loc }
+func (e *StringLit) Pos() loc.Loc    { return e.Loc }
+func (e *BoolLit) Pos() loc.Loc      { return e.Loc }
+func (e *NullLit) Pos() loc.Loc      { return e.Loc }
+func (e *UndefinedLit) Pos() loc.Loc { return e.Loc }
+func (e *RegexLit) Pos() loc.Loc     { return e.Loc }
+func (e *TemplateLit) Pos() loc.Loc  { return e.Loc }
+func (e *ArrayLit) Pos() loc.Loc     { return e.Loc }
+func (e *ObjectLit) Pos() loc.Loc    { return e.Loc }
+func (e *FuncLit) Pos() loc.Loc      { return e.Loc }
+func (e *CallExpr) Pos() loc.Loc     { return e.Loc }
+func (e *NewExpr) Pos() loc.Loc      { return e.Loc }
+func (e *MemberExpr) Pos() loc.Loc   { return e.Loc }
+func (e *AssignExpr) Pos() loc.Loc   { return e.Loc }
+func (e *BinaryExpr) Pos() loc.Loc   { return e.Loc }
+func (e *LogicalExpr) Pos() loc.Loc  { return e.Loc }
+func (e *UnaryExpr) Pos() loc.Loc    { return e.Loc }
+func (e *UpdateExpr) Pos() loc.Loc   { return e.Loc }
+func (e *CondExpr) Pos() loc.Loc     { return e.Loc }
+func (e *SeqExpr) Pos() loc.Loc      { return e.Loc }
+func (e *ThisExpr) Pos() loc.Loc     { return e.Loc }
+func (e *SpreadExpr) Pos() loc.Loc   { return e.Loc }
+
+func (*Ident) exprNode()        {}
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*BoolLit) exprNode()      {}
+func (*NullLit) exprNode()      {}
+func (*UndefinedLit) exprNode() {}
+func (*RegexLit) exprNode()     {}
+func (*TemplateLit) exprNode()  {}
+func (*ArrayLit) exprNode()     {}
+func (*ObjectLit) exprNode()    {}
+func (*FuncLit) exprNode()      {}
+func (*CallExpr) exprNode()     {}
+func (*NewExpr) exprNode()      {}
+func (*MemberExpr) exprNode()   {}
+func (*AssignExpr) exprNode()   {}
+func (*BinaryExpr) exprNode()   {}
+func (*LogicalExpr) exprNode()  {}
+func (*UnaryExpr) exprNode()    {}
+func (*UpdateExpr) exprNode()   {}
+func (*CondExpr) exprNode()     {}
+func (*SeqExpr) exprNode()      {}
+func (*ThisExpr) exprNode()     {}
+func (*SpreadExpr) exprNode()   {}

@@ -1,0 +1,111 @@
+package ast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/testgen"
+)
+
+// printVia parses src and returns its canonical printed form.
+func printVia(t *testing.T, src string) string {
+	t.Helper()
+	prog, err := parser.Parse("t.js", src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return ast.Print(prog)
+}
+
+// TestPrintCoversEveryConstruct drives the printer through every node type
+// the parser can produce and checks the output reparses to a fixpoint.
+func TestPrintCoversEveryConstruct(t *testing.T) {
+	srcs := []string{
+		// literals of every kind
+		`var a = 1; var b = "s"; var c = true; var d = false; var e = null; var f = undefined;`,
+		`var r = /pat+ern/gi;`,
+		"var t = `pre${x}mid${y + 1}post`;",
+		`var big = 1e21; var tiny = 2.5e-7; var neg = -0.5;`,
+		// arrays with holes and spread
+		`var arr = [1, , 3, ...rest];`,
+		// objects: all property kinds
+		`var o = {plain: 1, "quoted key": 2, [comp()]: 3, short, m(a) { return a; }, get g() { return 1; }, set s(v) { this.v = v; }};`,
+		// functions: all forms
+		`function decl(a, b) { return a; }`,
+		`var fe = function named(x) { return named; };`,
+		`var ar1 = x => x;`,
+		`var ar2 = (a, b) => { return a + b; };`,
+		`var rest = function(first, ...others) { return others; };`,
+		// every statement form
+		`if (a) { f(); } else if (b) { g(); } else { h(); }`,
+		`while (x) { x--; }`,
+		`do { tick(); } while (more());`,
+		`for (var i = 0, j = 9; i < j; i++, j--) { swap(i, j); }`,
+		`for (;;) { break; }`,
+		`for (var k in obj) { visit(k); }`,
+		`for (const v of list) { use(v); }`,
+		`for (k in obj) {}`,
+		`switch (x) { case 1: a(); break; case 2: case 3: b(); break; default: c(); }`,
+		`try { f(); } catch (e) { g(e); } finally { h(); }`,
+		`try { f(); } catch { g(); }`,
+		`throw new Error("boom");`,
+		`;`,
+		`{ var inner = 1; }`,
+		`function loop() { for (;;) { continue; } }`,
+		// every expression form
+		`x = a ? b : c;`,
+		`y = (1, 2, 3);`,
+		`z = a && b || c ?? d;`,
+		`u = typeof a; v = void 0; w = delete o.p; n = -a; p = +b; q = ~c; r2 = !d;`,
+		`i++; i--; ++i; --i; o.n++; a[0]--;`,
+		`x += 1; x -= 2; x *= 3; x /= 4; x %= 5; x &= 6; x |= 7; x ^= 8; x <<= 1; x >>= 1;`,
+		`b1 = a & b | c ^ d; b2 = a << 2 >> 1 >>> 3; b3 = 2 ** 8;`,
+		`c1 = a in o; c2 = x instanceof F;`,
+		`m = o.p.q; n2 = o["k"]; call3 = f(g(h(1)));`,
+		`nw = new Ctor(1, 2); nw2 = new ns.Deep.Ctor(); nw3 = new Bare;`,
+		`sp = f(...args, last);`,
+	}
+	for _, src := range srcs {
+		out1 := printVia(t, src)
+		prog2, err := parser.Parse("t.js", out1)
+		if err != nil {
+			t.Errorf("reparse failed for %q: %v\nprinted:\n%s", src, err, out1)
+			continue
+		}
+		out2 := ast.Print(prog2)
+		if out1 != out2 {
+			t.Errorf("not a fixpoint for %q:\nfirst:\n%s\nsecond:\n%s", src, out1, out2)
+		}
+	}
+}
+
+// TestPrintGenerated lifts the parser-package round-trip property into the
+// ast package so the printer's coverage is measured here too.
+func TestPrintGenerated(t *testing.T) {
+	for seed := uint64(0); seed < 100; seed++ {
+		src := testgen.New(seed*3 + 11).Program()
+		out1 := printVia(t, src)
+		prog2, err := parser.Parse("t.js", out1)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, out1)
+		}
+		if out2 := ast.Print(prog2); out1 != out2 {
+			t.Fatalf("seed %d: not a fixpoint", seed)
+		}
+	}
+}
+
+// TestPrintStableIndentation checks block nesting renders with consistent
+// two-space indentation.
+func TestPrintStableIndentation(t *testing.T) {
+	out := printVia(t, `function f() { if (a) { while (b) { g(); } } }`)
+	for _, want := range []string{
+		"function f() {\n", "  if (a)\n", "    while (b)\n", "      g();\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

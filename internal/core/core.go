@@ -1,0 +1,133 @@
+// Package core is the public pipeline of the reproduction: it runs the
+// approximate-interpretation pre-analysis, the baseline static analysis,
+// and the hint-extended static analysis on a project, and (optionally) a
+// dynamic call graph for recall/precision measurement — the full workflow
+// of the paper's evaluation (§5).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/callgraph"
+	"repro/internal/dyncg"
+	"repro/internal/hints"
+	"repro/internal/modules"
+	"repro/internal/static"
+)
+
+// Config controls which phases run and their budgets.
+type Config struct {
+	// Approx tunes the forced-execution budgets of the pre-analysis.
+	Approx approx.Options
+	// WithDynamicCG additionally builds a dynamic call graph from the
+	// project's test entries and computes recall/precision.
+	WithDynamicCG bool
+	// DynCG tunes dynamic call-graph construction.
+	DynCG dyncg.Options
+	// DisableDPR turns off the read-hint rule in the extended analysis
+	// (the Table 2 "*" configuration).
+	DisableDPR bool
+	// UnknownArgHints enables the §6 "unknown function arguments"
+	// extension in the extended analysis.
+	UnknownArgHints bool
+	// SkipBaseline and SkipExtended allow running a single analysis
+	// configuration (used by the timing benchmarks).
+	SkipBaseline bool
+	SkipExtended bool
+	// Ablation additionally runs the §4 name-only strawman analysis.
+	Ablation bool
+}
+
+// Result bundles the outcomes of all phases for one project.
+type Result struct {
+	Project *modules.Project
+
+	Approx   *approx.Result
+	Baseline *static.Result
+	Extended *static.Result
+	Ablation *static.Result
+
+	BaselineMetrics callgraph.Metrics
+	ExtendedMetrics callgraph.Metrics
+	AblationMetrics callgraph.Metrics
+
+	Dynamic          *dyncg.Result
+	BaselineAccuracy callgraph.Accuracy
+	ExtendedAccuracy callgraph.Accuracy
+}
+
+// Hints returns the hints produced by the pre-analysis.
+func (r *Result) Hints() *hints.Hints {
+	if r.Approx == nil {
+		return nil
+	}
+	return r.Approx.Hints
+}
+
+// Analyze runs the full pipeline on a project.
+func Analyze(project *modules.Project, cfg Config) (*Result, error) {
+	res := &Result{Project: project}
+
+	// Phase 1: approximate interpretation (the dynamic pre-analysis).
+	ar, err := approx.Run(project, cfg.Approx)
+	if err != nil {
+		return nil, fmt.Errorf("approximate interpretation: %w", err)
+	}
+	res.Approx = ar
+
+	// Phase 2: baseline static analysis (dynamic property accesses ignored).
+	if !cfg.SkipBaseline {
+		br, err := static.Analyze(project, static.Options{Mode: static.Baseline})
+		if err != nil {
+			return nil, fmt.Errorf("baseline analysis: %w", err)
+		}
+		res.Baseline = br
+		res.BaselineMetrics = br.Metrics()
+	}
+
+	// Phase 3: extended static analysis with the [DPR]/[DPW] rules.
+	if !cfg.SkipExtended {
+		er, err := static.Analyze(project, static.Options{
+			Mode:            static.WithHints,
+			Hints:           ar.Hints,
+			DisableDPR:      cfg.DisableDPR,
+			UnknownArgHints: cfg.UnknownArgHints,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("extended analysis: %w", err)
+		}
+		res.Extended = er
+		res.ExtendedMetrics = er.Metrics()
+	}
+
+	// Optional: the name-only ablation (§4 strawman).
+	if cfg.Ablation {
+		ab, err := static.Analyze(project, static.Options{
+			Mode:  static.AblationNameOnly,
+			Hints: ar.Hints,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("ablation analysis: %w", err)
+		}
+		res.Ablation = ab
+		res.AblationMetrics = ab.Metrics()
+	}
+
+	// Optional: dynamic call graph and accuracy comparison (Table 2).
+	if cfg.WithDynamicCG {
+		dr, err := dyncg.Build(project, cfg.DynCG)
+		if err != nil {
+			return nil, fmt.Errorf("dynamic call graph: %w", err)
+		}
+		res.Dynamic = dr
+		if res.Baseline != nil {
+			res.BaselineAccuracy = callgraph.CompareWithDynamic(res.Baseline.Graph, dr.Graph)
+		}
+		if res.Extended != nil {
+			res.ExtendedAccuracy = callgraph.CompareWithDynamic(res.Extended.Graph, dr.Graph)
+		}
+	}
+
+	return res, nil
+}

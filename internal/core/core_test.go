@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestFullPipeline(t *testing.T) {
+	res, err := Analyze(corpus.Motivating(), Config{WithDynamicCG: true, Ablation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approx == nil || res.Hints().Count() == 0 {
+		t.Fatal("pre-analysis produced nothing")
+	}
+	if res.Baseline == nil || res.Extended == nil || res.Ablation == nil {
+		t.Fatal("missing analysis phases")
+	}
+	if res.ExtendedMetrics.CallEdges <= res.BaselineMetrics.CallEdges {
+		t.Errorf("extended edges %d ≤ baseline %d",
+			res.ExtendedMetrics.CallEdges, res.BaselineMetrics.CallEdges)
+	}
+	if res.Dynamic == nil || res.Dynamic.Graph.NumEdges() == 0 {
+		t.Fatal("no dynamic call graph")
+	}
+	if res.ExtendedAccuracy.Recall <= res.BaselineAccuracy.Recall {
+		t.Errorf("recall did not improve: %.1f → %.1f",
+			res.BaselineAccuracy.Recall, res.ExtendedAccuracy.Recall)
+	}
+}
+
+func TestSkipPhases(t *testing.T) {
+	res, err := Analyze(corpus.Motivating(), Config{SkipBaseline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline != nil {
+		t.Error("baseline should be skipped")
+	}
+	if res.Extended == nil {
+		t.Error("extended should run")
+	}
+
+	res, err = Analyze(corpus.Motivating(), Config{SkipExtended: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Extended != nil {
+		t.Error("extended should be skipped")
+	}
+	if res.Baseline == nil {
+		t.Error("baseline should run")
+	}
+}
+
+func TestDisableDPRStillImproves(t *testing.T) {
+	// The Table 2 "*" configuration: only [DPW] active.
+	res, err := Analyze(corpus.Motivating(), Config{DisableDPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExtendedMetrics.CallEdges <= res.BaselineMetrics.CallEdges {
+		t.Error("write hints alone should still add edges")
+	}
+}
+
+func TestPipelineOnAllMinis(t *testing.T) {
+	for _, name := range []string{
+		"mini-events", "mini-middleware", "mini-validator",
+		"mini-plugin-loader", "mini-schema", "mini-utilbelt", "mini-router",
+	} {
+		b := corpus.ByName(name)
+		if b == nil {
+			t.Fatalf("missing benchmark %s", name)
+		}
+		res, err := Analyze(b.Project, Config{WithDynamicCG: b.HasDynCG})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.ExtendedMetrics.CallEdges < res.BaselineMetrics.CallEdges {
+			t.Errorf("%s: hints removed edges (%d → %d)", name,
+				res.BaselineMetrics.CallEdges, res.ExtendedMetrics.CallEdges)
+		}
+		// Every mini but the plain ones should gain something.
+		if res.ExtendedMetrics.CallEdges == res.BaselineMetrics.CallEdges && res.Hints().Count() > 0 {
+			t.Logf("%s: hints present but no edge gain (ok for some patterns)", name)
+		}
+	}
+}
+
+func TestMiniRouterDPR(t *testing.T) {
+	// mini-router's dispatch is a computed read: the [DPR] rule is what
+	// resolves it.
+	b := corpus.ByName("mini-router")
+	full, err := Analyze(b.Project, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noDPR, err := Analyze(b.Project, Config{DisableDPR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ExtendedMetrics.CallEdges <= noDPR.ExtendedMetrics.CallEdges {
+		t.Errorf("[DPR] should add dispatch edges: with=%d without=%d",
+			full.ExtendedMetrics.CallEdges, noDPR.ExtendedMetrics.CallEdges)
+	}
+}

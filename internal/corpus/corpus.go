@@ -1,0 +1,91 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/modules"
+	"repro/internal/parser"
+)
+
+// Size is the number of benchmarks in the corpus, matching the paper's 141
+// projects (71 npm packages + 70 GitHub projects there; 8 hand-written
+// minis + 133 generated projects here).
+const Size = 141
+
+// Benchmark is one corpus entry.
+type Benchmark struct {
+	Project *modules.Project
+	// HasDynCG marks the 36 benchmarks with test suites usable for dynamic
+	// call-graph construction (the paper's Table 1/2 subset).
+	HasDynCG bool
+}
+
+// All returns the full corpus, deterministically. The hand-written minis
+// come first, then the generated projects in size order.
+func All() []*Benchmark {
+	var out []*Benchmark
+	add := func(p *modules.Project) {
+		out = append(out, &Benchmark{Project: p, HasDynCG: len(p.TestEntries) > 0})
+	}
+	add(Motivating())
+	for _, m := range minis() {
+		add(m)
+	}
+	for i := 0; len(out) < Size; i++ {
+		add(generated(i))
+	}
+	return out
+}
+
+// WithDynCG returns the benchmarks that have dynamic call graphs. The
+// corpus is tuned so this matches the paper's 36.
+func WithDynCG() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.HasDynCG {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName returns the benchmark with the given project name, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range All() {
+		if b.Project.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Stats describes a benchmark the way the paper's Table 1 does.
+type Stats struct {
+	Name      string
+	Packages  int
+	Modules   int
+	Functions int
+	CodeSize  int // bytes
+	HasDynCG  bool
+}
+
+// ComputeStats parses the project and counts packages, modules, functions,
+// and code size (Table 1 columns).
+func ComputeStats(b *Benchmark) (Stats, error) {
+	st := Stats{
+		Name:     b.Project.Name,
+		Packages: len(b.Project.Packages()),
+		Modules:  len(b.Project.Files),
+		CodeSize: b.Project.CodeSize(),
+		HasDynCG: b.HasDynCG,
+	}
+	for _, path := range b.Project.SortedPaths() {
+		prog, err := parser.Parse(path, b.Project.Files[path])
+		if err != nil {
+			return st, fmt.Errorf("corpus: %s: %s: %w", b.Project.Name, path, err)
+		}
+		st.Functions += len(ast.Functions(prog))
+	}
+	return st, nil
+}

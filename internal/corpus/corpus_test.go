@@ -1,0 +1,126 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/static"
+)
+
+func TestCorpusShape(t *testing.T) {
+	all := All()
+	if len(all) != Size {
+		t.Fatalf("corpus size = %d, want %d", len(all), Size)
+	}
+	dyn := WithDynCG()
+	if len(dyn) != 36 {
+		t.Errorf("dyn-CG benchmarks = %d, want 36", len(dyn))
+	}
+	names := map[string]bool{}
+	for _, b := range all {
+		if names[b.Project.Name] {
+			t.Errorf("duplicate benchmark name %s", b.Project.Name)
+		}
+		names[b.Project.Name] = true
+		if len(b.Project.MainEntries) == 0 {
+			t.Errorf("%s: no main entries", b.Project.Name)
+		}
+		if b.HasDynCG != (len(b.Project.TestEntries) > 0) {
+			t.Errorf("%s: HasDynCG flag inconsistent", b.Project.Name)
+		}
+	}
+}
+
+func TestCorpusDeterminism(t *testing.T) {
+	a1 := All()
+	a2 := All()
+	for i := range a1 {
+		if a1[i].Project.Name != a2[i].Project.Name {
+			t.Fatalf("ordering differs at %d", i)
+		}
+		for path, src := range a1[i].Project.Files {
+			if a2[i].Project.Files[path] != src {
+				t.Errorf("%s: %s differs between corpus builds", a1[i].Project.Name, path)
+			}
+		}
+	}
+}
+
+func TestCorpusAllParse(t *testing.T) {
+	for _, b := range All() {
+		if _, err := ComputeStats(b); err != nil {
+			t.Errorf("%s: %v", b.Project.Name, err)
+		}
+	}
+}
+
+func TestCorpusVisitedRatio(t *testing.T) {
+	// Spot-check that cold code keeps coverage realistic (<100%) while
+	// forced execution still reaches most definitions.
+	var totalRatio float64
+	n := 0
+	for _, idx := range []int{20, 50, 80, 110, 135} {
+		b := All()[idx]
+		res, err := approx.Run(b.Project, approx.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Project.Name, err)
+		}
+		r := res.VisitedRatio()
+		if r <= 0.2 || r > 1.0 {
+			t.Errorf("%s: visited ratio %.2f out of range", b.Project.Name, r)
+		}
+		totalRatio += r
+		n++
+	}
+	avg := totalRatio / float64(n)
+	if avg >= 0.95 {
+		t.Errorf("average visited ratio %.2f — cold code not working", avg)
+	}
+	if avg <= 0.4 {
+		t.Errorf("average visited ratio %.2f — too little coverage", avg)
+	}
+}
+
+func TestMotivatingBenchmarkImproves(t *testing.T) {
+	b := ByName("motivating-express")
+	if b == nil {
+		t.Fatal("motivating benchmark missing")
+	}
+	ar, err := approx.Run(b.Project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := static.Analyze(b.Project, static.Options{Mode: static.Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := static.Analyze(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Graph.NumEdges() <= base.Graph.NumEdges() {
+		t.Errorf("extended should add edges: %d vs %d", ext.Graph.NumEdges(), base.Graph.NumEdges())
+	}
+}
+
+func TestVulnerabilityDatabase(t *testing.T) {
+	total := 0
+	for _, b := range WithDynCG() {
+		vulns, err := Vulnerabilities(b)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Project.Name, err)
+		}
+		for _, v := range vulns {
+			if v.Package == "" || !v.Func.Valid() {
+				t.Errorf("%s: malformed vuln %+v", b.Project.Name, v)
+			}
+		}
+		total += len(vulns)
+	}
+	// Paper: 447 vulnerabilities across the dependencies of the 36
+	// projects. The generator is calibrated to the same order of magnitude.
+	if total < 150 || total > 1500 {
+		t.Errorf("total vulnerabilities = %d, want a few hundred", total)
+	}
+	t.Logf("total vulnerabilities across dyn-CG corpus: %d", total)
+}

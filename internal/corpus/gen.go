@@ -1,0 +1,458 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/modules"
+)
+
+// rng is a splitmix64 generator: deterministic corpora independent of Go's
+// rand package evolution.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed*0x9E3779B97F4A7C15 + 0x1234} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *rng) pick(ss []string) string { return ss[r.intn(len(ss))] }
+
+var methodPool = []string{
+	"get", "post", "put", "del", "patch", "head", "list", "find", "save",
+	"load", "open", "close", "send", "recv", "emitx", "watch", "sync",
+	"flush", "reset", "check", "parse", "format", "encode", "decode",
+}
+
+var wordPool = []string{
+	"alpha", "beta", "gamma", "delta", "omega", "core", "flux", "node",
+	"wave", "spark", "metric", "probe", "relay", "vault", "cargo", "orbit",
+}
+
+// depKind enumerates the dynamic-initialization idioms a generated
+// dependency package can use.
+type depKind int
+
+const (
+	kindPlain    depKind = iota // direct exports: baseline-resolvable
+	kindTable                   // forEach method table (Fig. 1d)
+	kindMixin                   // merge-descriptors copy (Fig. 1b/1c)
+	kindDispatch                // computed-read handler dispatch
+	kindAssign                  // Object.assign API composition
+	kindEmitter                 // EventEmitter subclass
+	kindPlugins                 // dynamically computed require()
+	numDepKinds
+)
+
+// depAPI tells app-module generation how to use a generated package.
+type depAPI struct {
+	pkg     string   // package name (require specifier)
+	create  string   // expression producing an instance, with %s = require result variable
+	methods []string // callable methods on the instance
+	isCtor  bool
+	dynamic bool // API installed via dynamic property writes
+}
+
+// generated builds synthetic project #idx. Size grows with idx so the
+// corpus spans the paper's size spread (Table 1).
+func generated(idx int) *modules.Project {
+	r := newRNG(uint64(idx) + 7)
+	// Size tier: projects 0..140 span small → large.
+	tier := 1 + idx/20 // 1..8
+	nDeps := 1 + tier + r.intn(2+tier)
+	nApp := 1 + r.intn(1+tier)
+
+	files := map[string]string{}
+	// Dynamic-initialization idioms dominate, as in real library code
+	// (paper §1: "dynamic language features are often used for
+	// initializing APIs"); plain direct-export packages are the minority.
+	kindWeights := []depKind{
+		kindPlain, kindPlain, kindTable, kindTable, kindMixin, kindMixin,
+		kindDispatch, kindDispatch, kindAssign, kindEmitter, kindPlugins,
+	}
+	var apis []depAPI
+	for d := 0; d < nDeps; d++ {
+		kind := kindWeights[r.intn(len(kindWeights))]
+		api := genDep(files, r, d, kind, tier)
+		apis = append(apis, api)
+	}
+
+	// Application modules: use the dependency APIs and each other.
+	var appPaths []string
+	for m := 0; m < nApp; m++ {
+		path := fmt.Sprintf("/app/mod%d.js", m)
+		appPaths = append(appPaths, path)
+		files[path] = genAppModule(r, m, apis, appPaths[:m])
+	}
+	entry := "/app/index.js"
+	var sb strings.Builder
+	for m := 0; m < nApp; m++ {
+		fmt.Fprintf(&sb, "var mod%d = require('./mod%d');\n", m, m)
+	}
+	fmt.Fprintf(&sb, "exports.main = function main(x) {\n  var acc = x;\n")
+	for m := 0; m < nApp; m++ {
+		fmt.Fprintf(&sb, "  acc = mod%d.run(acc);\n", m)
+	}
+	// The top-level call exercises the dependency APIs concretely during
+	// module loading, which is where approximate interpretation observes
+	// the determinate behaviour (the argument depth drives the chained
+	// dispatch in table-style packages).
+	sb.WriteString("  return acc;\n};\nexports.main(4);\n")
+	files[entry] = sb.String()
+
+	p := &modules.Project{
+		Name:        fmt.Sprintf("gen-%03d-%s", idx, wordPool[idx%len(wordPool)]),
+		Files:       files,
+		MainEntries: []string{entry},
+		MainPrefix:  "/app",
+	}
+	// Some generated projects get a test suite (dynamic call graph) with
+	// deliberately partial coverage; the cutoff keeps the corpus at the
+	// paper's 36 dyn-CG benchmarks (11 minis + 25 generated).
+	if idx%4 == 1 && idx < 100 {
+		files["/app/test/suite.test.js"] = genTestSuite(r, nApp)
+		p.TestEntries = []string{"/app/test/suite.test.js"}
+	}
+	return p
+}
+
+// genDep emits one dependency package into files and returns its API.
+func genDep(files map[string]string, r *rng, d int, kind depKind, tier int) depAPI {
+	api := genDepBody(files, r, d, kind, tier)
+	// Cold code: function definitions guarded by conditions forced
+	// execution cannot satisfy (a proxy is never === a specific string),
+	// so a realistic fraction of definitions stays unvisited, as in the
+	// paper (§5 reports ~60% of functions visited).
+	nCold := 1 + r.intn(2+tier/2)
+	var cold strings.Builder
+	for c := 0; c < nCold; c++ {
+		fmt.Fprintf(&cold, `function coldEntry%d(flag) {
+  if (flag === 'enable-%d-%s') {
+    var coldHelper = function coldHelper%d(x) { return x; };
+    var coldImpl = function coldImpl%d(x) { return coldHelper(x); };
+    return coldImpl(flag);
+  }
+  return null;
+}
+exports._cold%d = coldEntry%d;
+`, c, c, api.pkg, c, c, c, c)
+	}
+	files["/node_modules/"+api.pkg+"/index.js"] += cold.String()
+	// Statically exported utilities: even dynamically initialized packages
+	// expose part of their API directly, so the baseline analysis reaches
+	// into every package.
+	var hot strings.Builder
+	for h := 0; h < 2; h++ {
+		fmt.Fprintf(&hot, `module.exports.describe%d = function describe%d(x) {
+  return descHelper%d(x);
+};
+function descHelper%d(x) { return x; }
+`, h, h, h, h)
+	}
+	files["/node_modules/"+api.pkg+"/index.js"] += hot.String()
+	return api
+}
+
+func genDepBody(files map[string]string, r *rng, d int, kind depKind, tier int) depAPI {
+	pkg := fmt.Sprintf("dep%d%s", d, r.pick(wordPool))
+	root := "/node_modules/" + pkg
+	nMethods := 3 + r.intn(3+tier)
+	if kind != kindPlain {
+		// Dynamically initialized packages carry the bulk of the API
+		// surface, as in real framework code.
+		nMethods = 3 + r.intn(3+tier*2)
+		if nMethods > len(methodPool) {
+			nMethods = len(methodPool)
+		}
+	}
+	methods := make([]string, 0, nMethods)
+	seen := map[string]bool{}
+	for len(methods) < nMethods {
+		m := r.pick(methodPool)
+		if !seen[m] {
+			seen[m] = true
+			methods = append(methods, m)
+		}
+	}
+
+	var sb strings.Builder
+	switch kind {
+	case kindPlain:
+		// Direct exports with small static helper chains: the baseline
+		// analysis resolves all of this, giving it a realistic reachable
+		// set to start from.
+		for _, m := range methods {
+			fmt.Fprintf(&sb, "exports.%s = function %s_%s(x) {\n  return helper_%s(step_%s(x)) + 1;\n};\n", m, pkg, m, m, m)
+			fmt.Fprintf(&sb, "function helper_%s(x) { return inner_%s(x); }\n", m, m)
+			fmt.Fprintf(&sb, "function step_%s(x) { return x; }\n", m)
+			fmt.Fprintf(&sb, "function inner_%s(x) { return x; }\n", m)
+		}
+		files[root+"/index.js"] = sb.String()
+		return depAPI{pkg: pkg, create: "%s", methods: methods}
+
+	case kindTable:
+		// The Fig. 1d pattern: a method table over a dynamically built
+		// string array.
+		fmt.Fprintf(&sb, "var names = %s;\nvar proto = {};\n", jsStringArray(methods))
+		sb.WriteString(`names.forEach(function(name, i) {
+  proto[name] = function(arg) {
+    this._count = (this._count || 0) + 1;
+    if (arg > 1) {
+      // Chained dynamic dispatch: the next method is resolved through a
+      // computed property read, so these intra-API edges need hints too.
+      var next = names[(i + 1) % names.length];
+      return this[next](arg - 1);
+    }
+    return arg;
+  };
+});
+module.exports = function create() {
+  var obj = { _count: 0 };
+  for (var k in proto) {
+    obj[k] = proto[k];
+  }
+  return obj;
+};
+`)
+		files[root+"/index.js"] = sb.String()
+		return depAPI{pkg: pkg, create: "%s()", methods: methods, dynamic: true}
+
+	case kindMixin:
+		fmt.Fprintf(&sb, "var mixin = require('./merge');\nvar proto = require('./proto');\n")
+		sb.WriteString(`module.exports = function build() {
+  var api = function(x) { return api.` + methods[0] + `(x); };
+  mixin(api, proto);
+  return api;
+};
+`)
+		files[root+"/index.js"] = sb.String()
+		files[root+"/merge.js"] = `module.exports = function merge(dest, src) {
+  Object.getOwnPropertyNames(src).forEach(function copyProp(name) {
+    var d = Object.getOwnPropertyDescriptor(src, name);
+    Object.defineProperty(dest, name, d);
+  });
+  return dest;
+};
+`
+		var ps strings.Builder
+		for _, m := range methods {
+			fmt.Fprintf(&ps, "exports.%s = function proto_%s(x) {\n  return x;\n};\n", m, m)
+		}
+		files[root+"/proto.js"] = ps.String()
+		return depAPI{pkg: pkg, create: "%s()", methods: methods, dynamic: true}
+
+	case kindDispatch:
+		sb.WriteString("var table = {};\n")
+		for _, m := range methods {
+			fmt.Fprintf(&sb, "table['cmd$' + %q] = function handle_%s(x) { return x; };\n", m, m)
+		}
+		sb.WriteString(`module.exports = { dispatch: function dispatch(cmd, x) {
+  var h = table['cmd$' + cmd];
+  if (!h) return null;
+  return h(x);
+} };
+`)
+		for _, m := range methods {
+			fmt.Fprintf(&sb, "module.exports.%s = function api_%s(x) { return module.exports.dispatch(%q, x); };\n", m, m, m)
+		}
+		files[root+"/index.js"] = sb.String()
+		return depAPI{pkg: pkg, create: "%s", methods: methods, dynamic: true}
+
+	case kindAssign:
+		half := len(methods) / 2
+		if half == 0 {
+			half = 1
+		}
+		fmt.Fprintf(&sb, "var partA = require('./a');\nvar partB = require('./b');\nmodule.exports = Object.assign({}, partA, partB);\n")
+		files[root+"/index.js"] = sb.String()
+		var a, b strings.Builder
+		for i, m := range methods {
+			target := &a
+			if i >= half {
+				target = &b
+			}
+			fmt.Fprintf(target, "exports.%s = function part_%s(x) {\n  return x;\n};\n", m, m)
+		}
+		files[root+"/a.js"] = a.String()
+		files[root+"/b.js"] = b.String()
+		return depAPI{pkg: pkg, create: "%s", methods: methods, dynamic: true}
+
+	case kindEmitter:
+		sb.WriteString(`var EventEmitter = require('events');
+var util = require('util');
+function Machine(name) {
+  EventEmitter.call(this);
+  this.name = name;
+}
+util.inherits(Machine, EventEmitter);
+`)
+		for _, m := range methods {
+			fmt.Fprintf(&sb, "Machine.prototype.%s = function machine_%s(x) {\n  this.emit(%q, x);\n  return this;\n};\n", m, m, m)
+		}
+		sb.WriteString("module.exports = Machine;\n")
+		files[root+"/index.js"] = sb.String()
+		return depAPI{pkg: pkg, create: "new %s('m')", methods: methods, isCtor: true, dynamic: true}
+
+	case kindPlugins:
+		names := methods
+		if len(names) > 3 {
+			names = names[:3]
+		}
+		fmt.Fprintf(&sb, "var names = %s;\nvar plugins = {};\n", jsStringArray(names))
+		sb.WriteString(`names.forEach(function(n) {
+  plugins[n] = require('./plugins/' + n);
+});
+module.exports = { run: function run(n, x) {
+  var p = plugins[n];
+  return p(x);
+} };
+`)
+		for _, n := range names {
+			fmt.Fprintf(&sb, "module.exports.%s = function plug_%s(x) { return module.exports.run(%q, x); };\n", n, n, n)
+		}
+		files[root+"/index.js"] = sb.String()
+		for _, n := range names {
+			files[root+"/plugins/"+n+".js"] = fmt.Sprintf(
+				"module.exports = function plugin_%s(x) {\n  return x;\n};\n", n)
+		}
+		return depAPI{pkg: pkg, create: "%s", methods: names, dynamic: true}
+	}
+	return depAPI{pkg: pkg, create: "%s"}
+}
+
+// genAppModule emits an application module that exercises some of the
+// dependency APIs and earlier app modules.
+func genAppModule(r *rng, idx int, apis []depAPI, earlier []string) string {
+	var sb strings.Builder
+	nUse := 1 + r.intn(len(apis))
+	if nUse > 4 {
+		nUse = 4
+	}
+	used := map[int]bool{}
+	var chosen []int
+	for len(chosen) < nUse {
+		k := r.intn(len(apis))
+		if !used[k] {
+			used[k] = true
+			chosen = append(chosen, k)
+		}
+	}
+	for i, k := range chosen {
+		api := apis[k]
+		fmt.Fprintf(&sb, "var lib%d = require('%s');\n", i, api.pkg)
+		fmt.Fprintf(&sb, "var inst%d = %s;\n", i, fmt.Sprintf(api.create, fmt.Sprintf("lib%d", i)))
+	}
+	for _, e := range earlier {
+		base := strings.TrimSuffix(e[strings.LastIndex(e, "/")+1:], ".js")
+		fmt.Fprintf(&sb, "var %s = require('./%s');\n", base, base)
+	}
+	// Local helper functions: statically resolvable call-graph mass, so the
+	// baseline analysis has a healthy reachable set to start from.
+	nLocals := 2 + r.intn(4)
+	for l := 0; l < nLocals; l++ {
+		fmt.Fprintf(&sb, "function local%d_%d(x) { return x + %d; }\n", idx, l, l)
+	}
+	fmt.Fprintf(&sb, `function local%d_scale(f) {
+  return function scaled(x) { return f(x) + %d; };
+}
+var scaled%d = local%d_scale(local%d_0);
+`, idx, idx+1, idx, idx, idx)
+
+	// Two exported entry points each exercise the full dependency API —
+	// real applications call the same library methods from many sites, so
+	// most hint-recovered targets gain several edges.
+	emitUses := func(fnName string) {
+		fmt.Fprintf(&sb, "exports.%s = function %s_mod%d(x) {\n  var acc = scaled%d(x);\n", fnName, fnName, idx, idx)
+		for l := 0; l < nLocals; l++ {
+			fmt.Fprintf(&sb, "  acc = local%d_%d(acc);\n", idx, l)
+		}
+		for i, k := range chosen {
+			api := apis[k]
+			for _, m := range api.methods {
+				if api.isCtor {
+					fmt.Fprintf(&sb, "  inst%d.%s(acc);\n", i, m)
+				} else {
+					fmt.Fprintf(&sb, "  acc = inst%d.%s(acc) || acc;\n", i, m)
+				}
+			}
+		}
+		for i := range chosen {
+			fmt.Fprintf(&sb, "  lib%d.describe0(acc);\n  lib%d.describe1(acc);\n", i, i)
+		}
+		if fnName == "run" {
+			for _, e := range earlier {
+				base := strings.TrimSuffix(e[strings.LastIndex(e, "/")+1:], ".js")
+				fmt.Fprintf(&sb, "  acc = %s.run(acc) || acc;\n", base)
+			}
+		}
+		sb.WriteString("  return acc;\n};\n")
+	}
+	emitUses("run")
+	emitUses("flush")
+
+	// Additional handler-style entry points touch only the dynamically
+	// installed APIs: real applications call library methods like app.get
+	// from many distinct sites, so each hint-recovered function gains many
+	// call edges (the paper's +55%% call edges vs +22%% reachable shape).
+	nHandlers := 3 + r.intn(4)
+	for h := 0; h < nHandlers; h++ {
+		fmt.Fprintf(&sb, "exports.handler%d = function handler%d_mod%d(x) {\n", h, h, idx)
+		for i, k := range chosen {
+			api := apis[k]
+			if !api.dynamic {
+				continue
+			}
+			for _, m := range api.methods {
+				if api.isCtor {
+					fmt.Fprintf(&sb, "  inst%d.%s(x);\n", i, m)
+				} else {
+					fmt.Fprintf(&sb, "  x = inst%d.%s(x) || x;\n", i, m)
+				}
+			}
+		}
+		sb.WriteString("  return x;\n};\n")
+	}
+	// Register event listeners where an emitter API is present; resolving
+	// emit → listener requires hints (the listener table is dynamic).
+	for i, k := range chosen {
+		if !apis[k].isCtor {
+			continue
+		}
+		for li, ev := range apis[k].methods {
+			if li >= 3 {
+				break
+			}
+			fmt.Fprintf(&sb, "inst%d.on('%s', function listener%d_%d_%d(x) { return x; });\n",
+				i, ev, idx, i, li)
+		}
+	}
+	return sb.String()
+}
+
+// genTestSuite emits a partial-coverage test entry (the paper's dynamic
+// call graphs come from real test suites with imperfect coverage).
+func genTestSuite(r *rng, nApp int) string {
+	var sb strings.Builder
+	sb.WriteString("var assert = require('assert');\n")
+	covered := nApp/2 + 1
+	for m := 0; m < covered; m++ {
+		fmt.Fprintf(&sb, "var mod%d = require('../mod%d');\n", m, m)
+		fmt.Fprintf(&sb, "assert.ok(mod%d.run(%d) !== null);\n", m, m+1)
+	}
+	return sb.String()
+}
+
+func jsStringArray(ss []string) string {
+	quoted := make([]string, len(ss))
+	for i, s := range ss {
+		quoted[i] = "'" + s + "'"
+	}
+	return "[" + strings.Join(quoted, ", ") + "]"
+}

@@ -1,0 +1,477 @@
+// Package corpus provides the benchmark suite: a set of hand-written
+// miniature libraries faithful to the dynamic-initialization patterns the
+// paper targets, plus a deterministic generator that scales the suite to
+// the paper's 141 projects (36 with dynamic call graphs). It substitutes
+// for the npm/GitHub corpus, which cannot be vendored here; the generated
+// projects exercise the same code paths (see DESIGN.md, substitution note).
+package corpus
+
+import "repro/internal/modules"
+
+// Motivating returns the paper's Fig. 1 example: an Express-style web
+// server whose library builds its API with mixins and dynamic property
+// writes. It is the reproduction's reference benchmark.
+func Motivating() *modules.Project {
+	return &modules.Project{
+		Name: "motivating-express",
+		Files: map[string]string{
+			"/app/server.js": `const express = require('express');
+const app = express();
+app.get('/', function(req, res) {
+  res.send('Hello world!');
+  server.close();
+});
+var server = app.listen(8080);
+`,
+			"/app/test/main.test.js": `var assert = require('assert');
+var express = require('express');
+var app = express();
+app.get('/x', function handler(req, res) {});
+var srv = app.listen(0);
+assert.ok(srv);
+`,
+			"/node_modules/express/index.js": `var mixin = require('merge-descriptors');
+var EventEmitter = require('events');
+var proto = require('./application');
+exports = module.exports = createApplication;
+function createApplication() {
+  var app = function(req, res, next) {
+    app.handle(req, res, next);
+  };
+  mixin(app, EventEmitter.prototype, false);
+  mixin(app, proto, false);
+  app._router = require('./router')();
+  return app;
+}
+`,
+			"/node_modules/express/router.js": `var methods = require('methods');
+module.exports = function createRouter() {
+  return {
+    route: function route(path) {
+      var r = { path: path };
+      methods.forEach(function(verb) {
+        r[verb] = function routeVerb(handler) {
+          r['handler$' + verb] = handler;
+          return r;
+        };
+      });
+      return r;
+    }
+  };
+};
+`,
+			"/node_modules/merge-descriptors/index.js": `module.exports = merge;
+function merge(dest, src, redefine) {
+  Object.getOwnPropertyNames(src).forEach(function forOwnPropertyName(name) {
+    var descriptor = Object.getOwnPropertyDescriptor(src, name);
+    Object.defineProperty(dest, name, descriptor);
+  });
+  return dest;
+}
+`,
+			"/node_modules/express/application.js": `var methods = require('methods');
+var slice = Array.prototype.slice;
+var http = require('http');
+var app = exports = module.exports = {};
+methods.forEach(function(method) {
+  app[method] = function(path) {
+    var route = this._router.route(path);
+    route[method].apply(route, slice.call(arguments, 1));
+    return this;
+  };
+});
+app.listen = function listen() {
+  var server = http.createServer(this);
+  return server.listen.apply(server, arguments);
+};
+app.handle = function handle(req, res, next) {
+  if (next) next();
+  return this;
+};
+`,
+			"/node_modules/methods/index.js": `var base = ['GET', 'POST', 'PUT', 'DELETE', 'PATCH', 'HEAD', 'OPTIONS'];
+var out = [];
+base.forEach(function(m) {
+  out.push(m.toLowerCase());
+});
+module.exports = out;
+`,
+		},
+		MainEntries: []string{"/app/server.js"},
+		TestEntries: []string{"/app/test/main.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// minis returns the hand-written benchmark projects beyond the motivating
+// example. Each isolates one dynamic-initialization idiom from real
+// libraries.
+func minis() []*modules.Project {
+	return []*modules.Project{
+		miniEvents(),
+		miniMiddleware(),
+		miniValidator(),
+		miniPluginLoader(),
+		miniSchema(),
+		miniUtilBelt(),
+		miniRouter(),
+		miniORM(),
+		miniFetcher(),
+		miniESM(),
+	}
+}
+
+// miniEvents: EventEmitter-based pub/sub where listeners are stored in a
+// dynamic table (this._events[type]) — resolving emit → listener requires
+// hints.
+func miniEvents() *modules.Project {
+	return &modules.Project{
+		Name: "mini-events",
+		Files: map[string]string{
+			"/app/main.js": `var Ticker = require('ticker');
+var t = new Ticker('main');
+t.on('tick', function onTick(n) {
+  record(n);
+});
+t.start(3);
+function record(n) { return n; }
+module.exports = t;
+`,
+			"/app/test/ticker.test.js": `var assert = require('assert');
+var Ticker = require('ticker');
+var t = new Ticker('test');
+var seen = 0;
+t.on('tick', function testTick(n) { seen = n; });
+t.start(2);
+assert.equal(seen, 2);
+`,
+			"/node_modules/ticker/index.js": `var EventEmitter = require('events');
+var util = require('util');
+function Ticker(name) {
+  EventEmitter.call(this);
+  this.name = name;
+}
+util.inherits(Ticker, EventEmitter);
+Ticker.prototype.start = function start(n) {
+  for (var i = 1; i <= n; i++) {
+    this.emit('tick', i);
+  }
+  this.emit('done', this.name);
+  return this;
+};
+module.exports = Ticker;
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/ticker.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniMiddleware: a connect-style middleware chain; the dispatcher walks a
+// dynamically built handler array.
+func miniMiddleware() *modules.Project {
+	return &modules.Project{
+		Name: "mini-middleware",
+		Files: map[string]string{
+			"/app/main.js": `var chain = require('chain');
+var appChain = chain();
+appChain.use(function logger(req, next) {
+  req.log = (req.log || 0) + 1;
+  next();
+});
+appChain.use(function auth(req, next) {
+  req.user = 'anon';
+  next();
+});
+appChain.handle({url: '/'});
+module.exports = appChain;
+`,
+			"/app/test/chain.test.js": `var assert = require('assert');
+var chain = require('chain');
+var c = chain();
+var hits = [];
+c.use(function one(req, next) { hits.push(1); next(); });
+c.use(function two(req, next) { hits.push(2); next(); });
+c.handle({});
+assert.equal(hits.length, 2);
+`,
+			"/node_modules/chain/index.js": `module.exports = createChain;
+var api = {};
+var names = ['use', 'handle', 'reset'];
+var impls = {
+  use: function use(fn) {
+    this._stack.push(fn);
+    return this;
+  },
+  handle: function handle(req) {
+    var stack = this._stack;
+    var i = 0;
+    function next() {
+      var fn = stack[i];
+      i = i + 1;
+      if (fn) fn(req, next);
+    }
+    next();
+    return req;
+  },
+  reset: function reset() {
+    this._stack = [];
+    return this;
+  }
+};
+names.forEach(function(name) {
+  api[name] = impls[name];
+});
+function createChain() {
+  var c = { _stack: [] };
+  for (var k in api) {
+    c[k] = api[k];
+  }
+  return c;
+}
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/chain.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniValidator: express-validator style — a checker object is populated
+// with one method per validation rule via a dynamic loop.
+func miniValidator() *modules.Project {
+	return &modules.Project{
+		Name: "mini-validator",
+		Files: map[string]string{
+			"/app/main.js": `var validator = require('checkr');
+var v = validator();
+var okLen = v.minLength('abcdef', 3);
+var okNum = v.isNumber(42);
+var bad = v.notEmpty('');
+module.exports = { okLen: okLen, okNum: okNum, bad: bad };
+`,
+			"/app/test/checkr.test.js": `var assert = require('assert');
+var validator = require('checkr');
+var v = validator();
+assert.ok(v.isNumber(1));
+assert.ok(!v.isNumber('x'));
+assert.ok(v.notEmpty('y'));
+`,
+			"/node_modules/checkr/index.js": `var rules = require('./rules');
+module.exports = function createValidator() {
+  var v = {};
+  Object.keys(rules).forEach(function(name) {
+    v[name] = rules[name];
+  });
+  return v;
+};
+`,
+			"/node_modules/checkr/rules.js": `exports.minLength = function minLength(s, n) {
+  return typeof s === 'string' && s.length >= n;
+};
+exports.isNumber = function isNumber(x) {
+  return typeof x === 'number' && !isNaN(x);
+};
+exports.notEmpty = function notEmpty(s) {
+  return typeof s === 'string' && s.length > 0;
+};
+exports.matches = function matches(s, re) {
+  return re.test(s);
+};
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/checkr.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniPluginLoader: dynamically computed require() specifiers — resolvable
+// only via module-load hints.
+func miniPluginLoader() *modules.Project {
+	return &modules.Project{
+		Name: "mini-plugin-loader",
+		Files: map[string]string{
+			"/app/main.js": `var loader = require('loadr');
+var reg = loader(['json', 'text']);
+var out1 = reg.run('json', '{"a":1}');
+var out2 = reg.run('text', 'hello');
+module.exports = { out1: out1, out2: out2 };
+`,
+			"/app/test/loadr.test.js": `var assert = require('assert');
+var loader = require('loadr');
+var reg = loader(['text']);
+assert.equal(reg.run('text', 'x'), 'TEXT:x');
+`,
+			"/node_modules/loadr/index.js": `module.exports = function load(names) {
+  var plugins = {};
+  names.forEach(function(n) {
+    plugins[n] = require('./plugins/' + n);
+  });
+  return {
+    run: function run(n, input) {
+      var p = plugins[n];
+      return p(input);
+    }
+  };
+};
+`,
+			"/node_modules/loadr/plugins/json.js": `module.exports = function jsonPlugin(input) {
+  return JSON.parse(input);
+};
+`,
+			"/node_modules/loadr/plugins/text.js": `module.exports = function textPlugin(input) {
+  return 'TEXT:' + input;
+};
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/loadr.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniSchema: eval-generated glue code performing dynamic writes of
+// statically known objects (the paper's §3 eval discussion).
+func miniSchema() *modules.Project {
+	return &modules.Project{
+		Name: "mini-schema",
+		Files: map[string]string{
+			"/app/main.js": `var schema = require('schemr');
+var s = schema(['id', 'name']);
+var rec = s.make();
+var v1 = s.getId(rec);
+var v2 = s.getName(rec);
+module.exports = { v1: v1, v2: v2 };
+`,
+			"/app/test/schemr.test.js": `var assert = require('assert');
+var schema = require('schemr');
+var s = schema(['id']);
+var rec = s.make();
+assert.equal(s.getId(rec), undefined);
+`,
+			"/node_modules/schemr/index.js": `var impls = require('./impls');
+module.exports = function build(fields) {
+  var api = {};
+  api.make = impls.make;
+  fields.forEach(function(f) {
+    var cap = f.charAt(0).toUpperCase() + f.slice(1);
+    // eval performs the dynamic write; both api and the getter come from
+    // statically known code, so the hint survives.
+    eval("api['get" + cap + "'] = impls.makeGetter(f);");
+  });
+  return api;
+};
+`,
+			"/node_modules/schemr/impls.js": `exports.make = function make() {
+  return {};
+};
+var getter = function getField(rec) {
+  return rec[this._field];
+};
+exports.makeGetter = function makeGetter(f) {
+  return function boundGetter(rec) {
+    return rec[f];
+  };
+};
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/schemr.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniUtilBelt: a lodash-style utility belt built by Object.assign over
+// category objects.
+func miniUtilBelt() *modules.Project {
+	return &modules.Project{
+		Name: "mini-utilbelt",
+		Files: map[string]string{
+			"/app/main.js": `var _ = require('beltr');
+var doubled = _.mapValues({a: 1, b: 2}, function dbl(v) { return v * 2; });
+var picked = _.pick({x: 1, y: 2}, ['x']);
+var capped = _.capitalize('word');
+module.exports = { doubled: doubled, picked: picked, capped: capped };
+`,
+			"/app/test/beltr.test.js": `var assert = require('assert');
+var _ = require('beltr');
+assert.equal(_.capitalize('abc'), 'Abc');
+var m = _.mapValues({k: 2}, function t(v) { return v + 1; });
+assert.equal(m.k, 3);
+`,
+			"/node_modules/beltr/index.js": `var objects = require('./objects');
+var strings = require('./strings');
+module.exports = Object.assign({}, objects, strings);
+`,
+			"/node_modules/beltr/objects.js": `exports.mapValues = function mapValues(obj, fn) {
+  var out = {};
+  Object.keys(obj).forEach(function(k) {
+    out[k] = fn(obj[k]);
+  });
+  return out;
+};
+exports.pick = function pick(obj, keys) {
+  var out = {};
+  keys.forEach(function(k) {
+    out[k] = obj[k];
+  });
+  return out;
+};
+`,
+			"/node_modules/beltr/strings.js": `exports.capitalize = function capitalize(s) {
+  if (!s) return s;
+  return s.charAt(0).toUpperCase() + s.slice(1);
+};
+exports.kebab = function kebab(s) {
+  return s.toLowerCase().replace(/\s+/g, '-');
+};
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/beltr.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniRouter: computed-property dispatch — a command router resolving
+// handlers through dynamic reads ([DPR] territory).
+func miniRouter() *modules.Project {
+	return &modules.Project{
+		Name: "mini-router",
+		Files: map[string]string{
+			"/app/main.js": `var router = require('routr');
+var r = router();
+r.add('home', function homePage(ctx) { return 'home:' + ctx; });
+r.add('about', function aboutPage(ctx) { return 'about:' + ctx; });
+var res = r.dispatch('home', 1);
+module.exports = res;
+`,
+			"/app/test/routr.test.js": `var assert = require('assert');
+var router = require('routr');
+var r = router();
+r.add('p', function page(ctx) { return ctx * 2; });
+assert.equal(r.dispatch('p', 21), 42);
+`,
+			"/node_modules/routr/index.js": `module.exports = function createRouter() {
+  var routes = {};
+  return {
+    add: function add(name, handler) {
+      routes['route$' + name] = handler;
+      return this;
+    },
+    dispatch: function dispatch(name, ctx) {
+      var h = routes['route$' + name];
+      if (!h) return null;
+      return h(ctx);
+    }
+  };
+};
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/routr.test.js"},
+		MainPrefix:  "/app",
+	}
+}

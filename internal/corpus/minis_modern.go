@@ -1,0 +1,165 @@
+package corpus
+
+import "repro/internal/modules"
+
+// Modern-JS miniature benchmarks: the paper's analyzer (Jelly) supports
+// ES2023 including classes, async/await, and ES modules; these minis make
+// sure the reproduction's corpus exercises those front-end features through
+// the whole pipeline, combined with the dynamic-initialization patterns the
+// technique targets.
+
+// miniORM: class-based models whose query methods are installed dynamically
+// per field (ActiveRecord style) — class syntax meets the method-table
+// pattern.
+func miniORM() *modules.Project {
+	return &modules.Project{
+		Name: "mini-orm",
+		Files: map[string]string{
+			"/app/main.js": `var orm = require('ormlite');
+class User extends orm.Model {
+  constructor(row) {
+    super(row);
+    this.kind = "user";
+  }
+  displayName() { return this.get("name") + " <" + this.get("email") + ">"; }
+}
+orm.register(User, ["name", "email"]);
+var u = new User({name: "ada", email: "a@x"});
+var byName = u.findByName("ada");
+var label = u.displayName();
+module.exports = { byName: byName, label: label };
+`,
+			"/app/test/orm.test.js": `var assert = require('assert');
+var orm = require('ormlite');
+class Item extends orm.Model {
+  constructor(row) { super(row); }
+}
+orm.register(Item, ["sku"]);
+var it = new Item({sku: "s1"});
+assert.equal(it.get("sku"), "s1");
+assert.ok(it.findBySku("s1"));
+`,
+			"/node_modules/ormlite/index.js": `class Model {
+  constructor(row) {
+    this.row = row || {};
+  }
+  get(field) { return this.row[field]; }
+}
+function capitalize(s) {
+  return s.charAt(0).toUpperCase() + s.slice(1);
+}
+// register installs one finder per field on the model's prototype — a
+// dynamic property write driven by runtime strings.
+function register(modelClass, fields) {
+  fields.forEach(function(field) {
+    var finder = "findBy" + capitalize(field);
+    modelClass.prototype[finder] = function(value) {
+      return this.get(field) === value ? this : null;
+    };
+  });
+  return modelClass;
+}
+exports.Model = Model;
+exports.register = register;
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/orm.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniFetcher: async/await over a dynamically populated handler table —
+// promise payloads must flow through await and the [DPR] rule together.
+func miniFetcher() *modules.Project {
+	return &modules.Project{
+		Name: "mini-fetcher",
+		Files: map[string]string{
+			"/app/main.js": `var fetcher = require('fetchr');
+var client = fetcher.create();
+client.handle("json", async function jsonHandler(body) {
+  return JSON.parse(body);
+});
+client.handle("text", async function textHandler(body) {
+  return "text:" + body;
+});
+async function load() {
+  var a = await client.fetch("json", '{"n": 1}');
+  var b = await client.fetch("text", "hi");
+  return { a: a, b: b };
+}
+load().then(function(out) { module.exports = out; });
+`,
+			"/app/test/fetchr.test.js": `var assert = require('assert');
+var fetcher = require('fetchr');
+var c = fetcher.create();
+c.handle("echo", async function echoHandler(x) { return x; });
+c.fetch("echo", "val").then(function(v) {
+  assert.equal(v, "val");
+});
+`,
+			"/node_modules/fetchr/index.js": `class Client {
+  constructor() {
+    this.handlers = {};
+  }
+  handle(kind, fn) {
+    this.handlers["on$" + kind] = fn;
+    return this;
+  }
+  async fetch(kind, body) {
+    var h = this.handlers["on$" + kind];
+    var result = await h(body);
+    return result;
+  }
+}
+exports.create = function create() {
+  return new Client();
+};
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/fetchr.test.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+// miniESM: ES-module syntax end to end, with an Object.assign-composed API
+// imported through named and default imports.
+func miniESM() *modules.Project {
+	return &modules.Project{
+		Name: "mini-esm",
+		Files: map[string]string{
+			"/app/main.js": `import toolkit, {fmtDate, parseNum} from 'kitjs';
+import * as kit from 'kitjs';
+var stamped = fmtDate(12345);
+var n = parseNum("42");
+var viaDefault = toolkit.version();
+var viaNs = kit.fmtDate(999);
+module.exports = { stamped: stamped, n: n, viaDefault: viaDefault, viaNs: viaNs };
+`,
+			"/app/test/kit.test.js": `var assert = require('assert');
+import {parseNum} from 'kitjs';
+assert.equal(parseNum("7"), 7);
+`,
+			"/node_modules/kitjs/index.js": `import {fmtDate} from './dates';
+import {parseNum} from './nums';
+export {fmtDate, parseNum};
+var api = Object.assign({}, {
+  version: function version() { return "kit-1.0"; }
+});
+export default api;
+`,
+			"/node_modules/kitjs/dates.js": `export function fmtDate(ms) {
+  return "t" + ms;
+}
+`,
+			"/node_modules/kitjs/nums.js": `export function parseNum(s) {
+  return parseInt(s, 10);
+}
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+		TestEntries: []string{"/app/test/kit.test.js"},
+		MainPrefix:  "/app",
+	}
+}

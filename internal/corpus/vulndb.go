@@ -1,0 +1,81 @@
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/callgraph"
+	"repro/internal/loc"
+	"repro/internal/parser"
+)
+
+// Vuln is a known-vulnerable function in a dependency package, standing in
+// for the advisory-database entries of the paper's vulnerability-
+// reachability experiment (§5: 447 vulnerabilities across the dependencies
+// of the 36 dyn-CG projects; 52 reachable with the baseline call graphs,
+// 55 with the extended ones).
+type Vuln struct {
+	ID      string           // synthetic advisory id ("RPRO-2024-0017")
+	Package string           // dependency package name
+	Func    callgraph.FuncID // the vulnerable function definition
+}
+
+// Vulnerabilities deterministically selects vulnerable functions in the
+// project's dependency code. Selection hashes the function's location, so
+// the same project always yields the same advisories, and different
+// projects get independent ones.
+func Vulnerabilities(b *Benchmark) ([]Vuln, error) {
+	var out []Vuln
+	for _, path := range b.Project.SortedPaths() {
+		if b.Project.IsMainModule(path) {
+			continue // only dependency code carries advisories
+		}
+		i := strings.Index(path, "/node_modules/")
+		if i < 0 {
+			continue
+		}
+		pkg := path[i+len("/node_modules/"):]
+		if j := strings.Index(pkg, "/"); j >= 0 {
+			pkg = pkg[:j]
+		}
+		prog, err := parser.Parse(path, b.Project.Files[path])
+		if err != nil {
+			return nil, fmt.Errorf("vulndb: %s: %w", path, err)
+		}
+		for _, fn := range ast.Functions(prog) {
+			if selectVuln(b.Project.Name, fn.Loc) {
+				out = append(out, Vuln{
+					ID:      fmt.Sprintf("RPRO-2024-%04d", hashLoc(b.Project.Name, fn.Loc)%10000),
+					Package: strings.TrimSuffix(pkg, ".js"),
+					Func:    fn.Loc,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Func.Before(out[j].Func) })
+	return out, nil
+}
+
+// selectVuln marks roughly one in ten dependency functions as vulnerable;
+// the rate is calibrated so the 36 dyn-CG benchmarks carry on the order of
+// the paper's 447 advisories in total.
+func selectVuln(project string, l loc.Loc) bool {
+	return hashLoc(project, l)%10 == 0
+}
+
+func hashLoc(project string, l loc.Loc) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range []string{project, l.File} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	h ^= uint64(l.Line)
+	h *= 1099511628211
+	h ^= uint64(l.Col)
+	h *= 1099511628211
+	return h
+}

@@ -1,0 +1,114 @@
+// Package dyncg builds dynamic call graphs by executing a project's test
+// entry modules in the concrete interpreter and recording every resolved
+// call. It substitutes for the paper's NodeProf-based dynamic call-graph
+// construction (run under the projects' test suites) and is used as the
+// ground truth for the recall/precision comparison of Table 2.
+package dyncg
+
+import (
+	"errors"
+	"strings"
+	"time"
+
+	"repro/internal/callgraph"
+	"repro/internal/interp"
+	"repro/internal/loc"
+	"repro/internal/modules"
+	"repro/internal/value"
+)
+
+// Options tunes dynamic call-graph construction.
+type Options struct {
+	// MaxLoopIters bounds total loop iterations per entry module, so test
+	// suites with unbounded loops terminate (default 2,000,000).
+	MaxLoopIters int64
+	// MaxDepth bounds the call stack (default 2500).
+	MaxDepth int
+}
+
+// Result is a dynamic call graph plus execution statistics.
+type Result struct {
+	Graph *callgraph.Graph
+	// EntriesRun / EntriesFailed count test entry modules executed and
+	// failed (a failed entry still contributes the edges recorded before
+	// the failure).
+	EntriesRun    int
+	EntriesFailed int
+	Duration      time.Duration
+}
+
+type recorder struct {
+	interp.NopHooks
+	g        *callgraph.Graph
+	project  *modules.Project
+	registry *modules.Registry
+}
+
+// BeforeCall records an edge for every call to a user-defined function
+// from a syntactic call site.
+func (r *recorder) BeforeCall(site loc.Loc, callee *value.Object, this value.Value, args []value.Value) {
+	if !site.Valid() || callee.Fn == nil || callee.Fn.Decl == nil {
+		return
+	}
+	target := callee.Alloc
+	if !target.Valid() {
+		return // functions created by eval'd code have no definition site
+	}
+	r.g.AddEdge(site, target)
+}
+
+// RequireResolved records require-site → module-function edges, matching
+// the static analysis's treatment of module loading.
+func (r *recorder) RequireResolved(site loc.Loc, name string, dynamic bool) {
+	if !site.Valid() {
+		return
+	}
+	path, err := r.registry.Resolve(r.registry.Interp.CurrentModule(), name)
+	if err != nil {
+		return
+	}
+	if strings.HasPrefix(path, "node:") && modules.IsExternalModule(strings.TrimPrefix(path, "node:")) {
+		return
+	}
+	r.g.AddEdge(site, callgraph.ModuleFunc(path))
+}
+
+// Build runs the project's test entries (falling back to the main entries
+// when no test suite exists) and returns the recorded dynamic call graph.
+func Build(project *modules.Project, opts Options) (*Result, error) {
+	if opts.MaxLoopIters == 0 {
+		opts.MaxLoopIters = 2_000_000
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 2500
+	}
+	start := time.Now()
+	rec := &recorder{g: callgraph.New(), project: project}
+	it := interp.New(interp.Options{
+		Hooks:        rec,
+		MaxLoopIters: opts.MaxLoopIters,
+		MaxDepth:     opts.MaxDepth,
+	})
+	rec.registry = modules.NewRegistry(project, it)
+
+	entries := project.TestEntries
+	if len(entries) == 0 {
+		entries = project.MainEntries
+	}
+	res := &Result{Graph: rec.g}
+	for _, e := range entries {
+		res.EntriesRun++
+		it.ResetBudget()
+		if _, err := rec.registry.Load(e); err != nil {
+			var budget *interp.BudgetError
+			var thrown *interp.Thrown
+			if errors.As(err, &budget) || errors.As(err, &thrown) {
+				res.EntriesFailed++
+				continue
+			}
+			return nil, err
+		}
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}

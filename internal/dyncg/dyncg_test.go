@@ -1,0 +1,206 @@
+package dyncg
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/loc"
+	"repro/internal/modules"
+)
+
+func TestRecordsDirectCalls(t *testing.T) {
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js": `function f() { return g(); }
+function g() { return 1; }
+f();
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	res, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	fCall := loc.Loc{File: "/app/index.js", Line: 3, Col: 2}
+	fDef := loc.Loc{File: "/app/index.js", Line: 1, Col: 1}
+	gCall := loc.Loc{File: "/app/index.js", Line: 1, Col: 24}
+	gDef := loc.Loc{File: "/app/index.js", Line: 2, Col: 1}
+	if !g.HasEdge(fCall, fDef) {
+		t.Errorf("missing f() edge; edges: %v", g.Edges)
+	}
+	if !g.HasEdge(gCall, gDef) {
+		t.Errorf("missing g() edge; edges: %v", g.Edges)
+	}
+}
+
+func TestOnlyExecutedEdges(t *testing.T) {
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js": `function hot() { return 1; }
+function cold() { return 2; }
+if (true) { hot(); } else { cold(); }
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	res, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldDef := loc.Loc{File: "/app/index.js", Line: 2, Col: 1}
+	for site := range res.Graph.Edges {
+		if res.Graph.HasEdge(site, coldDef) {
+			t.Error("cold function must not appear in the dynamic call graph")
+		}
+	}
+}
+
+func TestTestEntriesPreferred(t *testing.T) {
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js":      "function mainOnly() {}\nmainOnly();",
+			"/app/test/suite.js": "function testOnly() {}\ntestOnly();",
+		},
+		MainEntries: []string{"/app/index.js"},
+		TestEntries: []string{"/app/test/suite.js"},
+	}
+	res, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testDef := loc.Loc{File: "/app/test/suite.js", Line: 1, Col: 1}
+	mainDef := loc.Loc{File: "/app/index.js", Line: 1, Col: 1}
+	foundTest, foundMain := false, false
+	for site := range res.Graph.Edges {
+		if res.Graph.HasEdge(site, testDef) {
+			foundTest = true
+		}
+		if res.Graph.HasEdge(site, mainDef) {
+			foundMain = true
+		}
+	}
+	if !foundTest {
+		t.Error("test entry not executed")
+	}
+	if foundMain {
+		t.Error("main entry should not run when test entries exist")
+	}
+}
+
+func TestRequireEdges(t *testing.T) {
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js": "var lib = require('./lib');",
+			"/app/lib.js":   "exports.x = 1;",
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	res, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqSite := loc.Loc{File: "/app/index.js", Line: 1, Col: 18}
+	if !res.Graph.HasEdge(reqSite, callgraph.ModuleFunc("/app/lib.js")) {
+		t.Errorf("missing require edge; edges: %v", res.Graph.Edges)
+	}
+}
+
+func TestCallbackAttribution(t *testing.T) {
+	// Callback edges attribute to the original call site, matching the
+	// static analysis's native models.
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js": `[1, 2].forEach(function cb(x) { return x; });
+function target(a) { return a; }
+target.apply(null, [1]);
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	res, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachSite := loc.Loc{File: "/app/index.js", Line: 1, Col: 15}
+	cbDef := loc.Loc{File: "/app/index.js", Line: 1, Col: 16}
+	if !res.Graph.HasEdge(forEachSite, cbDef) {
+		t.Errorf("forEach callback edge missing; edges: %v", res.Graph.Edges)
+	}
+	applySite := loc.Loc{File: "/app/index.js", Line: 3, Col: 13}
+	targetDef := loc.Loc{File: "/app/index.js", Line: 2, Col: 1}
+	if !res.Graph.HasEdge(applySite, targetDef) {
+		t.Errorf("apply edge missing; edges: %v", res.Graph.Edges)
+	}
+}
+
+func TestFailingEntryKeepsPartialGraph(t *testing.T) {
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js": `function before() { return 1; }
+before();
+throw new Error("test suite crashed");
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	res, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntriesFailed != 1 {
+		t.Errorf("EntriesFailed = %d", res.EntriesFailed)
+	}
+	if res.Graph.NumEdges() == 0 {
+		t.Error("edges recorded before the crash must be kept")
+	}
+}
+
+func TestLoopBudgetTerminates(t *testing.T) {
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js": "while (true) {}",
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	res, err := Build(p, Options{MaxLoopIters: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EntriesFailed != 1 {
+		t.Errorf("runaway entry should fail, got %+v", res)
+	}
+}
+
+func TestDeterministicGraph(t *testing.T) {
+	p := &modules.Project{
+		Files: map[string]string{
+			"/app/index.js": `var handlers = {};
+["a", "b", "c"].forEach(function reg(k) {
+  handlers[k] = function() { return k; };
+});
+handlers["b"]();
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	r1, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Build(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Graph.NumEdges() != r2.Graph.NumEdges() {
+		t.Error("dynamic call graph not deterministic")
+	}
+	for site, targets := range r1.Graph.Edges {
+		for target := range targets {
+			if !r2.Graph.HasEdge(site, target) {
+				t.Errorf("edge %v → %v missing in second run", site, target)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+// Package experiments reproduces the paper's evaluation (§5): it runs the
+// approximate-interpretation + static-analysis pipeline over the corpus and
+// computes the data behind every table and figure — Table 1 (benchmark
+// inventory), Figures 4–7 (call edges, reachable functions, resolved and
+// monomorphic call sites), Table 2 (recall/precision against dynamic call
+// graphs), Table 3 (running times), the vulnerability-reachability study,
+// hint statistics, and the §4 relational-vs-name-only ablation.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/callgraph"
+	"repro/internal/corpus"
+	"repro/internal/dyncg"
+	"repro/internal/static"
+)
+
+// Outcome is the full evaluation record for one benchmark.
+type Outcome struct {
+	Name  string
+	Stats corpus.Stats
+
+	HintCount    int
+	VisitedRatio float64
+
+	ApproxTime   time.Duration
+	BaselineTime time.Duration
+	ExtendedTime time.Duration
+
+	Base callgraph.Metrics
+	Ext  callgraph.Metrics
+
+	HasDynCG bool
+	DynEdges int
+	BaseAcc  callgraph.Accuracy
+	ExtAcc   callgraph.Accuracy
+
+	// Reachable function sets (for the vulnerability study).
+	baseReach map[callgraph.FuncID]bool
+	extReach  map[callgraph.FuncID]bool
+}
+
+// RunBenchmark evaluates one benchmark: pre-analysis, baseline, extended,
+// and (if available and requested) the dynamic call graph.
+func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
+	out := &Outcome{Name: b.Project.Name, HasDynCG: b.HasDynCG}
+
+	st, err := corpus.ComputeStats(b)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = st
+
+	ar, err := approx.Run(b.Project, approx.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: approx: %w", b.Project.Name, err)
+	}
+	out.HintCount = ar.Hints.Count()
+	out.VisitedRatio = ar.VisitedRatio()
+	out.ApproxTime = ar.Duration
+
+	base, err := static.Analyze(b.Project, static.Options{Mode: static.Baseline})
+	if err != nil {
+		return nil, fmt.Errorf("%s: baseline: %w", b.Project.Name, err)
+	}
+	out.BaselineTime = base.Duration
+	out.Base = base.Metrics()
+	out.baseReach = base.Graph.Reachable(base.MainEntries)
+
+	ext, err := static.Analyze(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
+	if err != nil {
+		return nil, fmt.Errorf("%s: extended: %w", b.Project.Name, err)
+	}
+	out.ExtendedTime = ext.Duration
+	out.Ext = ext.Metrics()
+	out.extReach = ext.Graph.Reachable(ext.MainEntries)
+
+	if withDyn && b.HasDynCG {
+		dr, err := dyncg.Build(b.Project, dyncg.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: dyncg: %w", b.Project.Name, err)
+		}
+		out.DynEdges = dr.Graph.NumEdges()
+		out.BaseAcc = callgraph.CompareWithDynamic(base.Graph, dr.Graph)
+		out.ExtAcc = callgraph.CompareWithDynamic(ext.Graph, dr.Graph)
+	}
+	return out, nil
+}
+
+// RunCorpus evaluates the given benchmarks in order.
+func RunCorpus(bs []*corpus.Benchmark, withDyn bool) ([]*Outcome, error) {
+	var outs []*Outcome
+	for _, b := range bs {
+		o, err := RunBenchmark(b, withDyn)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// Summary aggregates a corpus run the way the paper's §5 summary boxes do.
+type Summary struct {
+	Projects int
+
+	// Average per-project percentage increases (paper: +55.1% call edges,
+	// +21.8% reachable functions).
+	PctMoreCallEdges float64
+	PctMoreReachable float64
+	// Average percentage-point deltas (paper: +17.7 resolved, −1.5
+	// monomorphic).
+	DeltaResolvedPts    float64
+	DeltaMonomorphicPts float64
+
+	// Hint statistics (paper: 0–15,036, median 1,492).
+	HintsMin, HintsMax, HintsMedian int
+	// Average fraction of functions visited by approximate interpretation
+	// (paper: ~60%).
+	AvgVisitedRatio float64
+
+	// Recall/precision averages over the dyn-CG subset (paper Table 2:
+	// recall 75.9% → 88.1%, precision −1.5 points).
+	DynProjects   int
+	AvgRecallBase float64
+	AvgRecallExt  float64
+	AvgPrecBase   float64
+	AvgPrecExt    float64
+}
+
+// Aggregate computes the summary statistics over a corpus run.
+func Aggregate(outs []*Outcome) Summary {
+	var s Summary
+	s.Projects = len(outs)
+	var hintCounts []int
+	for _, o := range outs {
+		if o.Base.CallEdges > 0 {
+			s.PctMoreCallEdges += 100 * float64(o.Ext.CallEdges-o.Base.CallEdges) / float64(o.Base.CallEdges)
+		}
+		if o.Base.ReachableFunctions > 0 {
+			s.PctMoreReachable += 100 * float64(o.Ext.ReachableFunctions-o.Base.ReachableFunctions) / float64(o.Base.ReachableFunctions)
+		}
+		s.DeltaResolvedPts += o.Ext.ResolvedPct - o.Base.ResolvedPct
+		s.DeltaMonomorphicPts += o.Ext.MonomorphicPct - o.Base.MonomorphicPct
+		s.AvgVisitedRatio += o.VisitedRatio
+		hintCounts = append(hintCounts, o.HintCount)
+		if o.HasDynCG && o.DynEdges > 0 {
+			s.DynProjects++
+			s.AvgRecallBase += o.BaseAcc.Recall
+			s.AvgRecallExt += o.ExtAcc.Recall
+			s.AvgPrecBase += o.BaseAcc.Precision
+			s.AvgPrecExt += o.ExtAcc.Precision
+		}
+	}
+	n := float64(len(outs))
+	if n > 0 {
+		s.PctMoreCallEdges /= n
+		s.PctMoreReachable /= n
+		s.DeltaResolvedPts /= n
+		s.DeltaMonomorphicPts /= n
+		s.AvgVisitedRatio /= n
+	}
+	if s.DynProjects > 0 {
+		d := float64(s.DynProjects)
+		s.AvgRecallBase /= d
+		s.AvgRecallExt /= d
+		s.AvgPrecBase /= d
+		s.AvgPrecExt /= d
+	}
+	if len(hintCounts) > 0 {
+		sort.Ints(hintCounts)
+		s.HintsMin = hintCounts[0]
+		s.HintsMax = hintCounts[len(hintCounts)-1]
+		s.HintsMedian = hintCounts[len(hintCounts)/2]
+	}
+	return s
+}
+
+// VulnResult is the §5 vulnerability-reachability study.
+type VulnResult struct {
+	TotalVulns        int
+	ReachableBaseline int
+	ReachableExtended int
+	ReachableFnsBase  int
+	ReachableFnsExt   int
+}
+
+// VulnStudy computes vulnerability reachability over already-evaluated
+// outcomes, pairing each with its benchmark's advisory set.
+func VulnStudy(bs []*corpus.Benchmark, outs []*Outcome) (VulnResult, error) {
+	var vr VulnResult
+	byName := map[string]*Outcome{}
+	for _, o := range outs {
+		byName[o.Name] = o
+	}
+	for _, b := range bs {
+		o := byName[b.Project.Name]
+		if o == nil {
+			continue
+		}
+		vulns, err := corpus.Vulnerabilities(b)
+		if err != nil {
+			return vr, err
+		}
+		vr.TotalVulns += len(vulns)
+		for _, v := range vulns {
+			if o.baseReach[v.Func] {
+				vr.ReachableBaseline++
+			}
+			if o.extReach[v.Func] {
+				vr.ReachableExtended++
+			}
+		}
+		vr.ReachableFnsBase += o.Base.ReachableFunctions
+		vr.ReachableFnsExt += o.Ext.ReachableFunctions
+	}
+	return vr, nil
+}
+
+// AblationOutcome compares the relational [DPW] rule with the §4 name-only
+// strawman on one benchmark.
+type AblationOutcome struct {
+	Name                  string
+	RelationalEdges       int
+	NameOnlyEdges         int
+	RelationalMonomorphic float64
+	NameOnlyMonomorphic   float64
+	RelationalPrecision   float64 // vs dynamic CG, when available
+	NameOnlyPrecision     float64
+}
+
+// RunAblation evaluates the §4 ablation on a benchmark.
+func RunAblation(b *corpus.Benchmark) (*AblationOutcome, error) {
+	ar, err := approx.Run(b.Project, approx.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rel, err := static.Analyze(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
+	if err != nil {
+		return nil, err
+	}
+	abl, err := static.Analyze(b.Project, static.Options{Mode: static.AblationNameOnly, Hints: ar.Hints})
+	if err != nil {
+		return nil, err
+	}
+	out := &AblationOutcome{
+		Name:                  b.Project.Name,
+		RelationalEdges:       rel.Graph.NumEdges(),
+		NameOnlyEdges:         abl.Graph.NumEdges(),
+		RelationalMonomorphic: rel.Metrics().MonomorphicPct,
+		NameOnlyMonomorphic:   abl.Metrics().MonomorphicPct,
+	}
+	if b.HasDynCG {
+		dr, err := dyncg.Build(b.Project, dyncg.Options{})
+		if err != nil {
+			return nil, err
+		}
+		out.RelationalPrecision = callgraph.CompareWithDynamic(rel.Graph, dr.Graph).Precision
+		out.NameOnlyPrecision = callgraph.CompareWithDynamic(abl.Graph, dr.Graph).Precision
+	}
+	return out, nil
+}
+
+// ScaleRow is one size tier of the scalability study: how analysis cost
+// grows with program size (supporting Table 3's "approximate interpretation
+// is scalable" claim with a size-vs-time curve).
+type ScaleRow struct {
+	Tier      string
+	Projects  int
+	AvgFuncs  float64
+	AvgSizeKB float64
+	AvgApprox time.Duration
+	AvgBase   time.Duration
+	AvgExt    time.Duration
+}
+
+// Scalability buckets outcomes into size tiers by function count.
+func Scalability(outs []*Outcome) []ScaleRow {
+	buckets := []struct {
+		name     string
+		min, max int
+	}{
+		{"tiny (<100 fns)", 0, 100},
+		{"small (100–250)", 100, 250},
+		{"medium (250–450)", 250, 450},
+		{"large (450+)", 450, 1 << 30},
+	}
+	rows := make([]ScaleRow, len(buckets))
+	for i, b := range buckets {
+		rows[i].Tier = b.name
+	}
+	for _, o := range outs {
+		for i, b := range buckets {
+			if o.Stats.Functions >= b.min && o.Stats.Functions < b.max {
+				r := &rows[i]
+				r.Projects++
+				r.AvgFuncs += float64(o.Stats.Functions)
+				r.AvgSizeKB += float64(o.Stats.CodeSize) / 1024
+				r.AvgApprox += o.ApproxTime
+				r.AvgBase += o.BaselineTime
+				r.AvgExt += o.ExtendedTime
+				break
+			}
+		}
+	}
+	for i := range rows {
+		if n := rows[i].Projects; n > 0 {
+			rows[i].AvgFuncs /= float64(n)
+			rows[i].AvgSizeKB /= float64(n)
+			rows[i].AvgApprox /= time.Duration(n)
+			rows[i].AvgBase /= time.Duration(n)
+			rows[i].AvgExt /= time.Duration(n)
+		}
+	}
+	return rows
+}

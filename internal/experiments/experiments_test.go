@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func slice(t *testing.T, n int) []*corpus.Benchmark {
+	t.Helper()
+	bs := corpus.WithDynCG()
+	if len(bs) < n {
+		t.Fatalf("corpus too small: %d", len(bs))
+	}
+	return bs[:n]
+}
+
+func TestRunBenchmark(t *testing.T) {
+	b := corpus.ByName("motivating-express")
+	o, err := RunBenchmark(b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name != "motivating-express" || !o.HasDynCG {
+		t.Errorf("outcome header wrong: %+v", o)
+	}
+	if o.Stats.Functions == 0 || o.Stats.Modules == 0 {
+		t.Error("stats empty")
+	}
+	if o.HintCount == 0 {
+		t.Error("no hints")
+	}
+	if o.Ext.CallEdges <= o.Base.CallEdges {
+		t.Error("no call-edge improvement")
+	}
+	if o.DynEdges == 0 {
+		t.Error("no dynamic edges")
+	}
+	if o.ExtAcc.Recall < o.BaseAcc.Recall {
+		t.Error("recall regressed")
+	}
+	if o.ApproxTime <= 0 || o.BaselineTime <= 0 || o.ExtendedTime <= 0 {
+		t.Error("missing timings")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	outs, err := RunCorpus(slice(t, 6), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Aggregate(outs)
+	if s.Projects != 6 {
+		t.Errorf("Projects = %d", s.Projects)
+	}
+	if s.DynProjects == 0 {
+		t.Error("no dyn projects aggregated")
+	}
+	if s.HintsMax < s.HintsMedian || s.HintsMedian < s.HintsMin {
+		t.Errorf("hint ordering broken: %d/%d/%d", s.HintsMin, s.HintsMedian, s.HintsMax)
+	}
+	if s.AvgVisitedRatio <= 0 || s.AvgVisitedRatio > 1 {
+		t.Errorf("visited ratio = %v", s.AvgVisitedRatio)
+	}
+}
+
+func TestVulnStudyConsistency(t *testing.T) {
+	bs := slice(t, 5)
+	outs, err := RunCorpus(bs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := VulnStudy(bs, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.ReachableBaseline > vr.TotalVulns || vr.ReachableExtended > vr.TotalVulns {
+		t.Errorf("reachable exceeds total: %+v", vr)
+	}
+	if vr.ReachableExtended < vr.ReachableBaseline {
+		t.Errorf("hints lost advisory reachability: %+v", vr)
+	}
+	// Per-slice sums equal whole-slice result.
+	var sum VulnResult
+	for i := range bs {
+		one, err := VulnStudy(bs[i:i+1], outs[i:i+1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.TotalVulns += one.TotalVulns
+		sum.ReachableBaseline += one.ReachableBaseline
+		sum.ReachableExtended += one.ReachableExtended
+	}
+	if sum.TotalVulns != vr.TotalVulns || sum.ReachableBaseline != vr.ReachableBaseline {
+		t.Errorf("slice sums disagree: %+v vs %+v", sum, vr)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	b := corpus.ByName("motivating-express")
+	o, err := RunAblation(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.NameOnlyEdges < o.RelationalEdges {
+		t.Errorf("name-only should have at least as many edges: %d vs %d",
+			o.NameOnlyEdges, o.RelationalEdges)
+	}
+	if o.NameOnlyMonomorphic > o.RelationalMonomorphic {
+		t.Errorf("name-only should be no more monomorphic: %.1f vs %.1f",
+			o.NameOnlyMonomorphic, o.RelationalMonomorphic)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	outs, err := RunCorpus(slice(t, 4), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderTable1(&sb, outs)
+	RenderFigure(&sb, outs, 4)
+	RenderFigure(&sb, outs, 5)
+	RenderFigure(&sb, outs, 6)
+	RenderFigure(&sb, outs, 7)
+	RenderTable2(&sb, outs)
+	RenderTable3(&sb, outs)
+	RenderSummary(&sb, Aggregate(outs))
+	RenderHintStats(&sb, outs)
+	Banner(&sb, "x")
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Figure 4", "Figure 5", "Figure 6", "Figure 7",
+		"Table 2", "Table 3", "Corpus summary", "Hint statistics",
+		"motivating-express",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered output missing %q", want)
+		}
+	}
+}
+
+func TestOutcomeDeterminism(t *testing.T) {
+	b := corpus.ByName("mini-middleware")
+	o1, err := RunBenchmark(b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := RunBenchmark(b, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o1.Base.CallEdges != o2.Base.CallEdges || o1.Ext.CallEdges != o2.Ext.CallEdges {
+		t.Error("edge counts vary between runs")
+	}
+	if o1.BaseAcc != o2.BaseAcc || o1.ExtAcc != o2.ExtAcc {
+		t.Error("accuracy varies between runs")
+	}
+	if o1.HintCount != o2.HintCount {
+		t.Error("hint counts vary between runs")
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	b := corpus.ByName("mini-schema")
+	o, err := RunExtensions(b.Project, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// mini-schema builds getters through eval: the eval-code extension must
+	// add edges over the plain run.
+	if o.EdgesEvalCode <= o.EdgesPlain {
+		t.Errorf("eval-code extension added nothing: plain=%d eval=%d",
+			o.EdgesPlain, o.EdgesEvalCode)
+	}
+	if o.EdgesBoth < o.EdgesEvalCode {
+		t.Errorf("both extensions lost edges: %d < %d", o.EdgesBoth, o.EdgesEvalCode)
+	}
+	if o.EdgesUnknownArg < o.EdgesPlain {
+		t.Errorf("unknown-arg extension removed edges: %d < %d", o.EdgesUnknownArg, o.EdgesPlain)
+	}
+	var sb strings.Builder
+	RenderExtensions(&sb, []*ExtensionOutcome{o})
+	if !strings.Contains(sb.String(), "mini-schema") {
+		t.Error("render missing benchmark name")
+	}
+}
+
+func TestScalability(t *testing.T) {
+	outs, err := RunCorpus(slice(t, 8), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Scalability(outs)
+	total := 0
+	for _, r := range rows {
+		total += r.Projects
+		if r.Projects > 0 && (r.AvgApprox <= 0 || r.AvgBase <= 0) {
+			t.Errorf("tier %s has zero averages: %+v", r.Tier, r)
+		}
+	}
+	if total != 8 {
+		t.Errorf("tier assignment lost projects: %d of 8", total)
+	}
+	var sb strings.Builder
+	RenderScalability(&sb, rows)
+	if !strings.Contains(sb.String(), "Scalability") {
+		t.Error("render output wrong")
+	}
+}

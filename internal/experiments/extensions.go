@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/approx"
+	"repro/internal/corpus"
+	"repro/internal/modules"
+	"repro/internal/static"
+)
+
+// ExtensionOutcome measures the effect of the §6 "potential improvements"
+// implemented in this reproduction: the unknown-function-arguments
+// property-name hints, the dynamically-generated-code hints, and the
+// per-package hint-reuse cache.
+type ExtensionOutcome struct {
+	Name string
+
+	// Call edges under: plain hints, +unknown-arg hints, +eval-code hints,
+	// +both.
+	EdgesPlain      int
+	EdgesUnknownArg int
+	EdgesEvalCode   int
+	EdgesBoth       int
+
+	// Hint-reuse statistics over the project's packages.
+	Packages    int
+	CacheHits   int
+	CacheMisses int
+}
+
+// RunExtensions evaluates the §6 extensions on one project.
+func RunExtensions(project *modules.Project, cache *approx.Cache) (*ExtensionOutcome, error) {
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out := &ExtensionOutcome{Name: project.Name}
+
+	analyze := func(unknownArgs, evalCode bool) (int, error) {
+		res, err := static.Analyze(project, static.Options{
+			Mode:            static.WithHints,
+			Hints:           ar.Hints,
+			UnknownArgHints: unknownArgs,
+			EvalHints:       evalCode,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Graph.NumEdges(), nil
+	}
+	if out.EdgesPlain, err = analyze(false, false); err != nil {
+		return nil, err
+	}
+	if out.EdgesUnknownArg, err = analyze(true, false); err != nil {
+		return nil, err
+	}
+	if out.EdgesEvalCode, err = analyze(false, true); err != nil {
+		return nil, err
+	}
+	if out.EdgesBoth, err = analyze(true, true); err != nil {
+		return nil, err
+	}
+
+	if cache != nil {
+		h0, m0 := cache.Hits, cache.Misses
+		if _, err := approx.RunWithCache(project, cache, approx.Options{}); err != nil {
+			return nil, err
+		}
+		out.CacheHits = cache.Hits - h0
+		out.CacheMisses = cache.Misses - m0
+		out.Packages = len(project.Packages()) - 1 // excluding <main>
+	}
+	return out, nil
+}
+
+// RunExtensionsCorpus evaluates the §6 extensions over benchmarks sharing
+// one hint cache (so identical packages across projects hit the cache).
+func RunExtensionsCorpus(bs []*corpus.Benchmark) ([]*ExtensionOutcome, error) {
+	cache := approx.NewCache()
+	var outs []*ExtensionOutcome
+	for _, b := range bs {
+		o, err := RunExtensions(b.Project, cache)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o)
+	}
+	return outs, nil
+}
+
+// RenderExtensions prints the §6-extension comparison.
+func RenderExtensions(w io.Writer, outs []*ExtensionOutcome) {
+	fmt.Fprintln(w, "§6 extensions: call edges under each hint-consumption variant,")
+	fmt.Fprintln(w, "and per-package hint-cache reuse.")
+	fmt.Fprintf(w, "%-28s %8s %8s %8s %8s %14s\n",
+		"Benchmark", "plain", "+args", "+eval", "+both", "cache hit/miss")
+	for _, o := range outs {
+		fmt.Fprintf(w, "%-28s %8d %8d %8d %8d %9d/%d\n",
+			o.Name, o.EdgesPlain, o.EdgesUnknownArg, o.EdgesEvalCode, o.EdgesBoth,
+			o.CacheHits, o.CacheMisses)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderTable1 prints the benchmark inventory (paper Table 1) for the
+// dyn-CG benchmarks: packages, modules, functions, code size.
+func RenderTable1(w io.Writer, outs []*Outcome) {
+	fmt.Fprintln(w, "Table 1. Benchmarks for which dynamic call graphs are available.")
+	fmt.Fprintf(w, "%-28s %9s %8s %10s %10s\n", "Benchmark", "Packages", "Modules", "Functions", "Size (B)")
+	rows := append([]*Outcome(nil), outs...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Stats.CodeSize < rows[j].Stats.CodeSize })
+	for _, o := range rows {
+		if !o.HasDynCG {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %9d %8d %10d %10d\n",
+			o.Name, o.Stats.Packages, o.Stats.Modules, o.Stats.Functions, o.Stats.CodeSize)
+	}
+}
+
+// RenderFigure prints one of Figures 4–7 as a per-program series sorted by
+// the baseline value, the way the paper's bar/dot charts are laid out.
+func RenderFigure(w io.Writer, outs []*Outcome, fig int) {
+	type row struct {
+		name      string
+		base, ext float64
+	}
+	var title, unit string
+	var rows []row
+	for _, o := range outs {
+		var r row
+		r.name = o.Name
+		switch fig {
+		case 4:
+			title, unit = "Figure 4. Call edges.", ""
+			r.base, r.ext = float64(o.Base.CallEdges), float64(o.Ext.CallEdges)
+		case 5:
+			title, unit = "Figure 5. Reachable functions.", ""
+			r.base, r.ext = float64(o.Base.ReachableFunctions), float64(o.Ext.ReachableFunctions)
+		case 6:
+			title, unit = "Figure 6. Resolved call sites.", "%"
+			r.base, r.ext = o.Base.ResolvedPct, o.Ext.ResolvedPct
+		case 7:
+			title, unit = "Figure 7. Monomorphic call sites.", "%"
+			r.base, r.ext = o.Base.MonomorphicPct, o.Ext.MonomorphicPct
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].base != rows[j].base {
+			return rows[i].base < rows[j].base
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-28s %12s %12s %8s\n", "Benchmark (sorted by base)", "baseline"+unit, "extended"+unit, "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-28s %12.1f %12.1f %+8.1f\n", r.name, r.base, r.ext, r.ext-r.base)
+	}
+}
+
+// RenderTable2 prints recall/precision before and after (paper Table 2).
+func RenderTable2(w io.Writer, outs []*Outcome) {
+	fmt.Fprintln(w, "Table 2. Recall and precision (vs dynamic call graphs).")
+	fmt.Fprintf(w, "%-28s %19s %21s %9s\n", "Benchmark", "Recall base→ext", "Precision base→ext", "DynEdges")
+	for _, o := range outs {
+		if !o.HasDynCG || o.DynEdges == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %7.1f%% → %6.1f%% %8.1f%% → %6.1f%% %9d\n",
+			o.Name, o.BaseAcc.Recall, o.ExtAcc.Recall,
+			o.BaseAcc.Precision, o.ExtAcc.Precision, o.DynEdges)
+	}
+}
+
+// RenderTable3 prints per-benchmark running times (paper Table 3).
+func RenderTable3(w io.Writer, outs []*Outcome) {
+	fmt.Fprintln(w, "Table 3. Running times: baseline static analysis, approximate")
+	fmt.Fprintln(w, "interpretation, extended static analysis.")
+	fmt.Fprintf(w, "%-28s %14s %14s %14s\n", "Benchmark", "Baseline", "Approx.", "Extended")
+	for _, o := range outs {
+		if !o.HasDynCG {
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %14s %14s %14s\n",
+			o.Name, o.BaselineTime.Round(10e3), o.ApproxTime.Round(10e3), o.ExtendedTime.Round(10e3))
+	}
+}
+
+// RenderSummary prints the §5 aggregate statistics.
+func RenderSummary(w io.Writer, s Summary) {
+	fmt.Fprintf(w, "Corpus summary (%d projects):\n", s.Projects)
+	fmt.Fprintf(w, "  call edges:          %+.1f%% (paper: +55.1%%)\n", s.PctMoreCallEdges)
+	fmt.Fprintf(w, "  reachable functions: %+.1f%% (paper: +21.8%%)\n", s.PctMoreReachable)
+	fmt.Fprintf(w, "  resolved call sites: %+.1f points (paper: +17.7)\n", s.DeltaResolvedPts)
+	fmt.Fprintf(w, "  monomorphic sites:   %+.1f points (paper: -1.5)\n", s.DeltaMonomorphicPts)
+	fmt.Fprintf(w, "  hints per project:   min %d, median %d, max %d (paper: 0 / 1,492 / 15,036)\n",
+		s.HintsMin, s.HintsMedian, s.HintsMax)
+	fmt.Fprintf(w, "  functions visited:   %.0f%% (paper: ~60%%)\n", 100*s.AvgVisitedRatio)
+	if s.DynProjects > 0 {
+		fmt.Fprintf(w, "Dynamic-CG subset (%d projects):\n", s.DynProjects)
+		fmt.Fprintf(w, "  recall:    %.1f%% → %.1f%% (paper: 75.9%% → 88.1%%)\n", s.AvgRecallBase, s.AvgRecallExt)
+		fmt.Fprintf(w, "  precision: %.1f%% → %.1f%% (paper: -1.5 points)\n", s.AvgPrecBase, s.AvgPrecExt)
+	}
+}
+
+// RenderVuln prints the vulnerability-reachability study.
+func RenderVuln(w io.Writer, vr VulnResult) {
+	fmt.Fprintln(w, "Vulnerability reachability (dependencies of the dyn-CG benchmarks):")
+	fmt.Fprintf(w, "  known vulnerabilities:      %d (paper: 447)\n", vr.TotalVulns)
+	fmt.Fprintf(w, "  reachable with baseline:    %d (paper: 52)\n", vr.ReachableBaseline)
+	fmt.Fprintf(w, "  reachable with hints:       %d (paper: 55)\n", vr.ReachableExtended)
+	fmt.Fprintf(w, "  total reachable functions:  %d → %d (paper: 42,661 → 53,805)\n",
+		vr.ReachableFnsBase, vr.ReachableFnsExt)
+}
+
+// RenderAblation prints the §4 relational-vs-name-only comparison.
+func RenderAblation(w io.Writer, outs []*AblationOutcome) {
+	fmt.Fprintln(w, "Ablation: relational [DPW] hints vs name-only strawman (§4).")
+	fmt.Fprintf(w, "%-28s %22s %24s\n", "Benchmark", "edges rel / name-only", "monomorphic%% rel / name")
+	for _, o := range outs {
+		fmt.Fprintf(w, "%-28s %10d / %9d %14.1f / %7.1f\n",
+			o.Name, o.RelationalEdges, o.NameOnlyEdges,
+			o.RelationalMonomorphic, o.NameOnlyMonomorphic)
+	}
+}
+
+// RenderHintStats prints the per-project hint counts and visited ratios.
+func RenderHintStats(w io.Writer, outs []*Outcome) {
+	fmt.Fprintln(w, "Hint statistics per project:")
+	fmt.Fprintf(w, "%-28s %8s %10s\n", "Benchmark", "hints", "visited%")
+	for _, o := range outs {
+		fmt.Fprintf(w, "%-28s %8d %9.0f%%\n", o.Name, o.HintCount, 100*o.VisitedRatio)
+	}
+}
+
+// WriteFigureCSV writes one of Figures 4–7 as CSV (benchmark, baseline,
+// extended), the plottable form of the paper's charts.
+func WriteFigureCSV(w io.Writer, outs []*Outcome, fig int) {
+	fmt.Fprintln(w, "benchmark,baseline,extended")
+	rows := append([]*Outcome(nil), outs...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	for _, o := range rows {
+		var base, ext float64
+		switch fig {
+		case 4:
+			base, ext = float64(o.Base.CallEdges), float64(o.Ext.CallEdges)
+		case 5:
+			base, ext = float64(o.Base.ReachableFunctions), float64(o.Ext.ReachableFunctions)
+		case 6:
+			base, ext = o.Base.ResolvedPct, o.Ext.ResolvedPct
+		case 7:
+			base, ext = o.Base.MonomorphicPct, o.Ext.MonomorphicPct
+		}
+		fmt.Fprintf(w, "%s,%.2f,%.2f\n", o.Name, base, ext)
+	}
+}
+
+// WriteTable2CSV writes the recall/precision table as CSV.
+func WriteTable2CSV(w io.Writer, outs []*Outcome) {
+	fmt.Fprintln(w, "benchmark,recall_base,recall_ext,precision_base,precision_ext,dyn_edges")
+	for _, o := range outs {
+		if !o.HasDynCG || o.DynEdges == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s,%.2f,%.2f,%.2f,%.2f,%d\n",
+			o.Name, o.BaseAcc.Recall, o.ExtAcc.Recall,
+			o.BaseAcc.Precision, o.ExtAcc.Precision, o.DynEdges)
+	}
+}
+
+// Banner renders a section separator.
+func Banner(w io.Writer, title string) {
+	fmt.Fprintln(w, strings.Repeat("=", 72))
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", 72))
+}
+
+// RenderScalability prints the size-vs-time curve.
+func RenderScalability(w io.Writer, rows []ScaleRow) {
+	fmt.Fprintln(w, "Scalability: average per-phase time by program size.")
+	fmt.Fprintf(w, "%-20s %9s %10s %10s %12s %12s %12s\n",
+		"Tier", "projects", "avg fns", "avg kB", "approx", "baseline", "extended")
+	for _, r := range rows {
+		if r.Projects == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-20s %9d %10.0f %10.1f %12s %12s %12s\n",
+			r.Tier, r.Projects, r.AvgFuncs, r.AvgSizeKB,
+			r.AvgApprox.Round(10e3), r.AvgBase.Round(10e3), r.AvgExt.Round(10e3))
+	}
+}

@@ -1,0 +1,365 @@
+// Package hints defines the output of approximate interpretation: read
+// hints ℋ_R, write hints ℋ_W, and module-load hints, together with JSON
+// (de)serialization so the pre-analysis and the static analysis can run as
+// separate processes (as in the paper's pipeline).
+package hints
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/loc"
+)
+
+// WriteHint is one element of ℋ_W: an object created at Value was written
+// to property Prop of an object created at Target, at a dynamic property
+// write (or a standard-library operation modeled as one).
+//
+// Site records where the write operation occurred. The paper's relational
+// [DPW] rule ignores it ("for this kind of operation, its location is
+// ignored"); it is kept so the name-only ablation of §4 — which needs to
+// group observations per operation — can be evaluated. Site may be invalid
+// (writes inside eval'd code, or natives without a syntactic site).
+type WriteHint struct {
+	Target loc.Loc // ℓ  — allocation site of the object written to
+	Prop   string  // p  — property name
+	Value  loc.Loc // ℓ″ — allocation site of the value written
+	Site   loc.Loc // location of the write operation (ablation only)
+}
+
+// ModuleHint records that a dynamically computed require() at Site loaded
+// the module at Path (the paper's dynamic-module-loading extension, §3).
+type ModuleHint struct {
+	Site loc.Loc // location of the require call
+	Path string  // resolved module path
+}
+
+// EvalHint records a string of program code observed at a call to eval (or
+// the Function constructor): the §6 "dynamically generated code" extension.
+// The static analysis can treat Source as additional code of Module.
+type EvalHint struct {
+	Module string // module whose scope the code ran in
+	Source string // the dynamically generated program text
+}
+
+// Hints is the complete output of one approximate-interpretation run.
+type Hints struct {
+	// Reads maps each dynamic property read site ℓ to the set of
+	// allocation sites of objects observed as the read's result (ℋ_R).
+	Reads map[loc.Loc]map[loc.Loc]bool
+	// Writes is ℋ_W.
+	Writes map[WriteHint]bool
+	// Modules holds dynamic module-load hints.
+	Modules map[ModuleHint]bool
+	// Evals holds the §6 "dynamically generated code" extension: program
+	// text observed at eval sites, analyzable as additional code.
+	Evals map[EvalHint]bool
+	// PropReads holds the §6 "unknown function arguments" extension: at a
+	// dynamic read x[y]_ℓ where x was the proxy value p* but y was a
+	// concrete string p, the pair (ℓ, p) lets the static analysis treat
+	// the operation as a static read x.p. Per the paper, these hints are
+	// consumed only at read sites that have no ℋ_R entries.
+	PropReads map[loc.Loc]map[string]bool
+}
+
+// New returns an empty hint collection.
+func New() *Hints {
+	return &Hints{
+		Reads:     map[loc.Loc]map[loc.Loc]bool{},
+		Writes:    map[WriteHint]bool{},
+		Modules:   map[ModuleHint]bool{},
+		Evals:     map[EvalHint]bool{},
+		PropReads: map[loc.Loc]map[string]bool{},
+	}
+}
+
+// AddRead records ℓ′ ∈ ℋ_R(ℓ): an object allocated at valueSite was read at
+// the dynamic read operation at site. Invalid locations are ignored, per
+// the paper ("in case loc(o) is not defined … no hint is added").
+func (h *Hints) AddRead(site, valueSite loc.Loc) {
+	if !site.Valid() || !valueSite.Valid() {
+		return
+	}
+	set := h.Reads[site]
+	if set == nil {
+		set = map[loc.Loc]bool{}
+		h.Reads[site] = set
+	}
+	set[valueSite] = true
+}
+
+// AddWrite records (ℓ, p, ℓ″) ∈ ℋ_W, tagged with the write-operation site.
+// Hints with invalid target or value locations are ignored; an invalid
+// operation site is fine (the relational rule never looks at it).
+func (h *Hints) AddWrite(site, target loc.Loc, prop string, valueSite loc.Loc) {
+	if !target.Valid() || !valueSite.Valid() {
+		return
+	}
+	h.Writes[WriteHint{Target: target, Prop: prop, Value: valueSite, Site: site}] = true
+}
+
+// AddModule records a dynamic module-load hint.
+func (h *Hints) AddModule(site loc.Loc, path string) {
+	if !site.Valid() || path == "" {
+		return
+	}
+	h.Modules[ModuleHint{Site: site, Path: path}] = true
+}
+
+// AddEval records a §6 dynamically-generated-code hint.
+func (h *Hints) AddEval(module, source string) {
+	if module == "" || source == "" {
+		return
+	}
+	h.Evals[EvalHint{Module: module, Source: source}] = true
+}
+
+// EvalHints returns the eval-code hints in deterministic order.
+func (h *Hints) EvalHints() []EvalHint {
+	out := make([]EvalHint, 0, len(h.Evals))
+	for e := range h.Evals {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Module != out[j].Module {
+			return out[i].Module < out[j].Module
+		}
+		return out[i].Source < out[j].Source
+	})
+	return out
+}
+
+// AddPropRead records a §6 property-name hint for a dynamic read on the
+// proxy value.
+func (h *Hints) AddPropRead(site loc.Loc, prop string) {
+	if !site.Valid() || prop == "" {
+		return
+	}
+	set := h.PropReads[site]
+	if set == nil {
+		set = map[string]bool{}
+		h.PropReads[site] = set
+	}
+	set[prop] = true
+}
+
+// PropReadSites returns the dynamic read sites with §6 property-name
+// hints, sorted.
+func (h *Hints) PropReadSites() []loc.Loc {
+	out := make([]loc.Loc, 0, len(h.PropReads))
+	for l := range h.PropReads {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// PropReadNames returns the sorted property names hinted for site.
+func (h *Hints) PropReadNames(site loc.Loc) []string {
+	set := h.PropReads[site]
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the total number of hints (the paper reports 0–15,036 per
+// program with median 1,492).
+func (h *Hints) Count() int {
+	n := len(h.Writes) + len(h.Modules)
+	for _, set := range h.Reads {
+		n += len(set)
+	}
+	for _, set := range h.PropReads {
+		n += len(set)
+	}
+	n += len(h.Evals)
+	return n
+}
+
+// ReadSites returns the dynamic read sites with hints, sorted.
+func (h *Hints) ReadSites() []loc.Loc {
+	out := make([]loc.Loc, 0, len(h.Reads))
+	for l := range h.Reads {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// ReadValues returns the sorted value sites of ℋ_R(site).
+func (h *Hints) ReadValues(site loc.Loc) []loc.Loc {
+	set := h.Reads[site]
+	out := make([]loc.Loc, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Before(out[j]) })
+	return out
+}
+
+// WriteHints returns the write hints in deterministic order.
+func (h *Hints) WriteHints() []WriteHint {
+	out := make([]WriteHint, 0, len(h.Writes))
+	for w := range h.Writes {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if c := a.Target.Compare(b.Target); c != 0 {
+			return c < 0
+		}
+		if a.Prop != b.Prop {
+			return a.Prop < b.Prop
+		}
+		if c := a.Value.Compare(b.Value); c != 0 {
+			return c < 0
+		}
+		return a.Site.Before(b.Site)
+	})
+	return out
+}
+
+// ModuleHints returns module-load hints in deterministic order.
+func (h *Hints) ModuleHints() []ModuleHint {
+	out := make([]ModuleHint, 0, len(h.Modules))
+	for m := range h.Modules {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := out[i].Site.Compare(out[j].Site); c != 0 {
+			return c < 0
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Merge adds every hint of other into h.
+func (h *Hints) Merge(other *Hints) {
+	for site, set := range other.Reads {
+		for v := range set {
+			h.AddRead(site, v)
+		}
+	}
+	for w := range other.Writes {
+		h.Writes[w] = true
+	}
+	for m := range other.Modules {
+		h.Modules[m] = true
+	}
+	for site, set := range other.PropReads {
+		for p := range set {
+			h.AddPropRead(site, p)
+		}
+	}
+	for e := range other.Evals {
+		h.Evals[e] = true
+	}
+}
+
+// ------------------------------------------------------------ serialization
+
+type jsonLoc struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func toJSONLoc(l loc.Loc) jsonLoc { return jsonLoc{l.File, l.Line, l.Col} }
+func (j jsonLoc) toLoc() loc.Loc  { return loc.Loc{File: j.File, Line: j.Line, Col: j.Col} }
+
+type jsonRead struct {
+	Site   jsonLoc   `json:"site"`
+	Values []jsonLoc `json:"values"`
+}
+
+type jsonWrite struct {
+	Target jsonLoc `json:"target"`
+	Prop   string  `json:"prop"`
+	Value  jsonLoc `json:"value"`
+	Site   jsonLoc `json:"site"`
+}
+
+type jsonModule struct {
+	Site jsonLoc `json:"site"`
+	Path string  `json:"path"`
+}
+
+type jsonPropRead struct {
+	Site  jsonLoc  `json:"site"`
+	Names []string `json:"names"`
+}
+
+type jsonEval struct {
+	Module string `json:"module"`
+	Source string `json:"source"`
+}
+
+type jsonHints struct {
+	Reads     []jsonRead     `json:"reads"`
+	Writes    []jsonWrite    `json:"writes"`
+	Modules   []jsonModule   `json:"modules"`
+	Evals     []jsonEval     `json:"evals,omitempty"`
+	PropReads []jsonPropRead `json:"propReads,omitempty"`
+}
+
+// WriteJSON serializes the hints deterministically.
+func (h *Hints) WriteJSON(w io.Writer) error {
+	var out jsonHints
+	for _, site := range h.ReadSites() {
+		jr := jsonRead{Site: toJSONLoc(site)}
+		for _, v := range h.ReadValues(site) {
+			jr.Values = append(jr.Values, toJSONLoc(v))
+		}
+		out.Reads = append(out.Reads, jr)
+	}
+	for _, wh := range h.WriteHints() {
+		out.Writes = append(out.Writes, jsonWrite{toJSONLoc(wh.Target), wh.Prop, toJSONLoc(wh.Value), toJSONLoc(wh.Site)})
+	}
+	for _, m := range h.ModuleHints() {
+		out.Modules = append(out.Modules, jsonModule{toJSONLoc(m.Site), m.Path})
+	}
+	for _, e := range h.EvalHints() {
+		out.Evals = append(out.Evals, jsonEval{e.Module, e.Source})
+	}
+	for _, site := range h.PropReadSites() {
+		out.PropReads = append(out.PropReads, jsonPropRead{toJSONLoc(site), h.PropReadNames(site)})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses hints previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*Hints, error) {
+	var in jsonHints
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("hints: decoding: %w", err)
+	}
+	h := New()
+	for _, jr := range in.Reads {
+		for _, v := range jr.Values {
+			h.AddRead(jr.Site.toLoc(), v.toLoc())
+		}
+	}
+	for _, jw := range in.Writes {
+		h.AddWrite(jw.Site.toLoc(), jw.Target.toLoc(), jw.Prop, jw.Value.toLoc())
+	}
+	for _, jm := range in.Modules {
+		h.AddModule(jm.Site.toLoc(), jm.Path)
+	}
+	for _, je := range in.Evals {
+		h.AddEval(je.Module, je.Source)
+	}
+	for _, jp := range in.PropReads {
+		for _, name := range jp.Names {
+			h.AddPropRead(jp.Site.toLoc(), name)
+		}
+	}
+	return h, nil
+}

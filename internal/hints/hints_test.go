@@ -1,0 +1,228 @@
+package hints
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/loc"
+)
+
+func l(file string, line, col int) loc.Loc { return loc.Loc{File: file, Line: line, Col: col} }
+
+func TestAddAndCount(t *testing.T) {
+	h := New()
+	h.AddRead(l("a.js", 1, 1), l("a.js", 2, 2))
+	h.AddRead(l("a.js", 1, 1), l("a.js", 3, 3))
+	h.AddRead(l("a.js", 1, 1), l("a.js", 2, 2)) // duplicate
+	h.AddWrite(l("a.js", 9, 9), l("a.js", 4, 4), "p", l("a.js", 5, 5))
+	h.AddModule(l("a.js", 6, 6), "/m.js")
+	if got := h.Count(); got != 4 {
+		t.Errorf("Count = %d, want 4", got)
+	}
+}
+
+func TestInvalidLocationsIgnored(t *testing.T) {
+	h := New()
+	h.AddRead(loc.Loc{}, l("a.js", 1, 1))
+	h.AddRead(l("a.js", 1, 1), loc.Loc{})
+	h.AddWrite(loc.Loc{}, loc.Loc{}, "p", l("a.js", 1, 1))
+	h.AddWrite(loc.Loc{}, l("a.js", 1, 1), "p", loc.Loc{})
+	h.AddModule(loc.Loc{}, "/m.js")
+	h.AddModule(l("a.js", 1, 1), "")
+	if h.Count() != 0 {
+		t.Errorf("invalid locations must be dropped; count = %d", h.Count())
+	}
+	// An invalid *operation site* on a write hint is fine (the relational
+	// rule ignores it) — this is the eval case.
+	h.AddWrite(loc.Loc{}, l("a.js", 1, 1), "p", l("a.js", 2, 2))
+	if h.Count() != 1 {
+		t.Error("write hint with invalid site must be kept")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	build := func(order []int) *Hints {
+		h := New()
+		sites := []loc.Loc{l("b.js", 2, 1), l("a.js", 1, 1), l("a.js", 3, 1)}
+		for _, i := range order {
+			h.AddWrite(l("x.js", 1, 1), sites[i], "p", l("v.js", 1, 1))
+			h.AddRead(sites[i], l("v.js", i+1, 1))
+		}
+		return h
+	}
+	h1 := build([]int{0, 1, 2})
+	h2 := build([]int{2, 0, 1})
+	if !reflect.DeepEqual(h1.WriteHints(), h2.WriteHints()) {
+		t.Error("WriteHints order depends on insertion order")
+	}
+	if !reflect.DeepEqual(h1.ReadSites(), h2.ReadSites()) {
+		t.Error("ReadSites order depends on insertion order")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	h1 := New()
+	h1.AddRead(l("a.js", 1, 1), l("a.js", 2, 2))
+	h2 := New()
+	h2.AddRead(l("a.js", 1, 1), l("a.js", 3, 3))
+	h2.AddWrite(l("a.js", 8, 8), l("a.js", 4, 4), "q", l("a.js", 5, 5))
+	h1.Merge(h2)
+	if h1.Count() != 3 {
+		t.Errorf("merged count = %d, want 3", h1.Count())
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	h := New()
+	h.AddRead(l("/app/a.js", 10, 4), l("/dep/b.js", 3, 1))
+	h.AddRead(l("/app/a.js", 10, 4), l("/dep/c.js", 7, 2))
+	h.AddWrite(l("/app/a.js", 12, 2), l("/dep/b.js", 1, 1), "method", l("/dep/b.js", 9, 5))
+	h.AddWrite(loc.Loc{}, l("/dep/b.js", 1, 1), "fromEval", l("/dep/b.js", 9, 5))
+	h.AddModule(l("/app/a.js", 2, 1), "/dep/plugin.js")
+
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.WriteHints(), h.WriteHints()) {
+		t.Errorf("writes differ:\n%v\n%v", got.WriteHints(), h.WriteHints())
+	}
+	if !reflect.DeepEqual(got.ReadSites(), h.ReadSites()) {
+		t.Error("read sites differ")
+	}
+	if !reflect.DeepEqual(got.ModuleHints(), h.ModuleHints()) {
+		t.Error("module hints differ")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("not json")); err == nil {
+		t.Error("expected error")
+	}
+}
+
+// Property: JSON round-trips preserve Count for arbitrary hint sets.
+func TestJSONRoundTripProperty(t *testing.T) {
+	type rec struct {
+		File  string
+		Line  uint8
+		Col   uint8
+		Prop  string
+		VLine uint8
+	}
+	f := func(recs []rec) bool {
+		h := New()
+		for _, r := range recs {
+			if r.File == "" {
+				continue
+			}
+			site := loc.Loc{File: r.File, Line: int(r.Line)%50 + 1, Col: int(r.Col)%50 + 1}
+			val := loc.Loc{File: r.File, Line: int(r.VLine)%50 + 1, Col: 1}
+			h.AddRead(site, val)
+			h.AddWrite(site, site, r.Prop, val)
+		}
+		var buf bytes.Buffer
+		if err := h.WriteJSON(&buf); err != nil {
+			return false
+		}
+		got, err := ReadJSON(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Count() == h.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging is idempotent (h ∪ h = h).
+func TestMergeIdempotent(t *testing.T) {
+	h := New()
+	h.AddRead(l("a.js", 1, 1), l("a.js", 2, 2))
+	h.AddWrite(l("a.js", 5, 5), l("a.js", 3, 3), "p", l("a.js", 4, 4))
+	h.AddModule(l("a.js", 9, 9), "/m.js")
+	before := h.Count()
+	h.Merge(h)
+	if h.Count() != before {
+		t.Errorf("self-merge changed count: %d → %d", before, h.Count())
+	}
+}
+
+func TestPropReadHints(t *testing.T) {
+	h := New()
+	h.AddPropRead(l("a.js", 1, 1), "name")
+	h.AddPropRead(l("a.js", 1, 1), "age")
+	h.AddPropRead(l("a.js", 1, 1), "name") // duplicate
+	h.AddPropRead(loc.Loc{}, "ghost")      // invalid site
+	h.AddPropRead(l("a.js", 2, 2), "")     // empty name
+	if got := h.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	names := h.PropReadNames(l("a.js", 1, 1))
+	if len(names) != 2 || names[0] != "age" || names[1] != "name" {
+		t.Errorf("names = %v", names)
+	}
+	sites := h.PropReadSites()
+	if len(sites) != 1 {
+		t.Errorf("sites = %v", sites)
+	}
+}
+
+func TestEvalHintsCollection(t *testing.T) {
+	h := New()
+	h.AddEval("/app/a.js", "x = 1;")
+	h.AddEval("/app/a.js", "x = 1;") // duplicate
+	h.AddEval("/app/b.js", "y = 2;")
+	h.AddEval("", "z = 3;")    // invalid module
+	h.AddEval("/app/c.js", "") // empty source
+	evals := h.EvalHints()
+	if len(evals) != 2 {
+		t.Fatalf("evals = %v", evals)
+	}
+	if evals[0].Module != "/app/a.js" || evals[1].Module != "/app/b.js" {
+		t.Errorf("order wrong: %v", evals)
+	}
+}
+
+func TestExtensionHintsJSONRoundTrip(t *testing.T) {
+	h := New()
+	h.AddPropRead(l("a.js", 3, 4), "p")
+	h.AddEval("/app/m.js", "exports.q = f;")
+	h.AddRead(l("a.js", 1, 1), l("a.js", 2, 2))
+	var buf bytes.Buffer
+	if err := h.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != h.Count() {
+		t.Errorf("round trip lost extension hints: %d → %d", h.Count(), got.Count())
+	}
+	if len(got.PropReadNames(l("a.js", 3, 4))) != 1 {
+		t.Error("prop-read hint lost")
+	}
+	if len(got.EvalHints()) != 1 {
+		t.Error("eval hint lost")
+	}
+}
+
+func TestMergeExtensionHints(t *testing.T) {
+	h1 := New()
+	h1.AddPropRead(l("a.js", 1, 1), "x")
+	h2 := New()
+	h2.AddPropRead(l("a.js", 1, 1), "y")
+	h2.AddEval("/m.js", "code();")
+	h1.Merge(h2)
+	if h1.Count() != 3 {
+		t.Errorf("merged count = %d, want 3", h1.Count())
+	}
+}

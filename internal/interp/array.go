@@ -1,0 +1,568 @@
+package interp
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// thisArray coerces the receiver of an Array.prototype method.
+func thisArray(this value.Value) *value.Object {
+	o, ok := this.(*value.Object)
+	if !ok || o.Class != value.ClassArray {
+		return nil
+	}
+	return o
+}
+
+func elemAt(a *value.Object, i int) value.Value {
+	if i < 0 || i >= len(a.Elems) || a.Elems[i] == nil {
+		return value.Undefined{}
+	}
+	return a.Elems[i]
+}
+
+func (it *Interp) setupArrayBuiltin(def func(string, value.Value)) {
+	ctor := it.native("Array", func(this value.Value, args []value.Value) (value.Value, error) {
+		if len(args) == 1 {
+			if n, ok := args[0].(value.Number); ok {
+				size := int(n)
+				if size < 0 {
+					size = 0
+				}
+				elems := make([]value.Value, size)
+				for i := range elems {
+					elems[i] = value.Undefined{}
+				}
+				arr := it.NewArrayObject(elems)
+				it.recordAlloc(arr, it.CallSite())
+				return arr, nil
+			}
+		}
+		arr := it.NewArrayObject(append([]value.Value{}, args...))
+		it.recordAlloc(arr, it.CallSite())
+		return arr, nil
+	})
+	ctor.Set("prototype", it.protos.array)
+	it.protos.array.DefineProp("constructor", &value.Prop{Value: ctor, Writable: true})
+
+	it.method(ctor, "isArray", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		return value.Bool(o != nil && o.Class == value.ClassArray), nil
+	})
+	it.method(ctor, "from", func(_ value.Value, args []value.Value) (value.Value, error) {
+		var elems []value.Value
+		switch src := arg(args, 0).(type) {
+		case *value.Object:
+			if src.Class == value.ClassArray {
+				elems = append(elems, src.Elems...)
+			} else if lp := src.GetOwn("length"); lp != nil && !lp.IsAccessor() {
+				n := int(value.ToNumber(lp.Value))
+				for i := 0; i < n; i++ {
+					v, err := it.getMember(src, value.FormatNumber(float64(i)))
+					if err != nil {
+						return nil, err
+					}
+					elems = append(elems, v)
+				}
+			}
+		case value.String:
+			for _, r := range string(src) {
+				elems = append(elems, value.String(string(r)))
+			}
+		}
+		if fn := argFn(args, 1); fn != nil {
+			for i, e := range elems {
+				v, err := it.CallWithSite(fn, value.Undefined{}, []value.Value{e, value.Number(i)}, it.CallSite())
+				if err != nil {
+					return nil, err
+				}
+				elems[i] = v
+			}
+		}
+		arr := it.NewArrayObject(elems)
+		it.recordAlloc(arr, it.CallSite())
+		return arr, nil
+	})
+	it.method(ctor, "of", func(_ value.Value, args []value.Value) (value.Value, error) {
+		arr := it.NewArrayObject(append([]value.Value{}, args...))
+		it.recordAlloc(arr, it.CallSite())
+		return arr, nil
+	})
+	def("Array", ctor)
+
+	proto := it.protos.array
+
+	it.method(proto, "push", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return value.Number(0), nil
+		}
+		a.Elems = append(a.Elems, args...)
+		return value.Number(len(a.Elems)), nil
+	})
+
+	it.method(proto, "pop", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil || len(a.Elems) == 0 {
+			return value.Undefined{}, nil
+		}
+		v := elemAt(a, len(a.Elems)-1)
+		a.Elems = a.Elems[:len(a.Elems)-1]
+		return v, nil
+	})
+
+	it.method(proto, "shift", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil || len(a.Elems) == 0 {
+			return value.Undefined{}, nil
+		}
+		v := elemAt(a, 0)
+		a.Elems = a.Elems[1:]
+		return v, nil
+	})
+
+	it.method(proto, "unshift", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return value.Number(0), nil
+		}
+		a.Elems = append(append([]value.Value{}, args...), a.Elems...)
+		return value.Number(len(a.Elems)), nil
+	})
+
+	clampRange := func(a *value.Object, args []value.Value) (int, int) {
+		n := len(a.Elems)
+		start, end := 0, n
+		if len(args) > 0 {
+			if _, isU := args[0].(value.Undefined); !isU {
+				start = int(value.ToNumber(args[0]))
+			}
+		}
+		if len(args) > 1 {
+			if _, isU := args[1].(value.Undefined); !isU {
+				end = int(value.ToNumber(args[1]))
+			}
+		}
+		if start < 0 {
+			start += n
+		}
+		if end < 0 {
+			end += n
+		}
+		if start < 0 {
+			start = 0
+		}
+		if end > n {
+			end = n
+		}
+		if start > end {
+			start = end
+		}
+		return start, end
+	}
+
+	it.method(proto, "slice", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			// slice.call(arguments, …) on a non-array object with length.
+			if o, ok := this.(*value.Object); ok && !o.IsProxy() {
+				if lp := o.GetOwn("length"); lp != nil && !lp.IsAccessor() {
+					n := int(value.ToNumber(lp.Value))
+					tmp := it.NewArrayObject(nil)
+					for i := 0; i < n; i++ {
+						v, err := it.getMember(o, value.FormatNumber(float64(i)))
+						if err != nil {
+							return nil, err
+						}
+						tmp.Elems = append(tmp.Elems, v)
+					}
+					a = tmp
+				}
+			}
+			if a == nil {
+				arr := it.NewArrayObject(nil)
+				it.recordAlloc(arr, it.CallSite())
+				return arr, nil
+			}
+		}
+		start, end := clampRange(a, args)
+		arr := it.NewArrayObject(append([]value.Value{}, a.Elems[start:end]...))
+		it.recordAlloc(arr, it.CallSite())
+		return arr, nil
+	})
+
+	it.method(proto, "splice", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		removed := it.NewArrayObject(nil)
+		it.recordAlloc(removed, it.CallSite())
+		if a == nil {
+			return removed, nil
+		}
+		n := len(a.Elems)
+		start := 0
+		if len(args) > 0 {
+			start = int(value.ToNumber(args[0]))
+		}
+		if start < 0 {
+			start += n
+		}
+		if start < 0 {
+			start = 0
+		}
+		if start > n {
+			start = n
+		}
+		delCount := n - start
+		if len(args) > 1 {
+			delCount = int(value.ToNumber(args[1]))
+		}
+		if delCount < 0 {
+			delCount = 0
+		}
+		if start+delCount > n {
+			delCount = n - start
+		}
+		removed.Elems = append(removed.Elems, a.Elems[start:start+delCount]...)
+		var inserted []value.Value
+		if len(args) > 2 {
+			inserted = args[2:]
+		}
+		tail := append([]value.Value{}, a.Elems[start+delCount:]...)
+		a.Elems = append(append(a.Elems[:start], inserted...), tail...)
+		return removed, nil
+	})
+
+	it.method(proto, "concat", func(this value.Value, args []value.Value) (value.Value, error) {
+		var elems []value.Value
+		if a := thisArray(this); a != nil {
+			elems = append(elems, a.Elems...)
+		}
+		for _, x := range args {
+			if xa, ok := x.(*value.Object); ok && xa.Class == value.ClassArray {
+				elems = append(elems, xa.Elems...)
+			} else {
+				elems = append(elems, x)
+			}
+		}
+		arr := it.NewArrayObject(elems)
+		it.recordAlloc(arr, it.CallSite())
+		return arr, nil
+	})
+
+	it.method(proto, "join", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return value.String(""), nil
+		}
+		sep := ","
+		if len(args) > 0 {
+			if _, isU := args[0].(value.Undefined); !isU {
+				sep = value.ToString(args[0])
+			}
+		}
+		parts := make([]string, len(a.Elems))
+		for i := range a.Elems {
+			e := elemAt(a, i)
+			if isNullish(e) {
+				parts[i] = ""
+			} else {
+				parts[i] = value.ToString(e)
+			}
+		}
+		return value.String(strings.Join(parts, sep)), nil
+	})
+
+	indexOf := func(a *value.Object, needle value.Value) int {
+		for i := range a.Elems {
+			if value.StrictEquals(elemAt(a, i), needle) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	it.method(proto, "indexOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return value.Number(-1), nil
+		}
+		return value.Number(indexOf(a, arg(args, 0))), nil
+	})
+
+	it.method(proto, "lastIndexOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return value.Number(-1), nil
+		}
+		for i := len(a.Elems) - 1; i >= 0; i-- {
+			if value.StrictEquals(elemAt(a, i), arg(args, 0)) {
+				return value.Number(i), nil
+			}
+		}
+		return value.Number(-1), nil
+	})
+
+	it.method(proto, "includes", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return value.Bool(false), nil
+		}
+		return value.Bool(indexOf(a, arg(args, 0)) >= 0), nil
+	})
+
+	// Iteration methods invoke their callback through CallWithSite so
+	// dynamic call graphs attribute the edge to the original call site.
+	iterate := func(this value.Value, args []value.Value, visit func(v value.Value, i int, a *value.Object) (bool, error)) error {
+		a := thisArray(this)
+		if a == nil {
+			return nil
+		}
+		for i := 0; i < len(a.Elems); i++ {
+			if err := it.chargeLoop(); err != nil {
+				return err
+			}
+			cont, err := visit(elemAt(a, i), i, a)
+			if err != nil {
+				return err
+			}
+			if !cont {
+				return nil
+			}
+		}
+		return nil
+	}
+
+	it.method(proto, "forEach", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		if fn == nil {
+			return value.Undefined{}, nil
+		}
+		err := iterate(this, args, func(v value.Value, i int, a *value.Object) (bool, error) {
+			_, err := it.CallWithSite(fn, arg(args, 1), []value.Value{v, value.Number(i), a}, it.CallSite())
+			return true, err
+		})
+		return value.Undefined{}, err
+	})
+
+	it.method(proto, "map", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		out := it.NewArrayObject(nil)
+		it.recordAlloc(out, it.CallSite())
+		if fn == nil {
+			return out, nil
+		}
+		err := iterate(this, args, func(v value.Value, i int, a *value.Object) (bool, error) {
+			r, err := it.CallWithSite(fn, arg(args, 1), []value.Value{v, value.Number(i), a}, it.CallSite())
+			if err != nil {
+				return false, err
+			}
+			out.Elems = append(out.Elems, r)
+			return true, nil
+		})
+		return out, err
+	})
+
+	it.method(proto, "filter", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		out := it.NewArrayObject(nil)
+		it.recordAlloc(out, it.CallSite())
+		if fn == nil {
+			return out, nil
+		}
+		err := iterate(this, args, func(v value.Value, i int, a *value.Object) (bool, error) {
+			r, err := it.CallWithSite(fn, arg(args, 1), []value.Value{v, value.Number(i), a}, it.CallSite())
+			if err != nil {
+				return false, err
+			}
+			if value.ToBool(r) {
+				out.Elems = append(out.Elems, v)
+			}
+			return true, nil
+		})
+		return out, err
+	})
+
+	it.method(proto, "some", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		if fn == nil {
+			return value.Bool(false), nil
+		}
+		found := false
+		err := iterate(this, args, func(v value.Value, i int, a *value.Object) (bool, error) {
+			r, err := it.CallWithSite(fn, arg(args, 1), []value.Value{v, value.Number(i), a}, it.CallSite())
+			if err != nil {
+				return false, err
+			}
+			if value.ToBool(r) {
+				found = true
+				return false, nil
+			}
+			return true, nil
+		})
+		return value.Bool(found), err
+	})
+
+	it.method(proto, "every", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		if fn == nil {
+			return value.Bool(true), nil
+		}
+		all := true
+		err := iterate(this, args, func(v value.Value, i int, a *value.Object) (bool, error) {
+			r, err := it.CallWithSite(fn, arg(args, 1), []value.Value{v, value.Number(i), a}, it.CallSite())
+			if err != nil {
+				return false, err
+			}
+			if !value.ToBool(r) {
+				all = false
+				return false, nil
+			}
+			return true, nil
+		})
+		return value.Bool(all), err
+	})
+
+	it.method(proto, "find", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		if fn == nil {
+			return value.Undefined{}, nil
+		}
+		var found value.Value = value.Undefined{}
+		err := iterate(this, args, func(v value.Value, i int, a *value.Object) (bool, error) {
+			r, err := it.CallWithSite(fn, arg(args, 1), []value.Value{v, value.Number(i), a}, it.CallSite())
+			if err != nil {
+				return false, err
+			}
+			if value.ToBool(r) {
+				found = v
+				return false, nil
+			}
+			return true, nil
+		})
+		return found, err
+	})
+
+	it.method(proto, "findIndex", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		if fn == nil {
+			return value.Number(-1), nil
+		}
+		idx := -1
+		err := iterate(this, args, func(v value.Value, i int, a *value.Object) (bool, error) {
+			r, err := it.CallWithSite(fn, arg(args, 1), []value.Value{v, value.Number(i), a}, it.CallSite())
+			if err != nil {
+				return false, err
+			}
+			if value.ToBool(r) {
+				idx = i
+				return false, nil
+			}
+			return true, nil
+		})
+		return value.Number(idx), err
+	})
+
+	it.method(proto, "reduce", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn := argFn(args, 0)
+		a := thisArray(this)
+		if fn == nil || a == nil {
+			return arg(args, 1), nil
+		}
+		var acc value.Value
+		start := 0
+		if len(args) > 1 {
+			acc = args[1]
+		} else {
+			if len(a.Elems) == 0 {
+				return nil, it.ThrowError("TypeError", "reduce of empty array with no initial value")
+			}
+			acc = elemAt(a, 0)
+			start = 1
+		}
+		for i := start; i < len(a.Elems); i++ {
+			if err := it.chargeLoop(); err != nil {
+				return nil, err
+			}
+			r, err := it.CallWithSite(fn, value.Undefined{}, []value.Value{acc, elemAt(a, i), value.Number(i), a}, it.CallSite())
+			if err != nil {
+				return nil, err
+			}
+			acc = r
+		}
+		return acc, nil
+	})
+
+	it.method(proto, "reverse", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return this, nil
+		}
+		for i, j := 0, len(a.Elems)-1; i < j; i, j = i+1, j-1 {
+			a.Elems[i], a.Elems[j] = a.Elems[j], a.Elems[i]
+		}
+		return a, nil
+	})
+
+	it.method(proto, "sort", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return this, nil
+		}
+		fn := argFn(args, 0)
+		var sortErr error
+		sort.SliceStable(a.Elems, func(i, j int) bool {
+			if sortErr != nil {
+				return false
+			}
+			x, y := elemAt(a, i), elemAt(a, j)
+			if fn != nil {
+				r, err := it.CallWithSite(fn, value.Undefined{}, []value.Value{x, y}, it.CallSite())
+				if err != nil {
+					sortErr = err
+					return false
+				}
+				return value.ToNumber(r) < 0
+			}
+			return value.ToString(x) < value.ToString(y)
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		return a, nil
+	})
+
+	it.method(proto, "flat", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		out := it.NewArrayObject(nil)
+		it.recordAlloc(out, it.CallSite())
+		if a == nil {
+			return out, nil
+		}
+		for i := range a.Elems {
+			e := elemAt(a, i)
+			if ea, ok := e.(*value.Object); ok && ea.Class == value.ClassArray {
+				out.Elems = append(out.Elems, ea.Elems...)
+			} else {
+				out.Elems = append(out.Elems, e)
+			}
+		}
+		return out, nil
+	})
+
+	it.method(proto, "fill", func(this value.Value, args []value.Value) (value.Value, error) {
+		a := thisArray(this)
+		if a == nil {
+			return this, nil
+		}
+		for i := range a.Elems {
+			a.Elems[i] = arg(args, 0)
+		}
+		return a, nil
+	})
+
+	it.method(proto, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(value.ToString(this)), nil
+	})
+}

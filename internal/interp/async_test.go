@@ -1,0 +1,87 @@
+package interp
+
+import "testing"
+
+func TestAsyncFunctionReturnsPromise(t *testing.T) {
+	wantNumber(t, run(t, `
+async function getValue() { return 7; }
+var result = 0;
+getValue().then(function(v) { result = v; });`), 7)
+	wantBool(t, run(t, `
+async function f() { return 1; }
+var p = f();
+var result = typeof p === "object" && typeof p.then === "function";`), true)
+}
+
+func TestAwaitUnwraps(t *testing.T) {
+	wantNumber(t, run(t, `
+async function inner() { return 20; }
+async function outer() {
+  var v = await inner();
+  return v + 1;
+}
+var result = 0;
+outer().then(function(v) { result = v; });`), 21)
+	// await on a non-promise passes through.
+	wantNumber(t, run(t, `
+async function f() { return (await 5) + 1; }
+var result = 0;
+f().then(function(v) { result = v; });`), 6)
+}
+
+func TestAsyncThrowRejects(t *testing.T) {
+	wantString(t, run(t, `
+async function boom() { throw new Error("async-err"); }
+var result = "";
+boom().catch(function(e) { result = e.message; });`), "async-err")
+	// await of a rejected promise throws inside the async function.
+	wantString(t, run(t, `
+async function f() {
+  try {
+    await Promise.reject(new Error("inner-rej"));
+    return "not-reached";
+  } catch (e) {
+    return "caught:" + e.message;
+  }
+}
+var result = "";
+f().then(function(v) { result = v; });`), "caught:inner-rej")
+}
+
+func TestAsyncArrows(t *testing.T) {
+	wantNumber(t, run(t, `
+var f = async (x) => x * 2;
+var result = 0;
+f(4).then(function(v) { result = v; });`), 8)
+	wantNumber(t, run(t, `
+var g = async x => { return x + 1; };
+var result = 0;
+g(9).then(function(v) { result = v; });`), 10)
+}
+
+func TestAsyncPassesPromiseThrough(t *testing.T) {
+	// Returning a promise from an async function does not double-wrap.
+	wantNumber(t, run(t, `
+async function f() { return Promise.resolve(3); }
+var result = 0;
+f().then(function(v) { result = v; });`), 3)
+}
+
+func TestAsyncAsIdentifier(t *testing.T) {
+	// "async" remains usable as a plain identifier.
+	wantNumber(t, run(t, `var async = 5; var result = async + 1;`), 6)
+	wantNumber(t, run(t, `var o = {async: 2}; var result = o.async;`), 2)
+}
+
+func TestAsyncChained(t *testing.T) {
+	wantString(t, run(t, `
+async function step1() { return "a"; }
+async function step2(prev) { return prev + "b"; }
+async function pipeline() {
+  var x = await step1();
+  var y = await step2(x);
+  return y + "c";
+}
+var result = "";
+pipeline().then(function(v) { result = v; });`), "abc")
+}

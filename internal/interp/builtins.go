@@ -1,0 +1,831 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/value"
+)
+
+// classMock marks the sandbox mock objects that replace external-world
+// Node.js modules during approximate interpretation: every property read on
+// a mock yields the shared mock function, which invokes callback arguments
+// and returns p*.
+const classMock = "Mock"
+
+func parseEval(file, src string) (*ast.Program, error) {
+	return parser.Parse(file, src)
+}
+
+// NewMockModule returns a sandbox mock object (used by the modules package
+// for fs/net/http/… during approximate interpretation).
+func (it *Interp) NewMockModule() *value.Object {
+	return &value.Object{Class: classMock}
+}
+
+// mockFunction returns the shared mock native: it invokes any callable
+// arguments (with proxy arguments) and returns p*, per the paper's
+// sandboxing rule.
+func (it *Interp) mockFunction() *value.Object {
+	if it.mockFn == nil {
+		it.mockFn = it.NewNativeFunction("mock", func(h value.Host, this value.Value, args []value.Value) (value.Value, error) {
+			v, err := it.invokeMock(args)
+			return v, err
+		})
+	}
+	return it.mockFn
+}
+
+func (it *Interp) invokeMock(args []value.Value) (value.Value, error) {
+	for _, a := range args {
+		if fn, ok := a.(*value.Object); ok && fn.Callable() && fn.Fn.Decl != nil {
+			proxyArgs := []value.Value{it.proxyOrUndefined(), it.proxyOrUndefined(), it.proxyOrUndefined()}
+			if _, err := it.CallFunction(fn, it.proxyOrUndefined(), proxyArgs); err != nil {
+				if _, isBudget := err.(*BudgetError); isBudget {
+					return nil, err
+				}
+				// Exceptions from mocked callbacks are swallowed; the mock
+				// only exists to explore the callback body.
+			}
+		}
+	}
+	return it.proxyOrUndefined(), nil
+}
+
+func (it *Interp) setupGlobals() {
+	it.protos.object = value.NewObject(nil)
+	it.protos.function = value.NewObject(it.protos.object)
+	it.protos.array = value.NewObject(it.protos.object)
+	it.protos.str = value.NewObject(it.protos.object)
+	it.protos.number = value.NewObject(it.protos.object)
+	it.protos.boolean = value.NewObject(it.protos.object)
+	it.protos.err = value.NewObject(it.protos.object)
+	it.protos.regexp = value.NewObject(it.protos.object)
+
+	it.global = value.NewObject(it.protos.object)
+	it.globalScope = value.NewScope(nil)
+
+	def := func(name string, v value.Value) {
+		it.globalScope.Declare(name, v)
+		it.global.Set(name, v)
+	}
+
+	def("globalThis", it.global)
+	def("global", it.global)
+	def("NaN", value.Number(math.NaN()))
+	def("Infinity", value.Number(math.Inf(1)))
+
+	it.setupObjectBuiltin(def)
+	it.setupFunctionBuiltin(def)
+	it.setupArrayBuiltin(def)
+	it.setupStringBuiltin(def)
+	it.setupNumberBuiltin(def)
+	it.setupBooleanBuiltin(def)
+	it.setupMath(def)
+	it.setupJSON(def)
+	it.setupConsole(def)
+	it.setupErrors(def)
+	it.setupRegExp(def)
+	it.setupTimers(def)
+	it.setupCollections(def)
+	it.setupTopLevelFunctions(def)
+}
+
+// arg returns args[i] or undefined.
+func arg(args []value.Value, i int) value.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return value.Undefined{}
+}
+
+func argObj(args []value.Value, i int) *value.Object {
+	o, _ := arg(args, i).(*value.Object)
+	return o
+}
+
+func argFn(args []value.Value, i int) *value.Object {
+	if o := argObj(args, i); o != nil && o.Callable() {
+		return o
+	}
+	return nil
+}
+
+func (it *Interp) native(name string, fn func(this value.Value, args []value.Value) (value.Value, error)) *value.Object {
+	return it.NewNativeFunction(name, func(h value.Host, this value.Value, args []value.Value) (value.Value, error) {
+		return fn(this, args)
+	})
+}
+
+func (it *Interp) method(obj *value.Object, name string, fn func(this value.Value, args []value.Value) (value.Value, error)) {
+	f := it.native(name, fn)
+	obj.DefineProp(name, &value.Prop{Value: f, Writable: true}) // non-enumerable
+}
+
+// ------------------------------------------------------------------- Object
+
+func (it *Interp) setupObjectBuiltin(def func(string, value.Value)) {
+	objectCtor := it.native("Object", func(this value.Value, args []value.Value) (value.Value, error) {
+		if o, ok := arg(args, 0).(*value.Object); ok {
+			return o, nil
+		}
+		return it.NewPlainObject(), nil
+	})
+	objectCtor.Set("prototype", it.protos.object)
+	it.protos.object.DefineProp("constructor", &value.Prop{Value: objectCtor, Writable: true})
+
+	it.method(objectCtor, "keys", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return it.NewArrayObject(nil), nil
+		}
+		var elems []value.Value
+		for _, k := range o.EnumerableKeys() {
+			elems = append(elems, value.String(k))
+		}
+		return it.NewArrayObject(elems), nil
+	})
+
+	it.method(objectCtor, "values", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return it.NewArrayObject(nil), nil
+		}
+		var elems []value.Value
+		for _, k := range o.EnumerableKeys() {
+			v, err := it.getMember(o, k)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, v)
+		}
+		return it.NewArrayObject(elems), nil
+	})
+
+	it.method(objectCtor, "entries", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return it.NewArrayObject(nil), nil
+		}
+		var elems []value.Value
+		for _, k := range o.EnumerableKeys() {
+			v, err := it.getMember(o, k)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, it.NewArrayObject([]value.Value{value.String(k), v}))
+		}
+		return it.NewArrayObject(elems), nil
+	})
+
+	it.method(objectCtor, "getOwnPropertyNames", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return it.NewArrayObject(nil), nil
+		}
+		var elems []value.Value
+		for _, k := range o.OwnKeys() {
+			elems = append(elems, value.String(k))
+		}
+		return it.NewArrayObject(elems), nil
+	})
+
+	it.method(objectCtor, "getOwnPropertyDescriptor", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return value.Undefined{}, nil
+		}
+		key := value.ToString(arg(args, 1))
+		p := o.GetOwn(key)
+		if p == nil {
+			return value.Undefined{}, nil
+		}
+		desc := it.NewPlainObject()
+		if p.IsAccessor() {
+			if p.Getter != nil {
+				desc.Set("get", p.Getter)
+			}
+			if p.Setter != nil {
+				desc.Set("set", p.Setter)
+			}
+		} else {
+			desc.Set("value", p.Value)
+			desc.Set("writable", value.Bool(p.Writable))
+		}
+		desc.Set("enumerable", value.Bool(p.Enumerable))
+		desc.Set("configurable", value.Bool(true))
+		return desc, nil
+	})
+
+	// Object.defineProperty is modeled as a dynamic property write by the
+	// approximate interpretation (paper §3, native-function rule 3).
+	defineProp := func(o *value.Object, key string, descV value.Value) error {
+		desc, ok := descV.(*value.Object)
+		if !ok || desc.IsProxy() {
+			return nil
+		}
+		p := &value.Prop{Enumerable: true, Writable: true}
+		if e := desc.GetOwn("enumerable"); e != nil && !e.IsAccessor() {
+			p.Enumerable = value.ToBool(e.Value)
+		}
+		if w := desc.GetOwn("writable"); w != nil && !w.IsAccessor() {
+			p.Writable = value.ToBool(w.Value)
+		}
+		hasAccessor := false
+		if g := desc.GetOwn("get"); g != nil && !g.IsAccessor() {
+			if gf, ok := g.Value.(*value.Object); ok && gf.Callable() {
+				p.Getter = gf
+				hasAccessor = true
+			}
+		}
+		if s := desc.GetOwn("set"); s != nil && !s.IsAccessor() {
+			if sf, ok := s.Value.(*value.Object); ok && sf.Callable() {
+				p.Setter = sf
+				hasAccessor = true
+			}
+		}
+		var written value.Value
+		if !hasAccessor {
+			var v value.Value = value.Undefined{}
+			if vp := desc.GetOwn("value"); vp != nil && !vp.IsAccessor() {
+				v = vp.Value
+			}
+			p.Value = v
+			written = v
+		}
+		o.DefineProp(key, p)
+		if written != nil {
+			it.hooks.DynamicWrite(it.CallSite(), o, key, written)
+		}
+		if p.Getter != nil {
+			it.hooks.DynamicWrite(it.CallSite(), o, key, p.Getter)
+		}
+		if p.Setter != nil {
+			it.hooks.DynamicWrite(it.CallSite(), o, key, p.Setter)
+		}
+		return nil
+	}
+
+	it.method(objectCtor, "defineProperty", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return arg(args, 0), nil
+		}
+		if err := defineProp(o, value.ToString(arg(args, 1)), arg(args, 2)); err != nil {
+			return nil, err
+		}
+		return o, nil
+	})
+
+	it.method(objectCtor, "defineProperties", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		descs := argObj(args, 1)
+		if o == nil || o.IsProxy() || descs == nil || descs.IsProxy() {
+			return arg(args, 0), nil
+		}
+		for _, k := range descs.OwnKeys() {
+			dp := descs.GetOwn(k)
+			if dp == nil || dp.IsAccessor() {
+				continue
+			}
+			if err := defineProp(o, k, dp.Value); err != nil {
+				return nil, err
+			}
+		}
+		return o, nil
+	})
+
+	// Object.assign is modeled as dynamic property writes (paper §3).
+	it.method(objectCtor, "assign", func(_ value.Value, args []value.Value) (value.Value, error) {
+		dst := argObj(args, 0)
+		if dst == nil || dst.IsProxy() {
+			return arg(args, 0), nil
+		}
+		for _, srcV := range args[1:] {
+			src, ok := srcV.(*value.Object)
+			if !ok || src.IsProxy() {
+				continue
+			}
+			for _, k := range src.EnumerableKeys() {
+				v, err := it.getMember(src, k)
+				if err != nil {
+					return nil, err
+				}
+				dst.Set(k, v)
+				it.hooks.DynamicWrite(it.CallSite(), dst, k, v)
+			}
+		}
+		return dst, nil
+	})
+
+	// Object.create is a form of object construction (paper §3): the
+	// allocation site is the call site.
+	it.method(objectCtor, "create", func(_ value.Value, args []value.Value) (value.Value, error) {
+		var proto *value.Object
+		if p, ok := arg(args, 0).(*value.Object); ok && !p.IsProxy() {
+			proto = p
+		}
+		obj := value.NewObject(proto)
+		it.recordAlloc(obj, it.CallSite())
+		if descs := argObj(args, 1); descs != nil && !descs.IsProxy() {
+			for _, k := range descs.OwnKeys() {
+				dp := descs.GetOwn(k)
+				if dp == nil || dp.IsAccessor() {
+					continue
+				}
+				if err := defineProp(obj, k, dp.Value); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return obj, nil
+	})
+
+	it.method(objectCtor, "getPrototypeOf", func(_ value.Value, args []value.Value) (value.Value, error) {
+		if o := argObj(args, 0); o != nil && o.Proto != nil {
+			return o.Proto, nil
+		}
+		return value.Null{}, nil
+	})
+
+	it.method(objectCtor, "setPrototypeOf", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return arg(args, 0), nil
+		}
+		if p, ok := arg(args, 1).(*value.Object); ok && !p.IsProxy() {
+			o.Proto = p
+		} else if _, isNull := arg(args, 1).(value.Null); isNull {
+			o.Proto = nil
+		}
+		return o, nil
+	})
+
+	it.method(objectCtor, "freeze", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return arg(args, 0), nil // immutability is not enforced
+	})
+
+	def("Object", objectCtor)
+
+	// Object.prototype methods.
+	it.method(it.protos.object, "hasOwnProperty", func(this value.Value, args []value.Value) (value.Value, error) {
+		o, ok := this.(*value.Object)
+		if !ok || o.IsProxy() {
+			return value.Bool(false), nil
+		}
+		return value.Bool(o.HasOwn(value.ToString(arg(args, 0)))), nil
+	})
+	it.method(it.protos.object, "isPrototypeOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		self, ok := this.(*value.Object)
+		o := argObj(args, 0)
+		if !ok || o == nil {
+			return value.Bool(false), nil
+		}
+		for cur := o.Proto; cur != nil; cur = cur.Proto {
+			if cur == self {
+				return value.Bool(true), nil
+			}
+		}
+		return value.Bool(false), nil
+	})
+	it.method(it.protos.object, "propertyIsEnumerable", func(this value.Value, args []value.Value) (value.Value, error) {
+		o, ok := this.(*value.Object)
+		if !ok || o.IsProxy() {
+			return value.Bool(false), nil
+		}
+		p := o.GetOwn(value.ToString(arg(args, 0)))
+		return value.Bool(p != nil && p.Enumerable), nil
+	})
+	it.method(it.protos.object, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(value.ToString(this)), nil
+	})
+	it.method(it.protos.object, "valueOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		return this, nil
+	})
+}
+
+// ----------------------------------------------------------------- Function
+
+func (it *Interp) setupFunctionBuiltin(def func(string, value.Value)) {
+	// The Function constructor compiles source text, like eval.
+	functionCtor := it.native("Function", func(_ value.Value, args []value.Value) (value.Value, error) {
+		var params, body string
+		if len(args) > 0 {
+			var ps []string
+			for _, a := range args[:len(args)-1] {
+				ps = append(ps, value.ToString(a))
+			}
+			params = strings.Join(ps, ", ")
+			body = value.ToString(args[len(args)-1])
+		}
+		src := "(function(" + params + ") {\n" + body + "\n})"
+		v, err := it.EvalSource(src)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	})
+	functionCtor.Set("prototype", it.protos.function)
+	def("Function", functionCtor)
+
+	it.method(it.protos.function, "apply", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn, ok := this.(*value.Object)
+		if !ok || !fn.Callable() {
+			return it.callValue(this, arg(args, 0), nil, it.CallSite())
+		}
+		var callArgs []value.Value
+		argsV := arg(args, 1)
+		switch a := argsV.(type) {
+		case *value.Object:
+			if a.IsProxy() {
+				// f.apply(w, p*): the forcing convention — every parameter
+				// binds to p*.
+				if fn.Fn.Decl != nil {
+					it.hooks.BeforeCall(it.CallSite(), fn, arg(args, 0), nil)
+					return it.invokeUser(fn, arg(args, 0), nil, true)
+				}
+				return it.proxyOrUndefined(), nil
+			}
+			if a.Class == value.ClassArray {
+				callArgs = append(callArgs, a.Elems...)
+			}
+		}
+		return it.callWithSite(fn, arg(args, 0), callArgs, it.CallSite())
+	})
+
+	it.method(it.protos.function, "call", func(this value.Value, args []value.Value) (value.Value, error) {
+		var rest []value.Value
+		if len(args) > 1 {
+			rest = args[1:]
+		}
+		return it.callValue(this, arg(args, 0), rest, it.CallSite())
+	})
+
+	it.method(it.protos.function, "bind", func(this value.Value, args []value.Value) (value.Value, error) {
+		fn, ok := this.(*value.Object)
+		if !ok || !fn.Callable() {
+			return it.proxyOrUndefined(), nil
+		}
+		var bound []value.Value
+		if len(args) > 1 {
+			bound = append(bound, args[1:]...)
+		}
+		bf := value.NewFunction(it.protos.function, &value.FuncData{
+			Name:        "bound " + fn.Fn.Name,
+			BoundTarget: fn,
+			BoundThis:   arg(args, 0),
+			BoundArgs:   bound,
+		})
+		return bf, nil
+	})
+
+	it.method(it.protos.function, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(value.ToString(this)), nil
+	})
+}
+
+// --------------------------------------------------------------------- Math
+
+func (it *Interp) setupMath(def func(string, value.Value)) {
+	m := it.NewPlainObject()
+	one := func(name string, f func(float64) float64) {
+		it.method(m, name, func(_ value.Value, args []value.Value) (value.Value, error) {
+			return value.Number(f(value.ToNumber(arg(args, 0)))), nil
+		})
+	}
+	one("floor", math.Floor)
+	one("ceil", math.Ceil)
+	one("round", math.Round)
+	one("abs", math.Abs)
+	one("sqrt", math.Sqrt)
+	one("log", math.Log)
+	one("log2", math.Log2)
+	one("exp", math.Exp)
+	one("trunc", math.Trunc)
+	one("sign", func(f float64) float64 {
+		switch {
+		case f > 0:
+			return 1
+		case f < 0:
+			return -1
+		}
+		return f
+	})
+	it.method(m, "pow", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return value.Number(math.Pow(value.ToNumber(arg(args, 0)), value.ToNumber(arg(args, 1)))), nil
+	})
+	it.method(m, "max", func(_ value.Value, args []value.Value) (value.Value, error) {
+		out := math.Inf(-1)
+		for _, a := range args {
+			out = math.Max(out, value.ToNumber(a))
+		}
+		return value.Number(out), nil
+	})
+	it.method(m, "min", func(_ value.Value, args []value.Value) (value.Value, error) {
+		out := math.Inf(1)
+		for _, a := range args {
+			out = math.Min(out, value.ToNumber(a))
+		}
+		return value.Number(out), nil
+	})
+	// Math.random is deterministic (xorshift) so executions are replayable;
+	// determinism is what approximate interpretation banks on.
+	it.method(m, "random", func(_ value.Value, args []value.Value) (value.Value, error) {
+		it.rngState ^= it.rngState << 13
+		it.rngState ^= it.rngState >> 7
+		it.rngState ^= it.rngState << 17
+		return value.Number(float64(it.rngState%1_000_000) / 1_000_000), nil
+	})
+	m.Set("PI", value.Number(math.Pi))
+	m.Set("E", value.Number(math.E))
+	def("Math", m)
+}
+
+// --------------------------------------------------------------------- JSON
+
+func (it *Interp) setupJSON(def func(string, value.Value)) {
+	j := it.NewPlainObject()
+	it.method(j, "stringify", func(_ value.Value, args []value.Value) (value.Value, error) {
+		s, ok := jsonStringify(arg(args, 0), map[*value.Object]bool{})
+		if !ok {
+			return value.Undefined{}, nil
+		}
+		return value.String(s), nil
+	})
+	it.method(j, "parse", func(_ value.Value, args []value.Value) (value.Value, error) {
+		v, err := jsonParse(it, value.ToString(arg(args, 0)))
+		if err != nil {
+			return nil, it.ThrowError("SyntaxError", "JSON.parse: "+err.Error())
+		}
+		return v, nil
+	})
+	def("JSON", j)
+}
+
+// ------------------------------------------------------------------ console
+
+func (it *Interp) setupConsole(def func(string, value.Value)) {
+	c := it.NewPlainObject()
+	write := func(_ value.Value, args []value.Value) (value.Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = value.Inspect(a)
+		}
+		fmt.Fprintln(it.stdout, strings.Join(parts, " "))
+		return value.Undefined{}, nil
+	}
+	it.method(c, "log", write)
+	it.method(c, "error", write)
+	it.method(c, "warn", write)
+	it.method(c, "info", write)
+	it.method(c, "debug", write)
+	def("console", c)
+}
+
+// ------------------------------------------------------------------- errors
+
+func (it *Interp) setupErrors(def func(string, value.Value)) {
+	it.protos.err.Set("name", value.String("Error"))
+	it.protos.err.Set("message", value.String(""))
+	it.method(it.protos.err, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(value.ToString(this)), nil
+	})
+
+	makeCtor := func(name string, proto *value.Object) *value.Object {
+		ctor := it.native(name, func(this value.Value, args []value.Value) (value.Value, error) {
+			// Works with and without new: fill in this if it is a fresh
+			// object, otherwise allocate.
+			obj, ok := this.(*value.Object)
+			if !ok || obj.IsProxy() || obj.Callable() {
+				obj = value.NewObject(proto)
+				it.recordAlloc(obj, it.CallSite())
+			}
+			obj.Class = value.ClassError
+			obj.Set("message", value.String(value.ToString(arg(args, 0))))
+			if obj.GetOwn("name") == nil {
+				obj.Set("name", value.String(name))
+			}
+			obj.Set("stack", value.String(name+": "+value.ToString(arg(args, 0))))
+			return obj, nil
+		})
+		ctor.Set("prototype", proto)
+		proto.DefineProp("constructor", &value.Prop{Value: ctor, Writable: true})
+		return ctor
+	}
+
+	def("Error", makeCtor("Error", it.protos.err))
+	for _, name := range []string{"TypeError", "RangeError", "SyntaxError", "ReferenceError", "EvalError"} {
+		proto := value.NewObject(it.protos.err)
+		proto.Set("name", value.String(name))
+		def(name, makeCtor(name, proto))
+	}
+}
+
+// ------------------------------------------------------------------- RegExp
+
+func (it *Interp) makeRegex(pattern, flags string) *value.Object {
+	o := value.NewObject(it.protos.regexp)
+	o.Class = value.ClassRegExp
+	o.RegexSrc = pattern
+	o.RegexFlags = flags
+	goPattern := pattern
+	if strings.Contains(flags, "i") {
+		goPattern = "(?i)" + goPattern
+	}
+	if re, err := regexp.Compile(goPattern); err == nil {
+		o.Regex = re
+	}
+	return o
+}
+
+func (it *Interp) setupRegExp(def func(string, value.Value)) {
+	ctor := it.native("RegExp", func(this value.Value, args []value.Value) (value.Value, error) {
+		pattern := value.ToString(arg(args, 0))
+		flags := ""
+		if len(args) > 1 {
+			flags = value.ToString(args[1])
+		}
+		if re, ok := arg(args, 0).(*value.Object); ok && re.Class == value.ClassRegExp {
+			pattern, flags = re.RegexSrc, re.RegexFlags
+		}
+		return it.makeRegex(pattern, flags), nil
+	})
+	ctor.Set("prototype", it.protos.regexp)
+	def("RegExp", ctor)
+
+	it.method(it.protos.regexp, "test", func(this value.Value, args []value.Value) (value.Value, error) {
+		re, ok := this.(*value.Object)
+		if !ok || re.Regex == nil {
+			return value.Bool(false), nil
+		}
+		return value.Bool(re.Regex.MatchString(value.ToString(arg(args, 0)))), nil
+	})
+	it.method(it.protos.regexp, "exec", func(this value.Value, args []value.Value) (value.Value, error) {
+		re, ok := this.(*value.Object)
+		if !ok || re.Regex == nil {
+			return value.Null{}, nil
+		}
+		m := re.Regex.FindStringSubmatch(value.ToString(arg(args, 0)))
+		if m == nil {
+			return value.Null{}, nil
+		}
+		var elems []value.Value
+		for _, g := range m {
+			elems = append(elems, value.String(g))
+		}
+		return it.NewArrayObject(elems), nil
+	})
+	it.method(it.protos.regexp, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(value.ToString(this)), nil
+	})
+}
+
+// ------------------------------------------------------------------- timers
+
+func (it *Interp) setupTimers(def func(string, value.Value)) {
+	// Timers run their callback once, synchronously: the interpreter is
+	// single-threaded and deterministic, and the analyses only need the
+	// callback bodies to execute.
+	runNow := func(name string) *value.Object {
+		return it.native(name, func(_ value.Value, args []value.Value) (value.Value, error) {
+			if fn := argFn(args, 0); fn != nil {
+				var rest []value.Value
+				if len(args) > 2 {
+					rest = args[2:]
+				}
+				if _, err := it.CallFunction(fn, value.Undefined{}, rest); err != nil {
+					return nil, err
+				}
+			}
+			return value.Number(1), nil
+		})
+	}
+	def("setTimeout", runNow("setTimeout"))
+	def("setInterval", runNow("setInterval"))
+	def("setImmediate", runNow("setImmediate"))
+	noop := func(name string) *value.Object {
+		return it.native(name, func(_ value.Value, args []value.Value) (value.Value, error) {
+			return value.Undefined{}, nil
+		})
+	}
+	def("clearTimeout", noop("clearTimeout"))
+	def("clearInterval", noop("clearInterval"))
+	def("clearImmediate", noop("clearImmediate"))
+
+	process := it.NewPlainObject()
+	process.Set("env", it.NewPlainObject())
+	process.Set("argv", it.NewArrayObject([]value.Value{value.String("node"), value.String("main.js")}))
+	process.Set("platform", value.String("linux"))
+	it.method(process, "nextTick", func(_ value.Value, args []value.Value) (value.Value, error) {
+		if fn := argFn(args, 0); fn != nil {
+			if _, err := it.CallFunction(fn, value.Undefined{}, args[1:]); err != nil {
+				return nil, err
+			}
+		}
+		return value.Undefined{}, nil
+	})
+	it.method(process, "cwd", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return value.String("/"), nil
+	})
+	it.method(process, "exit", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return nil, &Thrown{Value: it.NewError("Error", "process.exit")}
+	})
+	def("process", process)
+}
+
+// -------------------------------------------------------- global functions
+
+func (it *Interp) setupTopLevelFunctions(def func(string, value.Value)) {
+	def("parseInt", it.native("parseInt", func(_ value.Value, args []value.Value) (value.Value, error) {
+		s := strings.TrimSpace(value.ToString(arg(args, 0)))
+		radix := 10
+		if len(args) > 1 {
+			if r := int(value.ToNumber(args[1])); r >= 2 && r <= 36 {
+				radix = r
+			}
+		}
+		neg := false
+		if strings.HasPrefix(s, "-") {
+			neg = true
+			s = s[1:]
+		} else {
+			s = strings.TrimPrefix(s, "+")
+		}
+		if radix == 16 || radix == 10 {
+			if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+				s = s[2:]
+				radix = 16
+			}
+		}
+		end := 0
+		for end < len(s) {
+			d := digitVal(s[end])
+			if d < 0 || d >= radix {
+				break
+			}
+			end++
+		}
+		if end == 0 {
+			return value.Number(math.NaN()), nil
+		}
+		n, err := strconv.ParseInt(s[:end], radix, 64)
+		if err != nil {
+			return value.Number(math.NaN()), nil
+		}
+		f := float64(n)
+		if neg {
+			f = -f
+		}
+		return value.Number(f), nil
+	}))
+
+	def("parseFloat", it.native("parseFloat", func(_ value.Value, args []value.Value) (value.Value, error) {
+		s := strings.TrimSpace(value.ToString(arg(args, 0)))
+		end := len(s)
+		for end > 0 {
+			if _, err := strconv.ParseFloat(s[:end], 64); err == nil {
+				break
+			}
+			end--
+		}
+		if end == 0 {
+			return value.Number(math.NaN()), nil
+		}
+		f, _ := strconv.ParseFloat(s[:end], 64)
+		return value.Number(f), nil
+	}))
+
+	def("isNaN", it.native("isNaN", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return value.Bool(math.IsNaN(value.ToNumber(arg(args, 0)))), nil
+	}))
+
+	def("isFinite", it.native("isFinite", func(_ value.Value, args []value.Value) (value.Value, error) {
+		f := value.ToNumber(arg(args, 0))
+		return value.Bool(!math.IsNaN(f) && !math.IsInf(f, 0)), nil
+	}))
+
+	def("eval", it.native("eval", func(_ value.Value, args []value.Value) (value.Value, error) {
+		s, ok := arg(args, 0).(value.String)
+		if !ok {
+			return arg(args, 0), nil
+		}
+		return it.EvalSource(string(s))
+	}))
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'z':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'Z':
+		return int(c-'A') + 10
+	}
+	return -1
+}

@@ -1,0 +1,122 @@
+package interp
+
+import "testing"
+
+func TestBasicClass(t *testing.T) {
+	wantNumber(t, run(t, `
+class Point {
+  constructor(x, y) {
+    this.x = x;
+    this.y = y;
+  }
+  norm1() { return this.x + this.y; }
+}
+var p = new Point(3, 4);
+var result = p.norm1();`), 7)
+	wantBool(t, run(t, `
+class A {}
+var result = (new A()) instanceof A;`), true)
+}
+
+func TestClassInheritance(t *testing.T) {
+	wantString(t, run(t, `
+class Animal {
+  constructor(name) { this.name = name; }
+  speak() { return this.name + " makes a sound"; }
+}
+class Dog extends Animal {
+  constructor(name) {
+    super(name);
+    this.kind = "dog";
+  }
+  speak() { return super.speak() + " (woof)"; }
+}
+var d = new Dog("rex");
+var result = d.speak();`), "rex makes a sound (woof)")
+	wantBool(t, run(t, `
+class A {}
+class B extends A {}
+var b = new B();
+var result = b instanceof A && b instanceof B;`), true)
+}
+
+func TestClassDefaultConstructorForwards(t *testing.T) {
+	wantString(t, run(t, `
+class Base {
+  constructor(tag) { this.tag = tag; }
+}
+class Derived extends Base {}
+var d = new Derived("forwarded");
+var result = d.tag;`), "forwarded")
+}
+
+func TestClassStaticsAndFields(t *testing.T) {
+	wantNumber(t, run(t, `
+class Counter {
+  count = 0;
+  static created = 0;
+  constructor() { Counter.created++; }
+  bump() { this.count++; return this.count; }
+  static howMany() { return Counter.created; }
+}
+var a = new Counter();
+var b = new Counter();
+a.bump(); a.bump();
+var result = a.bump() * 10 + Counter.howMany();`), 32)
+}
+
+func TestClassAccessors(t *testing.T) {
+	wantNumber(t, run(t, `
+class Box {
+  constructor() { this._v = 0; }
+  get value() { return this._v + 1; }
+  set value(v) { this._v = v * 2; }
+}
+var box = new Box();
+box.value = 5;
+var result = box.value;`), 11)
+}
+
+func TestClassExpression(t *testing.T) {
+	wantNumber(t, run(t, `
+var Maker = class {
+  make() { return 9; }
+};
+var result = (new Maker()).make();`), 9)
+	wantNumber(t, run(t, `
+var Named = class Inner {
+  id() { return 4; }
+};
+var result = (new Named()).id();`), 4)
+}
+
+func TestClassMethodsShareProto(t *testing.T) {
+	wantBool(t, run(t, `
+class C { m() {} }
+var a = new C();
+var b = new C();
+var result = a.m === b.m;`), true)
+}
+
+func TestSuperMethodThroughArrow(t *testing.T) {
+	wantString(t, run(t, `
+class Base {
+  greet() { return "base"; }
+}
+class Kid extends Base {
+  greet() {
+    var f = () => super.greet() + "+kid";
+    return f();
+  }
+}
+var result = (new Kid()).greet();`), "base+kid")
+}
+
+func TestClassAsyncMethod(t *testing.T) {
+	wantNumber(t, run(t, `
+class Svc {
+  async fetch() { return 5; }
+}
+var result = 0;
+(new Svc()).fetch().then(function(v) { result = v; });`), 5)
+}

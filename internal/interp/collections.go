@@ -1,0 +1,409 @@
+package interp
+
+import (
+	"repro/internal/value"
+)
+
+// This file implements the ES collection and async builtins the corpus and
+// real-world-style code occasionally touch: Date (deterministic), Map, Set,
+// and a minimal synchronous Promise.
+//
+// Promises resolve synchronously: executor and then/catch callbacks run
+// immediately. There is no event loop — the interpreter is deterministic
+// and single-threaded by design (approximate interpretation depends on
+// replayable executions), so "microtask later" and "now" are
+// indistinguishable to the analyses.
+
+// mapEntry is one key/value pair of a Map (insertion-ordered; keys compared
+// with StrictEquals like SameValueZero minus the NaN nuance).
+type mapEntry struct {
+	key, val value.Value
+}
+
+// mapData is attached to Map/Set objects through the host-data slot.
+type mapData struct {
+	entries []mapEntry
+	isSet   bool
+}
+
+func (m *mapData) find(key value.Value) int {
+	for i, e := range m.entries {
+		if value.StrictEquals(e.key, key) {
+			return i
+		}
+	}
+	return -1
+}
+
+func (it *Interp) setupCollections(def func(string, value.Value)) {
+	it.setupDate(def)
+	it.setupMapSet(def)
+	it.setupPromise(def)
+}
+
+// ---------------------------------------------------------------------- Date
+
+func (it *Interp) setupDate(def func(string, value.Value)) {
+	dateProto := value.NewObject(it.protos.object)
+	ctor := it.native("Date", func(this value.Value, args []value.Value) (value.Value, error) {
+		obj, ok := this.(*value.Object)
+		if !ok || obj.IsProxy() || obj.Callable() {
+			obj = value.NewObject(dateProto)
+		}
+		// The clock is a deterministic counter: each construction advances
+		// one second, so ordering-sensitive code works reproducibly.
+		var t float64
+		if len(args) > 0 {
+			t = value.ToNumber(args[0])
+		} else {
+			it.clock += 1000
+			t = float64(it.clock)
+		}
+		obj.Set("_t", value.Number(t))
+		return obj, nil
+	})
+	ctor.Set("prototype", dateProto)
+	it.method(ctor, "now", func(_ value.Value, args []value.Value) (value.Value, error) {
+		it.clock += 1000
+		return value.Number(float64(it.clock)), nil
+	})
+	timeOf := func(this value.Value) float64 {
+		if o, ok := this.(*value.Object); ok {
+			if p := o.GetOwn("_t"); p != nil && !p.IsAccessor() {
+				return value.ToNumber(p.Value)
+			}
+		}
+		return 0
+	}
+	it.method(dateProto, "getTime", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Number(timeOf(this)), nil
+	})
+	it.method(dateProto, "valueOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Number(timeOf(this)), nil
+	})
+	it.method(dateProto, "toISOString", func(this value.Value, args []value.Value) (value.Value, error) {
+		// A stable, fake-but-well-formed rendering keyed by the counter.
+		return value.String(value.FormatNumber(timeOf(this)) + "ms-since-epoch"), nil
+	})
+	it.method(dateProto, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String("[Date " + value.FormatNumber(timeOf(this)) + "]"), nil
+	})
+	def("Date", ctor)
+}
+
+// ------------------------------------------------------------------ Map/Set
+
+func (it *Interp) setupMapSet(def func(string, value.Value)) {
+	mapProto := value.NewObject(it.protos.object)
+	setProto := value.NewObject(it.protos.object)
+
+	dataOf := func(this value.Value) *mapData {
+		o, ok := this.(*value.Object)
+		if !ok {
+			return nil
+		}
+		d, _ := o.HostData.(*mapData)
+		return d
+	}
+
+	makeCtor := func(name string, proto *value.Object, isSet bool) *value.Object {
+		ctor := it.native(name, func(this value.Value, args []value.Value) (value.Value, error) {
+			obj, ok := this.(*value.Object)
+			if !ok || obj.IsProxy() || obj.Callable() {
+				obj = value.NewObject(proto)
+			}
+			d := &mapData{isSet: isSet}
+			obj.HostData = d
+			// Seed from an array argument: [[k, v], …] for Map, [v, …] for Set.
+			if seed, ok := arg(args, 0).(*value.Object); ok && seed.Class == value.ClassArray {
+				for _, e := range seed.Elems {
+					if e == nil {
+						continue
+					}
+					if isSet {
+						if d.find(e) < 0 {
+							d.entries = append(d.entries, mapEntry{key: e, val: e})
+						}
+						continue
+					}
+					if pair, ok := e.(*value.Object); ok && pair.Class == value.ClassArray && len(pair.Elems) >= 2 {
+						if i := d.find(pair.Elems[0]); i >= 0 {
+							d.entries[i].val = pair.Elems[1]
+						} else {
+							d.entries = append(d.entries, mapEntry{key: pair.Elems[0], val: pair.Elems[1]})
+						}
+					}
+				}
+			}
+			return obj, nil
+		})
+		ctor.Set("prototype", proto)
+		return ctor
+	}
+
+	sizeGetter := func(this value.Value, args []value.Value) (value.Value, error) {
+		if d := dataOf(this); d != nil {
+			return value.Number(len(d.entries)), nil
+		}
+		return value.Number(0), nil
+	}
+
+	for _, proto := range []*value.Object{mapProto, setProto} {
+		proto.DefineProp("size", &value.Prop{Getter: it.native("size", sizeGetter)})
+		it.method(proto, "has", func(this value.Value, args []value.Value) (value.Value, error) {
+			d := dataOf(this)
+			return value.Bool(d != nil && d.find(arg(args, 0)) >= 0), nil
+		})
+		it.method(proto, "delete", func(this value.Value, args []value.Value) (value.Value, error) {
+			d := dataOf(this)
+			if d == nil {
+				return value.Bool(false), nil
+			}
+			i := d.find(arg(args, 0))
+			if i < 0 {
+				return value.Bool(false), nil
+			}
+			d.entries = append(d.entries[:i], d.entries[i+1:]...)
+			return value.Bool(true), nil
+		})
+		it.method(proto, "clear", func(this value.Value, args []value.Value) (value.Value, error) {
+			if d := dataOf(this); d != nil {
+				d.entries = nil
+			}
+			return value.Undefined{}, nil
+		})
+		it.method(proto, "forEach", func(this value.Value, args []value.Value) (value.Value, error) {
+			d := dataOf(this)
+			fn := argFn(args, 0)
+			if d == nil || fn == nil {
+				return value.Undefined{}, nil
+			}
+			for _, e := range append([]mapEntry{}, d.entries...) {
+				if _, err := it.CallWithSite(fn, arg(args, 1),
+					[]value.Value{e.val, e.key, this}, it.CallSite()); err != nil {
+					return nil, err
+				}
+			}
+			return value.Undefined{}, nil
+		})
+	}
+
+	it.method(mapProto, "get", func(this value.Value, args []value.Value) (value.Value, error) {
+		d := dataOf(this)
+		if d == nil {
+			return value.Undefined{}, nil
+		}
+		if i := d.find(arg(args, 0)); i >= 0 {
+			return d.entries[i].val, nil
+		}
+		return value.Undefined{}, nil
+	})
+	it.method(mapProto, "set", func(this value.Value, args []value.Value) (value.Value, error) {
+		d := dataOf(this)
+		if d == nil {
+			return this, nil
+		}
+		k, v := arg(args, 0), arg(args, 1)
+		if i := d.find(k); i >= 0 {
+			d.entries[i].val = v
+		} else {
+			d.entries = append(d.entries, mapEntry{key: k, val: v})
+		}
+		return this, nil
+	})
+	it.method(mapProto, "keys", func(this value.Value, args []value.Value) (value.Value, error) {
+		d := dataOf(this)
+		var elems []value.Value
+		if d != nil {
+			for _, e := range d.entries {
+				elems = append(elems, e.key)
+			}
+		}
+		return it.NewArrayObject(elems), nil
+	})
+	it.method(mapProto, "values", func(this value.Value, args []value.Value) (value.Value, error) {
+		d := dataOf(this)
+		var elems []value.Value
+		if d != nil {
+			for _, e := range d.entries {
+				elems = append(elems, e.val)
+			}
+		}
+		return it.NewArrayObject(elems), nil
+	})
+
+	it.method(setProto, "add", func(this value.Value, args []value.Value) (value.Value, error) {
+		d := dataOf(this)
+		if d == nil {
+			return this, nil
+		}
+		v := arg(args, 0)
+		if d.find(v) < 0 {
+			d.entries = append(d.entries, mapEntry{key: v, val: v})
+		}
+		return this, nil
+	})
+	it.method(setProto, "values", func(this value.Value, args []value.Value) (value.Value, error) {
+		d := dataOf(this)
+		var elems []value.Value
+		if d != nil {
+			for _, e := range d.entries {
+				elems = append(elems, e.val)
+			}
+		}
+		return it.NewArrayObject(elems), nil
+	})
+
+	def("Map", makeCtor("Map", mapProto, false))
+	def("Set", makeCtor("Set", setProto, true))
+	def("WeakMap", makeCtor("WeakMap", mapProto, false))
+	def("WeakSet", makeCtor("WeakSet", setProto, true))
+}
+
+// ---------------------------------------------------------------- Promise
+
+// promiseData tracks a synchronous promise's settled state.
+type promiseData struct {
+	state int // 0 pending, 1 fulfilled, 2 rejected
+	val   value.Value
+}
+
+// NewSettledPromise creates a promise object already settled in the given
+// state (1 fulfilled, 2 rejected); async functions use it to wrap results.
+func (it *Interp) NewSettledPromise(state int, val value.Value) *value.Object {
+	p := value.NewObject(it.promiseProto)
+	p.HostData = &promiseData{state: state, val: val}
+	return p
+}
+
+// promiseState returns the promise state of v, or nil if v is not a promise.
+func (it *Interp) promiseState(v *value.Object) *promiseData {
+	if v == nil {
+		return nil
+	}
+	d, _ := v.HostData.(*promiseData)
+	return d
+}
+
+func (it *Interp) setupPromise(def func(string, value.Value)) {
+	promiseProto := value.NewObject(it.protos.object)
+	it.promiseProto = promiseProto
+
+	dataOf := func(v value.Value) *promiseData {
+		o, ok := v.(*value.Object)
+		if !ok {
+			return nil
+		}
+		d, _ := o.HostData.(*promiseData)
+		return d
+	}
+
+	newPromise := func(state int, val value.Value) *value.Object {
+		p := value.NewObject(promiseProto)
+		p.HostData = &promiseData{state: state, val: val}
+		return p
+	}
+
+	ctor := it.native("Promise", func(this value.Value, args []value.Value) (value.Value, error) {
+		p := newPromise(0, value.Undefined{})
+		d := dataOf(p)
+		executor := argFn(args, 0)
+		if executor != nil {
+			resolve := it.native("resolve", func(_ value.Value, rargs []value.Value) (value.Value, error) {
+				if d.state == 0 {
+					d.state, d.val = 1, arg(rargs, 0)
+				}
+				return value.Undefined{}, nil
+			})
+			reject := it.native("reject", func(_ value.Value, rargs []value.Value) (value.Value, error) {
+				if d.state == 0 {
+					d.state, d.val = 2, arg(rargs, 0)
+				}
+				return value.Undefined{}, nil
+			})
+			if _, err := it.CallFunction(executor, value.Undefined{}, []value.Value{resolve, reject}); err != nil {
+				if thrown, ok := err.(*Thrown); ok {
+					if d.state == 0 {
+						d.state, d.val = 2, thrown.Value
+					}
+				} else {
+					return nil, err
+				}
+			}
+		}
+		return p, nil
+	})
+	ctor.Set("prototype", promiseProto)
+
+	it.method(ctor, "resolve", func(_ value.Value, args []value.Value) (value.Value, error) {
+		if d := dataOf(arg(args, 0)); d != nil {
+			return arg(args, 0), nil // already a promise
+		}
+		return newPromise(1, arg(args, 0)), nil
+	})
+	it.method(ctor, "reject", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return newPromise(2, arg(args, 0)), nil
+	})
+	it.method(ctor, "all", func(_ value.Value, args []value.Value) (value.Value, error) {
+		var results []value.Value
+		if a, ok := arg(args, 0).(*value.Object); ok && a.Class == value.ClassArray {
+			for _, e := range a.Elems {
+				if d := dataOf(e); d != nil {
+					if d.state == 2 {
+						return newPromise(2, d.val), nil
+					}
+					results = append(results, d.val)
+				} else {
+					results = append(results, e)
+				}
+			}
+		}
+		return newPromise(1, it.NewArrayObject(results)), nil
+	})
+
+	settle := func(p value.Value, cb *value.Object, want int) (value.Value, error) {
+		d := dataOf(p)
+		if d == nil {
+			return newPromise(1, value.Undefined{}), nil
+		}
+		if d.state != want || cb == nil {
+			// Pass the state through unchanged.
+			return newPromise(d.state, d.val), nil
+		}
+		out, err := it.CallWithSite(cb, value.Undefined{}, []value.Value{d.val}, it.CallSite())
+		if err != nil {
+			if thrown, ok := err.(*Thrown); ok {
+				return newPromise(2, thrown.Value), nil
+			}
+			return nil, err
+		}
+		if inner := dataOf(out); inner != nil {
+			return out, nil // chained promise
+		}
+		return newPromise(1, out), nil
+	}
+
+	it.method(promiseProto, "then", func(this value.Value, args []value.Value) (value.Value, error) {
+		d := dataOf(this)
+		if d != nil && d.state == 2 {
+			if onRej := argFn(args, 1); onRej != nil {
+				return settle(this, onRej, 2)
+			}
+			return newPromise(2, d.val), nil
+		}
+		return settle(this, argFn(args, 0), 1)
+	})
+	it.method(promiseProto, "catch", func(this value.Value, args []value.Value) (value.Value, error) {
+		return settle(this, argFn(args, 0), 2)
+	})
+	it.method(promiseProto, "finally", func(this value.Value, args []value.Value) (value.Value, error) {
+		if fn := argFn(args, 0); fn != nil {
+			if _, err := it.CallFunction(fn, value.Undefined{}, nil); err != nil {
+				return nil, err
+			}
+		}
+		return this, nil
+	})
+
+	def("Promise", ctor)
+}

@@ -1,0 +1,121 @@
+package interp
+
+import "testing"
+
+func TestMapSemantics(t *testing.T) {
+	wantNumber(t, run(t, `
+var m = new Map();
+m.set("a", 1).set("b", 2).set("a", 3);
+var result = m.get("a") * 10 + m.size;`), 32)
+	wantBool(t, run(t, `var m = new Map(); m.set(1, "x"); var result = m.has(1) && !m.has(2);`), true)
+	wantBool(t, run(t, `
+var m = new Map();
+m.set("k", 1);
+var d1 = m.delete("k");
+var d2 = m.delete("k");
+var result = d1 && !d2 && m.size === 0;`), true)
+	// Object keys use identity.
+	wantBool(t, run(t, `
+var k1 = {}; var k2 = {};
+var m = new Map();
+m.set(k1, "one");
+var result = m.get(k1) === "one" && m.get(k2) === undefined;`), true)
+	// Seeding from pairs.
+	wantNumber(t, run(t, `var m = new Map([["x", 7], ["y", 8]]); var result = m.get("y");`), 8)
+	// Iteration.
+	wantString(t, run(t, `
+var m = new Map([["a", 1], ["b", 2]]);
+var s = "";
+m.forEach(function(v, k) { s += k + v; });
+var result = s + "|" + m.keys().join(",") + "|" + m.values().join(",");`), "a1b2|a,b|1,2")
+}
+
+func TestSetSemantics(t *testing.T) {
+	wantNumber(t, run(t, `
+var s = new Set();
+s.add(1).add(2).add(1);
+var result = s.size;`), 2)
+	wantBool(t, run(t, `var s = new Set([3, 3, 4]); var result = s.has(3) && s.size === 2;`), true)
+	wantString(t, run(t, `
+var s = new Set(["x", "y"]);
+var out = [];
+s.forEach(function(v) { out.push(v); });
+var result = out.join("");`), "xy")
+	wantBool(t, run(t, `
+var s = new Set([1]);
+s.clear();
+var result = s.size === 0;`), true)
+}
+
+func TestDateDeterministic(t *testing.T) {
+	wantBool(t, run(t, `
+var t1 = Date.now();
+var t2 = Date.now();
+var result = t2 > t1;`), true)
+	wantBool(t, run(t, `
+var d = new Date();
+var result = typeof d.getTime() === "number" && d.getTime() > 0;`), true)
+	wantNumber(t, run(t, `var d = new Date(12345); var result = d.getTime();`), 12345)
+	// Two interpreters agree (determinism).
+	v1 := run(t, "var result = Date.now();")
+	v2 := run(t, "var result = Date.now();")
+	if v1 != v2 {
+		t.Errorf("Date.now not deterministic across interpreters: %v vs %v", v1, v2)
+	}
+}
+
+func TestPromiseSynchronous(t *testing.T) {
+	wantNumber(t, run(t, `
+var result = 0;
+new Promise(function(resolve) { resolve(21); })
+  .then(function(v) { return v * 2; })
+  .then(function(v) { result = v; });`), 42)
+	wantString(t, run(t, `
+var result = "";
+Promise.reject(new Error("nope"))
+  .catch(function(e) { result = "caught:" + e.message; });`), "caught:nope")
+	// Executor throw rejects.
+	wantString(t, run(t, `
+var result = "";
+new Promise(function() { throw new Error("boom"); })
+  .catch(function(e) { result = e.message; });`), "boom")
+	// then on rejected skips the fulfilled handler.
+	wantString(t, run(t, `
+var result = "start";
+Promise.reject("r")
+  .then(function() { result = "wrong"; })
+  .catch(function(v) { result = "right:" + v; });`), "right:r")
+	// Chaining a promise from then.
+	wantNumber(t, run(t, `
+var result = 0;
+Promise.resolve(1)
+  .then(function(v) { return Promise.resolve(v + 10); })
+  .then(function(v) { result = v; });`), 11)
+	// Promise.all collects in order.
+	wantString(t, run(t, `
+var result = "";
+Promise.all([Promise.resolve("a"), Promise.resolve("b"), "c"])
+  .then(function(vs) { result = vs.join(""); });`), "abc")
+	// finally runs either way.
+	wantNumber(t, run(t, `
+var result = 0;
+Promise.resolve(1).finally(function() { result += 1; });
+Promise.reject(2).finally(function() { result += 10; }).catch(function() {});
+`), 11)
+}
+
+func TestPromiseHandlerThrowRejects(t *testing.T) {
+	wantString(t, run(t, `
+var result = "";
+Promise.resolve(1)
+  .then(function() { throw new Error("mid"); })
+  .catch(function(e) { result = e.message; });`), "mid")
+}
+
+func TestWeakMapAlias(t *testing.T) {
+	wantBool(t, run(t, `
+var wm = new WeakMap();
+var k = {};
+wm.set(k, 1);
+var result = wm.get(k) === 1;`), true)
+}

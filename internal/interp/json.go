@@ -1,0 +1,129 @@
+package interp
+
+import (
+	"encoding/json"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// jsonStringify renders v as JSON text; ok is false for values JSON.stringify
+// maps to undefined (functions, undefined).
+func jsonStringify(v value.Value, seen map[*value.Object]bool) (string, bool) {
+	switch v := v.(type) {
+	case value.Undefined:
+		return "", false
+	case value.Null:
+		return "null", true
+	case value.Bool:
+		if v {
+			return "true", true
+		}
+		return "false", true
+	case value.Number:
+		f := float64(v)
+		if f != f || f > 1e308*1.5 || f < -1e308*1.5 {
+			return "null", true
+		}
+		return value.FormatNumber(f), true
+	case value.String:
+		b, _ := json.Marshal(string(v))
+		return string(b), true
+	case *value.Object:
+		if v.Callable() || v.IsProxy() {
+			return "", false
+		}
+		if seen[v] {
+			return "null", true // cycles degrade to null rather than erroring
+		}
+		seen[v] = true
+		defer delete(seen, v)
+		if v.Class == value.ClassArray {
+			parts := make([]string, len(v.Elems))
+			for i := range v.Elems {
+				e := v.Elems[i]
+				if e == nil {
+					e = value.Undefined{}
+				}
+				s, ok := jsonStringify(e, seen)
+				if !ok {
+					s = "null"
+				}
+				parts[i] = s
+			}
+			return "[" + strings.Join(parts, ",") + "]", true
+		}
+		var parts []string
+		for _, k := range v.EnumerableKeys() {
+			p := v.GetOwn(k)
+			if p == nil || p.IsAccessor() {
+				continue
+			}
+			s, ok := jsonStringify(p.Value, seen)
+			if !ok {
+				continue
+			}
+			kb, _ := json.Marshal(k)
+			parts = append(parts, string(kb)+":"+s)
+		}
+		return "{" + strings.Join(parts, ",") + "}", true
+	}
+	return "", false
+}
+
+// jsonParse converts JSON text into runtime values via encoding/json.
+func jsonParse(it *Interp, src string) (value.Value, error) {
+	var raw any
+	dec := json.NewDecoder(strings.NewReader(src))
+	dec.UseNumber()
+	if err := dec.Decode(&raw); err != nil {
+		return nil, err
+	}
+	return fromGo(it, raw), nil
+}
+
+func fromGo(it *Interp, raw any) value.Value {
+	switch raw := raw.(type) {
+	case nil:
+		return value.Null{}
+	case bool:
+		return value.Bool(raw)
+	case json.Number:
+		f, err := raw.Float64()
+		if err != nil {
+			return value.Number(0)
+		}
+		return value.Number(f)
+	case float64:
+		return value.Number(raw)
+	case string:
+		return value.String(raw)
+	case []any:
+		elems := make([]value.Value, len(raw))
+		for i, e := range raw {
+			elems[i] = fromGo(it, e)
+		}
+		return it.NewArrayObject(elems)
+	case map[string]any:
+		obj := it.NewPlainObject()
+		// Deterministic key order for reproducible heaps.
+		keys := make([]string, 0, len(raw))
+		for k := range raw {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			obj.Set(k, fromGo(it, raw[k]))
+		}
+		return obj
+	}
+	return value.Undefined{}
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

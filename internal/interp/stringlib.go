@@ -1,0 +1,424 @@
+package interp
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// stringMember handles property reads on string primitives: length, index
+// access, and String.prototype methods.
+func (it *Interp) stringMember(s value.String, key string) (value.Value, error) {
+	if key == "length" {
+		return value.Number(len(s)), nil
+	}
+	if i, err := strconv.Atoi(key); err == nil {
+		if i >= 0 && i < len(s) {
+			return value.String(s[i : i+1]), nil
+		}
+		return value.Undefined{}, nil
+	}
+	if v, ok := it.protoLookup(it.protos.str, key); ok {
+		return v, nil
+	}
+	return value.Undefined{}, nil
+}
+
+// numberMember handles property reads on number primitives.
+func (it *Interp) numberMember(n value.Number, key string) (value.Value, error) {
+	if v, ok := it.protoLookup(it.protos.number, key); ok {
+		return v, nil
+	}
+	return value.Undefined{}, nil
+}
+
+func thisString(this value.Value) string {
+	return value.ToString(this)
+}
+
+func (it *Interp) setupStringBuiltin(def func(string, value.Value)) {
+	ctor := it.native("String", func(_ value.Value, args []value.Value) (value.Value, error) {
+		if len(args) == 0 {
+			return value.String(""), nil
+		}
+		return value.String(value.ToString(args[0])), nil
+	})
+	ctor.Set("prototype", it.protos.str)
+	it.method(ctor, "fromCharCode", func(_ value.Value, args []value.Value) (value.Value, error) {
+		var sb strings.Builder
+		for _, a := range args {
+			sb.WriteRune(rune(int(value.ToNumber(a))))
+		}
+		return value.String(sb.String()), nil
+	})
+	def("String", ctor)
+
+	p := it.protos.str
+
+	it.method(p, "charAt", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		i := int(value.ToNumber(arg(args, 0)))
+		if i < 0 || i >= len(s) {
+			return value.String(""), nil
+		}
+		return value.String(s[i : i+1]), nil
+	})
+
+	it.method(p, "charCodeAt", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		i := int(value.ToNumber(arg(args, 0)))
+		if i < 0 || i >= len(s) {
+			return value.Number(math.NaN()), nil
+		}
+		return value.Number(float64(s[i])), nil
+	})
+
+	it.method(p, "indexOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Number(float64(strings.Index(thisString(this), value.ToString(arg(args, 0))))), nil
+	})
+
+	it.method(p, "lastIndexOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Number(float64(strings.LastIndex(thisString(this), value.ToString(arg(args, 0))))), nil
+	})
+
+	it.method(p, "includes", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Bool(strings.Contains(thisString(this), value.ToString(arg(args, 0)))), nil
+	})
+
+	it.method(p, "startsWith", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Bool(strings.HasPrefix(thisString(this), value.ToString(arg(args, 0)))), nil
+	})
+
+	it.method(p, "endsWith", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Bool(strings.HasSuffix(thisString(this), value.ToString(arg(args, 0)))), nil
+	})
+
+	sliceStr := func(s string, args []value.Value, clampNeg bool) string {
+		n := len(s)
+		start, end := 0, n
+		if len(args) > 0 {
+			if _, isU := args[0].(value.Undefined); !isU {
+				start = int(value.ToNumber(args[0]))
+			}
+		}
+		if len(args) > 1 {
+			if _, isU := args[1].(value.Undefined); !isU {
+				end = int(value.ToNumber(args[1]))
+			}
+		}
+		if clampNeg {
+			if start < 0 {
+				start += n
+			}
+			if end < 0 {
+				end += n
+			}
+		}
+		if start < 0 {
+			start = 0
+		}
+		if end > n {
+			end = n
+		}
+		if start > end {
+			if clampNeg {
+				return ""
+			}
+			start, end = end, start
+		}
+		if start > n {
+			return ""
+		}
+		return s[start:end]
+	}
+
+	it.method(p, "slice", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(sliceStr(thisString(this), args, true)), nil
+	})
+
+	it.method(p, "substring", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(sliceStr(thisString(this), args, false)), nil
+	})
+
+	it.method(p, "substr", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		start := int(value.ToNumber(arg(args, 0)))
+		if start < 0 {
+			start += len(s)
+		}
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			return value.String(""), nil
+		}
+		length := len(s) - start
+		if len(args) > 1 {
+			length = int(value.ToNumber(args[1]))
+		}
+		if length < 0 {
+			length = 0
+		}
+		if start+length > len(s) {
+			length = len(s) - start
+		}
+		return value.String(s[start : start+length]), nil
+	})
+
+	it.method(p, "split", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		var parts []string
+		switch sep := arg(args, 0).(type) {
+		case value.Undefined:
+			parts = []string{s}
+		case *value.Object:
+			if sep.Class == value.ClassRegExp && sep.Regex != nil {
+				parts = sep.Regex.Split(s, -1)
+			} else {
+				parts = []string{s}
+			}
+		default:
+			sepStr := value.ToString(sep)
+			if sepStr == "" {
+				for i := 0; i < len(s); i++ {
+					parts = append(parts, s[i:i+1])
+				}
+			} else {
+				parts = strings.Split(s, sepStr)
+			}
+		}
+		elems := make([]value.Value, len(parts))
+		for i, part := range parts {
+			elems[i] = value.String(part)
+		}
+		arr := it.NewArrayObject(elems)
+		it.recordAlloc(arr, it.CallSite())
+		return arr, nil
+	})
+
+	it.method(p, "toUpperCase", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(strings.ToUpper(thisString(this))), nil
+	})
+
+	it.method(p, "toLowerCase", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(strings.ToLower(thisString(this))), nil
+	})
+
+	it.method(p, "trim", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(strings.TrimSpace(thisString(this))), nil
+	})
+
+	it.method(p, "concat", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		for _, a := range args {
+			s += value.ToString(a)
+		}
+		return value.String(s), nil
+	})
+
+	it.method(p, "repeat", func(this value.Value, args []value.Value) (value.Value, error) {
+		n := int(value.ToNumber(arg(args, 0)))
+		if n < 0 {
+			return nil, it.ThrowError("RangeError", "invalid count value")
+		}
+		if n > 1_000_000 {
+			n = 1_000_000
+		}
+		return value.String(strings.Repeat(thisString(this), n)), nil
+	})
+
+	it.method(p, "padStart", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		n := int(value.ToNumber(arg(args, 0)))
+		pad := " "
+		if len(args) > 1 {
+			pad = value.ToString(args[1])
+		}
+		for len(s) < n && pad != "" {
+			s = pad + s
+		}
+		if len(s) > n && n >= 0 {
+			over := len(s) - n
+			if over < len(pad) {
+				s = s[over:]
+			}
+		}
+		return value.String(s), nil
+	})
+
+	it.method(p, "padEnd", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		n := int(value.ToNumber(arg(args, 0)))
+		pad := " "
+		if len(args) > 1 {
+			pad = value.ToString(args[1])
+		}
+		for len(s) < n && pad != "" {
+			s += pad
+		}
+		return value.String(s), nil
+	})
+
+	// replace supports string and regex patterns, and function replacers
+	// (common in real library code).
+	it.method(p, "replace", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		replaceOne := func(match string) (string, error) {
+			if fn := argFn(args, 1); fn != nil {
+				r, err := it.CallWithSite(fn, value.Undefined{}, []value.Value{value.String(match)}, it.CallSite())
+				if err != nil {
+					return "", err
+				}
+				return value.ToString(r), nil
+			}
+			return value.ToString(arg(args, 1)), nil
+		}
+		switch pat := arg(args, 0).(type) {
+		case *value.Object:
+			if pat.Class == value.ClassRegExp && pat.Regex != nil {
+				global := strings.Contains(pat.RegexFlags, "g")
+				var rerr error
+				out := ""
+				rest := s
+				count := 0
+				for {
+					idx := pat.Regex.FindStringIndex(rest)
+					if idx == nil || (count > 0 && !global) {
+						out += rest
+						break
+					}
+					rep, err := replaceOne(rest[idx[0]:idx[1]])
+					if err != nil {
+						rerr = err
+						break
+					}
+					out += rest[:idx[0]] + rep
+					if idx[1] == idx[0] {
+						if idx[1] >= len(rest) {
+							break
+						}
+						out += rest[idx[1] : idx[1]+1]
+						rest = rest[idx[1]+1:]
+					} else {
+						rest = rest[idx[1]:]
+					}
+					count++
+					if !global {
+						out += rest
+						break
+					}
+				}
+				if rerr != nil {
+					return nil, rerr
+				}
+				return value.String(out), nil
+			}
+			return value.String(s), nil
+		default:
+			patStr := value.ToString(pat)
+			idx := strings.Index(s, patStr)
+			if idx < 0 {
+				return value.String(s), nil
+			}
+			rep, err := replaceOne(patStr)
+			if err != nil {
+				return nil, err
+			}
+			return value.String(s[:idx] + rep + s[idx+len(patStr):]), nil
+		}
+	})
+
+	it.method(p, "match", func(this value.Value, args []value.Value) (value.Value, error) {
+		s := thisString(this)
+		re, ok := arg(args, 0).(*value.Object)
+		if !ok || re.Class != value.ClassRegExp || re.Regex == nil {
+			return value.Null{}, nil
+		}
+		if strings.Contains(re.RegexFlags, "g") {
+			ms := re.Regex.FindAllString(s, -1)
+			if ms == nil {
+				return value.Null{}, nil
+			}
+			var elems []value.Value
+			for _, m := range ms {
+				elems = append(elems, value.String(m))
+			}
+			return it.NewArrayObject(elems), nil
+		}
+		m := re.Regex.FindStringSubmatch(s)
+		if m == nil {
+			return value.Null{}, nil
+		}
+		var elems []value.Value
+		for _, g := range m {
+			elems = append(elems, value.String(g))
+		}
+		return it.NewArrayObject(elems), nil
+	})
+
+	it.method(p, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(thisString(this)), nil
+	})
+
+	it.method(p, "valueOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(thisString(this)), nil
+	})
+}
+
+func (it *Interp) setupNumberBuiltin(def func(string, value.Value)) {
+	ctor := it.native("Number", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return value.Number(value.ToNumber(arg(args, 0))), nil
+	})
+	ctor.Set("prototype", it.protos.number)
+	it.method(ctor, "isInteger", func(_ value.Value, args []value.Value) (value.Value, error) {
+		n, ok := arg(args, 0).(value.Number)
+		return value.Bool(ok && float64(n) == math.Trunc(float64(n)) && !math.IsInf(float64(n), 0)), nil
+	})
+	it.method(ctor, "isFinite", func(_ value.Value, args []value.Value) (value.Value, error) {
+		n, ok := arg(args, 0).(value.Number)
+		return value.Bool(ok && !math.IsNaN(float64(n)) && !math.IsInf(float64(n), 0)), nil
+	})
+	it.method(ctor, "isNaN", func(_ value.Value, args []value.Value) (value.Value, error) {
+		n, ok := arg(args, 0).(value.Number)
+		return value.Bool(ok && math.IsNaN(float64(n))), nil
+	})
+	ctor.Set("MAX_SAFE_INTEGER", value.Number(9007199254740991))
+	ctor.Set("MIN_SAFE_INTEGER", value.Number(-9007199254740991))
+	ctor.Set("EPSILON", value.Number(2.220446049250313e-16))
+	def("Number", ctor)
+
+	p := it.protos.number
+	it.method(p, "toFixed", func(this value.Value, args []value.Value) (value.Value, error) {
+		digits := int(value.ToNumber(arg(args, 0)))
+		if digits < 0 || digits > 100 {
+			digits = 0
+		}
+		return value.String(strconv.FormatFloat(value.ToNumber(this), 'f', digits, 64)), nil
+	})
+	it.method(p, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		n := value.ToNumber(this)
+		if len(args) > 0 {
+			radix := int(value.ToNumber(args[0]))
+			if radix >= 2 && radix <= 36 && n == math.Trunc(n) {
+				return value.String(strconv.FormatInt(int64(n), radix)), nil
+			}
+		}
+		return value.String(value.FormatNumber(n)), nil
+	})
+	it.method(p, "valueOf", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.Number(value.ToNumber(this)), nil
+	})
+}
+
+func (it *Interp) setupBooleanBuiltin(def func(string, value.Value)) {
+	ctor := it.native("Boolean", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return value.Bool(value.ToBool(arg(args, 0))), nil
+	})
+	ctor.Set("prototype", it.protos.boolean)
+	def("Boolean", ctor)
+	it.method(it.protos.boolean, "toString", func(this value.Value, args []value.Value) (value.Value, error) {
+		return value.String(value.ToString(this)), nil
+	})
+}

@@ -1,0 +1,514 @@
+// Package lexer implements a tokenizer for the JavaScript subset accepted
+// by this project's front end.
+//
+// The lexer is newline-aware (each token records whether a line terminator
+// preceded it) so the parser can implement automatic semicolon insertion,
+// and it disambiguates regular-expression literals from division operators
+// using the kind of the previous significant token.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/loc"
+)
+
+// Kind classifies a token.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	Number
+	String   // quoted string literal; cooked value in Token.Str
+	Template // template literal; raw contents (between backticks) in Token.Str
+	Regex    // regular expression literal; pattern in Token.Str, flags in Token.Flags
+	Punct
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "identifier"
+	case Keyword:
+		return "keyword"
+	case Number:
+		return "number"
+	case String:
+		return "string"
+	case Template:
+		return "template"
+	case Regex:
+		return "regex"
+	case Punct:
+		return "punctuator"
+	}
+	return "unknown"
+}
+
+// Token is a single lexical token.
+type Token struct {
+	Kind  Kind
+	Text  string  // raw source text (punctuator text, identifier name, …)
+	Str   string  // cooked value for String/Template/Regex tokens
+	Flags string  // regex flags
+	Num   float64 // numeric value for Number tokens
+	Loc   loc.Loc
+	// NewlineBefore reports whether a line terminator appeared between the
+	// previous token and this one; it drives automatic semicolon insertion.
+	NewlineBefore bool
+}
+
+func (t Token) String() string {
+	if t.Kind == EOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+var keywords = map[string]bool{
+	"break": true, "case": true, "catch": true, "class": true, "const": true,
+	"continue": true, "default": true, "delete": true, "do": true, "else": true,
+	"extends": true, "false": true, "finally": true, "for": true, "function": true,
+	"if": true, "in": true, "instanceof": true, "let": true, "new": true,
+	"null": true, "of": true, "return": true, "static": true, "switch": true,
+	"this": true, "throw": true, "true": true, "try": true, "typeof": true,
+	"undefined": true, "var": true, "void": true, "while": true, "get": true,
+	"set": true, "async": true, "await": true,
+}
+
+// Identifier-like keywords that are allowed as identifiers in most positions
+// (contextual keywords). The parser treats them as identifiers unless the
+// grammar position demands the keyword reading.
+var contextual = map[string]bool{
+	"of": true, "get": true, "set": true, "static": true, "let": true,
+	"undefined": true, "async": true,
+}
+
+// Error describes a lexical error at a specific source location.
+type Error struct {
+	Loc loc.Loc
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Loc, e.Msg) }
+
+// Lexer tokenizes a single source file.
+type Lexer struct {
+	file    string
+	src     string
+	pos     int
+	line    int
+	lineOff int // byte offset of start of current line
+
+	prev Token // previous significant token (for regex disambiguation)
+	nl   bool  // newline seen since previous token
+}
+
+// New returns a lexer for source text src attributed to the given file path.
+func New(file, src string) *Lexer {
+	return &Lexer{file: file, src: src, line: 1}
+}
+
+// IsKeyword reports whether name is a reserved word.
+func IsKeyword(name string) bool { return keywords[name] }
+
+// IsContextualKeyword reports whether name is a keyword usable as an
+// identifier in non-keyword positions.
+func IsContextualKeyword(name string) bool { return contextual[name] }
+
+func (lx *Lexer) here() loc.Loc {
+	return loc.Loc{File: lx.file, Line: lx.line, Col: lx.pos - lx.lineOff + 1}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.lineOff = lx.pos
+	}
+	return c
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// skipSpace consumes whitespace and comments, recording whether any line
+// terminators were crossed.
+func (lx *Lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '\n':
+			lx.nl = true
+			lx.advance()
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.peekAt(1) == '*':
+			start := lx.here()
+			lx.pos += 2
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '*' && lx.peekAt(1) == '/' {
+					lx.pos += 2
+					closed = true
+					break
+				}
+				if lx.peekByte() == '\n' {
+					lx.nl = true
+				}
+				lx.advance()
+			}
+			if !closed {
+				return &Error{start, "unterminated block comment"}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// regexAllowed reports whether a '/' at the current position begins a regex
+// literal rather than a division operator, based on the previous token.
+func (lx *Lexer) regexAllowed() bool {
+	switch lx.prev.Kind {
+	case Ident, Number, String, Template, Regex:
+		return false
+	case Keyword:
+		switch lx.prev.Text {
+		case "this", "true", "false", "null", "undefined":
+			return false
+		}
+		return true
+	case Punct:
+		switch lx.prev.Text {
+		case ")", "]", "}", "++", "--":
+			return false
+		}
+		return true
+	}
+	return true // start of input
+}
+
+// Next returns the next token. At end of input it returns an EOF token; it
+// is safe to keep calling Next after EOF.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Loc: lx.here(), NewlineBefore: lx.nl}
+	lx.nl = false
+	if lx.pos >= len(lx.src) {
+		tok.Kind = EOF
+		lx.prev = tok
+		return tok, nil
+	}
+	c := lx.peekByte()
+	var err error
+	switch {
+	case isIdentStart(c):
+		err = lx.lexIdent(&tok)
+	case isDigit(c) || (c == '.' && isDigit(lx.peekAt(1))):
+		err = lx.lexNumber(&tok)
+	case c == '"' || c == '\'':
+		err = lx.lexString(&tok)
+	case c == '`':
+		err = lx.lexTemplate(&tok)
+	case c == '/' && lx.regexAllowed():
+		err = lx.lexRegex(&tok)
+	default:
+		err = lx.lexPunct(&tok)
+	}
+	if err != nil {
+		return Token{}, err
+	}
+	lx.prev = tok
+	return tok, nil
+}
+
+// All tokenizes the entire input, returning the token slice including the
+// final EOF token.
+func (lx *Lexer) All() ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) lexIdent(tok *Token) error {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.pos++
+	}
+	tok.Text = lx.src[start:lx.pos]
+	if keywords[tok.Text] {
+		tok.Kind = Keyword
+	} else {
+		tok.Kind = Ident
+	}
+	return nil
+}
+
+func (lx *Lexer) lexNumber(tok *Token) error {
+	start := lx.pos
+	if lx.peekByte() == '0' && (lx.peekAt(1) == 'x' || lx.peekAt(1) == 'X') {
+		lx.pos += 2
+		for lx.pos < len(lx.src) && isHexDigit(lx.peekByte()) {
+			lx.pos++
+		}
+		tok.Kind = Number
+		tok.Text = lx.src[start:lx.pos]
+		var v uint64
+		if _, err := fmt.Sscanf(tok.Text, "%v", &v); err != nil {
+			// Sscanf handles 0x prefixes for %v of integers.
+			return &Error{tok.Loc, "invalid hex literal " + tok.Text}
+		}
+		tok.Num = float64(v)
+		return nil
+	}
+	for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+		lx.pos++
+	}
+	if lx.peekByte() == '.' {
+		lx.pos++
+		for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.pos++
+		}
+	}
+	if c := lx.peekByte(); c == 'e' || c == 'E' {
+		save := lx.pos
+		lx.pos++
+		if c := lx.peekByte(); c == '+' || c == '-' {
+			lx.pos++
+		}
+		if !isDigit(lx.peekByte()) {
+			lx.pos = save
+		} else {
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.pos++
+			}
+		}
+	}
+	tok.Kind = Number
+	tok.Text = lx.src[start:lx.pos]
+	if _, err := fmt.Sscanf(tok.Text, "%g", &tok.Num); err != nil {
+		return &Error{tok.Loc, "invalid number literal " + tok.Text}
+	}
+	return nil
+}
+
+func (lx *Lexer) lexString(tok *Token) error {
+	quote := lx.advance()
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return &Error{tok.Loc, "unterminated string literal"}
+		}
+		c := lx.advance()
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return &Error{tok.Loc, "newline in string literal"}
+		}
+		if c != '\\' {
+			sb.WriteByte(c)
+			continue
+		}
+		if lx.pos >= len(lx.src) {
+			return &Error{tok.Loc, "unterminated string literal"}
+		}
+		e := lx.advance()
+		switch e {
+		case 'n':
+			sb.WriteByte('\n')
+		case 't':
+			sb.WriteByte('\t')
+		case 'r':
+			sb.WriteByte('\r')
+		case 'b':
+			sb.WriteByte('\b')
+		case 'f':
+			sb.WriteByte('\f')
+		case 'v':
+			sb.WriteByte('\v')
+		case '0':
+			sb.WriteByte(0)
+		case 'x':
+			if lx.pos+1 >= len(lx.src) || !isHexDigit(lx.peekByte()) || !isHexDigit(lx.peekAt(1)) {
+				return &Error{tok.Loc, "invalid \\x escape"}
+			}
+			var v int
+			fmt.Sscanf(lx.src[lx.pos:lx.pos+2], "%x", &v)
+			lx.pos += 2
+			sb.WriteRune(rune(v))
+		case 'u':
+			if lx.pos+3 >= len(lx.src) {
+				return &Error{tok.Loc, "invalid \\u escape"}
+			}
+			var v int
+			if _, err := fmt.Sscanf(lx.src[lx.pos:lx.pos+4], "%x", &v); err != nil {
+				return &Error{tok.Loc, "invalid \\u escape"}
+			}
+			lx.pos += 4
+			sb.WriteRune(rune(v))
+		case '\n':
+			// line continuation: contributes nothing
+		default:
+			sb.WriteByte(e)
+		}
+	}
+	tok.Kind = String
+	tok.Str = sb.String()
+	tok.Text = tok.Str
+	return nil
+}
+
+// lexTemplate captures the raw contents of a template literal, tracking
+// ${…} nesting so embedded braces and strings do not terminate the scan
+// early. The parser re-lexes the interpolated fragments.
+func (lx *Lexer) lexTemplate(tok *Token) error {
+	lx.advance() // consume `
+	start := lx.pos
+	depth := 0
+	for {
+		if lx.pos >= len(lx.src) {
+			return &Error{tok.Loc, "unterminated template literal"}
+		}
+		c := lx.peekByte()
+		if c == '\\' {
+			lx.advance()
+			if lx.pos < len(lx.src) {
+				lx.advance()
+			}
+			continue
+		}
+		if depth == 0 && c == '`' {
+			break
+		}
+		if c == '$' && lx.peekAt(1) == '{' {
+			depth++
+			lx.advance()
+			lx.advance()
+			continue
+		}
+		if depth > 0 {
+			if c == '{' {
+				depth++
+			} else if c == '}' {
+				depth--
+			}
+		}
+		lx.advance()
+	}
+	tok.Kind = Template
+	tok.Str = lx.src[start:lx.pos]
+	tok.Text = tok.Str
+	lx.advance() // closing `
+	return nil
+}
+
+func (lx *Lexer) lexRegex(tok *Token) error {
+	lx.advance() // consume /
+	start := lx.pos
+	inClass := false
+	for {
+		if lx.pos >= len(lx.src) {
+			return &Error{tok.Loc, "unterminated regular expression"}
+		}
+		c := lx.peekByte()
+		if c == '\n' {
+			return &Error{tok.Loc, "unterminated regular expression"}
+		}
+		if c == '\\' {
+			lx.advance()
+			if lx.pos < len(lx.src) {
+				lx.advance()
+			}
+			continue
+		}
+		if c == '[' {
+			inClass = true
+		} else if c == ']' {
+			inClass = false
+		} else if c == '/' && !inClass {
+			break
+		}
+		lx.advance()
+	}
+	tok.Str = lx.src[start:lx.pos]
+	lx.advance() // closing /
+	fstart := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.peekByte()) {
+		lx.pos++
+	}
+	tok.Flags = lx.src[fstart:lx.pos]
+	tok.Kind = Regex
+	tok.Text = "/" + tok.Str + "/" + tok.Flags
+	return nil
+}
+
+// puncts, longest first within each leading byte, matched greedily.
+var puncts = []string{
+	">>>=", "...", "===", "!==", "**=", ">>>", "<<=", ">>=",
+	"=>", "==", "!=", "<=", ">=", "&&", "||", "??", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "**",
+	"{", "}", "(", ")", "[", "]", ";", ",", ".", "<", ">", "+", "-", "*",
+	"/", "%", "&", "|", "^", "!", "~", "?", ":", "=",
+}
+
+func (lx *Lexer) lexPunct(tok *Token) error {
+	rest := lx.src[lx.pos:]
+	for _, p := range puncts {
+		if strings.HasPrefix(rest, p) {
+			tok.Kind = Punct
+			tok.Text = p
+			for range p {
+				lx.advance()
+			}
+			return nil
+		}
+	}
+	return &Error{tok.Loc, fmt.Sprintf("unexpected character %q", lx.peekByte())}
+}

@@ -1,0 +1,226 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func tokens(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := New("test.js", src).All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks
+}
+
+func TestIdentifiersAndKeywords(t *testing.T) {
+	toks := tokens(t, "var foo = function bar() {}")
+	want := []struct {
+		kind Kind
+		text string
+	}{
+		{Keyword, "var"}, {Ident, "foo"}, {Punct, "="},
+		{Keyword, "function"}, {Ident, "bar"}, {Punct, "("}, {Punct, ")"},
+		{Punct, "{"}, {Punct, "}"}, {EOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = %v, want %s %q", i, toks[i], w.kind, w.text)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"42":     42,
+		"3.25":   3.25,
+		"1e3":    1000,
+		"2.5e-1": 0.25,
+		"0x10":   16,
+		"0xff":   255,
+		".5":     0.5,
+	}
+	for src, want := range cases {
+		toks := tokens(t, src)
+		if toks[0].Kind != Number || toks[0].Num != want {
+			t.Errorf("lex %q = %v (num %v), want %v", src, toks[0], toks[0].Num, want)
+		}
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`:       "hello",
+		`'world'`:       "world",
+		`"a\nb"`:        "a\nb",
+		`"t\tab"`:       "t\tab",
+		`'it\'s'`:       "it's",
+		`"\x41"`:        "A",
+		`"A"`:           "A",
+		`"back\\slash"`: `back\slash`,
+	}
+	for src, want := range cases {
+		toks := tokens(t, src)
+		if toks[0].Kind != String || toks[0].Str != want {
+			t.Errorf("lex %s = %q, want %q", src, toks[0].Str, want)
+		}
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := New("t.js", `"abc`).All(); err == nil {
+		t.Error("expected error for unterminated string")
+	}
+	if _, err := New("t.js", "\"ab\ncd\"").All(); err == nil {
+		t.Error("expected error for newline in string")
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	toks := tokens(t, "`a${x + 1}b`")
+	if toks[0].Kind != Template {
+		t.Fatalf("got %v, want template", toks[0])
+	}
+	if toks[0].Str != "a${x + 1}b" {
+		t.Errorf("template raw = %q", toks[0].Str)
+	}
+	// Nested braces inside interpolation must not terminate early.
+	toks = tokens(t, "`v=${f({a: 1})}`")
+	if toks[0].Str != "v=${f({a: 1})}" {
+		t.Errorf("template raw = %q", toks[0].Str)
+	}
+}
+
+func TestRegexVsDivision(t *testing.T) {
+	// After an identifier, / is division.
+	toks := tokens(t, "a / b")
+	if toks[1].Kind != Punct || toks[1].Text != "/" {
+		t.Errorf("got %v, want division", toks[1])
+	}
+	// After '=', / starts a regex.
+	toks = tokens(t, `x = /ab+c/g`)
+	if toks[2].Kind != Regex {
+		t.Fatalf("got %v, want regex", toks[2])
+	}
+	if toks[2].Str != "ab+c" || toks[2].Flags != "g" {
+		t.Errorf("regex = %q flags %q", toks[2].Str, toks[2].Flags)
+	}
+	// After '(', regex.
+	toks = tokens(t, `s.replace(/x\//, "y")`)
+	var foundRegex bool
+	for _, tk := range toks {
+		if tk.Kind == Regex {
+			foundRegex = true
+			if tk.Str != `x\/` {
+				t.Errorf("regex = %q", tk.Str)
+			}
+		}
+	}
+	if !foundRegex {
+		t.Error("no regex token found")
+	}
+	// Character class containing / must not terminate the literal.
+	toks = tokens(t, `x = /[/]/`)
+	if toks[2].Kind != Regex || toks[2].Str != "[/]" {
+		t.Errorf("got %v", toks[2])
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := tokens(t, "a // comment\nb /* block\ncomment */ c")
+	names := []string{}
+	for _, tk := range toks {
+		if tk.Kind == Ident {
+			names = append(names, tk.Text)
+		}
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Errorf("idents = %v", names)
+	}
+	if !toks[1].NewlineBefore {
+		t.Error("b should have NewlineBefore")
+	}
+	if !toks[2].NewlineBefore {
+		t.Error("c should have NewlineBefore (newline inside block comment)")
+	}
+}
+
+func TestUnterminatedBlockComment(t *testing.T) {
+	if _, err := New("t.js", "a /* b").All(); err == nil {
+		t.Error("expected error for unterminated block comment")
+	}
+}
+
+func TestNewlineTracking(t *testing.T) {
+	toks := tokens(t, "a\nb; c")
+	if !toks[1].NewlineBefore {
+		t.Error("b should have NewlineBefore")
+	}
+	if toks[3].NewlineBefore {
+		t.Error("c should not have NewlineBefore")
+	}
+}
+
+func TestLocations(t *testing.T) {
+	toks := tokens(t, "ab\n  cd")
+	if toks[0].Loc.Line != 1 || toks[0].Loc.Col != 1 {
+		t.Errorf("ab at %v", toks[0].Loc)
+	}
+	if toks[1].Loc.Line != 2 || toks[1].Loc.Col != 3 {
+		t.Errorf("cd at %v", toks[1].Loc)
+	}
+	if toks[0].Loc.File != "test.js" {
+		t.Errorf("file = %q", toks[0].Loc.File)
+	}
+}
+
+func TestPunctuators(t *testing.T) {
+	src := "=== !== == != <= >= && || ?? ++ -- += -= => ... >>> <<"
+	toks := tokens(t, src)
+	want := strings.Fields(src)
+	for i, w := range want {
+		if toks[i].Kind != Punct || toks[i].Text != w {
+			t.Errorf("token %d = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestSpreadVsDots(t *testing.T) {
+	toks := tokens(t, "f(...args)")
+	if toks[2].Text != "..." {
+		t.Errorf("got %v, want ...", toks[2])
+	}
+}
+
+func TestKeywordClassification(t *testing.T) {
+	if !IsKeyword("function") || IsKeyword("foo") {
+		t.Error("IsKeyword misclassifies")
+	}
+	if !IsContextualKeyword("of") || IsContextualKeyword("function") {
+		t.Error("IsContextualKeyword misclassifies")
+	}
+}
+
+func TestEOFStable(t *testing.T) {
+	lx := New("t.js", "a")
+	for i := 0; i < 3; i++ {
+		if _, err := lx.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tok, err := lx.Next()
+	if err != nil || tok.Kind != EOF {
+		t.Errorf("repeated Next after EOF = %v, %v", tok, err)
+	}
+}
+
+func TestUnexpectedCharacter(t *testing.T) {
+	if _, err := New("t.js", "a @ b").All(); err == nil {
+		t.Error("expected error for @")
+	}
+}

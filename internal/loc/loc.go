@@ -1,0 +1,90 @@
+// Package loc defines source locations, the common currency between the
+// front end, the approximate interpreter, and the static analysis.
+//
+// A location identifies a point in a source file by file path, 1-based line
+// and 1-based column. Allocation sites, function definitions, and dynamic
+// property access operations are all identified by their location, exactly
+// as in the paper (where ℓ ranges over file/line/column triples).
+package loc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Loc is a source location: file, 1-based line, 1-based column.
+//
+// The zero value is "no location" (see Valid). Loc is comparable and is
+// used as a map key throughout the analysis pipeline.
+type Loc struct {
+	File string
+	Line int
+	Col  int
+}
+
+// Valid reports whether l denotes an actual source position.
+func (l Loc) Valid() bool { return l.File != "" && l.Line > 0 }
+
+// String renders the location in the conventional file:line:col form.
+func (l Loc) String() string {
+	if !l.Valid() {
+		return "<no location>"
+	}
+	return fmt.Sprintf("%s:%d:%d", l.File, l.Line, l.Col)
+}
+
+// Before reports whether l comes strictly before other in a deterministic
+// total order (file path, then line, then column). It is used to produce
+// stable output in reports and tests.
+func (l Loc) Before(other Loc) bool {
+	if l.File != other.File {
+		return l.File < other.File
+	}
+	if l.Line != other.Line {
+		return l.Line < other.Line
+	}
+	return l.Col < other.Col
+}
+
+// Compare returns -1, 0, or +1 comparing l with other in the same order
+// used by Before.
+func (l Loc) Compare(other Loc) int {
+	if c := strings.Compare(l.File, other.File); c != 0 {
+		return c
+	}
+	switch {
+	case l.Line != other.Line:
+		if l.Line < other.Line {
+			return -1
+		}
+		return 1
+	case l.Col != other.Col:
+		if l.Col < other.Col {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Parse parses a file:line:col string produced by String. It returns the
+// zero Loc and false if s is not in that form.
+func Parse(s string) (Loc, bool) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return Loc{}, false
+	}
+	j := strings.LastIndexByte(s[:i], ':')
+	if j < 0 {
+		return Loc{}, false
+	}
+	var line, col int
+	if _, err := fmt.Sscanf(s[j+1:], "%d:%d", &line, &col); err != nil {
+		return Loc{}, false
+	}
+	l := Loc{File: s[:j], Line: line, Col: col}
+	if !l.Valid() {
+		return Loc{}, false
+	}
+	return l, true
+}

@@ -1,0 +1,102 @@
+package loc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestValid(t *testing.T) {
+	if (Loc{}).Valid() {
+		t.Error("zero Loc must be invalid")
+	}
+	if !(Loc{File: "a.js", Line: 1, Col: 1}).Valid() {
+		t.Error("normal Loc must be valid")
+	}
+	if (Loc{File: "a.js"}).Valid() {
+		t.Error("line 0 must be invalid")
+	}
+	if (Loc{Line: 3, Col: 1}).Valid() {
+		t.Error("empty file must be invalid")
+	}
+}
+
+func TestString(t *testing.T) {
+	l := Loc{File: "/app/x.js", Line: 12, Col: 7}
+	if got := l.String(); got != "/app/x.js:12:7" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Loc{}).String(); got != "<no location>" {
+		t.Errorf("zero String() = %q", got)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []Loc{
+		{File: "/app/x.js", Line: 1, Col: 1},
+		{File: "node:events", Line: 42, Col: 13},
+		{File: "/a/b:c.js", Line: 9, Col: 2}, // colon in the path
+	}
+	for _, l := range cases {
+		got, ok := Parse(l.String())
+		if !ok || got != l {
+			t.Errorf("Parse(%q) = %v, %v", l.String(), got, ok)
+		}
+	}
+	for _, bad := range []string{"", "x", "a:b", "f:1", "f:x:y", "<no location>"} {
+		if _, ok := Parse(bad); ok {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	ls := []Loc{
+		{File: "b.js", Line: 1, Col: 1},
+		{File: "a.js", Line: 2, Col: 5},
+		{File: "a.js", Line: 2, Col: 3},
+		{File: "a.js", Line: 1, Col: 9},
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Before(ls[j]) })
+	want := []Loc{
+		{File: "a.js", Line: 1, Col: 9},
+		{File: "a.js", Line: 2, Col: 3},
+		{File: "a.js", Line: 2, Col: 5},
+		{File: "b.js", Line: 1, Col: 1},
+	}
+	for i := range want {
+		if ls[i] != want[i] {
+			t.Fatalf("order[%d] = %v, want %v", i, ls[i], want[i])
+		}
+	}
+}
+
+func TestCompareConsistentWithBefore(t *testing.T) {
+	f := func(f1, f2 string, l1, l2, c1, c2 uint8) bool {
+		a := Loc{File: f1, Line: int(l1), Col: int(c1)}
+		b := Loc{File: f2, Line: int(l2), Col: int(c2)}
+		cmp := a.Compare(b)
+		switch {
+		case a.Before(b):
+			return cmp < 0
+		case b.Before(a):
+			return cmp > 0
+		default:
+			return cmp == 0 && a == b
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(f1, f2 string, l1, l2 uint8) bool {
+		a := Loc{File: f1, Line: int(l1), Col: 1}
+		b := Loc{File: f2, Line: int(l2), Col: 1}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package modules
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/value"
+)
+
+func TestESModuleSyntax(t *testing.T) {
+	p := &Project{
+		Files: map[string]string{
+			"/app/lib.js": `export function add(a, b) { return a + b; }
+export var version = "1.2";
+var hidden = 99;
+export {hidden as shown};
+export default function mainFn(x) { return x * 2; };
+`,
+			"/app/index.js": `import mainFn from './lib';
+import {add, version, shown} from './lib';
+import * as lib from './lib';
+import './side';
+module.exports = {
+  doubled: mainFn(21),
+  sum: add(1, 2),
+  version: version,
+  shown: shown,
+  nsAdd: lib.add(2, 3),
+  sideRan: globalThis.sideEffect
+};
+`,
+			"/app/side.js": `globalThis.sideEffect = "ran";`,
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+	it := interp.New(interp.Options{})
+	r := NewRegistry(p, it)
+	v, err := r.Load("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := v.(*value.Object)
+	check := func(key string, want value.Value) {
+		t.Helper()
+		pr := obj.GetOwn(key)
+		if pr == nil || !value.StrictEquals(pr.Value, want) {
+			got := "<missing>"
+			if pr != nil {
+				got = value.ToString(pr.Value)
+			}
+			t.Errorf("%s = %v, want %v", key, got, value.ToString(want))
+		}
+	}
+	check("doubled", value.Number(42))
+	check("sum", value.Number(3))
+	check("version", value.String("1.2"))
+	check("shown", value.Number(99))
+	check("nsAdd", value.Number(5))
+	check("sideRan", value.String("ran"))
+}
+
+func TestESMDefaultInteropWithCJS(t *testing.T) {
+	p := &Project{
+		Files: map[string]string{
+			"/app/cjs.js": `module.exports = function cjsMain() { return "cjs"; };`,
+			"/app/index.js": `import fn from './cjs';
+module.exports = fn();
+`,
+		},
+	}
+	it := interp.New(interp.Options{})
+	r := NewRegistry(p, it)
+	v, err := r.Load("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.StrictEquals(v, value.String("cjs")) {
+		t.Errorf("default import of CJS module = %v", value.ToString(v))
+	}
+}
+
+func TestImportExportAsIdentifiers(t *testing.T) {
+	// Outside module syntax positions, import/export stay ordinary names.
+	p := &Project{
+		Files: map[string]string{
+			"/app/index.js": `var import_ = 1;
+var export_ = 2;
+var obj = { import: 3, export: 4 };
+module.exports = import_ + export_ + obj.import + obj.export;
+`,
+		},
+	}
+	it := interp.New(interp.Options{})
+	r := NewRegistry(p, it)
+	v, err := r.Load("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.StrictEquals(v, value.Number(10)) {
+		t.Errorf("got %v", value.ToString(v))
+	}
+}

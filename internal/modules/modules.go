@@ -1,0 +1,335 @@
+// Package modules implements the CommonJS module system over in-memory
+// projects: require() resolution (relative paths, node_modules packages,
+// Node.js built-in modules), module caching, and the module/exports/
+// require/__filename/__dirname bindings.
+package modules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/interp"
+	"repro/internal/parser"
+	"repro/internal/value"
+)
+
+// Project is an in-memory JavaScript project: a virtual file system of
+// module sources plus package metadata. It substitutes for the npm/GitHub
+// checkouts of the paper's corpus.
+type Project struct {
+	// Name identifies the project in reports.
+	Name string
+	// Files maps absolute virtual paths ("/app/index.js",
+	// "/node_modules/express/lib/application.js") to source text.
+	Files map[string]string
+	// MainEntries are the entry module paths of the main package; static
+	// reachability and approximate interpretation start here.
+	MainEntries []string
+	// TestEntries are test-suite entry modules used to produce dynamic
+	// call graphs (the paper's NodeProf-under-test-suite setup).
+	TestEntries []string
+	// MainPrefix is the path prefix of the main package (everything
+	// outside it counts as dependency code). Defaults to "/" minus
+	// node_modules.
+	MainPrefix string
+}
+
+// SortedPaths returns all file paths in deterministic order.
+func (p *Project) SortedPaths() []string {
+	paths := make([]string, 0, len(p.Files))
+	for f := range p.Files {
+		paths = append(paths, f)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// IsMainModule reports whether path belongs to the main package (not a
+// dependency under node_modules).
+func (p *Project) IsMainModule(path string) bool {
+	if strings.Contains(path, "/node_modules/") || strings.HasPrefix(path, "node:") {
+		return false
+	}
+	if p.MainPrefix != "" {
+		return strings.HasPrefix(path, p.MainPrefix)
+	}
+	return true
+}
+
+// Packages returns the distinct package roots in the project: the main
+// package plus each node_modules/<name> directory.
+func (p *Project) Packages() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	add("<main>")
+	for path := range p.Files {
+		if i := strings.Index(path, "/node_modules/"); i >= 0 {
+			rest := path[i+len("/node_modules/"):]
+			if j := strings.Index(rest, "/"); j >= 0 {
+				add(rest[:j])
+			} else {
+				add(strings.TrimSuffix(rest, ".js"))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CodeSize returns the total source size in bytes.
+func (p *Project) CodeSize() int {
+	total := 0
+	for _, src := range p.Files {
+		total += len(src)
+	}
+	return total
+}
+
+// nodeBuiltins is the set of Node.js modules implemented by this runtime.
+// Pure modules are written in JavaScript (see nodelib.go) so that their
+// functions participate in analysis like any dependency code; external
+// modules touch the outside world and are sandbox-mocked during
+// approximate interpretation, per the paper.
+var externalModules = map[string]bool{
+	"fs": true, "net": true, "http": true, "https": true, "child_process": true,
+	"os": true, "dgram": true, "tls": true, "cluster": true, "dns": true,
+	"readline": true, "zlib": true, "crypto": true,
+}
+
+// Registry loads and caches modules for one interpreter instance.
+type Registry struct {
+	Project *Project
+	Interp  *interp.Interp
+
+	// Sandbox replaces external Node modules with mocks (approximate mode).
+	Sandbox bool
+
+	cache    map[string]value.Value // module path → exports
+	inFlight map[string]*value.Object
+	parsed   map[string]*ast.Program
+}
+
+// NewRegistry wires a project to an interpreter and installs itself as the
+// interpreter's ModuleHost.
+func NewRegistry(project *Project, it *interp.Interp) *Registry {
+	r := &Registry{
+		Project:  project,
+		Interp:   it,
+		cache:    map[string]value.Value{},
+		inFlight: map[string]*value.Object{},
+		parsed:   map[string]*ast.Program{},
+	}
+	it.ModuleHost = r
+	return r
+}
+
+// ParseAll parses every file in the project, returning programs keyed by
+// path. Parse results are cached and shared with module execution.
+func (r *Registry) ParseAll() (map[string]*ast.Program, error) {
+	out := map[string]*ast.Program{}
+	for _, path := range r.Project.SortedPaths() {
+		prog, err := r.parse(path)
+		if err != nil {
+			return nil, err
+		}
+		out[path] = prog
+	}
+	return out, nil
+}
+
+func (r *Registry) parse(path string) (*ast.Program, error) {
+	if prog, ok := r.parsed[path]; ok {
+		return prog, nil
+	}
+	src, ok := r.Project.Files[path]
+	if !ok {
+		src, ok = nodeLibSources[path]
+		if !ok {
+			return nil, fmt.Errorf("modules: no such file %s", path)
+		}
+	}
+	prog, err := parser.Parse(path, src)
+	if err != nil {
+		return nil, err
+	}
+	r.parsed[path] = prog
+	return prog, nil
+}
+
+// Require implements interp.ModuleHost.
+func (r *Registry) Require(from, name string) (value.Value, error) {
+	path, err := r.Resolve(from, name)
+	if err != nil {
+		return nil, r.Interp.ThrowError("Error", err.Error())
+	}
+	return r.Load(path)
+}
+
+// Resolve maps a require() specifier to a module path, following the
+// CommonJS rules for relative paths and node_modules lookups.
+func (r *Registry) Resolve(from, name string) (string, error) {
+	return Resolve(r.Project, from, name)
+}
+
+// Resolve is the pure module-resolution function behind Registry.Resolve;
+// the static analysis uses it directly (no interpreter required).
+func Resolve(p *Project, from, name string) (string, error) {
+	name = strings.TrimPrefix(name, "node:")
+	if strings.HasPrefix(name, "./") || strings.HasPrefix(name, "../") || strings.HasPrefix(name, "/") {
+		base := dirOf(from)
+		cand := normalize(joinPath(base, name))
+		for _, c := range []string{cand, cand + ".js", cand + "/index.js"} {
+			if _, ok := p.Files[c]; ok {
+				return c, nil
+			}
+		}
+		return "", fmt.Errorf("cannot find module '%s' from %s", name, from)
+	}
+	// Built-in Node modules.
+	if externalModules[name] {
+		return "node:" + name, nil
+	}
+	if _, ok := nodeLibSources["node:"+name]; ok {
+		return "node:" + name, nil
+	}
+	// node_modules lookup (flat layout).
+	for _, c := range []string{
+		"/node_modules/" + name + "/index.js",
+		"/node_modules/" + name + ".js",
+		"/node_modules/" + name,
+	} {
+		if _, ok := p.Files[c]; ok {
+			return c, nil
+		}
+	}
+	// main field convention: /node_modules/<name>/main.js
+	if _, ok := p.Files["/node_modules/"+name+"/main.js"]; ok {
+		return "/node_modules/" + name + "/main.js", nil
+	}
+	return "", fmt.Errorf("cannot find module '%s' from %s", name, from)
+}
+
+// Load executes (or returns the cached exports of) the module at path.
+func (r *Registry) Load(path string) (value.Value, error) {
+	if v, ok := r.cache[path]; ok {
+		return v, nil
+	}
+	// Cyclic requires observe the partially initialized exports object, as
+	// in Node.
+	if exports, ok := r.inFlight[path]; ok {
+		return exports, nil
+	}
+
+	// External modules: mocked under sandbox, minimal JS implementations
+	// otherwise.
+	if strings.HasPrefix(path, "node:") {
+		name := strings.TrimPrefix(path, "node:")
+		if externalModules[name] {
+			if r.Sandbox {
+				mock := r.Interp.NewMockModule()
+				r.cache[path] = mock
+				return mock, nil
+			}
+			// Concrete mode uses the same JS stubs (no real I/O exists in
+			// this environment either way).
+		}
+		if _, ok := nodeLibSources[path]; !ok {
+			return nil, r.Interp.ThrowError("Error", "unsupported built-in module "+path)
+		}
+	}
+
+	prog, err := r.parse(path)
+	if err != nil {
+		return nil, r.Interp.ThrowError("SyntaxError", err.Error())
+	}
+
+	it := r.Interp
+	exports := it.NewPlainObject()
+	module := it.NewPlainObject()
+	module.Set("exports", exports)
+	module.Set("id", value.String(path))
+	r.inFlight[path] = exports
+
+	scope := value.NewScope(it.GlobalScope())
+	scope.Declare("module", module)
+	scope.Declare("exports", exports)
+	scope.Declare("__filename", value.String(path))
+	scope.Declare("__dirname", value.String(dirOf(path)))
+	scope.Declare("require", r.makeRequire(path))
+
+	_, err = it.RunProgram(prog, scope, exports)
+	delete(r.inFlight, path)
+	if err != nil {
+		return nil, err
+	}
+	// module.exports may have been reassigned.
+	var result value.Value = exports
+	if p := module.GetOwn("exports"); p != nil && !p.IsAccessor() {
+		result = p.Value
+	}
+	r.cache[path] = result
+	return result, nil
+}
+
+func (r *Registry) makeRequire(from string) *value.Object {
+	req := r.Interp.NewNativeFunction("require", func(h value.Host, this value.Value, args []value.Value) (value.Value, error) {
+		if len(args) == 0 {
+			return nil, r.Interp.ThrowError("TypeError", "require expects a module name")
+		}
+		name := value.ToString(args[0])
+		return r.Require(from, name)
+	})
+	return req
+}
+
+// LoadEntries loads every main entry module of the project in order.
+func (r *Registry) LoadEntries() error {
+	for _, e := range r.Project.MainEntries {
+		if _, err := r.Load(e); err != nil {
+			return fmt.Errorf("loading %s: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// ----------------------------------------------------------------- path ops
+
+func dirOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+func joinPath(base, rel string) string {
+	if strings.HasPrefix(rel, "/") {
+		return rel
+	}
+	return base + "/" + rel
+}
+
+func normalize(path string) string {
+	parts := strings.Split(path, "/")
+	var out []string
+	for _, p := range parts {
+		switch p {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, p)
+		}
+	}
+	return "/" + strings.Join(out, "/")
+}

@@ -1,0 +1,225 @@
+package parser
+
+import (
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/loc"
+)
+
+// ES-module support. The paper notes the approach "also works for ES
+// modules"; this front end desugars ESM syntax to the CommonJS constructs
+// the module system executes, so imports resolve through the same require
+// machinery (and dynamic-import-style hints behave identically):
+//
+//	import def from 'm';              var def = require('m').default !== undefined
+//	                                      ? require('m').default : require('m');
+//	import {a, b as c} from 'm';      var a = require('m').a, c = require('m').b;
+//	import * as ns from 'm';          var ns = require('m');
+//	import 'm';                       require('m');
+//	export function f() {}            function f() {} exports.f = f;
+//	export var x = 1;                 var x = 1; exports.x = x;
+//	export default expr;              exports["default"] = expr;
+//	export {a, b as c};               exports.a = a; exports.c = b;
+//
+// Since "import" and "export" are not reserved words in this lexer, they
+// arrive as identifiers; the statement parser intercepts them in statement
+// position when the following tokens match module syntax.
+
+// tryModuleStmt recognizes import/export statements. It consumes nothing
+// unless the statement-position identifier is followed by module syntax.
+func (p *parser) tryModuleStmt() (ast.Stmt, bool) {
+	t := p.peek()
+	if t.Kind != lexer.Ident {
+		return nil, false
+	}
+	switch t.Text {
+	case "import":
+		n := p.peekAt(1)
+		ok := n.Kind == lexer.String || // import 'm';
+			n.Kind == lexer.Ident || // import def from 'm';
+			(n.Kind == lexer.Punct && (n.Text == "{" || n.Text == "*"))
+		if !ok {
+			return nil, false
+		}
+		return p.importStmt(), true
+	case "export":
+		n := p.peekAt(1)
+		ok := (n.Kind == lexer.Keyword && (n.Text == "function" || n.Text == "var" ||
+			n.Text == "let" || n.Text == "const" || n.Text == "class" || n.Text == "async" ||
+			n.Text == "default")) ||
+			(n.Kind == lexer.Ident && n.Text == "default") ||
+			(n.Kind == lexer.Punct && n.Text == "{")
+		if !ok {
+			return nil, false
+		}
+		return p.exportStmt(), true
+	}
+	return nil, false
+}
+
+// requireCallExpr builds require('name') at the given location.
+func requireCallExpr(at loc.Loc, name string) *ast.CallExpr {
+	return &ast.CallExpr{
+		Callee: &ast.Ident{Name: "require", Loc: at},
+		Args:   []ast.Expr{&ast.StringLit{Value: name, Loc: at}},
+		Loc:    at,
+	}
+}
+
+func (p *parser) importStmt() ast.Stmt {
+	kw := p.next() // consume "import"
+	at := kw.Loc
+
+	// import 'm';
+	if p.at(lexer.String) {
+		mod := p.next().Str
+		p.expectSemi()
+		return &ast.ExprStmt{X: requireCallExpr(at, mod)}
+	}
+
+	type binding struct {
+		local    string
+		imported string // "" = whole namespace, "default" = default export
+	}
+	var bindings []binding
+
+	parseNamed := func() {
+		p.expectPunct("{")
+		for !p.atPunct("}") && !p.at(lexer.EOF) {
+			imported, _ := p.identName()
+			local := imported
+			if p.at(lexer.Ident) && p.peek().Text == "as" {
+				p.next()
+				local, _ = p.identName()
+			}
+			bindings = append(bindings, binding{local: local, imported: imported})
+			if !p.eatPunct(",") {
+				break
+			}
+		}
+		p.expectPunct("}")
+	}
+
+	switch {
+	case p.atPunct("{"):
+		parseNamed()
+	case p.atPunct("*"):
+		p.next()
+		if !(p.at(lexer.Ident) && p.peek().Text == "as") {
+			p.fail(p.peek().Loc, "expected 'as' after import *")
+		}
+		p.next()
+		local, _ := p.identName()
+		bindings = append(bindings, binding{local: local})
+	default:
+		// default import, optionally followed by named imports.
+		local, _ := p.identName()
+		bindings = append(bindings, binding{local: local, imported: "default"})
+		if p.eatPunct(",") {
+			if p.atPunct("{") {
+				parseNamed()
+			} else if p.atPunct("*") {
+				p.next()
+				p.next() // as
+				ns, _ := p.identName()
+				bindings = append(bindings, binding{local: ns})
+			}
+		}
+	}
+
+	if !(p.at(lexer.Ident) && p.peek().Text == "from") {
+		p.fail(p.peek().Loc, "expected 'from' in import statement")
+	}
+	p.next()
+	if !p.at(lexer.String) {
+		p.fail(p.peek().Loc, "expected module specifier string")
+	}
+	mod := p.next().Str
+	p.expectSemi()
+
+	decl := &ast.VarDecl{Kind: ast.Var, Loc: at}
+	for _, b := range bindings {
+		var init ast.Expr = requireCallExpr(at, mod)
+		switch b.imported {
+		case "":
+			// namespace import: the whole exports object.
+		case "default":
+			// CommonJS interop: prefer .default when present, else the
+			// exports value itself.
+			withDefault := &ast.MemberExpr{Obj: requireCallExpr(at, mod), Prop: "default", Loc: at}
+			init = &ast.LogicalExpr{Op: "??", L: withDefault, R: init, Loc: at}
+		default:
+			init = &ast.MemberExpr{Obj: init, Prop: b.imported, Loc: at}
+		}
+		decl.Decls = append(decl.Decls, &ast.Declarator{Name: b.local, Init: init, Loc: at})
+	}
+	return decl
+}
+
+func (p *parser) exportStmt() ast.Stmt {
+	kw := p.next() // consume "export"
+	at := kw.Loc
+
+	exportAssign := func(name string, v ast.Expr) ast.Stmt {
+		return &ast.ExprStmt{X: &ast.AssignExpr{
+			Op:     "=",
+			Target: &ast.MemberExpr{Obj: &ast.Ident{Name: "exports", Loc: at}, Prop: name, Loc: at},
+			Value:  v,
+			Loc:    at,
+		}}
+	}
+
+	// export default expr;
+	if (p.at(lexer.Keyword) && p.peek().Text == "default") ||
+		(p.at(lexer.Ident) && p.peek().Text == "default") {
+		p.next()
+		// export default function f() {} keeps the function hoistable-ish;
+		// treat uniformly as an expression.
+		var v ast.Expr
+		if p.atKeyword("function") {
+			v = p.funcLit(false)
+		} else if p.atKeyword("class") {
+			v, _ = p.classExpr()
+		} else {
+			v = p.assignExpr()
+		}
+		p.expectSemi()
+		return exportAssign("default", v)
+	}
+
+	// export {a, b as c};
+	if p.atPunct("{") {
+		p.next()
+		block := &ast.BlockStmt{Loc: at}
+		for !p.atPunct("}") && !p.at(lexer.EOF) {
+			local, lloc := p.identName()
+			exported := local
+			if p.at(lexer.Ident) && p.peek().Text == "as" {
+				p.next()
+				exported, _ = p.identName()
+			}
+			block.Body = append(block.Body, exportAssign(exported, &ast.Ident{Name: local, Loc: lloc}))
+			if !p.eatPunct(",") {
+				break
+			}
+		}
+		p.expectPunct("}")
+		p.expectSemi()
+		return block
+	}
+
+	// export <declaration>
+	decl := p.statement()
+	block := &ast.BlockStmt{Loc: at, Body: []ast.Stmt{decl}}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		block.Body = append(block.Body, exportAssign(d.Fn.Name, &ast.Ident{Name: d.Fn.Name, Loc: at}))
+	case *ast.VarDecl:
+		for _, dd := range d.Decls {
+			block.Body = append(block.Body, exportAssign(dd.Name, &ast.Ident{Name: dd.Name, Loc: dd.Loc}))
+		}
+	default:
+		p.fail(at, "unsupported export declaration")
+	}
+	return block
+}

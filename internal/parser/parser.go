@@ -1,0 +1,1064 @@
+// Package parser implements a recursive-descent parser for the JavaScript
+// subset, producing internal/ast trees.
+//
+// The parser supports the constructs required by the corpus and the paper's
+// core language (Fig. 2) plus the surrounding real-language features:
+// functions in all three syntactic forms, closures, objects with computed
+// keys and accessors, arrays, dynamic and static property accesses, new,
+// this, full statement forms, template literals, regex literals, spread in
+// calls and arrays, and automatic semicolon insertion.
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/loc"
+)
+
+// Error is a parse error at a specific source location.
+type Error struct {
+	Loc loc.Loc
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Loc, e.Msg) }
+
+// Parse parses the source text of one module.
+func Parse(file, src string) (prog *ast.Program, err error) {
+	toks, err := lexer.New(file, src).All()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{file: file, toks: toks}
+	prog = &ast.Program{File: file}
+	defer p.catchBailout(&err)
+	for !p.at(lexer.EOF) {
+		prog.Body = append(prog.Body, p.statement())
+	}
+	return prog, err
+}
+
+// ParseExpr parses a single expression (used by eval-style entry points and
+// tests). The expression must consume the entire input.
+func ParseExpr(file, src string) (e ast.Expr, err error) {
+	toks, lerr := lexer.New(file, src).All()
+	if lerr != nil {
+		return nil, lerr
+	}
+	p := &parser{file: file, toks: toks}
+	defer p.catchBailout(&err)
+	e = p.expression()
+	if !p.at(lexer.EOF) {
+		return nil, &Error{p.peek().Loc, "unexpected trailing input"}
+	}
+	return e, err
+}
+
+type parser struct {
+	file string
+	toks []lexer.Token
+	pos  int
+}
+
+// bailout carries a parse error up through the recursive descent.
+type bailout struct{ err *Error }
+
+func (p *parser) catchBailout(err *error) {
+	if r := recover(); r != nil {
+		b, ok := r.(bailout)
+		if !ok {
+			panic(r)
+		}
+		*err = b.err
+	}
+}
+
+func (p *parser) fail(l loc.Loc, format string, args ...any) {
+	panic(bailout{&Error{l, fmt.Sprintf(format, args...)}})
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+
+func (p *parser) peekAt(off int) lexer.Token {
+	if p.pos+off >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.pos+off]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k lexer.Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) atPunct(text string) bool {
+	t := p.peek()
+	return t.Kind == lexer.Punct && t.Text == text
+}
+
+func (p *parser) atKeyword(text string) bool {
+	t := p.peek()
+	return t.Kind == lexer.Keyword && t.Text == text
+}
+
+func (p *parser) eatPunct(text string) bool {
+	if p.atPunct(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) eatKeyword(text string) bool {
+	if p.atKeyword(text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(text string) lexer.Token {
+	if !p.atPunct(text) {
+		t := p.peek()
+		p.fail(t.Loc, "expected %q but found %s", text, t)
+	}
+	return p.next()
+}
+
+func (p *parser) expectKeyword(text string) lexer.Token {
+	if !p.atKeyword(text) {
+		t := p.peek()
+		p.fail(t.Loc, "expected keyword %q but found %s", text, t)
+	}
+	return p.next()
+}
+
+// identName consumes an identifier (allowing contextual keywords) and
+// returns its name.
+func (p *parser) identName() (string, loc.Loc) {
+	t := p.peek()
+	if t.Kind == lexer.Ident || (t.Kind == lexer.Keyword && lexer.IsContextualKeyword(t.Text)) {
+		p.pos++
+		return t.Text, t.Loc
+	}
+	p.fail(t.Loc, "expected identifier but found %s", t)
+	return "", loc.Loc{}
+}
+
+// expectSemi implements automatic semicolon insertion: a statement ends at
+// an explicit semicolon, before '}', at EOF, or at a line break.
+func (p *parser) expectSemi() {
+	if p.eatPunct(";") {
+		return
+	}
+	t := p.peek()
+	if t.Kind == lexer.EOF || (t.Kind == lexer.Punct && t.Text == "}") || t.NewlineBefore {
+		return
+	}
+	p.fail(t.Loc, "expected ';' but found %s", t)
+}
+
+// ---------------------------------------------------------------- statements
+
+func (p *parser) statement() ast.Stmt {
+	if st, ok := p.tryModuleStmt(); ok {
+		return st
+	}
+	t := p.peek()
+	switch {
+	case t.Kind == lexer.Punct && t.Text == "{":
+		return p.blockStmt()
+	case t.Kind == lexer.Punct && t.Text == ";":
+		p.next()
+		return &ast.EmptyStmt{Loc: t.Loc}
+	case t.Kind == lexer.Keyword:
+		switch t.Text {
+		case "var", "const":
+			return p.varDecl()
+		case "let":
+			// "let" is contextual: `let x = …` is a declaration, anything
+			// else treats it as an identifier expression.
+			if n := p.peekAt(1); n.Kind == lexer.Ident || (n.Kind == lexer.Keyword && lexer.IsContextualKeyword(n.Text)) {
+				return p.varDecl()
+			}
+		case "function":
+			return p.funcDeclStmt()
+		case "async":
+			if n := p.peekAt(1); n.Kind == lexer.Keyword && n.Text == "function" && !n.NewlineBefore {
+				p.next() // consume async
+				fn := p.funcLit(true)
+				fn.IsAsync = true
+				return &ast.FuncDecl{Fn: fn}
+			}
+		case "if":
+			return p.ifStmt()
+		case "while":
+			return p.whileStmt()
+		case "do":
+			return p.doWhileStmt()
+		case "for":
+			return p.forStmt()
+		case "return":
+			return p.returnStmt()
+		case "break":
+			p.next()
+			p.expectSemi()
+			return &ast.BreakStmt{Loc: t.Loc}
+		case "continue":
+			p.next()
+			p.expectSemi()
+			return &ast.ContinueStmt{Loc: t.Loc}
+		case "throw":
+			return p.throwStmt()
+		case "try":
+			return p.tryStmt()
+		case "switch":
+			return p.switchStmt()
+		case "class":
+			// Class declarations desugar to `var Name = (function(){…})()`.
+			expr, name := p.classExpr()
+			if name == "" {
+				p.fail(t.Loc, "class declaration requires a name")
+			}
+			p.expectSemi()
+			return &ast.VarDecl{
+				Kind:  ast.Var,
+				Decls: []*ast.Declarator{{Name: name, Init: expr, Loc: t.Loc}},
+				Loc:   t.Loc,
+			}
+		}
+	}
+	x := p.expression()
+	p.expectSemi()
+	return &ast.ExprStmt{X: x}
+}
+
+func (p *parser) blockStmt() *ast.BlockStmt {
+	open := p.expectPunct("{")
+	b := &ast.BlockStmt{Loc: open.Loc}
+	for !p.atPunct("}") && !p.at(lexer.EOF) {
+		b.Body = append(b.Body, p.statement())
+	}
+	p.expectPunct("}")
+	return b
+}
+
+func (p *parser) varDecl() *ast.VarDecl {
+	kw := p.next()
+	d := &ast.VarDecl{Kind: ast.VarKind(kw.Text), Loc: kw.Loc}
+	for {
+		name, nloc := p.identName()
+		decl := &ast.Declarator{Name: name, Loc: nloc}
+		if p.eatPunct("=") {
+			decl.Init = p.assignExpr()
+		}
+		d.Decls = append(d.Decls, decl)
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	p.expectSemi()
+	return d
+}
+
+func (p *parser) funcDeclStmt() ast.Stmt {
+	fn := p.funcLit(true)
+	return &ast.FuncDecl{Fn: fn}
+}
+
+// funcLit parses a function keyword definition. requireName is true for
+// declarations.
+func (p *parser) funcLit(requireName bool) *ast.FuncLit {
+	kw := p.expectKeyword("function")
+	f := &ast.FuncLit{Loc: kw.Loc, RestIdx: -1}
+	if p.at(lexer.Ident) || (p.at(lexer.Keyword) && lexer.IsContextualKeyword(p.peek().Text)) {
+		f.Name, _ = p.identName()
+	} else if requireName {
+		p.fail(p.peek().Loc, "function declaration requires a name")
+	}
+	p.parseParams(f)
+	f.Body = p.blockStmt()
+	return f
+}
+
+func (p *parser) parseParams(f *ast.FuncLit) {
+	p.expectPunct("(")
+	for !p.atPunct(")") {
+		if p.eatPunct("...") {
+			f.RestIdx = len(f.Params)
+		}
+		name, _ := p.identName()
+		f.Params = append(f.Params, name)
+		if f.RestIdx >= 0 && f.RestIdx == len(f.Params)-1 {
+			break // rest parameter must be last
+		}
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(")")
+}
+
+func (p *parser) ifStmt() ast.Stmt {
+	kw := p.expectKeyword("if")
+	p.expectPunct("(")
+	cond := p.expression()
+	p.expectPunct(")")
+	then := p.statement()
+	var els ast.Stmt
+	if p.eatKeyword("else") {
+		els = p.statement()
+	}
+	return &ast.IfStmt{Cond: cond, Then: then, Else: els, Loc: kw.Loc}
+}
+
+func (p *parser) whileStmt() ast.Stmt {
+	kw := p.expectKeyword("while")
+	p.expectPunct("(")
+	cond := p.expression()
+	p.expectPunct(")")
+	return &ast.WhileStmt{Cond: cond, Body: p.statement(), Loc: kw.Loc}
+}
+
+func (p *parser) doWhileStmt() ast.Stmt {
+	kw := p.expectKeyword("do")
+	body := p.statement()
+	p.expectKeyword("while")
+	p.expectPunct("(")
+	cond := p.expression()
+	p.expectPunct(")")
+	p.expectSemi()
+	return &ast.DoWhileStmt{Body: body, Cond: cond, Loc: kw.Loc}
+}
+
+func (p *parser) forStmt() ast.Stmt {
+	kw := p.expectKeyword("for")
+	p.expectPunct("(")
+
+	// for (var x in e) / for (var x of e) / for (x in e) / for (x of e)
+	if st, ok := p.tryForIn(kw.Loc); ok {
+		return st
+	}
+
+	var init ast.Stmt
+	if !p.atPunct(";") {
+		if p.atKeyword("var") || p.atKeyword("let") || p.atKeyword("const") {
+			kind := ast.VarKind(p.next().Text)
+			d := &ast.VarDecl{Kind: kind, Loc: kw.Loc}
+			for {
+				name, nloc := p.identName()
+				decl := &ast.Declarator{Name: name, Loc: nloc}
+				if p.eatPunct("=") {
+					decl.Init = p.assignExpr()
+				}
+				d.Decls = append(d.Decls, decl)
+				if !p.eatPunct(",") {
+					break
+				}
+			}
+			init = d
+		} else {
+			init = &ast.ExprStmt{X: p.expression()}
+		}
+	}
+	p.expectPunct(";")
+	var cond ast.Expr
+	if !p.atPunct(";") {
+		cond = p.expression()
+	}
+	p.expectPunct(";")
+	var post ast.Expr
+	if !p.atPunct(")") {
+		post = p.expression()
+	}
+	p.expectPunct(")")
+	return &ast.ForStmt{Init: init, Cond: cond, Post: post, Body: p.statement(), Loc: kw.Loc}
+}
+
+// tryForIn recognizes for-in and for-of headers by lookahead from the token
+// after "for (". It consumes nothing unless it matches.
+func (p *parser) tryForIn(at loc.Loc) (ast.Stmt, bool) {
+	save := p.pos
+	var kind ast.VarKind
+	if p.atKeyword("var") || p.atKeyword("let") || p.atKeyword("const") {
+		kind = ast.VarKind(p.next().Text)
+	}
+	t := p.peek()
+	isIdent := t.Kind == lexer.Ident || (t.Kind == lexer.Keyword && lexer.IsContextualKeyword(t.Text))
+	if !isIdent {
+		p.pos = save
+		return nil, false
+	}
+	nxt := p.peekAt(1)
+	isIn := nxt.Kind == lexer.Keyword && nxt.Text == "in"
+	isOf := nxt.Kind == lexer.Keyword && nxt.Text == "of"
+	if !isIn && !isOf {
+		p.pos = save
+		return nil, false
+	}
+	name, _ := p.identName()
+	p.next() // in/of
+	obj := p.expression()
+	p.expectPunct(")")
+	return &ast.ForInStmt{DeclKind: kind, Name: name, Obj: obj, Body: p.statement(), IsOf: isOf, Loc: at}, true
+}
+
+func (p *parser) returnStmt() ast.Stmt {
+	kw := p.expectKeyword("return")
+	st := &ast.ReturnStmt{Loc: kw.Loc}
+	t := p.peek()
+	if !t.NewlineBefore && !p.atPunct(";") && !p.atPunct("}") && t.Kind != lexer.EOF {
+		st.X = p.expression()
+	}
+	p.expectSemi()
+	return st
+}
+
+func (p *parser) throwStmt() ast.Stmt {
+	kw := p.expectKeyword("throw")
+	if p.peek().NewlineBefore {
+		p.fail(kw.Loc, "newline not allowed after throw")
+	}
+	x := p.expression()
+	p.expectSemi()
+	return &ast.ThrowStmt{X: x, Loc: kw.Loc}
+}
+
+func (p *parser) tryStmt() ast.Stmt {
+	kw := p.expectKeyword("try")
+	st := &ast.TryStmt{Loc: kw.Loc, Block: p.blockStmt()}
+	if p.eatKeyword("catch") {
+		if p.eatPunct("(") {
+			st.CatchParam, _ = p.identName()
+			p.expectPunct(")")
+		}
+		st.Catch = p.blockStmt()
+	}
+	if p.eatKeyword("finally") {
+		st.Finally = p.blockStmt()
+	}
+	if st.Catch == nil && st.Finally == nil {
+		p.fail(kw.Loc, "try requires catch or finally")
+	}
+	return st
+}
+
+func (p *parser) switchStmt() ast.Stmt {
+	kw := p.expectKeyword("switch")
+	p.expectPunct("(")
+	disc := p.expression()
+	p.expectPunct(")")
+	p.expectPunct("{")
+	st := &ast.SwitchStmt{Disc: disc, Loc: kw.Loc}
+	sawDefault := false
+	for !p.atPunct("}") && !p.at(lexer.EOF) {
+		c := &ast.SwitchCase{Loc: p.peek().Loc}
+		if p.eatKeyword("default") {
+			if sawDefault {
+				p.fail(c.Loc, "duplicate default case")
+			}
+			sawDefault = true
+		} else {
+			p.expectKeyword("case")
+			c.Test = p.expression()
+		}
+		p.expectPunct(":")
+		for !p.atPunct("}") && !p.atKeyword("case") && !p.atKeyword("default") && !p.at(lexer.EOF) {
+			c.Body = append(c.Body, p.statement())
+		}
+		st.Cases = append(st.Cases, c)
+	}
+	p.expectPunct("}")
+	return st
+}
+
+// --------------------------------------------------------------- expressions
+
+// expression parses a comma-separated expression sequence.
+func (p *parser) expression() ast.Expr {
+	first := p.assignExpr()
+	if !p.atPunct(",") {
+		return first
+	}
+	seq := &ast.SeqExpr{Exprs: []ast.Expr{first}, Loc: first.Pos()}
+	for p.eatPunct(",") {
+		seq.Exprs = append(seq.Exprs, p.assignExpr())
+	}
+	return seq
+}
+
+var assignOps = map[string]bool{
+	"=": true, "+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true, "<<=": true, ">>=": true, ">>>=": true,
+	"**=": true,
+}
+
+func (p *parser) assignExpr() ast.Expr {
+	if arrow, ok := p.tryArrow(); ok {
+		return arrow
+	}
+	lhs := p.condExpr()
+	t := p.peek()
+	if t.Kind == lexer.Punct && assignOps[t.Text] {
+		switch lhs.(type) {
+		case *ast.Ident, *ast.MemberExpr:
+		default:
+			p.fail(t.Loc, "invalid assignment target")
+		}
+		p.next()
+		rhs := p.assignExpr()
+		return &ast.AssignExpr{Op: t.Text, Target: lhs, Value: rhs, Loc: t.Loc}
+	}
+	return lhs
+}
+
+// tryArrow recognizes arrow functions by lookahead: IDENT "=>", or a
+// parenthesized parameter list followed by "=>". It consumes nothing unless
+// it matches.
+func (p *parser) tryArrow() (ast.Expr, bool) {
+	t := p.peek()
+	// async arrow functions: "async x => …" or "async (…) => …".
+	if t.Kind == lexer.Keyword && t.Text == "async" {
+		n := p.peekAt(1)
+		isArrowHead := (n.Kind == lexer.Ident && p.peekAt(2).Kind == lexer.Punct && p.peekAt(2).Text == "=>") ||
+			(n.Kind == lexer.Punct && n.Text == "(")
+		if isArrowHead && !n.NewlineBefore {
+			save := p.pos
+			p.next() // consume async
+			if arrow, ok := p.tryArrow(); ok {
+				arrow.(*ast.FuncLit).IsAsync = true
+				return arrow, true
+			}
+			p.pos = save
+		}
+	}
+	// ident => …
+	if (t.Kind == lexer.Ident || (t.Kind == lexer.Keyword && lexer.IsContextualKeyword(t.Text))) &&
+		p.peekAt(1).Kind == lexer.Punct && p.peekAt(1).Text == "=>" {
+		name, nloc := p.identName()
+		p.expectPunct("=>")
+		f := &ast.FuncLit{IsArrow: true, Params: []string{name}, RestIdx: -1, Loc: nloc}
+		p.arrowBody(f)
+		return f, true
+	}
+	if !(t.Kind == lexer.Punct && t.Text == "(") {
+		return nil, false
+	}
+	// Scan to the matching ')' and check for '=>'.
+	depth := 0
+	i := p.pos
+	for ; i < len(p.toks); i++ {
+		tk := p.toks[i]
+		if tk.Kind != lexer.Punct {
+			continue
+		}
+		switch tk.Text {
+		case "(", "[", "{":
+			depth++
+		case ")", "]", "}":
+			depth--
+			if depth == 0 {
+				goto scanned
+			}
+		}
+	}
+	return nil, false
+scanned:
+	if i+1 >= len(p.toks) {
+		return nil, false
+	}
+	if n := p.toks[i+1]; !(n.Kind == lexer.Punct && n.Text == "=>") {
+		return nil, false
+	}
+	f := &ast.FuncLit{IsArrow: true, RestIdx: -1, Loc: t.Loc}
+	p.parseParams(f)
+	p.expectPunct("=>")
+	p.arrowBody(f)
+	return f, true
+}
+
+func (p *parser) arrowBody(f *ast.FuncLit) {
+	if p.atPunct("{") {
+		f.Body = p.blockStmt()
+		return
+	}
+	f.ExprBody = p.assignExpr()
+}
+
+func (p *parser) condExpr() ast.Expr {
+	cond := p.binaryExpr(0)
+	if !p.atPunct("?") {
+		return cond
+	}
+	q := p.next()
+	then := p.assignExpr()
+	p.expectPunct(":")
+	els := p.assignExpr()
+	return &ast.CondExpr{Cond: cond, Then: then, Else: els, Loc: q.Loc}
+}
+
+// binary operator precedence levels; higher binds tighter.
+var binPrec = map[string]int{
+	"??": 1,
+	"||": 2,
+	"&&": 3,
+	"|":  4,
+	"^":  5,
+	"&":  6,
+	"==": 7, "!=": 7, "===": 7, "!==": 7,
+	"<": 8, ">": 8, "<=": 8, ">=": 8, "in": 8, "instanceof": 8,
+	"<<": 9, ">>": 9, ">>>": 9,
+	"+": 10, "-": 10,
+	"*": 11, "/": 11, "%": 11,
+	"**": 12,
+}
+
+func (p *parser) binaryExpr(minPrec int) ast.Expr {
+	left := p.unaryExpr()
+	for {
+		t := p.peek()
+		var op string
+		switch {
+		case t.Kind == lexer.Punct && binPrec[t.Text] > 0:
+			op = t.Text
+		case t.Kind == lexer.Keyword && (t.Text == "in" || t.Text == "instanceof"):
+			op = t.Text
+		default:
+			return left
+		}
+		prec := binPrec[op]
+		if prec <= minPrec {
+			return left
+		}
+		p.next()
+		// ** is right-associative; everything else left-associative.
+		nextMin := prec
+		if op == "**" {
+			nextMin = prec - 1
+		}
+		right := p.binaryExpr(nextMin)
+		if op == "&&" || op == "||" || op == "??" {
+			left = &ast.LogicalExpr{Op: op, L: left, R: right, Loc: t.Loc}
+		} else {
+			left = &ast.BinaryExpr{Op: op, L: left, R: right, Loc: t.Loc}
+		}
+	}
+}
+
+func (p *parser) unaryExpr() ast.Expr {
+	t := p.peek()
+	if t.Kind == lexer.Punct {
+		switch t.Text {
+		case "!", "~", "+", "-":
+			p.next()
+			return &ast.UnaryExpr{Op: t.Text, X: p.unaryExpr(), Loc: t.Loc}
+		case "++", "--":
+			p.next()
+			x := p.unaryExpr()
+			return &ast.UpdateExpr{Op: t.Text, X: x, Prefix: true, Loc: t.Loc}
+		}
+	}
+	if t.Kind == lexer.Keyword {
+		switch t.Text {
+		case "typeof", "void", "delete":
+			p.next()
+			return &ast.UnaryExpr{Op: t.Text, X: p.unaryExpr(), Loc: t.Loc}
+		case "await":
+			// await is treated as a unary operator wherever it appears (a
+			// simplification: top-level await is legal here too).
+			p.next()
+			return &ast.UnaryExpr{Op: "await", X: p.unaryExpr(), Loc: t.Loc}
+		}
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() ast.Expr {
+	x := p.callExpr()
+	t := p.peek()
+	if t.Kind == lexer.Punct && (t.Text == "++" || t.Text == "--") && !t.NewlineBefore {
+		p.next()
+		return &ast.UpdateExpr{Op: t.Text, X: x, Prefix: false, Loc: t.Loc}
+	}
+	return x
+}
+
+// callExpr parses member/call chains.
+func (p *parser) callExpr() ast.Expr {
+	var x ast.Expr
+	if p.atKeyword("new") {
+		x = p.newExpr()
+	} else {
+		x = p.primaryExpr()
+	}
+	return p.callTail(x)
+}
+
+func (p *parser) callTail(x ast.Expr) ast.Expr {
+	for {
+		t := p.peek()
+		if t.Kind != lexer.Punct {
+			return x
+		}
+		switch t.Text {
+		case ".":
+			p.next()
+			name := p.propertyName()
+			x = &ast.MemberExpr{Obj: x, Prop: name, Loc: t.Loc}
+		case "[":
+			p.next()
+			idx := p.expression()
+			p.expectPunct("]")
+			x = &ast.MemberExpr{Obj: x, PropExpr: idx, Computed: true, Loc: t.Loc}
+		case "(":
+			args := p.arguments()
+			x = &ast.CallExpr{Callee: x, Args: args, Loc: t.Loc}
+		default:
+			return x
+		}
+	}
+}
+
+// propertyName consumes a property name after '.', allowing any keyword
+// (obj.delete, obj.in are legal in modern JS).
+func (p *parser) propertyName() string {
+	t := p.peek()
+	if t.Kind == lexer.Ident || t.Kind == lexer.Keyword {
+		p.next()
+		return t.Text
+	}
+	p.fail(t.Loc, "expected property name but found %s", t)
+	return ""
+}
+
+func (p *parser) arguments() []ast.Expr {
+	p.expectPunct("(")
+	var args []ast.Expr
+	for !p.atPunct(")") {
+		if p.atPunct("...") {
+			s := p.next()
+			args = append(args, &ast.SpreadExpr{X: p.assignExpr(), Loc: s.Loc})
+		} else {
+			args = append(args, p.assignExpr())
+		}
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	p.expectPunct(")")
+	return args
+}
+
+func (p *parser) newExpr() ast.Expr {
+	kw := p.expectKeyword("new")
+	// Parse the constructor as a member chain without call expressions so
+	// that `new a.b.C(x)` binds the arguments to the new-expression.
+	var callee ast.Expr
+	if p.atKeyword("new") {
+		callee = p.newExpr()
+	} else {
+		callee = p.primaryExpr()
+	}
+	for {
+		t := p.peek()
+		if t.Kind != lexer.Punct {
+			break
+		}
+		if t.Text == "." {
+			p.next()
+			callee = &ast.MemberExpr{Obj: callee, Prop: p.propertyName(), Loc: t.Loc}
+		} else if t.Text == "[" {
+			p.next()
+			idx := p.expression()
+			p.expectPunct("]")
+			callee = &ast.MemberExpr{Obj: callee, PropExpr: idx, Computed: true, Loc: t.Loc}
+		} else {
+			break
+		}
+	}
+	var args []ast.Expr
+	if p.atPunct("(") {
+		args = p.arguments()
+	}
+	return &ast.NewExpr{Callee: callee, Args: args, Loc: kw.Loc}
+}
+
+func (p *parser) primaryExpr() ast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.Number:
+		p.next()
+		return &ast.NumberLit{Value: t.Num, Raw: t.Text, Loc: t.Loc}
+	case lexer.String:
+		p.next()
+		return &ast.StringLit{Value: t.Str, Loc: t.Loc}
+	case lexer.Template:
+		p.next()
+		return p.templateLit(t)
+	case lexer.Regex:
+		p.next()
+		return &ast.RegexLit{Pattern: t.Str, Flags: t.Flags, Loc: t.Loc}
+	case lexer.Ident:
+		p.next()
+		return &ast.Ident{Name: t.Text, Loc: t.Loc}
+	case lexer.Keyword:
+		switch t.Text {
+		case "this":
+			p.next()
+			return &ast.ThisExpr{Loc: t.Loc}
+		case "true", "false":
+			p.next()
+			return &ast.BoolLit{Value: t.Text == "true", Loc: t.Loc}
+		case "null":
+			p.next()
+			return &ast.NullLit{Loc: t.Loc}
+		case "undefined":
+			p.next()
+			return &ast.UndefinedLit{Loc: t.Loc}
+		case "function":
+			return p.funcLit(false)
+		case "class":
+			expr, _ := p.classExpr()
+			return expr
+		case "async":
+			if n := p.peekAt(1); n.Kind == lexer.Keyword && n.Text == "function" && !n.NewlineBefore {
+				p.next()
+				fn := p.funcLit(false)
+				fn.IsAsync = true
+				return fn
+			}
+			// Plain identifier use of the contextual keyword.
+			p.next()
+			return &ast.Ident{Name: t.Text, Loc: t.Loc}
+		default:
+			if lexer.IsContextualKeyword(t.Text) {
+				p.next()
+				return &ast.Ident{Name: t.Text, Loc: t.Loc}
+			}
+		}
+	case lexer.Punct:
+		switch t.Text {
+		case "(":
+			p.next()
+			x := p.expression()
+			p.expectPunct(")")
+			return x
+		case "[":
+			return p.arrayLit()
+		case "{":
+			return p.objectLit()
+		}
+	}
+	p.fail(t.Loc, "unexpected token %s", t)
+	return nil
+}
+
+func (p *parser) arrayLit() ast.Expr {
+	open := p.expectPunct("[")
+	lit := &ast.ArrayLit{Loc: open.Loc}
+	for !p.atPunct("]") {
+		if p.atPunct(",") {
+			p.next()
+			lit.Elems = append(lit.Elems, nil) // hole
+			continue
+		}
+		if p.atPunct("...") {
+			s := p.next()
+			lit.Elems = append(lit.Elems, &ast.SpreadExpr{X: p.assignExpr(), Loc: s.Loc})
+		} else {
+			lit.Elems = append(lit.Elems, p.assignExpr())
+		}
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	p.expectPunct("]")
+	return lit
+}
+
+func (p *parser) objectLit() ast.Expr {
+	open := p.expectPunct("{")
+	lit := &ast.ObjectLit{Loc: open.Loc}
+	for !p.atPunct("}") {
+		lit.Props = append(lit.Props, p.objectProp())
+		if !p.eatPunct(",") {
+			break
+		}
+	}
+	p.expectPunct("}")
+	return lit
+}
+
+func (p *parser) objectProp() *ast.Property {
+	t := p.peek()
+	prop := &ast.Property{Loc: t.Loc}
+
+	// get/set accessor: "get" or "set" followed by a key (not ':'/'('/',').
+	if t.Kind == lexer.Keyword && (t.Text == "get" || t.Text == "set") {
+		n := p.peekAt(1)
+		isAccessor := n.Kind == lexer.Ident || n.Kind == lexer.String ||
+			n.Kind == lexer.Number || (n.Kind == lexer.Punct && n.Text == "[") ||
+			(n.Kind == lexer.Keyword && n.Text != "in" && n.Text != "instanceof")
+		if isAccessor {
+			p.next()
+			if t.Text == "get" {
+				prop.Kind = ast.GetterProp
+			} else {
+				prop.Kind = ast.SetterProp
+			}
+			p.propKey(prop)
+			f := &ast.FuncLit{Loc: p.peek().Loc, RestIdx: -1}
+			p.parseParams(f)
+			f.Body = p.blockStmt()
+			prop.Value = f
+			return prop
+		}
+	}
+
+	p.propKey(prop)
+
+	switch {
+	case p.atPunct(":"):
+		p.next()
+		prop.Value = p.assignExpr()
+	case p.atPunct("("):
+		// method shorthand: key(params) { body }
+		f := &ast.FuncLit{Name: prop.Key, Loc: prop.Loc, RestIdx: -1}
+		p.parseParams(f)
+		f.Body = p.blockStmt()
+		prop.Value = f
+	default:
+		// shorthand { key }
+		if prop.Computed != nil {
+			p.fail(prop.Loc, "computed key requires a value")
+		}
+		prop.Value = &ast.Ident{Name: prop.Key, Loc: prop.Loc}
+	}
+	return prop
+}
+
+func (p *parser) propKey(prop *ast.Property) {
+	t := p.peek()
+	switch {
+	case t.Kind == lexer.Ident || t.Kind == lexer.Keyword:
+		p.next()
+		prop.Key = t.Text
+	case t.Kind == lexer.String:
+		p.next()
+		prop.Key = t.Str
+	case t.Kind == lexer.Number:
+		p.next()
+		prop.Key = trimFloat(t.Num)
+	case t.Kind == lexer.Punct && t.Text == "[":
+		p.next()
+		prop.Computed = p.assignExpr()
+		p.expectPunct("]")
+	default:
+		p.fail(t.Loc, "expected property key but found %s", t)
+	}
+}
+
+// templateLit splits a raw template body into quasis and interpolated
+// expressions and sub-parses the expressions with location-corrected
+// lexers so allocation sites inside interpolations remain meaningful.
+func (p *parser) templateLit(t lexer.Token) ast.Expr {
+	lit := &ast.TemplateLit{Loc: t.Loc}
+	raw := t.Str
+	// Content begins one column after the backtick.
+	line, col := t.Loc.Line, t.Loc.Col+1
+	var quasi strings.Builder
+	i := 0
+	bump := func(c byte) {
+		if c == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	for i < len(raw) {
+		c := raw[i]
+		if c == '\\' && i+1 < len(raw) {
+			switch raw[i+1] {
+			case 'n':
+				quasi.WriteByte('\n')
+			case 't':
+				quasi.WriteByte('\t')
+			case 'r':
+				quasi.WriteByte('\r')
+			case '`':
+				quasi.WriteByte('`')
+			case '$':
+				quasi.WriteByte('$')
+			case '\\':
+				quasi.WriteByte('\\')
+			default:
+				quasi.WriteByte(raw[i+1])
+			}
+			bump(raw[i])
+			bump(raw[i+1])
+			i += 2
+			continue
+		}
+		if c == '$' && i+1 < len(raw) && raw[i+1] == '{' {
+			lit.Quasis = append(lit.Quasis, quasi.String())
+			quasi.Reset()
+			bump('$')
+			bump('{')
+			i += 2
+			// find matching close brace
+			depth := 1
+			start := i
+			startLine, startCol := line, col
+			for i < len(raw) && depth > 0 {
+				switch raw[i] {
+				case '{':
+					depth++
+				case '}':
+					depth--
+					if depth == 0 {
+						goto closed
+					}
+				}
+				bump(raw[i])
+				i++
+			}
+			p.fail(t.Loc, "unterminated template interpolation")
+		closed:
+			sub := raw[start:i]
+			expr, err := parseSubExpr(p.file, sub, startLine, startCol)
+			if err != nil {
+				panic(bailout{&Error{t.Loc, "in template interpolation: " + err.Error()}})
+			}
+			lit.Exprs = append(lit.Exprs, expr)
+			bump('}')
+			i++
+			continue
+		}
+		quasi.WriteByte(c)
+		bump(c)
+		i++
+	}
+	lit.Quasis = append(lit.Quasis, quasi.String())
+	return lit
+}
+
+// parseSubExpr parses an expression embedded at a known position within a
+// file by padding the source so the lexer reports correct locations.
+func parseSubExpr(file, src string, line, col int) (ast.Expr, error) {
+	pad := strings.Repeat("\n", line-1) + strings.Repeat(" ", col-1)
+	return ParseExpr(file, pad+src)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}

@@ -1,0 +1,513 @@
+package static
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/callgraph"
+	"repro/internal/hints"
+	"repro/internal/loc"
+	"repro/internal/modules"
+	"repro/internal/parser"
+)
+
+// Mode selects how hints are consumed.
+type Mode int
+
+// Analysis modes.
+const (
+	// Baseline ignores dynamic property reads and writes entirely (the
+	// pragmatic-but-unsound approach of WALA/JAM, paper §1).
+	Baseline Mode = iota
+	// WithHints adds the [DPR] and [DPW] rules of §4, injecting the hints
+	// produced by approximate interpretation.
+	WithHints
+	// AblationNameOnly implements the §4 strawman: dynamic property writes
+	// are treated as static writes of each observed property name, without
+	// the relational base/value pairing, demonstrating the precision loss.
+	AblationNameOnly
+)
+
+// Options configures an analysis run.
+type Options struct {
+	Mode  Mode
+	Hints *hints.Hints // required unless Mode == Baseline
+	// DisableDPR turns off the read-hint rule while keeping [DPW]
+	// (used for the Table 2 benchmark marked *, where [dpr] caused OOM).
+	DisableDPR bool
+	// DisableModuleHints turns off dynamic-module-load hint consumption.
+	DisableModuleHints bool
+	// EvalHints enables the §6 "dynamically generated code" extension:
+	// program text observed at eval sites during approximate
+	// interpretation is parsed and analyzed as additional code in the
+	// scope of the module that ran it.
+	EvalHints bool
+	// UnknownArgHints enables the §6 "unknown function arguments"
+	// extension: dynamic reads observed on the proxy value with concrete
+	// property names are treated as static reads of those names. Applied
+	// only at read sites without ℋ_R entries, per the paper ("this kind of
+	// hint should only be produced when no hints would otherwise be
+	// produced").
+	UnknownArgHints bool
+}
+
+// Result is the outcome of a static analysis run.
+type Result struct {
+	Graph *callgraph.Graph
+	// MainEntries are the module functions of the main package, the
+	// reachability roots of §5's reachable-functions metric.
+	MainEntries []callgraph.FuncID
+	// NumVars and NumTokens describe constraint-system size.
+	NumVars   int
+	NumTokens int
+	// AnalyzedModules is the number of modules in the whole-program view.
+	AnalyzedModules int
+	Duration        time.Duration
+}
+
+// Metrics computes the paper's §5 call-graph metrics for this result.
+func (r *Result) Metrics() callgraph.Metrics { return r.Graph.ComputeMetrics(r.MainEntries) }
+
+// ------------------------------------------------------------------- tokens
+
+type tokenKind int
+
+const (
+	tokObject   tokenKind = iota // object/array literal, new site, Object.create site
+	tokFunction                  // user function definition
+	tokProto                     // the implicit .prototype object of a user function
+	tokNative                    // built-in function or namespace
+	tokModule                    // a module object (per module)
+	tokExports                   // the initial exports object (per module)
+)
+
+type tokenInfo struct {
+	kind tokenKind
+	site loc.Loc      // allocation site (valid for tokObject/tokFunction)
+	fn   *ast.FuncLit // for tokFunction
+	name string       // for tokNative: the behavior name ("Array.prototype.forEach")
+	path string       // for tokModule/tokExports
+}
+
+type propKey struct {
+	t    Token
+	prop string
+}
+
+type loadKey struct {
+	t    Token
+	prop string
+	dst  Var
+}
+
+// fnInfo holds the constraint variables of one user function.
+type fnInfo struct {
+	decl     *ast.FuncLit
+	params   []Var
+	restIdx  int
+	ret      Var // what return statements produce
+	out      Var // what calls receive (== ret, or a promise for async fns)
+	this     Var
+	argsTok  Token
+	argsElem Var // $elem of the arguments object
+	restElem Var // $elem of the rest-parameter array (if any)
+
+	generated bool // body constraints emitted
+}
+
+// frame is a lexical scope during constraint generation.
+type frame struct {
+	vars    map[string]Var
+	parent  *frame
+	thisVar Var
+	fn      *fnInfo // nil at module level
+}
+
+func (f *frame) lookup(name string) (Var, bool) {
+	for cur := f; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// analyzer carries all analysis state.
+type analyzer struct {
+	project *modules.Project
+	opts    Options
+	s       *solver
+
+	progs map[string]*ast.Program
+
+	tokens    []tokenInfo
+	siteToken map[loc.Loc]Token
+	fnToken   map[*ast.FuncLit]Token
+	natives   map[string]Token
+
+	propVars  map[propKey]Var
+	protoVars map[Token]Var
+	fnInfos   map[Token]*fnInfo
+	loadSeen  map[loadKey]bool
+
+	globals map[string]Var
+
+	moduleExports map[string]Var // path → ⟦moduleTok.exports⟧
+	moduleFrames  map[string]*frame
+
+	// dynReads maps each dynamic read site ℓ to its result variable (the
+	// [DPR] injection point).
+	dynReads map[loc.Loc]Var
+	// dynReadBases maps each dynamic read site to its base-expression
+	// variable (used by the §6 unknown-argument extension).
+	dynReadBases map[loc.Loc]Var
+	// dynWrites maps each dynamic write site to its base/value variables
+	// (used by the name-only ablation).
+	dynWrites map[loc.Loc]dynWriteInfo
+	// requireLits maps require call sites to their literal module
+	// specifier ("" when the specifier is dynamically computed).
+	requireLits map[loc.Loc]string
+	// siteModule maps call sites to the module containing them (for
+	// require resolution).
+	siteModule map[loc.Loc]string
+
+	cg *callgraph.Graph
+
+	// tokenBehaviors lets natives create site-specific callable tokens
+	// (e.g. a Promise executor's resolve function, whose argument flows
+	// into that particular promise's payload).
+	tokenBehaviors map[Token]func(site loc.Loc, argVars []Var, result Var)
+
+	curModule string
+	curFn     callgraph.FuncID
+
+	// commonly used native prototype tokens
+	objectProto, arrayProto, functionProto Token
+}
+
+// Analyze runs the static analysis on a whole program (the project plus
+// transitively required built-in modules).
+func Analyze(project *modules.Project, opts Options) (*Result, error) {
+	if opts.Mode != Baseline && opts.Hints == nil {
+		return nil, fmt.Errorf("static: mode %d requires hints", opts.Mode)
+	}
+	start := time.Now()
+	a := &analyzer{
+		project:        project,
+		opts:           opts,
+		s:              newSolver(),
+		progs:          map[string]*ast.Program{},
+		siteToken:      map[loc.Loc]Token{},
+		fnToken:        map[*ast.FuncLit]Token{},
+		natives:        map[string]Token{},
+		propVars:       map[propKey]Var{},
+		protoVars:      map[Token]Var{},
+		fnInfos:        map[Token]*fnInfo{},
+		loadSeen:       map[loadKey]bool{},
+		globals:        map[string]Var{},
+		moduleExports:  map[string]Var{},
+		moduleFrames:   map[string]*frame{},
+		dynReads:       map[loc.Loc]Var{},
+		dynReadBases:   map[loc.Loc]Var{},
+		dynWrites:      map[loc.Loc]dynWriteInfo{},
+		requireLits:    map[loc.Loc]string{},
+		siteModule:     map[loc.Loc]string{},
+		tokenBehaviors: map[Token]func(loc.Loc, []Var, Var){},
+		cg:             callgraph.New(),
+	}
+	a.setupNativeTokens()
+	if err := a.collectModules(); err != nil {
+		return nil, err
+	}
+
+	// Generate constraints for every module, in deterministic order.
+	paths := make([]string, 0, len(a.progs))
+	for p := range a.progs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		a.genModule(path, a.progs[path])
+	}
+
+	// §6 extension: analyze dynamically generated code observed by the
+	// pre-analysis as additional code of its module.
+	if opts.EvalHints && opts.Hints != nil {
+		a.genEvalHints()
+	}
+
+	// Inject hints (the [DPR]/[DPW] rules of §4).
+	a.injectHints()
+
+	// Solve to fixpoint.
+	a.s.solve()
+
+	var entries []callgraph.FuncID
+	for _, path := range paths {
+		if project.IsMainModule(path) {
+			entries = append(entries, callgraph.ModuleFunc(path))
+		}
+	}
+
+	return &Result{
+		Graph:           a.cg,
+		MainEntries:     entries,
+		NumVars:         a.s.numVars(),
+		NumTokens:       len(a.tokens),
+		AnalyzedModules: len(a.progs),
+		Duration:        time.Since(start),
+	}, nil
+}
+
+type dynWriteInfo struct {
+	base  Var
+	value Var
+}
+
+// genEvalHints parses each observed eval-code string and generates its
+// constraints in the lexical frame of the module that executed it, so
+// references to module-scope variables (exports, local functions, …)
+// resolve as in direct eval.
+func (a *analyzer) genEvalHints() {
+	for i, e := range a.opts.Hints.EvalHints() {
+		fr, ok := a.moduleFrames[e.Module]
+		if !ok {
+			continue
+		}
+		file := fmt.Sprintf("%s#evalhint%d", e.Module, i)
+		prog, err := parser.Parse(file, e.Source)
+		if err != nil {
+			continue // unparsable generated code is skipped
+		}
+		savedModule, savedFn := a.curModule, a.curFn
+		a.curModule = e.Module
+		a.curFn = callgraph.ModuleFunc(e.Module)
+		a.hoistInto(prog.Body, fr)
+		for _, st := range prog.Body {
+			a.genStmt(st, fr)
+		}
+		a.curModule, a.curFn = savedModule, savedFn
+	}
+}
+
+// collectModules parses every project file plus the transitive closure of
+// statically resolvable built-in module requires (whole-program analysis).
+func (a *analyzer) collectModules() error {
+	var queue []string
+	for _, path := range a.project.SortedPaths() {
+		queue = append(queue, path)
+	}
+	seen := map[string]bool{}
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if seen[path] {
+			continue
+		}
+		seen[path] = true
+		src, ok := a.project.Files[path]
+		if !ok {
+			src = modules.NodeLibSource(path)
+			if src == "" {
+				continue
+			}
+		}
+		prog, err := parser.Parse(path, src)
+		if err != nil {
+			return fmt.Errorf("static: parsing %s: %w", path, err)
+		}
+		a.progs[path] = prog
+		// Discover statically required modules.
+		ast.Walk(prog, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Callee.(*ast.Ident)
+			if !ok || id.Name != "require" || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.StringLit)
+			if !ok {
+				return true
+			}
+			if target, err := modules.Resolve(a.project, path, lit.Value); err == nil {
+				if !seen[target] {
+					queue = append(queue, target)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ------------------------------------------------------------ token helpers
+
+func (a *analyzer) newToken(info tokenInfo) Token {
+	a.tokens = append(a.tokens, info)
+	return Token(len(a.tokens) - 1)
+}
+
+// allocToken returns the token for an allocation site, creating it if
+// needed.
+func (a *analyzer) allocToken(site loc.Loc, kind tokenKind) Token {
+	if t, ok := a.siteToken[site]; ok {
+		return t
+	}
+	t := a.newToken(tokenInfo{kind: kind, site: site})
+	a.siteToken[site] = t
+	return t
+}
+
+// funcToken returns the token for a user function definition, creating its
+// prototype object and default prototype wiring on first use.
+func (a *analyzer) funcToken(f *ast.FuncLit) Token {
+	if t, ok := a.fnToken[f]; ok {
+		return t
+	}
+	t := a.newToken(tokenInfo{kind: tokFunction, site: f.Loc, fn: f})
+	a.fnToken[f] = t
+	a.siteToken[f.Loc] = t
+	a.cg.AddFunc(f.Loc)
+	// Implicit F.prototype object (not for arrows).
+	if !f.IsArrow {
+		proto := a.newToken(tokenInfo{kind: tokProto, site: f.Loc})
+		a.s.addToken(a.propVar(t, "prototype"), proto)
+		a.s.addToken(a.propVar(proto, "constructor"), t)
+		a.s.addToken(a.protoVar(proto), a.objectProto)
+	}
+	a.s.addToken(a.protoVar(t), a.functionProto)
+	return t
+}
+
+func (a *analyzer) nativeToken(name string) Token {
+	if t, ok := a.natives[name]; ok {
+		return t
+	}
+	t := a.newToken(tokenInfo{kind: tokNative, name: name})
+	a.natives[name] = t
+	return t
+}
+
+// propVar returns ⟦t.prop⟧.
+func (a *analyzer) propVar(t Token, prop string) Var {
+	key := propKey{t, prop}
+	if v, ok := a.propVars[key]; ok {
+		return v
+	}
+	v := a.s.newVar()
+	a.propVars[key] = v
+	return v
+}
+
+// protoVar returns the variable holding t's prototype objects.
+func (a *analyzer) protoVar(t Token) Var {
+	if v, ok := a.protoVars[t]; ok {
+		return v
+	}
+	v := a.s.newVar()
+	a.protoVars[t] = v
+	return v
+}
+
+// fnInfoFor returns (creating on demand) the variables of a user function.
+func (a *analyzer) fnInfoFor(t Token) *fnInfo {
+	if fi, ok := a.fnInfos[t]; ok {
+		return fi
+	}
+	f := a.tokens[t].fn
+	fi := &fnInfo{
+		decl:    f,
+		restIdx: f.RestIdx,
+		ret:     a.s.newVar(),
+		this:    a.s.newVar(),
+	}
+	if f.IsAsync {
+		// Calls to async functions receive a promise whose payload is the
+		// function's return values.
+		promiseTok := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
+		a.s.addToken(a.protoVar(promiseTok), a.nativeToken("Promise.prototype"))
+		a.s.addEdge(fi.ret, a.propVar(promiseTok, "$promiseval"))
+		fi.out = a.s.newVar()
+		a.s.addToken(fi.out, promiseTok)
+	} else {
+		fi.out = fi.ret
+	}
+	for range f.Params {
+		fi.params = append(fi.params, a.s.newVar())
+	}
+	// arguments object token and element var.
+	argsTok := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
+	fi.argsElem = a.propVar(argsTok, "$elem")
+	a.s.addToken(a.protoVar(argsTok), a.arrayProto)
+	fi.argsTok = argsTok
+	if f.RestIdx >= 0 {
+		restTok := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
+		fi.restElem = a.propVar(restTok, "$elem")
+		a.s.addToken(a.protoVar(restTok), a.arrayProto)
+		a.s.addToken(fi.params[f.RestIdx], restTok)
+	}
+	a.fnInfos[t] = fi
+	return fi
+}
+
+// globalVar returns the (shared) binding variable of a global name.
+func (a *analyzer) globalVar(name string) Var {
+	if v, ok := a.globals[name]; ok {
+		return v
+	}
+	v := a.s.newVar()
+	a.globals[name] = v
+	return v
+}
+
+// dynReadVar returns the result variable for a dynamic read site.
+func (a *analyzer) dynReadVar(site loc.Loc) Var {
+	if v, ok := a.dynReads[site]; ok {
+		return v
+	}
+	v := a.s.newVar()
+	a.dynReads[site] = v
+	return v
+}
+
+// ----------------------------------------------------------- load and store
+
+// addLoad adds the constraint that reads of prop on every object in
+// ⟦base⟧ (following prototype chains) flow into dst.
+func (a *analyzer) addLoad(base Var, prop string, dst Var) {
+	a.s.onToken(base, func(t Token) { a.loadFromToken(t, prop, dst) })
+}
+
+func (a *analyzer) loadFromToken(t Token, prop string, dst Var) {
+	key := loadKey{t, prop, dst}
+	if a.loadSeen[key] {
+		return
+	}
+	a.loadSeen[key] = true
+	info := a.tokens[t]
+	if info.kind == tokNative && nativeHasMember(info.name, prop) {
+		// Property reads on natives yield native member tokens (Math.floor,
+		// Array.prototype.forEach, …), created lazily. Prototype tokens
+		// only expose their actual members — otherwise every unresolved
+		// property read on a user object would spuriously "resolve" via
+		// the Object.prototype fallthrough.
+		a.s.addToken(dst, a.nativeToken(info.name+"."+prop))
+	}
+	a.s.addEdge(a.propVar(t, prop), dst)
+	// Prototype chain.
+	a.s.onToken(a.protoVar(t), func(pt Token) { a.loadFromToken(pt, prop, dst) })
+}
+
+// addStore adds the constraint ⟦val⟧ ⊆ ⟦t.prop⟧ for every t in ⟦base⟧.
+func (a *analyzer) addStore(base Var, prop string, val Var) {
+	a.s.onToken(base, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return // writes to natives are not tracked
+		}
+		a.s.addEdge(val, a.propVar(t, prop))
+	})
+}

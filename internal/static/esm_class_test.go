@@ -1,0 +1,105 @@
+package static
+
+import (
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/loc"
+	"repro/internal/modules"
+)
+
+func TestESMImportsResolveStatically(t *testing.T) {
+	project := &modules.Project{
+		Name: "esm",
+		Files: map[string]string{
+			"/app/lib.js": `export function greet(name) { return "hi " + name; }
+export default function main() { return greet("x"); }
+`,
+			"/app/index.js": `import main from './lib';
+import {greet} from './lib';
+main();
+greet("y");
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Analyze(project, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainFn := loc.Loc{File: "/app/lib.js", Line: 2, Col: 16}
+	greetFn := loc.Loc{File: "/app/lib.js", Line: 1, Col: 8}
+	mustEdge(t, res, loc.Loc{File: "/app/index.js", Line: 3, Col: 5}, mainFn, "default import call")
+	mustEdge(t, res, loc.Loc{File: "/app/index.js", Line: 4, Col: 6}, greetFn, "named import call")
+}
+
+func TestClassHierarchyStatic(t *testing.T) {
+	// Classes desugar to prototype code the analysis already handles:
+	// method calls resolve through the synthesized prototype chain,
+	// including inherited methods.
+	res := analyzeSrc(t, `class Base {
+  shared() { return 1; }
+}
+class Child extends Base {
+  own() { return 2; }
+}
+var c = new Child();
+c.own();
+c.shared();
+`)
+	ownFn := at(5, 3)
+	sharedFn := at(2, 3)
+	mustEdge(t, res, at(8, 6), ownFn, "own class method")
+	mustEdge(t, res, at(9, 9), sharedFn, "inherited class method")
+}
+
+func TestClassWithDynamicPatternAndHints(t *testing.T) {
+	// A class whose instances get dynamically installed handlers: baseline
+	// misses the dispatch; hints recover it — classes flow through the
+	// whole pipeline.
+	project := &modules.Project{
+		Name: "classdyn",
+		Files: map[string]string{
+			"/app/index.js": `class Registry {
+  constructor() {
+    this.table = {};
+  }
+  register(name, fn) {
+    this.table["h$" + name] = fn;
+  }
+  dispatch(name, x) {
+    var h = this.table["h$" + name];
+    return h(x);
+  }
+}
+var r = new Registry();
+r.register("a", function handlerA(x) { return x; });
+r.dispatch("a", 1);
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(project, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hCall := at(10, 13)
+	handlerA := at(14, 17)
+	if base.Graph.HasEdge(hCall, handlerA) {
+		t.Error("baseline should miss the class-dispatch edge")
+	}
+	if !ext.Graph.HasEdge(hCall, handlerA) {
+		t.Errorf("hints must recover the class-dispatch edge; targets: %v",
+			ext.Graph.Targets(hCall))
+	}
+}

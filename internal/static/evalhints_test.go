@@ -1,0 +1,120 @@
+package static
+
+import (
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/loc"
+	"repro/internal/modules"
+)
+
+// evalCodeProject builds APIs through eval'd *static* property writes.
+// Plain write hints cannot capture them (only dynamic writes produce
+// hints); the §6 "dynamically generated code" extension analyzes the
+// observed program text instead.
+func evalCodeProject() *modules.Project {
+	return &modules.Project{
+		Name: "evalcode",
+		Files: map[string]string{
+			"/node_modules/gen/index.js": `function makeThing() {
+  return { kind: "thing" };
+}
+var code = "exports.a" + "pi = makeThing;";
+eval(code);
+`,
+			"/app/index.js": `var gen = require('gen');
+var thing = gen.api();
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+func TestEvalCodeHints(t *testing.T) {
+	project := evalCodeProject()
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := ar.Hints.EvalHints()
+	if len(evals) != 1 {
+		t.Fatalf("eval hints = %v", evals)
+	}
+	if evals[0].Module != "/node_modules/gen/index.js" || evals[0].Source != "exports.api = makeThing;" {
+		t.Fatalf("eval hint = %+v", evals[0])
+	}
+
+	apiCall := loc.Loc{File: "/app/index.js", Line: 2, Col: 20}
+	makeThing := loc.Loc{File: "/node_modules/gen/index.js", Line: 1, Col: 1}
+
+	// The ordinary extended analysis misses the edge: the write in the
+	// eval'd code is static, so no ℋ_W hint exists.
+	plain, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Graph.HasEdge(apiCall, makeThing) {
+		t.Error("edge should be missing without the eval-code extension")
+	}
+
+	// With the extension the eval'd text is analyzed as module code.
+	ext, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints, EvalHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Graph.HasEdge(apiCall, makeThing) {
+		t.Errorf("eval-code extension should resolve gen.api(); targets: %v",
+			ext.Graph.Targets(apiCall))
+	}
+}
+
+func TestEvalCodeHintsUnparsableSkipped(t *testing.T) {
+	project := &modules.Project{
+		Name: "evalbroken",
+		Files: map[string]string{
+			"/app/index.js": `var ok = true;
+try { eval("var = broken"); } catch (e) { ok = e.name === "SyntaxError"; }
+eval("workingGlobal = 1;");
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ar.Hints.EvalHints()) != 2 {
+		t.Fatalf("eval hints = %v", ar.Hints.EvalHints())
+	}
+	// The broken hint must not fail the analysis.
+	if _, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints, EvalHints: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalCodeHintsMonotone(t *testing.T) {
+	// Eval-code analysis only adds constraints: the extended graph is a
+	// supergraph of the plain one.
+	project := evalCodeProject()
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints, EvalHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for site, targets := range plain.Graph.Edges {
+		for target := range targets {
+			if !ext.Graph.HasEdge(site, target) {
+				t.Errorf("eval-code extension removed edge %v → %v", site, target)
+			}
+		}
+	}
+}

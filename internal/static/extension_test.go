@@ -1,0 +1,123 @@
+package static
+
+import (
+	"testing"
+
+	"repro/internal/approx"
+	"repro/internal/loc"
+	"repro/internal/modules"
+)
+
+// unknownArgProject exercises the §6 "unknown function arguments"
+// extension: a library accessor reads a computed property of its argument.
+// Forced execution only ever sees the argument as p*, so no ℋ_R hint can
+// be produced — but the property name is concrete, so a property-name hint
+// lets the static analysis treat the read as a static one. The application
+// call site sits behind a branch that concrete loading never takes, so the
+// static dataflow is the only source of base objects.
+func unknownArgProject() *modules.Project {
+	return &modules.Project{
+		Name: "unknown-args",
+		Files: map[string]string{
+			"/node_modules/accessor/index.js": `exports.getName = function getName(o) {
+  var key = "na" + "me";
+  var f = o[key];
+  return f();
+};
+`,
+			"/app/index.js": `var accessor = require('accessor');
+var user = {
+  name: function userName() { return "u"; }
+};
+if (process.env.RUN_LATER) {
+  accessor.getName(user);
+}
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+func TestUnknownArgHints(t *testing.T) {
+	project := unknownArgProject()
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forcing getName with o = p* must yield the property-name hint.
+	readSite := loc.Loc{File: "/node_modules/accessor/index.js", Line: 3, Col: 12}
+	names := ar.Hints.PropReadNames(readSite)
+	if len(names) != 1 || names[0] != "name" {
+		t.Fatalf("prop-read hints at %v = %v, want [name]; all: %v",
+			readSite, names, ar.Hints.PropReadSites())
+	}
+	// No ℋ_R hint exists for that site (the base was never concrete).
+	if len(ar.Hints.Reads[readSite]) != 0 {
+		t.Fatalf("unexpected ℋ_R entries: %v", ar.Hints.ReadValues(readSite))
+	}
+
+	fCall := loc.Loc{File: "/node_modules/accessor/index.js", Line: 4, Col: 11}
+	userName := loc.Loc{File: "/app/index.js", Line: 3, Col: 9}
+
+	// Without the extension the call is unresolved…
+	plain, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Graph.HasEdge(fCall, userName) {
+		t.Error("edge should be missing without the §6 extension")
+	}
+	// …with it, the dynamic read acts as a static read of "name".
+	extended, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints, UnknownArgHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !extended.Graph.HasEdge(fCall, userName) {
+		t.Errorf("§6 extension should resolve f(); targets: %v", extended.Graph.Targets(fCall))
+	}
+}
+
+func TestUnknownArgHintsYieldToRealReadHints(t *testing.T) {
+	// Where a real ℋ_R hint exists for a site, the §6 property-name hints
+	// must not apply (the paper: "only … when no hints would otherwise be
+	// produced").
+	project := &modules.Project{
+		Name: "mixed-reads",
+		Files: map[string]string{
+			"/app/index.js": `var table = {};
+table["real"] = function realFn() { return 1; };
+function fetch(t, k) {
+  return t["re" + "al"];
+}
+var viaConcrete = fetch(table, "x");
+exports.fetch = fetch;
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	readSite := loc.Loc{File: "/app/index.js", Line: 4, Col: 11}
+	if len(ar.Hints.Reads[readSite]) == 0 {
+		t.Fatalf("expected a concrete ℋ_R hint at %v", readSite)
+	}
+	// Forcing fetch separately also observed t = p*; but since an ℋ_R
+	// entry exists, the property-name hints are not consumed — results are
+	// identical with and without the extension flag.
+	with, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints, UnknownArgHints: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Graph.NumEdges() != without.Graph.NumEdges() {
+		t.Errorf("extension changed a site covered by ℋ_R: %d vs %d edges",
+			with.Graph.NumEdges(), without.Graph.NumEdges())
+	}
+}

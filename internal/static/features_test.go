@@ -1,0 +1,214 @@
+package static
+
+import (
+	"testing"
+
+	"repro/internal/loc"
+	"repro/internal/modules"
+)
+
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	project := &modules.Project{
+		Name:        "feature",
+		Files:       map[string]string{"/app/index.js": src},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Analyze(project, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func mustEdge(t *testing.T, res *Result, site, fn loc.Loc, what string) {
+	t.Helper()
+	if !res.Graph.HasEdge(site, fn) {
+		t.Errorf("%s: missing edge %v → %v; targets: %v", what, site, fn, res.Graph.Targets(site))
+	}
+}
+
+func at(line, col int) loc.Loc { return loc.Loc{File: "/app/index.js", Line: line, Col: col} }
+
+func TestUtilInheritsResolvedStatically(t *testing.T) {
+	// util.inherits is JS code (node:util): ctor.prototype =
+	// Object.create(superCtor.prototype, …) — the baseline resolves
+	// inherited methods through it with no hints at all.
+	res := analyzeSrc(t, `var EventEmitter = require('events');
+var util = require('util');
+function Widget() { EventEmitter.call(this); }
+util.inherits(Widget, EventEmitter);
+Widget.prototype.own = function ownMethod() { return 1; };
+var w = new Widget();
+w.own();
+w.on('evt', function listener() {});
+`)
+	mustEdge(t, res, at(7, 6), at(5, 24), "own method")
+	// w.on resolves to EventEmitter.prototype.on in node:events.
+	onFn := loc.Loc{File: "node:events", Line: 5, Col: 29}
+	mustEdge(t, res, at(8, 5), onFn, "inherited on()")
+}
+
+func TestReturnedObjectMethods(t *testing.T) {
+	res := analyzeSrc(t, `function make() {
+  return {
+    run: function runIt() { return 1; }
+  };
+}
+var m = make();
+m.run();
+`)
+	mustEdge(t, res, at(7, 6), at(3, 10), "method of returned literal")
+}
+
+func TestArgumentsObjectFlow(t *testing.T) {
+	res := analyzeSrc(t, `function pick() {
+  var f = arguments[0];
+  return f;
+}
+function target() { return 9; }
+var g = pick(target);
+g();
+`)
+	// arguments[0] is a *dynamic* read: the baseline does NOT resolve g()
+	// — this unsoundness is intentional (hints would recover it).
+	gCall := at(7, 2)
+	if len(res.Graph.Targets(gCall)) != 0 {
+		t.Errorf("baseline should not see through arguments[i]: %v", res.Graph.Targets(gCall))
+	}
+}
+
+func TestRestParamsFlow(t *testing.T) {
+	res := analyzeSrc(t, `function spread(...fns) {
+  fns.forEach(function invoke(f) { f(); });
+}
+function target() { return 1; }
+spread(target);
+`)
+	// f() inside invoke resolves: target → rest array $elem → forEach
+	// callback param.
+	fCall := at(2, 37)
+	target := at(4, 1)
+	mustEdge(t, res, fCall, target, "rest-param element call")
+}
+
+func TestNewReturnsExplicitObject(t *testing.T) {
+	res := analyzeSrc(t, `function F() {
+  return { m: function viaReturn() { return 2; } };
+}
+var o = new F();
+o.m();
+`)
+	mustEdge(t, res, at(5, 4), at(2, 15), "constructor returning object")
+}
+
+func TestConditionalAndLogicalFlows(t *testing.T) {
+	res := analyzeSrc(t, `function a() {}
+function b() {}
+var pick = (1 < 2) ? a : b;
+pick();
+var def = null || a;
+def();
+`)
+	mustEdge(t, res, at(4, 5), at(1, 1), "ternary then-branch")
+	mustEdge(t, res, at(4, 5), at(2, 1), "ternary else-branch")
+	mustEdge(t, res, at(6, 4), at(1, 1), "logical fallback")
+}
+
+func TestIIFEAndClosureReturn(t *testing.T) {
+	res := analyzeSrc(t, `var counter = (function() {
+  var n = 0;
+  return function bump() { n++; return n; };
+})();
+counter();
+`)
+	mustEdge(t, res, at(5, 8), at(3, 10), "IIFE-returned closure")
+	// The IIFE itself is also an edge.
+	mustEdge(t, res, at(4, 3), at(1, 16), "IIFE call")
+}
+
+func TestExportsAliasing(t *testing.T) {
+	// `exports = module.exports = f` and later `exports.other = g`: the
+	// reassigned exports binding must carry both.
+	project := &modules.Project{
+		Name: "alias",
+		Files: map[string]string{
+			"/app/lib.js": `exports = module.exports = main;
+function main() { return 1; }
+exports.other = function other() { return 2; };
+`,
+			"/app/index.js": `var lib = require('./lib');
+lib();
+lib.other();
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Analyze(project, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainFn := loc.Loc{File: "/app/lib.js", Line: 2, Col: 1}
+	otherFn := loc.Loc{File: "/app/lib.js", Line: 3, Col: 17}
+	mustEdge(t, res, at(2, 4), mainFn, "module.exports function call")
+	mustEdge(t, res, at(3, 10), otherFn, "property on reassigned exports")
+}
+
+func TestMethodShorthandAndAccessorApproximation(t *testing.T) {
+	res := analyzeSrc(t, `var o = {
+  m(x) { return x; },
+  get g() { return 1; }
+};
+o.m(1);
+var v = o.g;
+`)
+	mustEdge(t, res, at(5, 4), at(2, 3), "method shorthand")
+	// Accessors are approximated as data properties: reading o.g yields
+	// the getter function itself (documented deviation), so no call edge
+	// appears at the read — just no crash and no spurious sites.
+	if res.Graph.NumSites() == 0 {
+		t.Fatal("no sites")
+	}
+}
+
+func TestNestedModuleGraph(t *testing.T) {
+	project := &modules.Project{
+		Name: "nested",
+		Files: map[string]string{
+			"/app/index.js":              "var a = require('./a');\na.go();",
+			"/app/a.js":                  "var b = require('./b');\nexports.go = function goA() { return b.go(); };",
+			"/app/b.js":                  "var c = require('pkg');\nexports.go = function goB() { return c(); };",
+			"/node_modules/pkg/index.js": "module.exports = function pkgMain() { return 1; };",
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Analyze(project, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goA := loc.Loc{File: "/app/a.js", Line: 2, Col: 14}
+	goB := loc.Loc{File: "/app/b.js", Line: 2, Col: 14}
+	pkgMain := loc.Loc{File: "/node_modules/pkg/index.js", Line: 1, Col: 18}
+	mustEdge(t, res, loc.Loc{File: "/app/index.js", Line: 2, Col: 5}, goA, "a.go()")
+	mustEdge(t, res, loc.Loc{File: "/app/a.js", Line: 2, Col: 42}, goB, "b.go()")
+	mustEdge(t, res, loc.Loc{File: "/app/b.js", Line: 2, Col: 39}, pkgMain, "c()")
+	// Reachability flows through the chain from the main module.
+	m := res.Metrics()
+	if m.ReachableFunctions < 3 {
+		t.Errorf("reachable = %d, want ≥ 3", m.ReachableFunctions)
+	}
+}
+
+func TestSelfReferencingNamedFunctionExpression(t *testing.T) {
+	res := analyzeSrc(t, `var fac = function f(n) {
+  if (n <= 1) { return 1; }
+  return n * f(n - 1);
+};
+fac(3);
+`)
+	mustEdge(t, res, at(3, 15), at(1, 11), "recursive self-reference")
+	mustEdge(t, res, at(5, 4), at(1, 11), "outer call")
+}

@@ -1,0 +1,300 @@
+package static
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/approx"
+	"repro/internal/corpus"
+	"repro/internal/hints"
+	"repro/internal/loc"
+	"repro/internal/modules"
+	"repro/internal/testgen"
+)
+
+// TestHintMonotonicity is the central soundness-direction property of §4:
+// adding hints can only grow points-to sets, so the extended call graph is
+// a superset of the baseline graph, on every corpus benchmark we sample.
+func TestHintMonotonicity(t *testing.T) {
+	all := corpus.All()
+	for _, idx := range []int{0, 1, 2, 3, 4, 5, 6, 7, 15, 40, 75, 110, 140} {
+		b := all[idx]
+		ar, err := approx.Run(b.Project, approx.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Project.Name, err)
+		}
+		base, err := Analyze(b.Project, Options{Mode: Baseline})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Project.Name, err)
+		}
+		ext, err := Analyze(b.Project, Options{Mode: WithHints, Hints: ar.Hints})
+		if err != nil {
+			t.Fatalf("%s: %v", b.Project.Name, err)
+		}
+		for site, targets := range base.Graph.Edges {
+			for target := range targets {
+				if !ext.Graph.HasEdge(site, target) {
+					t.Errorf("%s: hint injection removed edge %v → %v",
+						b.Project.Name, site, target)
+				}
+			}
+		}
+		if ext.Graph.NumSites() != base.Graph.NumSites() {
+			t.Errorf("%s: site count changed: %d → %d",
+				b.Project.Name, base.Graph.NumSites(), ext.Graph.NumSites())
+		}
+	}
+}
+
+// TestHintSubsetMonotonicity: for random subsets H1 ⊆ H2 of a project's
+// hints, the H1-graph is a subgraph of the H2-graph (more hints never
+// remove call edges). This is the property that makes recall monotone.
+func TestHintSubsetMonotonicity(t *testing.T) {
+	b := corpus.ByName("motivating-express")
+	ar, err := approx.Run(b.Project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allWrites := ar.Hints.WriteHints()
+	if len(allWrites) == 0 {
+		t.Fatal("no hints to subset")
+	}
+
+	build := func(mask uint64) (*Result, error) {
+		h := hints.New()
+		for i, w := range allWrites {
+			if mask&(1<<(uint(i)%64)) != 0 {
+				h.AddWrite(w.Site, w.Target, w.Prop, w.Value)
+			}
+		}
+		// Keep all read hints (subset the writes only, for tractability).
+		for _, site := range ar.Hints.ReadSites() {
+			for _, v := range ar.Hints.ReadValues(site) {
+				h.AddRead(site, v)
+			}
+		}
+		return Analyze(b.Project, Options{Mode: WithHints, Hints: h})
+	}
+
+	f := func(mask uint64) bool {
+		sub, err := build(mask)
+		if err != nil {
+			return false
+		}
+		full, err := build(^uint64(0))
+		if err != nil {
+			return false
+		}
+		for site, targets := range sub.Graph.Edges {
+			for target := range targets {
+				if !full.Graph.HasEdge(site, target) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAnalysisDeterminism: repeated analyses of the same project produce
+// identical call graphs.
+func TestAnalysisDeterminism(t *testing.T) {
+	b := corpus.ByName("mini-middleware")
+	ar, err := approx.Run(b.Project, approx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *Result
+	for i := 0; i < 3; i++ {
+		res, err := Analyze(b.Project, Options{Mode: WithHints, Hints: ar.Hints})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			if res.Graph.NumEdges() != prev.Graph.NumEdges() {
+				t.Fatalf("edge count varies: %d vs %d", res.Graph.NumEdges(), prev.Graph.NumEdges())
+			}
+			for site, targets := range prev.Graph.Edges {
+				for target := range targets {
+					if !res.Graph.HasEdge(site, target) {
+						t.Fatalf("edge %v → %v vanished between runs", site, target)
+					}
+				}
+			}
+		}
+		prev = res
+	}
+}
+
+// TestBogusHintsOnlyCostPrecision: hints pointing at nonexistent allocation
+// sites are ignored; hints connecting real but unrelated sites add spurious
+// edges but never crash or remove edges (the paper: incorrect hints "only
+// cause a loss of precision").
+func TestBogusHintsOnlyCostPrecision(t *testing.T) {
+	b := corpus.ByName("mini-validator")
+	base, err := Analyze(b.Project, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hints.New()
+	// Nonexistent sites: silently ignored.
+	h.AddWrite(loc.Loc{}, l("/ghost.js", 1, 1), "x", l("/ghost.js", 2, 2))
+	h.AddRead(l("/ghost.js", 3, 3), l("/ghost.js", 4, 4))
+	// Real but wrong: connect two arbitrary real allocation sites.
+	h.AddWrite(loc.Loc{}, l("/node_modules/checkr/index.js", 3, 11), "zzz",
+		l("/node_modules/checkr/rules.js", 1, 20))
+	ext, err := Analyze(b.Project, Options{Mode: WithHints, Hints: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Graph.NumEdges() < base.Graph.NumEdges() {
+		t.Error("bogus hints removed edges")
+	}
+}
+
+func l(file string, line, col int) loc.Loc { return loc.Loc{File: file, Line: line, Col: col} }
+
+// TestSolverBasics exercises the constraint solver directly.
+func TestSolverBasics(t *testing.T) {
+	s := newSolver()
+	a, b, c := s.newVar(), s.newVar(), s.newVar()
+	s.addToken(a, 1)
+	s.addEdge(a, b)
+	s.addEdge(b, c)
+	s.addToken(a, 2)
+	s.solve()
+	if s.size(c) != 2 {
+		t.Errorf("c has %d tokens, want 2", s.size(c))
+	}
+	// Edges added after solving still propagate existing tokens.
+	d := s.newVar()
+	s.addEdge(c, d)
+	s.solve()
+	if s.size(d) != 2 {
+		t.Errorf("late edge: d has %d tokens", s.size(d))
+	}
+}
+
+func TestSolverTriggers(t *testing.T) {
+	s := newSolver()
+	a := s.newVar()
+	var seen []Token
+	s.addToken(a, 7)
+	// Trigger sees pre-existing tokens…
+	s.onToken(a, func(tok Token) { seen = append(seen, tok) })
+	// …and future ones.
+	s.addToken(a, 8)
+	s.solve()
+	if len(seen) != 2 || seen[0] != 7 || seen[1] != 8 {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestSolverCycle(t *testing.T) {
+	s := newSolver()
+	a, b := s.newVar(), s.newVar()
+	s.addEdge(a, b)
+	s.addEdge(b, a)
+	s.addToken(a, 1)
+	s.solve() // must terminate
+	if s.size(a) != 1 || s.size(b) != 1 {
+		t.Error("cycle propagation wrong")
+	}
+}
+
+func TestSolverTriggerAddsConstraints(t *testing.T) {
+	// Triggers that allocate variables and add edges mid-solve (the shape
+	// used by call constraints) must reach the fixpoint.
+	s := newSolver()
+	a := s.newVar()
+	sink := s.newVar()
+	s.onToken(a, func(tok Token) {
+		mid := s.newVar()
+		s.addToken(mid, tok+100)
+		s.addEdge(mid, sink)
+	})
+	s.addToken(a, 1)
+	s.addToken(a, 2)
+	s.solve()
+	if s.size(sink) != 2 {
+		t.Errorf("sink has %d tokens, want 2", s.size(sink))
+	}
+}
+
+// TestGeneratedProgramsAnalyzable: the full pipeline (approximate
+// interpretation + baseline + extended analysis) runs without panics or
+// fatal errors on arbitrary generated programs, and hint monotonicity
+// holds on every one of them.
+func TestGeneratedProgramsAnalyzable(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		src := testgen.New(seed*101 + 7).Program()
+		project := &modules.Project{
+			Name:        "genprop",
+			Files:       map[string]string{"/app/index.js": src},
+			MainEntries: []string{"/app/index.js"},
+			MainPrefix:  "/app",
+		}
+		ar, err := approx.Run(project, approx.Options{MaxLoopIters: 20000})
+		if err != nil {
+			t.Fatalf("seed %d: approx failed: %v\n%s", seed, err, src)
+		}
+		base, err := Analyze(project, Options{Mode: Baseline})
+		if err != nil {
+			t.Fatalf("seed %d: baseline failed: %v\n%s", seed, err, src)
+		}
+		ext, err := Analyze(project, Options{Mode: WithHints, Hints: ar.Hints})
+		if err != nil {
+			t.Fatalf("seed %d: extended failed: %v\n%s", seed, err, src)
+		}
+		for site, targets := range base.Graph.Edges {
+			for target := range targets {
+				if !ext.Graph.HasEdge(site, target) {
+					t.Fatalf("seed %d: hint injection removed edge %v → %v\n%s",
+						seed, site, target, src)
+				}
+			}
+		}
+	}
+}
+
+// TestSpreadCallArgs: spread arguments load the array's elements and flow
+// to parameters (the genArgs spread path).
+func TestSpreadCallArgsStatic(t *testing.T) {
+	b := &modules.Project{
+		Name: "spreadargs",
+		Files: map[string]string{
+			"/app/index.js": `function take(f) { f(); }
+function target() { return 1; }
+var args = [target];
+take(...args);
+`,
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+	res, err := Analyze(b, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fCall := loc.Loc{File: "/app/index.js", Line: 1, Col: 21}
+	target := loc.Loc{File: "/app/index.js", Line: 2, Col: 1}
+	if !res.Graph.HasEdge(fCall, target) {
+		t.Errorf("spread arg did not flow to parameter; targets: %v", res.Graph.Targets(fCall))
+	}
+}
+
+// TestSolverTokens exercises the tokens accessor.
+func TestSolverTokens(t *testing.T) {
+	s := newSolver()
+	v := s.newVar()
+	s.addToken(v, 3)
+	s.addToken(v, 9)
+	s.solve()
+	got := s.tokens(v)
+	if len(got) != 2 || got[0] != 3 || got[1] != 9 {
+		t.Errorf("tokens = %v", got)
+	}
+}

@@ -1,0 +1,124 @@
+// Package static implements the subset-based, flow-insensitive,
+// context-insensitive points-to and call-graph analysis of the paper's §4,
+// including the two hint-consuming constraint rules [DPR] and [DPW].
+package static
+
+// Var is a constraint variable: an abstract set of tokens associated with
+// an expression, a variable binding, a function parameter/return/this, or
+// an object property.
+type Var int32
+
+// Token is an abstract value: an allocation site, a function definition, or
+// a native (built-in) object/function.
+type Token int32
+
+// solver computes the least solution of subset constraints with support
+// for complex constraints (callbacks triggered as tokens arrive), which may
+// add further edges and constraints during solving.
+type solver struct {
+	vars []varState
+	// queue of pending (var, token) deliveries.
+	queue []delivery
+}
+
+type varState struct {
+	tokens []Token
+	has    map[Token]bool
+	// delivered counts the prefix of tokens whose queue entry has been
+	// processed; triggers registered later run immediately for that prefix
+	// only, so each (trigger, token) pair fires exactly once.
+	delivered int
+	edges     []Var
+	edgeSet   map[Var]bool
+	triggers  []func(Token)
+}
+
+type delivery struct {
+	v Var
+	t Token
+}
+
+func newSolver() *solver { return &solver{} }
+
+// newVar allocates a fresh constraint variable.
+func (s *solver) newVar() Var {
+	s.vars = append(s.vars, varState{})
+	return Var(len(s.vars) - 1)
+}
+
+// addToken inserts token t into ⟦v⟧ (and schedules propagation).
+func (s *solver) addToken(v Var, t Token) {
+	st := &s.vars[v]
+	if st.has == nil {
+		st.has = map[Token]bool{}
+	}
+	if st.has[t] {
+		return
+	}
+	st.has[t] = true
+	st.tokens = append(st.tokens, t)
+	s.queue = append(s.queue, delivery{v, t})
+}
+
+// addEdge adds the subset constraint ⟦from⟧ ⊆ ⟦to⟧.
+func (s *solver) addEdge(from, to Var) {
+	if from == to {
+		return
+	}
+	st := &s.vars[from]
+	if st.edgeSet == nil {
+		st.edgeSet = map[Var]bool{}
+	}
+	if st.edgeSet[to] {
+		return
+	}
+	st.edgeSet[to] = true
+	st.edges = append(st.edges, to)
+	for _, t := range st.tokens {
+		s.addToken(to, t)
+	}
+}
+
+// onToken registers fn to run for every token that is or becomes a member
+// of ⟦v⟧. fn may add tokens, edges, and further triggers. Each (trigger,
+// token) pair fires exactly once: at registration time for already-
+// delivered tokens, and from the queue for pending and future ones.
+func (s *solver) onToken(v Var, fn func(Token)) {
+	st := &s.vars[v]
+	st.triggers = append(st.triggers, fn)
+	// Run for already-delivered tokens (copy: fn may grow the slice);
+	// tokens still in the queue will reach this trigger when drained.
+	existing := append([]Token(nil), st.tokens[:st.delivered]...)
+	for _, t := range existing {
+		fn(t)
+	}
+}
+
+// solve runs propagation to a fixpoint.
+func (s *solver) solve() {
+	for len(s.queue) > 0 {
+		d := s.queue[0]
+		s.queue = s.queue[1:]
+		// Index-based access throughout: triggers may allocate variables
+		// (reallocating s.vars) and may extend this variable's own edge and
+		// trigger lists while we iterate.
+		for i := 0; i < len(s.vars[d.v].edges); i++ {
+			s.addToken(s.vars[d.v].edges[i], d.t)
+		}
+		// Mark delivered before running triggers so a trigger registering
+		// further triggers on this variable does not re-fire for d.t.
+		s.vars[d.v].delivered++
+		for i := 0; i < len(s.vars[d.v].triggers); i++ {
+			s.vars[d.v].triggers[i](d.t)
+		}
+	}
+}
+
+// tokens returns the current members of ⟦v⟧ in arrival order.
+func (s *solver) tokens(v Var) []Token { return s.vars[v].tokens }
+
+// size returns the number of tokens in ⟦v⟧.
+func (s *solver) size(v Var) int { return len(s.vars[v].tokens) }
+
+// numVars returns the number of allocated variables.
+func (s *solver) numVars() int { return len(s.vars) }

@@ -1,0 +1,52 @@
+package testgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		if New(seed).Program() != New(seed).Program() {
+			t.Fatalf("seed %d: generator not deterministic", seed)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	distinct := map[string]bool{}
+	for seed := uint64(0); seed < 40; seed++ {
+		distinct[New(seed).Program()] = true
+	}
+	if len(distinct) < 30 {
+		t.Errorf("only %d distinct programs from 40 seeds", len(distinct))
+	}
+}
+
+func TestProgramsNonTrivial(t *testing.T) {
+	sawFn, sawLoop, sawTry := false, false, false
+	for seed := uint64(0); seed < 200; seed++ {
+		p := New(seed).Program()
+		if strings.Contains(p, "function") {
+			sawFn = true
+		}
+		if strings.Contains(p, "for (") || strings.Contains(p, "while (") {
+			sawLoop = true
+		}
+		if strings.Contains(p, "try {") {
+			sawTry = true
+		}
+	}
+	if !sawFn || !sawLoop || !sawTry {
+		t.Errorf("generator lacks variety: fn=%v loop=%v try=%v", sawFn, sawLoop, sawTry)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	g := New(1)
+	for i := 0; i < 1000; i++ {
+		if v := g.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,344 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeof(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Undefined{}, "undefined"},
+		{Null{}, "object"},
+		{Bool(true), "boolean"},
+		{Number(1), "number"},
+		{String("x"), "string"},
+		{NewObject(nil), "object"},
+		{NewFunction(nil, &FuncData{Name: "f"}), "function"},
+	}
+	for _, c := range cases {
+		if got := c.v.Type(); got != c.want {
+			t.Errorf("Type(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestToBool(t *testing.T) {
+	truthy := []Value{Bool(true), Number(1), Number(-1), String("a"), NewObject(nil), NewArray(nil, nil)}
+	falsy := []Value{Undefined{}, Null{}, Bool(false), Number(0), Number(math.NaN()), String("")}
+	for _, v := range truthy {
+		if !ToBool(v) {
+			t.Errorf("ToBool(%v) = false, want true", v)
+		}
+	}
+	for _, v := range falsy {
+		if ToBool(v) {
+			t.Errorf("ToBool(%v) = true, want false", v)
+		}
+	}
+}
+
+func TestToNumber(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+	}{
+		{Number(3.5), 3.5},
+		{Bool(true), 1},
+		{Bool(false), 0},
+		{Null{}, 0},
+		{String("42"), 42},
+		{String("  7 "), 7},
+		{String(""), 0},
+		{String("0x10"), 16},
+	}
+	for _, c := range cases {
+		if got := ToNumber(c.v); got != c.want {
+			t.Errorf("ToNumber(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	if !math.IsNaN(ToNumber(Undefined{})) {
+		t.Error("ToNumber(undefined) must be NaN")
+	}
+	if !math.IsNaN(ToNumber(String("abc"))) {
+		t.Error("ToNumber('abc') must be NaN")
+	}
+	arr := NewArray(nil, []Value{Number(9)})
+	if ToNumber(arr) != 9 {
+		t.Error("ToNumber([9]) must be 9")
+	}
+}
+
+func TestToString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Undefined{}, "undefined"},
+		{Null{}, "null"},
+		{Bool(true), "true"},
+		{Number(42), "42"},
+		{Number(3.5), "3.5"},
+		{Number(math.NaN()), "NaN"},
+		{Number(math.Inf(1)), "Infinity"},
+		{String("s"), "s"},
+		{NewObject(nil), "[object Object]"},
+		{NewArray(nil, []Value{Number(1), Number(2)}), "1,2"},
+		{NewArray(nil, []Value{Undefined{}, Null{}, Number(3)}), ",,3"},
+	}
+	for _, c := range cases {
+		if got := ToString(c.v); got != c.want {
+			t.Errorf("ToString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestStrictEquals(t *testing.T) {
+	o := NewObject(nil)
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Number(1), Number(1), true},
+		{Number(1), String("1"), false},
+		{String("a"), String("a"), true},
+		{Undefined{}, Undefined{}, true},
+		{Null{}, Undefined{}, false},
+		{o, o, true},
+		{o, NewObject(nil), false},
+		{Number(math.NaN()), Number(math.NaN()), false},
+	}
+	for _, c := range cases {
+		if got := StrictEquals(c.a, c.b); got != c.want {
+			t.Errorf("StrictEquals(%v, %v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestLooseEquals(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{Number(1), String("1"), true},
+		{Bool(true), Number(1), true},
+		{Null{}, Undefined{}, true},
+		{Null{}, Number(0), false},
+		{String(""), Number(0), true},
+		{NewArray(nil, []Value{Number(1)}), Number(1), true},
+	}
+	for _, c := range cases {
+		if got := LooseEquals(c.a, c.b); got != c.want {
+			t.Errorf("LooseEquals(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLooseEqualsSymmetric(t *testing.T) {
+	vals := []Value{
+		Undefined{}, Null{}, Bool(true), Bool(false), Number(0), Number(1),
+		String(""), String("1"), String("x"), NewObject(nil),
+		NewArray(nil, []Value{Number(1)}),
+	}
+	for _, a := range vals {
+		for _, b := range vals {
+			if LooseEquals(a, b) != LooseEquals(b, a) {
+				t.Errorf("LooseEquals not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestObjectProperties(t *testing.T) {
+	o := NewObject(nil)
+	o.Set("a", Number(1))
+	o.Set("b", Number(2))
+	o.Set("a", Number(3)) // overwrite keeps insertion order
+	if got := o.OwnKeys(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("OwnKeys = %v", got)
+	}
+	p := o.GetOwn("a")
+	if p == nil || p.Value != Value(Number(3)) {
+		t.Errorf("a = %+v", p)
+	}
+	if !o.Delete("a") || o.HasOwn("a") {
+		t.Error("delete failed")
+	}
+	if o.Delete("zzz") {
+		t.Error("deleting a missing key must report false")
+	}
+	if got := o.OwnKeys(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("OwnKeys after delete = %v", got)
+	}
+}
+
+func TestPrototypeChain(t *testing.T) {
+	base := NewObject(nil)
+	base.Set("inherited", String("yes"))
+	child := NewObject(base)
+	child.Set("own", String("mine"))
+
+	p, owner := child.Lookup("inherited")
+	if p == nil || owner != base {
+		t.Error("prototype lookup failed")
+	}
+	if !child.Has("inherited") || child.HasOwn("inherited") {
+		t.Error("Has/HasOwn confusion")
+	}
+	// Shadowing.
+	child.Set("inherited", String("shadowed"))
+	p, owner = child.Lookup("inherited")
+	if owner != child || p.Value != Value(String("shadowed")) {
+		t.Error("shadowing failed")
+	}
+	if bp := base.GetOwn("inherited"); bp.Value != Value(String("yes")) {
+		t.Error("write leaked to prototype")
+	}
+}
+
+func TestArraySemantics(t *testing.T) {
+	a := NewArray(nil, []Value{Number(10), Number(20)})
+	if p := a.GetOwn("length"); p == nil || p.Value != Value(Number(2)) {
+		t.Error("length wrong")
+	}
+	if p := a.GetOwn("1"); p == nil || p.Value != Value(Number(20)) {
+		t.Error("index read wrong")
+	}
+	a.Set("3", Number(40)) // extends with a hole
+	if len(a.Elems) != 4 {
+		t.Errorf("len = %d", len(a.Elems))
+	}
+	if _, isU := a.Elems[2].(Undefined); !isU {
+		t.Error("hole should be undefined")
+	}
+	a.Set("length", Number(1))
+	if len(a.Elems) != 1 {
+		t.Error("length truncation failed")
+	}
+	// Non-index keys live in the property table.
+	a.Set("tag", String("t"))
+	if p := a.GetOwn("tag"); p == nil || p.Value != Value(String("t")) {
+		t.Error("non-index property lost")
+	}
+	keys := a.EnumerableKeys()
+	if len(keys) != 2 || keys[0] != "0" || keys[1] != "tag" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestEnumerability(t *testing.T) {
+	o := NewObject(nil)
+	o.Set("visible", Number(1))
+	o.DefineProp("hidden", &Prop{Value: Number(2), Enumerable: false})
+	keys := o.EnumerableKeys()
+	if len(keys) != 1 || keys[0] != "visible" {
+		t.Errorf("enumerable keys = %v", keys)
+	}
+	own := o.OwnKeys()
+	if len(own) != 2 {
+		t.Errorf("own keys = %v", own)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	outer := NewScope(nil)
+	outer.Declare("x", Number(1))
+	inner := NewScope(outer)
+	inner.Declare("y", Number(2))
+
+	if v, ok := inner.Get("x"); !ok || v != Value(Number(1)) {
+		t.Error("outer lookup failed")
+	}
+	if _, ok := outer.Get("y"); ok {
+		t.Error("inner binding leaked out")
+	}
+	// Assignment through the chain mutates the outer cell (closures).
+	if !inner.SetExisting("x", Number(9)) {
+		t.Error("SetExisting failed")
+	}
+	if v, _ := outer.Get("x"); v != Value(Number(9)) {
+		t.Error("cell not shared")
+	}
+	// Shadowing.
+	inner.Declare("x", Number(100))
+	if v, _ := inner.Get("x"); v != Value(Number(100)) {
+		t.Error("shadow failed")
+	}
+	if v, _ := outer.Get("x"); v != Value(Number(9)) {
+		t.Error("shadow overwrote outer")
+	}
+	if outer.SetExisting("nope", Number(1)) {
+		t.Error("SetExisting on unbound name must fail")
+	}
+	if !inner.HasLocal("x") || inner.HasLocal("nope") {
+		t.Error("HasLocal wrong")
+	}
+}
+
+func TestFormatNumber(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		42:      "42",
+		-3:      "-3",
+		3.5:     "3.5",
+		1e21:    "1e+21",
+		2.5e-07: "2.5e-07",
+	}
+	for f, want := range cases {
+		if got := FormatNumber(f); got != want {
+			t.Errorf("FormatNumber(%v) = %q, want %q", f, got, want)
+		}
+	}
+}
+
+func TestStrictEqualsReflexiveForNonNaN(t *testing.T) {
+	f := func(n float64, s string, b bool) bool {
+		if math.IsNaN(n) {
+			return true
+		}
+		return StrictEquals(Number(n), Number(n)) &&
+			StrictEquals(String(s), String(s)) &&
+			StrictEquals(Bool(b), Bool(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetGetRoundTrip(t *testing.T) {
+	f := func(key string, n float64) bool {
+		o := NewObject(nil)
+		o.Set(key, Number(n))
+		p := o.GetOwn(key)
+		if p == nil {
+			return false
+		}
+		got, ok := p.Value.(Number)
+		if !ok {
+			return false
+		}
+		return float64(got) == n || (math.IsNaN(float64(got)) && math.IsNaN(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInspect(t *testing.T) {
+	arr := NewArray(nil, []Value{Number(1), String("two")})
+	if got := Inspect(arr); got != "[ 1, 'two' ]" {
+		t.Errorf("Inspect(array) = %q", got)
+	}
+	o := NewObject(nil)
+	o.Set("k", Number(7))
+	if got := Inspect(o); got != "{ k: 7 }" {
+		t.Errorf("Inspect(object) = %q", got)
+	}
+	fn := NewFunction(nil, &FuncData{Name: "fx"})
+	if got := Inspect(fn); got != "[Function: fx]" {
+		t.Errorf("Inspect(fn) = %q", got)
+	}
+}

@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/interp"
+)
+
+func newInterp() *interp.Interp { return interp.New(interp.Options{}) }
+
+// TestHeadlineShape is the repository's top-level integration test: over a
+// representative corpus slice, the paper's headline effects must hold in
+// direction — more call edges, more reachable functions, more resolved
+// sites, better recall, near-unchanged precision and monomorphism.
+func TestHeadlineShape(t *testing.T) {
+	outs, err := experiments.RunCorpus(benchSlice(10), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := experiments.Aggregate(outs)
+
+	if s.PctMoreCallEdges <= 5 {
+		t.Errorf("call-edge improvement too small: %+.1f%% (paper: +55.1%%)", s.PctMoreCallEdges)
+	}
+	if s.PctMoreReachable <= 0 {
+		t.Errorf("reachable-function improvement missing: %+.1f%%", s.PctMoreReachable)
+	}
+	if s.DeltaResolvedPts <= 0 {
+		t.Errorf("resolved-call-site improvement missing: %+.1f points", s.DeltaResolvedPts)
+	}
+	if s.DeltaMonomorphicPts < -10 {
+		t.Errorf("monomorphism degraded too much: %+.1f points (paper: -1.5)", s.DeltaMonomorphicPts)
+	}
+	if s.AvgRecallExt <= s.AvgRecallBase {
+		t.Errorf("recall did not improve: %.1f%% → %.1f%%", s.AvgRecallBase, s.AvgRecallExt)
+	}
+	if s.AvgPrecExt < s.AvgPrecBase-10 {
+		t.Errorf("precision dropped too much: %.1f%% → %.1f%%", s.AvgPrecBase, s.AvgPrecExt)
+	}
+	if s.AvgVisitedRatio <= 0.3 || s.AvgVisitedRatio > 1.0 {
+		t.Errorf("visited ratio out of band: %.2f (paper: ~0.60)", s.AvgVisitedRatio)
+	}
+}
+
+// TestVulnStudyShape checks the vulnerability study's direction: hints can
+// only increase the set of reachable advisories.
+func TestVulnStudyShape(t *testing.T) {
+	bs := benchSlice(8)
+	outs, err := experiments.RunCorpus(bs, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := experiments.VulnStudy(bs, outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.TotalVulns == 0 {
+		t.Fatal("no advisories in the corpus slice")
+	}
+	if vr.ReachableExtended < vr.ReachableBaseline {
+		t.Errorf("extended call graph reaches fewer advisories: %d < %d",
+			vr.ReachableExtended, vr.ReachableBaseline)
+	}
+	if vr.ReachableFnsExt < vr.ReachableFnsBase {
+		t.Errorf("extended reachable functions shrank: %d < %d",
+			vr.ReachableFnsExt, vr.ReachableFnsBase)
+	}
+}
+
+// TestMotivatingRecall pins the motivating example's end-to-end behaviour:
+// the extended analysis must achieve near-perfect recall (the paper reports
+// 98.5% for its whole-program analyzer on this program).
+func TestMotivatingRecall(t *testing.T) {
+	o, err := experiments.RunBenchmark(&corpus.Benchmark{Project: corpus.Motivating(), HasDynCG: true}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ExtAcc.Recall < 90 {
+		t.Errorf("extended recall = %.1f%%, want ≥ 90%%", o.ExtAcc.Recall)
+	}
+	if o.ExtAcc.Recall <= o.BaseAcc.Recall {
+		t.Errorf("recall did not improve: %.1f%% → %.1f%%", o.BaseAcc.Recall, o.ExtAcc.Recall)
+	}
+	if o.ExtAcc.Precision < 95 {
+		t.Errorf("extended precision = %.1f%%, want ≥ 95%%", o.ExtAcc.Precision)
+	}
+}
