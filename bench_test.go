@@ -10,8 +10,10 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/approx"
 	"repro/internal/corpus"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/modules"
 	"repro/internal/parser"
+	"repro/internal/perf"
 	"repro/internal/static"
 )
 
@@ -303,6 +306,32 @@ func heavyLibraryProject() *modules.Project {
 		Files:       map[string]string{"/node_modules/heavy/index.js": sb.String()},
 		MainEntries: []string{"/node_modules/heavy/index.js"},
 		MainPrefix:  "/node_modules/heavy",
+	}
+}
+
+// BenchmarkPipelineParallel measures the parallel corpus driver against the
+// sequential baseline on the same corpus slice, reporting wall time per
+// worker count and the parse-cache hit rate. Fresh benchmark sets are built
+// every iteration so each run starts with cold parse caches (the cache
+// effect being measured is *within* a pipeline run, across its phases).
+func BenchmarkPipelineParallel(b *testing.B) {
+	const sliceSize = 12
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var wallMS, hitRate float64
+			for i := 0; i < b.N; i++ {
+				bs := corpus.WithDynCG()[:sliceSize]
+				perf.Global().Reset()
+				start := time.Now()
+				if _, err := experiments.RunCorpusOpts(bs, experiments.Options{WithDynCG: true, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+				wallMS = float64(time.Since(start).Microseconds()) / 1000
+				hitRate = perf.Global().Snapshot().ParseHitRate
+			}
+			b.ReportMetric(wallMS, "wall-ms")
+			b.ReportMetric(100*hitRate, "parse-hit-pct")
+		})
 	}
 }
 

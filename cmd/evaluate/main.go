@@ -13,9 +13,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -36,6 +39,9 @@ func main() {
 		scale    = flag.Bool("scale", false, "scalability: per-phase time by program size")
 		summary  = flag.Bool("summary", false, "aggregate summary statistics")
 		csvDir   = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
+		workers  = flag.Int("workers", 0, "parallel benchmark workers (0 = NumCPU)")
+		perfF    = flag.Bool("perf", false, "print pipeline perf counters (phase times, parse-cache hits, solver effort)")
+		benchout = flag.String("benchjson", "", "write per-phase wall times and counter totals as JSON to this file (e.g. BENCH_baseline.json)")
 	)
 	flag.Parse()
 
@@ -56,8 +62,15 @@ func main() {
 	}
 	needDyn := *table2 || *table3 || *vuln || *summary
 
-	fmt.Printf("Evaluating %d benchmarks (dynamic call graphs: %v)…\n", len(benches), needDyn)
-	outs, err := experiments.RunCorpus(benches, needDyn)
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.NumCPU()
+	}
+	perf.Global().Reset()
+	start := time.Now()
+
+	fmt.Printf("Evaluating %d benchmarks (dynamic call graphs: %v, workers: %d)…\n", len(benches), needDyn, nWorkers)
+	outs, err := experiments.RunCorpusOpts(benches, experiments.Options{WithDynCG: needDyn, Workers: nWorkers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
@@ -153,5 +166,28 @@ func main() {
 	if *summary {
 		experiments.Banner(w, "Summary (§5 headline numbers)")
 		experiments.RenderSummary(w, experiments.Aggregate(outs))
+	}
+
+	if *perfF || *benchout != "" {
+		snap := perf.Global().Snapshot()
+		snap.Workers = nWorkers
+		snap.WallMS = float64(time.Since(start).Microseconds()) / 1000
+		if *perfF {
+			experiments.Banner(w, "Perf counters")
+			snap.Render(w)
+		}
+		if *benchout != "" {
+			f, err := os.Create(*benchout)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate:", err)
+				os.Exit(1)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "evaluate:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *benchout)
+		}
 	}
 }

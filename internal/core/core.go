@@ -13,6 +13,7 @@ import (
 	"repro/internal/dyncg"
 	"repro/internal/hints"
 	"repro/internal/modules"
+	"repro/internal/perf"
 	"repro/internal/static"
 )
 
@@ -65,9 +66,11 @@ func (r *Result) Hints() *hints.Hints {
 	return r.Approx.Hints
 }
 
-// Analyze runs the full pipeline on a project.
+// Analyze runs the full pipeline on a project. Phase wall times and
+// solver/parse counters are recorded into perf.Global as a side effect.
 func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 	res := &Result{Project: project}
+	perf.Global().AddProject()
 
 	// Phase 1: approximate interpretation (the dynamic pre-analysis).
 	ar, err := approx.Run(project, cfg.Approx)
@@ -75,6 +78,7 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("approximate interpretation: %w", err)
 	}
 	res.Approx = ar
+	perf.Global().AddPhase(perf.PhaseApprox, ar.Duration)
 
 	// Phase 2: baseline static analysis (dynamic property accesses ignored).
 	if !cfg.SkipBaseline {
@@ -84,6 +88,7 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 		}
 		res.Baseline = br
 		res.BaselineMetrics = br.Metrics()
+		perf.Global().AddPhase(perf.PhaseBaseline, br.Duration)
 	}
 
 	// Phase 3: extended static analysis with the [DPR]/[DPW] rules.
@@ -99,6 +104,7 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 		}
 		res.Extended = er
 		res.ExtendedMetrics = er.Metrics()
+		perf.Global().AddPhase(perf.PhaseExtended, er.Duration)
 	}
 
 	// Optional: the name-only ablation (§4 strawman).
@@ -121,6 +127,7 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("dynamic call graph: %w", err)
 		}
 		res.Dynamic = dr
+		perf.Global().AddPhase(perf.PhaseDynCG, dr.Duration)
 		if res.Baseline != nil {
 			res.BaselineAccuracy = callgraph.CompareWithDynamic(res.Baseline.Graph, dr.Graph)
 		}

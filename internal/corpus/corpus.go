@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/modules"
-	"repro/internal/parser"
 )
 
 // Size is the number of benchmarks in the corpus, matching the paper's 141
@@ -60,6 +59,28 @@ func ByName(name string) *Benchmark {
 	return nil
 }
 
+// ParsedFile pairs a project path with its parsed program.
+type ParsedFile struct {
+	Path string
+	Prog *ast.Program
+}
+
+// Programs parses every project file (via the project's shared parse
+// cache, so repeated calls and later pipeline phases reuse the same ASTs)
+// and returns the programs in deterministic path order.
+func (b *Benchmark) Programs() ([]ParsedFile, error) {
+	paths := b.Project.SortedPaths()
+	out := make([]ParsedFile, 0, len(paths))
+	for _, path := range paths {
+		prog, err := b.Project.Parse(path)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: %s: %s: %w", b.Project.Name, path, err)
+		}
+		out = append(out, ParsedFile{Path: path, Prog: prog})
+	}
+	return out, nil
+}
+
 // Stats describes a benchmark the way the paper's Table 1 does.
 type Stats struct {
 	Name      string
@@ -80,12 +101,12 @@ func ComputeStats(b *Benchmark) (Stats, error) {
 		CodeSize: b.Project.CodeSize(),
 		HasDynCG: b.HasDynCG,
 	}
-	for _, path := range b.Project.SortedPaths() {
-		prog, err := parser.Parse(path, b.Project.Files[path])
-		if err != nil {
-			return st, fmt.Errorf("corpus: %s: %s: %w", b.Project.Name, path, err)
-		}
-		st.Functions += len(ast.Functions(prog))
+	files, err := b.Programs()
+	if err != nil {
+		return st, err
+	}
+	for _, f := range files {
+		st.Functions += len(ast.Functions(f.Prog))
 	}
 	return st, nil
 }

@@ -8,7 +8,6 @@ import (
 	"repro/internal/ast"
 	"repro/internal/callgraph"
 	"repro/internal/loc"
-	"repro/internal/parser"
 )
 
 // Vuln is a known-vulnerable function in a dependency package, standing in
@@ -28,7 +27,12 @@ type Vuln struct {
 // projects get independent ones.
 func Vulnerabilities(b *Benchmark) ([]Vuln, error) {
 	var out []Vuln
-	for _, path := range b.Project.SortedPaths() {
+	files, err := b.Programs()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range files {
+		path := f.Path
 		if b.Project.IsMainModule(path) {
 			continue // only dependency code carries advisories
 		}
@@ -40,11 +44,7 @@ func Vulnerabilities(b *Benchmark) ([]Vuln, error) {
 		if j := strings.Index(pkg, "/"); j >= 0 {
 			pkg = pkg[:j]
 		}
-		prog, err := parser.Parse(path, b.Project.Files[path])
-		if err != nil {
-			return nil, fmt.Errorf("vulndb: %s: %w", path, err)
-		}
-		for _, fn := range ast.Functions(prog) {
+		for _, fn := range ast.Functions(f.Prog) {
 			if selectVuln(b.Project.Name, fn.Loc) {
 				out = append(out, Vuln{
 					ID:      fmt.Sprintf("RPRO-2024-%04d", hashLoc(b.Project.Name, fn.Loc)%10000),

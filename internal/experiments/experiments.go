@@ -9,13 +9,17 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/approx"
 	"repro/internal/callgraph"
 	"repro/internal/corpus"
 	"repro/internal/dyncg"
+	"repro/internal/perf"
 	"repro/internal/static"
 )
 
@@ -48,6 +52,7 @@ type Outcome struct {
 // and (if available and requested) the dynamic call graph.
 func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 	out := &Outcome{Name: b.Project.Name, HasDynCG: b.HasDynCG}
+	perf.Global().AddProject()
 
 	st, err := corpus.ComputeStats(b)
 	if err != nil {
@@ -62,6 +67,7 @@ func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 	out.HintCount = ar.Hints.Count()
 	out.VisitedRatio = ar.VisitedRatio()
 	out.ApproxTime = ar.Duration
+	perf.Global().AddPhase(perf.PhaseApprox, ar.Duration)
 
 	base, err := static.Analyze(b.Project, static.Options{Mode: static.Baseline})
 	if err != nil {
@@ -70,6 +76,7 @@ func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 	out.BaselineTime = base.Duration
 	out.Base = base.Metrics()
 	out.baseReach = base.Graph.Reachable(base.MainEntries)
+	perf.Global().AddPhase(perf.PhaseBaseline, base.Duration)
 
 	ext, err := static.Analyze(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
 	if err != nil {
@@ -78,6 +85,7 @@ func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 	out.ExtendedTime = ext.Duration
 	out.Ext = ext.Metrics()
 	out.extReach = ext.Graph.Reachable(ext.MainEntries)
+	perf.Global().AddPhase(perf.PhaseExtended, ext.Duration)
 
 	if withDyn && b.HasDynCG {
 		dr, err := dyncg.Build(b.Project, dyncg.Options{})
@@ -87,19 +95,86 @@ func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 		out.DynEdges = dr.Graph.NumEdges()
 		out.BaseAcc = callgraph.CompareWithDynamic(base.Graph, dr.Graph)
 		out.ExtAcc = callgraph.CompareWithDynamic(ext.Graph, dr.Graph)
+		perf.Global().AddPhase(perf.PhaseDynCG, dr.Duration)
 	}
 	return out, nil
 }
 
-// RunCorpus evaluates the given benchmarks in order.
+// Options configures a corpus evaluation run.
+type Options struct {
+	// WithDynCG additionally builds dynamic call graphs (where available)
+	// and computes recall/precision.
+	WithDynCG bool
+	// Workers bounds how many benchmarks are evaluated concurrently.
+	// Zero or negative means runtime.NumCPU(). Results are identical to a
+	// sequential run regardless of the worker count: benchmarks share no
+	// state, and outcomes are collected by input position.
+	Workers int
+}
+
+// RunCorpus evaluates the given benchmarks over a worker pool sized to the
+// machine (runtime.NumCPU()), preserving input order in the results. Use
+// RunCorpusOpts to pick the worker count explicitly.
 func RunCorpus(bs []*corpus.Benchmark, withDyn bool) ([]*Outcome, error) {
-	var outs []*Outcome
-	for _, b := range bs {
-		o, err := RunBenchmark(b, withDyn)
+	return RunCorpusOpts(bs, Options{WithDynCG: withDyn})
+}
+
+// RunCorpusOpts evaluates the given benchmarks with explicit options. The
+// returned outcomes are positionally aligned with bs, so reports rendered
+// from them are byte-identical to a sequential (Workers: 1) run.
+func RunCorpusOpts(bs []*corpus.Benchmark, opts Options) ([]*Outcome, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(bs) {
+		workers = len(bs)
+	}
+	outs := make([]*Outcome, len(bs))
+	if workers <= 1 {
+		for i, b := range bs {
+			o, err := RunBenchmark(b, opts.WithDynCG)
+			if err != nil {
+				return nil, err
+			}
+			outs[i] = o
+		}
+		return outs, nil
+	}
+
+	errs := make([]error, len(bs))
+	var failed atomic.Bool
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				o, err := RunBenchmark(bs[i], opts.WithDynCG)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				outs[i] = o
+			}
+		}()
+	}
+	for i := range bs {
+		if failed.Load() {
+			break // stop dispatching; in-flight benchmarks finish
+		}
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	// Report the lowest-index failure, matching what a sequential run
+	// would have surfaced first.
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		outs = append(outs, o)
 	}
 	return outs, nil
 }

@@ -263,7 +263,9 @@ func (lx *Lexer) Next() (Token, error) {
 // All tokenizes the entire input, returning the token slice including the
 // final EOF token.
 func (lx *Lexer) All() ([]Token, error) {
-	var toks []Token
+	// Pre-size for the typical token density (one token per ~4 bytes of
+	// source) so the hot append loop rarely reallocates.
+	toks := make([]Token, 0, len(lx.src)/4+16)
 	for {
 		t, err := lx.Next()
 		if err != nil {

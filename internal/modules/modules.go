@@ -5,13 +5,17 @@
 package modules
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/interp"
 	"repro/internal/parser"
+	"repro/internal/perf"
 	"repro/internal/value"
 )
 
@@ -34,6 +38,68 @@ type Project struct {
 	// outside it counts as dependency code). Defaults to "/" minus
 	// node_modules.
 	MainPrefix string
+
+	// Shared parse cache: every pipeline phase (approximate interpretation,
+	// static analysis, corpus statistics, vulnerability selection, dynamic
+	// call graphs) parses through it, so each file is parsed exactly once
+	// per project. Lazily created; see Parse.
+	parseOnce  sync.Once
+	parseCache *parseCache
+}
+
+// ErrNoSource reports a path with neither a project file nor a built-in
+// node: module behind it.
+var ErrNoSource = errors.New("modules: no such file")
+
+// parseCache holds parse results for one project. The mutex is held across
+// parsing, which both serializes concurrent parsers of the same project
+// (the corpus driver parallelizes across projects, not within one) and
+// guarantees each file is parsed exactly once.
+type parseCache struct {
+	mu    sync.Mutex
+	progs map[string]*ast.Program
+
+	parses, hits int64
+}
+
+// Parse returns the parsed program for path — a project file or a built-in
+// node: module — parsing each file at most once per project. It is safe
+// for concurrent use. Paths with no source return ErrNoSource.
+func (p *Project) Parse(path string) (*ast.Program, error) {
+	p.parseOnce.Do(func() { p.parseCache = &parseCache{progs: map[string]*ast.Program{}} })
+	c := p.parseCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prog, ok := c.progs[path]; ok {
+		c.hits++
+		perf.Global().AddParseHit()
+		return prog, nil
+	}
+	src, ok := p.Files[path]
+	if !ok {
+		if src, ok = nodeLibSources[path]; !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNoSource, path)
+		}
+	}
+	start := time.Now()
+	prog, err := parser.Parse(path, src)
+	if err != nil {
+		return nil, err
+	}
+	c.parses++
+	perf.Global().AddParse(time.Since(start))
+	c.progs[path] = prog
+	return prog, nil
+}
+
+// ParseCounts reports how many parses the project's cache performed and how
+// many repeat requests it served from cache.
+func (p *Project) ParseCounts() (parses, hits int64) {
+	p.parseOnce.Do(func() { p.parseCache = &parseCache{progs: map[string]*ast.Program{}} })
+	c := p.parseCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.parses, c.hits
 }
 
 // SortedPaths returns all file paths in deterministic order.
@@ -114,7 +180,6 @@ type Registry struct {
 
 	cache    map[string]value.Value // module path → exports
 	inFlight map[string]*value.Object
-	parsed   map[string]*ast.Program
 }
 
 // NewRegistry wires a project to an interpreter and installs itself as the
@@ -125,14 +190,14 @@ func NewRegistry(project *Project, it *interp.Interp) *Registry {
 		Interp:   it,
 		cache:    map[string]value.Value{},
 		inFlight: map[string]*value.Object{},
-		parsed:   map[string]*ast.Program{},
 	}
 	it.ModuleHost = r
 	return r
 }
 
 // ParseAll parses every file in the project, returning programs keyed by
-// path. Parse results are cached and shared with module execution.
+// path. Parse results come from the project's shared cache, so files
+// already parsed by another phase are not parsed again.
 func (r *Registry) ParseAll() (map[string]*ast.Program, error) {
 	out := map[string]*ast.Program{}
 	for _, path := range r.Project.SortedPaths() {
@@ -146,22 +211,7 @@ func (r *Registry) ParseAll() (map[string]*ast.Program, error) {
 }
 
 func (r *Registry) parse(path string) (*ast.Program, error) {
-	if prog, ok := r.parsed[path]; ok {
-		return prog, nil
-	}
-	src, ok := r.Project.Files[path]
-	if !ok {
-		src, ok = nodeLibSources[path]
-		if !ok {
-			return nil, fmt.Errorf("modules: no such file %s", path)
-		}
-	}
-	prog, err := parser.Parse(path, src)
-	if err != nil {
-		return nil, err
-	}
-	r.parsed[path] = prog
-	return prog, nil
+	return r.Project.Parse(path)
 }
 
 // Require implements interp.ModuleHost.

@@ -1,0 +1,101 @@
+package modules
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/interp"
+)
+
+func cacheProject() *Project {
+	return &Project{
+		Name: "cache-test",
+		Files: map[string]string{
+			"/app/index.js": "exports.a = function a() { return 1; };",
+			"/app/util.js":  "exports.b = function b() { return 2; };",
+		},
+		MainEntries: []string{"/app/index.js"},
+	}
+}
+
+func TestProjectParseCaching(t *testing.T) {
+	p := cacheProject()
+	p1, err := p.Parse("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := p.Parse("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("repeat Parse returned a different *ast.Program")
+	}
+	parses, hits := p.ParseCounts()
+	if parses != 1 || hits != 1 {
+		t.Errorf("parses=%d hits=%d, want 1/1", parses, hits)
+	}
+}
+
+func TestProjectParseNodeLib(t *testing.T) {
+	p := cacheProject()
+	if _, err := p.Parse("node:events"); err != nil {
+		t.Fatalf("node: lib module should parse via the cache: %v", err)
+	}
+	if _, err := p.Parse("/no/such.js"); !errors.Is(err, ErrNoSource) {
+		t.Errorf("missing file: got %v, want ErrNoSource", err)
+	}
+}
+
+// TestProjectParseConcurrent hammers one project's cache from many
+// goroutines; under -race this validates the concurrent-reader guarantee,
+// and the counters validate exactly-once parsing.
+func TestProjectParseConcurrent(t *testing.T) {
+	p := cacheProject()
+	paths := []string{"/app/index.js", "/app/util.js", "node:events", "node:path"}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				path := paths[(g+i)%len(paths)]
+				if _, err := p.Parse(path); err != nil {
+					t.Errorf("%s: %v", path, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	parses, hits := p.ParseCounts()
+	if parses != int64(len(paths)) {
+		t.Errorf("parses = %d, want exactly %d (one per file)", parses, len(paths))
+	}
+	if parses+hits != 16*50 {
+		t.Errorf("parses+hits = %d, want %d", parses+hits, 16*50)
+	}
+}
+
+// TestRegistryUsesSharedCache checks that module execution parses through
+// the project cache rather than a private one.
+func TestRegistryUsesSharedCache(t *testing.T) {
+	p := cacheProject()
+	// Pre-parse, then load through a registry: no new parse of index.js.
+	if _, err := p.Parse("/app/index.js"); err != nil {
+		t.Fatal(err)
+	}
+	parsesBefore, _ := p.ParseCounts()
+	r := NewRegistry(p, interp.New(interp.Options{}))
+	if _, err := r.Load("/app/index.js"); err != nil {
+		t.Fatal(err)
+	}
+	parsesAfter, hits := p.ParseCounts()
+	if parsesAfter != parsesBefore {
+		t.Errorf("registry re-parsed: %d → %d", parsesBefore, parsesAfter)
+	}
+	if hits == 0 {
+		t.Error("registry load did not hit the shared cache")
+	}
+}

@@ -1,0 +1,157 @@
+// Package perf provides lightweight, concurrency-safe phase timers and
+// counters for the analysis pipeline. The packages doing the work (modules
+// for parsing, static for constraint solving, core and experiments for
+// phase orchestration) record into the process-wide Global counters;
+// cmd/evaluate resets them before a run, snapshots them after, and renders
+// the snapshot as a report or as BENCH_baseline.json.
+//
+// All methods are safe for concurrent use — the parallel corpus driver has
+// many workers recording at once — and the zero Counters value is ready.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Phase identifies a pipeline stage for wall-time accounting.
+type Phase int
+
+// Pipeline phases, in execution order.
+const (
+	PhaseParse Phase = iota
+	PhaseApprox
+	PhaseBaseline
+	PhaseExtended
+	PhaseDynCG
+	numPhases
+)
+
+var phaseNames = [numPhases]string{"parse", "approx", "baseline", "extended", "dyncg"}
+
+func (p Phase) String() string {
+	if p < 0 || p >= numPhases {
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+	return phaseNames[p]
+}
+
+// Counters accumulates pipeline statistics.
+type Counters struct {
+	phaseNS [numPhases]atomic.Int64
+
+	projects       atomic.Int64
+	parses         atomic.Int64
+	parseCacheHits atomic.Int64
+
+	solveIterations atomic.Int64
+	tokensDelivered atomic.Int64
+}
+
+var global Counters
+
+// Global returns the process-wide counters.
+func Global() *Counters { return &global }
+
+// AddPhase accrues wall time to a phase.
+func (c *Counters) AddPhase(p Phase, d time.Duration) {
+	if p >= 0 && p < numPhases {
+		c.phaseNS[p].Add(int64(d))
+	}
+}
+
+// AddProject counts one evaluated project.
+func (c *Counters) AddProject() { c.projects.Add(1) }
+
+// AddParse counts one actual parse and accrues its wall time.
+func (c *Counters) AddParse(d time.Duration) {
+	c.parses.Add(1)
+	c.phaseNS[PhaseParse].Add(int64(d))
+}
+
+// AddParseHit counts one parse-cache hit (a parse avoided).
+func (c *Counters) AddParseHit() { c.parseCacheHits.Add(1) }
+
+// AddSolve accrues one constraint-solver run: fixpoint iterations (queue
+// pops) and tokens delivered (propagation attempts on the hot path).
+func (c *Counters) AddSolve(iterations, tokens int64) {
+	c.solveIterations.Add(iterations)
+	c.tokensDelivered.Add(tokens)
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	for i := range c.phaseNS {
+		c.phaseNS[i].Store(0)
+	}
+	c.projects.Store(0)
+	c.parses.Store(0)
+	c.parseCacheHits.Store(0)
+	c.solveIterations.Store(0)
+	c.tokensDelivered.Store(0)
+}
+
+// Snapshot is a point-in-time copy of the counters, serializable as
+// BENCH_baseline.json. Workers and WallMS describe the run as a whole and
+// are filled in by the driver.
+type Snapshot struct {
+	Workers int     `json:"workers,omitempty"`
+	WallMS  float64 `json:"wall_ms,omitempty"`
+
+	Projects       int64   `json:"projects"`
+	Parses         int64   `json:"parses"`
+	ParseCacheHits int64   `json:"parse_cache_hits"`
+	ParseHitRate   float64 `json:"parse_cache_hit_rate"`
+
+	SolveIterations int64 `json:"solve_iterations"`
+	TokensDelivered int64 `json:"tokens_delivered"`
+
+	PhaseMS map[string]float64 `json:"phase_ms"`
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{
+		Projects:        c.projects.Load(),
+		Parses:          c.parses.Load(),
+		ParseCacheHits:  c.parseCacheHits.Load(),
+		SolveIterations: c.solveIterations.Load(),
+		TokensDelivered: c.tokensDelivered.Load(),
+		PhaseMS:         map[string]float64{},
+	}
+	if total := s.Parses + s.ParseCacheHits; total > 0 {
+		s.ParseHitRate = float64(s.ParseCacheHits) / float64(total)
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		s.PhaseMS[p.String()] = float64(c.phaseNS[p].Load()) / 1e6
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render writes a human-readable report.
+func (s Snapshot) Render(w io.Writer) {
+	if s.Workers > 0 {
+		fmt.Fprintf(w, "workers:            %d\n", s.Workers)
+	}
+	if s.WallMS > 0 {
+		fmt.Fprintf(w, "wall time:          %.1f ms\n", s.WallMS)
+	}
+	fmt.Fprintf(w, "projects:           %d\n", s.Projects)
+	fmt.Fprintf(w, "parses:             %d (cache hits %d, hit rate %.1f%%)\n",
+		s.Parses, s.ParseCacheHits, 100*s.ParseHitRate)
+	fmt.Fprintf(w, "solve iterations:   %d\n", s.SolveIterations)
+	fmt.Fprintf(w, "tokens delivered:   %d\n", s.TokensDelivered)
+	for p := Phase(0); p < numPhases; p++ {
+		fmt.Fprintf(w, "%-9s phase:     %.1f ms\n", p.String(), s.PhaseMS[p.String()])
+	}
+}

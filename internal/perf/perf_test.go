@@ -1,0 +1,89 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.AddProject()
+	c.AddParse(2 * time.Millisecond)
+	c.AddParseHit()
+	c.AddParseHit()
+	c.AddParseHit()
+	c.AddSolve(10, 25)
+	c.AddPhase(PhaseApprox, 5*time.Millisecond)
+
+	s := c.Snapshot()
+	if s.Projects != 1 || s.Parses != 1 || s.ParseCacheHits != 3 {
+		t.Errorf("counts wrong: %+v", s)
+	}
+	if s.ParseHitRate != 0.75 {
+		t.Errorf("hit rate = %v, want 0.75", s.ParseHitRate)
+	}
+	if s.SolveIterations != 10 || s.TokensDelivered != 25 {
+		t.Errorf("solve counters wrong: %+v", s)
+	}
+	if s.PhaseMS["approx"] != 5 || s.PhaseMS["parse"] != 2 {
+		t.Errorf("phase times wrong: %v", s.PhaseMS)
+	}
+
+	c.Reset()
+	if s := c.Snapshot(); s.Projects != 0 || s.Parses != 0 || s.PhaseMS["approx"] != 0 {
+		t.Errorf("reset did not zero: %+v", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.AddParse(time.Microsecond)
+				c.AddParseHit()
+				c.AddSolve(1, 2)
+			}
+		}()
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Parses != 8000 || s.ParseCacheHits != 8000 || s.SolveIterations != 8000 || s.TokensDelivered != 16000 {
+		t.Errorf("concurrent totals wrong: %+v", s)
+	}
+}
+
+func TestSnapshotJSONAndRender(t *testing.T) {
+	var c Counters
+	c.AddParse(time.Millisecond)
+	s := c.Snapshot()
+	s.Workers = 4
+	s.WallMS = 12.5
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Workers != 4 || back.Parses != 1 || back.WallMS != 12.5 {
+		t.Errorf("round trip wrong: %+v", back)
+	}
+
+	var out strings.Builder
+	s.Render(&out)
+	for _, want := range []string{"workers", "parses", "solve iterations", "parse", "dyncg"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package static
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/loc"
 	"repro/internal/modules"
 	"repro/internal/parser"
+	"repro/internal/perf"
 )
 
 // Mode selects how hints are consumed.
@@ -62,6 +64,10 @@ type Result struct {
 	// NumVars and NumTokens describe constraint-system size.
 	NumVars   int
 	NumTokens int
+	// SolveIterations and TokensDelivered describe solver effort: fixpoint
+	// iterations (queue pops) and token-propagation attempts.
+	SolveIterations int64
+	TokensDelivered int64
 	// AnalyzedModules is the number of modules in the whole-program view.
 	AnalyzedModules int
 	Duration        time.Duration
@@ -251,11 +257,16 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 		}
 	}
 
+	iters, delivered := a.s.stats()
+	perf.Global().AddSolve(iters, delivered)
+
 	return &Result{
 		Graph:           a.cg,
 		MainEntries:     entries,
 		NumVars:         a.s.numVars(),
 		NumTokens:       len(a.tokens),
+		SolveIterations: iters,
+		TokensDelivered: delivered,
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(start),
 	}, nil
@@ -307,15 +318,13 @@ func (a *analyzer) collectModules() error {
 			continue
 		}
 		seen[path] = true
-		src, ok := a.project.Files[path]
-		if !ok {
-			src = modules.NodeLibSource(path)
-			if src == "" {
+		// The project's shared parse cache: files already parsed by the
+		// pre-analysis (or an earlier static run) are not parsed again.
+		prog, err := a.project.Parse(path)
+		if err != nil {
+			if errors.Is(err, modules.ErrNoSource) {
 				continue
 			}
-		}
-		prog, err := parser.Parse(path, src)
-		if err != nil {
 			return fmt.Errorf("static: parsing %s: %w", path, err)
 		}
 		a.progs[path] = prog

@@ -12,25 +12,86 @@ type Var int32
 // a native (built-in) object/function.
 type Token int32
 
+// smallSetMax is the membership-test threshold: token and edge sets at or
+// below this size use a linear scan over the dense slice (cache-friendly,
+// no allocation); larger sets spill to a map. Most constraint variables in
+// practice hold a handful of tokens, so the maps — previously allocated for
+// every non-empty set — become rare.
+const smallSetMax = 12
+
+// queueCompactMin bounds how much dead prefix the delivery queue tolerates
+// before sliding live entries down to reuse the backing array.
+const queueCompactMin = 1024
+
+// Var states live in fixed-size chunks so allocating a variable never
+// moves existing states: a growing flat []varState spends most of newVar
+// in memmove/memclr on large programs, and moving states would invalidate
+// the *varState pointers the hot paths hold across trigger callbacks.
+const (
+	varChunkShift = 9 // 512 states per chunk
+	varChunkSize  = 1 << varChunkShift
+	varChunkMask  = varChunkSize - 1
+)
+
 // solver computes the least solution of subset constraints with support
 // for complex constraints (callbacks triggered as tokens arrive), which may
 // add further edges and constraints during solving.
 type solver struct {
-	vars []varState
-	// queue of pending (var, token) deliveries.
+	chunks [][]varState
+	nVars  int
+	// queue of pending (var, token) deliveries, consumed from head (a
+	// ring-style head index instead of re-slicing, so popping is O(1) and
+	// the backing array is reused once drained).
 	queue []delivery
+	head  int
+
+	// perf counters: fixpoint iterations (queue pops) and tokens delivered
+	// (insertion attempts on the hot path, i.e. addToken calls).
+	iterations      int64
+	tokensDelivered int64
 }
 
 type varState struct {
 	tokens []Token
-	has    map[Token]bool
+	// has is nil while len(tokens) <= smallSetMax; membership then is a
+	// linear scan of tokens.
+	has map[Token]struct{}
 	// delivered counts the prefix of tokens whose queue entry has been
 	// processed; triggers registered later run immediately for that prefix
 	// only, so each (trigger, token) pair fires exactly once.
 	delivered int
 	edges     []Var
-	edgeSet   map[Var]bool
-	triggers  []func(Token)
+	// edgeHas mirrors has for the edge set.
+	edgeHas  map[Var]struct{}
+	triggers []func(Token)
+}
+
+// hasToken reports whether t ∈ ⟦v⟧ for this state.
+func (st *varState) hasToken(t Token) bool {
+	if st.has != nil {
+		_, ok := st.has[t]
+		return ok
+	}
+	for _, x := range st.tokens {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// hasEdge reports whether the edge to v is already present.
+func (st *varState) hasEdge(v Var) bool {
+	if st.edgeHas != nil {
+		_, ok := st.edgeHas[v]
+		return ok
+	}
+	for _, x := range st.edges {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 type delivery struct {
@@ -38,25 +99,46 @@ type delivery struct {
 	t Token
 }
 
-func newSolver() *solver { return &solver{} }
+func newSolver() *solver {
+	return &solver{
+		queue: make([]delivery, 0, 1024),
+	}
+}
+
+// state returns the stable address of v's state.
+func (s *solver) state(v Var) *varState {
+	return &s.chunks[v>>varChunkShift][v&varChunkMask]
+}
 
 // newVar allocates a fresh constraint variable.
 func (s *solver) newVar() Var {
-	s.vars = append(s.vars, varState{})
-	return Var(len(s.vars) - 1)
+	if s.nVars>>varChunkShift == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]varState, varChunkSize))
+	}
+	v := Var(s.nVars)
+	s.nVars++
+	return v
 }
 
 // addToken inserts token t into ⟦v⟧ (and schedules propagation).
 func (s *solver) addToken(v Var, t Token) {
-	st := &s.vars[v]
-	if st.has == nil {
-		st.has = map[Token]bool{}
-	}
-	if st.has[t] {
+	s.tokensDelivered++
+	st := s.state(v)
+	if st.hasToken(t) {
 		return
 	}
-	st.has[t] = true
+	if st.tokens == nil {
+		st.tokens = make([]Token, 0, 4)
+	}
 	st.tokens = append(st.tokens, t)
+	if st.has != nil {
+		st.has[t] = struct{}{}
+	} else if len(st.tokens) > smallSetMax {
+		st.has = make(map[Token]struct{}, 2*len(st.tokens))
+		for _, x := range st.tokens {
+			st.has[x] = struct{}{}
+		}
+	}
 	s.queue = append(s.queue, delivery{v, t})
 }
 
@@ -65,17 +147,24 @@ func (s *solver) addEdge(from, to Var) {
 	if from == to {
 		return
 	}
-	st := &s.vars[from]
-	if st.edgeSet == nil {
-		st.edgeSet = map[Var]bool{}
-	}
-	if st.edgeSet[to] {
+	st := s.state(from)
+	if st.hasEdge(to) {
 		return
 	}
-	st.edgeSet[to] = true
+	if st.edges == nil {
+		st.edges = make([]Var, 0, 4)
+	}
 	st.edges = append(st.edges, to)
-	for _, t := range st.tokens {
-		s.addToken(to, t)
+	if st.edgeHas != nil {
+		st.edgeHas[to] = struct{}{}
+	} else if len(st.edges) > smallSetMax {
+		st.edgeHas = make(map[Var]struct{}, 2*len(st.edges))
+		for _, x := range st.edges {
+			st.edgeHas[x] = struct{}{}
+		}
+	}
+	for i := 0; i < len(st.tokens); i++ {
+		s.addToken(to, st.tokens[i])
 	}
 }
 
@@ -84,7 +173,7 @@ func (s *solver) addEdge(from, to Var) {
 // token) pair fires exactly once: at registration time for already-
 // delivered tokens, and from the queue for pending and future ones.
 func (s *solver) onToken(v Var, fn func(Token)) {
-	st := &s.vars[v]
+	st := s.state(v)
 	st.triggers = append(st.triggers, fn)
 	// Run for already-delivered tokens (copy: fn may grow the slice);
 	// tokens still in the queue will reach this trigger when drained.
@@ -96,29 +185,46 @@ func (s *solver) onToken(v Var, fn func(Token)) {
 
 // solve runs propagation to a fixpoint.
 func (s *solver) solve() {
-	for len(s.queue) > 0 {
-		d := s.queue[0]
-		s.queue = s.queue[1:]
-		// Index-based access throughout: triggers may allocate variables
-		// (reallocating s.vars) and may extend this variable's own edge and
-		// trigger lists while we iterate.
-		for i := 0; i < len(s.vars[d.v].edges); i++ {
-			s.addToken(s.vars[d.v].edges[i], d.t)
+	for s.head < len(s.queue) {
+		d := s.queue[s.head]
+		s.head++
+		s.iterations++
+		if s.head >= queueCompactMin && s.head*2 >= len(s.queue) {
+			// Slide live entries down so the backing array is reused
+			// instead of growing by the total number of deliveries.
+			n := copy(s.queue, s.queue[s.head:])
+			s.queue = s.queue[:n]
+			s.head = 0
+		}
+		// The state pointer is stable (chunked storage), but triggers may
+		// extend this variable's own edge and trigger lists while we
+		// iterate, so re-check the lengths each step.
+		st := s.state(d.v)
+		for i := 0; i < len(st.edges); i++ {
+			s.addToken(st.edges[i], d.t)
 		}
 		// Mark delivered before running triggers so a trigger registering
 		// further triggers on this variable does not re-fire for d.t.
-		s.vars[d.v].delivered++
-		for i := 0; i < len(s.vars[d.v].triggers); i++ {
-			s.vars[d.v].triggers[i](d.t)
+		st.delivered++
+		for i := 0; i < len(st.triggers); i++ {
+			st.triggers[i](d.t)
 		}
 	}
+	// Fully drained: release the queue for the next solve round.
+	s.queue = s.queue[:0]
+	s.head = 0
+}
+
+// stats reports fixpoint iterations and token-delivery attempts so far.
+func (s *solver) stats() (iterations, tokensDelivered int64) {
+	return s.iterations, s.tokensDelivered
 }
 
 // tokens returns the current members of ⟦v⟧ in arrival order.
-func (s *solver) tokens(v Var) []Token { return s.vars[v].tokens }
+func (s *solver) tokens(v Var) []Token { return s.state(v).tokens }
 
 // size returns the number of tokens in ⟦v⟧.
-func (s *solver) size(v Var) int { return len(s.vars[v].tokens) }
+func (s *solver) size(v Var) int { return len(s.state(v).tokens) }
 
 // numVars returns the number of allocated variables.
-func (s *solver) numVars() int { return len(s.vars) }
+func (s *solver) numVars() int { return s.nVars }

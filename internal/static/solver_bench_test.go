@@ -1,0 +1,71 @@
+package static
+
+import "testing"
+
+// BenchmarkSolverPropagation measures fixpoint propagation over a deep edge
+// chain with fan-out — the worst case for the former O(n) queue head pop
+// (every pop shifted the whole remaining queue) and the per-variable
+// map-based membership sets.
+func BenchmarkSolverPropagation(b *testing.B) {
+	const (
+		depth  = 2048
+		tokens = 8
+		fanOut = 4
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := newSolver()
+		vars := make([]Var, depth)
+		for j := range vars {
+			vars[j] = s.newVar()
+		}
+		// Chain with periodic fan-out back into later links, so the queue
+		// stays populated the way real constraint systems keep it.
+		for j := 0; j+1 < depth; j++ {
+			s.addEdge(vars[j], vars[j+1])
+			if j%64 == 0 {
+				for k := 1; k <= fanOut && j+k*7 < depth; k++ {
+					s.addEdge(vars[j], vars[j+k*7])
+				}
+			}
+		}
+		for k := 0; k < tokens; k++ {
+			s.addToken(vars[0], Token(k))
+		}
+		s.solve()
+		if s.size(vars[depth-1]) != tokens {
+			b.Fatal("propagation incomplete")
+		}
+	}
+}
+
+// BenchmarkSolverWideSets measures membership-heavy workloads: many tokens
+// flowing into shared sinks, exercising the small-set → map spill path.
+func BenchmarkSolverWideSets(b *testing.B) {
+	const (
+		sources = 64
+		sinks   = 16
+		tokens  = 64
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := newSolver()
+		src := make([]Var, sources)
+		for j := range src {
+			src[j] = s.newVar()
+		}
+		snk := make([]Var, sinks)
+		for j := range snk {
+			snk[j] = s.newVar()
+		}
+		for j, v := range src {
+			for k := 0; k < tokens; k++ {
+				s.addToken(v, Token((j*tokens+k)%256))
+			}
+			for _, w := range snk {
+				s.addEdge(v, w)
+			}
+		}
+		s.solve()
+	}
+}
