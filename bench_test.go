@@ -309,6 +309,45 @@ func heavyLibraryProject() *modules.Project {
 	}
 }
 
+// BenchmarkIncrementalResume compares the combined baseline+extended
+// analysis (static.AnalyzeBoth: solve the baseline once, inject the
+// [DPR]/[DPW] hint deltas, resume to the extended fixpoint) against the
+// legacy two-pass path (two from-scratch solves) on a corpus slice. The
+// reported wall time is the baseline+extended cost only; approximate
+// interpretation is precomputed outside the timed loop.
+func BenchmarkIncrementalResume(b *testing.B) {
+	bs := benchSlice(12)
+	hintsFor := make([]*approx.Result, len(bs))
+	for i, bench := range bs {
+		ar, err := approx.Run(bench.Project, approx.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hintsFor[i] = ar
+	}
+	b.Run("twopass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, bench := range bs {
+				if _, err := static.Analyze(bench.Project, static.Options{Mode: static.Baseline}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := static.Analyze(bench.Project, static.Options{Mode: static.WithHints, Hints: hintsFor[j].Hints}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, bench := range bs {
+				if _, _, err := static.AnalyzeBoth(bench.Project, static.Options{Mode: static.WithHints, Hints: hintsFor[j].Hints}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkPipelineParallel measures the parallel corpus driver against the
 // sequential baseline on the same corpus slice, reporting wall time per
 // worker count and the parse-cache hit rate. Fresh benchmark sets are built

@@ -54,6 +54,71 @@ func New() *Graph {
 	}
 }
 
+// Clone returns a deep copy of the graph. The incremental static analysis
+// uses it to snapshot the baseline call graph at the baseline fixpoint
+// before hint deltas extend the same graph in place.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		Sites:          make(map[loc.Loc]FuncID, len(g.Sites)),
+		Edges:          make(map[loc.Loc]map[FuncID]bool, len(g.Edges)),
+		Funcs:          make(map[FuncID]bool, len(g.Funcs)),
+		NativeResolved: make(map[loc.Loc]bool, len(g.NativeResolved)),
+	}
+	for s, f := range g.Sites {
+		c.Sites[s] = f
+	}
+	for s, set := range g.Edges {
+		cs := make(map[FuncID]bool, len(set))
+		for f := range set {
+			cs[f] = true
+		}
+		c.Edges[s] = cs
+	}
+	for f := range g.Funcs {
+		c.Funcs[f] = true
+	}
+	for s := range g.NativeResolved {
+		c.NativeResolved[s] = true
+	}
+	return c
+}
+
+// Equal reports whether two graphs have identical sites, edges, functions,
+// and native-resolved marks.
+func (g *Graph) Equal(o *Graph) bool {
+	if len(g.Sites) != len(o.Sites) || len(g.Edges) != len(o.Edges) ||
+		len(g.Funcs) != len(o.Funcs) || len(g.NativeResolved) != len(o.NativeResolved) {
+		return false
+	}
+	for s, f := range g.Sites {
+		if of, ok := o.Sites[s]; !ok || of != f {
+			return false
+		}
+	}
+	for s, set := range g.Edges {
+		oset, ok := o.Edges[s]
+		if !ok || len(oset) != len(set) {
+			return false
+		}
+		for f := range set {
+			if !oset[f] {
+				return false
+			}
+		}
+	}
+	for f := range g.Funcs {
+		if !o.Funcs[f] {
+			return false
+		}
+	}
+	for s := range g.NativeResolved {
+		if !o.NativeResolved[s] {
+			return false
+		}
+	}
+	return true
+}
+
 // MarkNativeResolved records that site resolved to a modeled native.
 func (g *Graph) MarkNativeResolved(site loc.Loc) { g.NativeResolved[site] = true }
 

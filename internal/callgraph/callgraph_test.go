@@ -181,3 +181,55 @@ func TestModuleFunc(t *testing.T) {
 		t.Error("ordinary func misclassified")
 	}
 }
+
+func TestCloneIsDeepAndEqual(t *testing.T) {
+	g := New()
+	g.AddSite(site(1), mod("/app/a.js"))
+	g.AddFunc(fn(10))
+	g.AddEdge(site(1), fn(10))
+	g.MarkNativeResolved(site(2))
+
+	c := g.Clone()
+	if !g.Equal(c) || !c.Equal(g) {
+		t.Fatal("clone not equal to original")
+	}
+	// Mutating the original must not leak into the clone (the incremental
+	// analysis extends the live graph after snapshotting).
+	g.AddEdge(site(1), fn(20))
+	g.AddEdge(site(3), fn(30))
+	g.AddSite(site(4), fn(10))
+	g.MarkNativeResolved(site(5))
+	if c.HasEdge(site(1), fn(20)) || c.HasEdge(site(3), fn(30)) {
+		t.Error("clone shares edge storage with original")
+	}
+	if c.NumSites() != 1 || c.NumEdges() != 1 || len(c.NativeResolved) != 1 {
+		t.Errorf("clone mutated: sites=%d edges=%d native=%d", c.NumSites(), c.NumEdges(), len(c.NativeResolved))
+	}
+	if g.Equal(c) {
+		t.Error("diverged graphs still compare equal")
+	}
+}
+
+func TestEqualDetectsEachComponent(t *testing.T) {
+	base := func() *Graph {
+		g := New()
+		g.AddSite(site(1), mod("/app/a.js"))
+		g.AddEdge(site(1), fn(10))
+		g.MarkNativeResolved(site(2))
+		return g
+	}
+	a := base()
+	for _, mut := range []func(*Graph){
+		func(g *Graph) { g.AddSite(site(9), fn(10)) },
+		func(g *Graph) { g.AddEdge(site(1), fn(99)) },
+		func(g *Graph) { g.AddFunc(fn(77)) },
+		func(g *Graph) { g.MarkNativeResolved(site(9)) },
+		func(g *Graph) { g.Sites[site(1)] = fn(42) },
+	} {
+		b := base()
+		mut(b)
+		if a.Equal(b) || b.Equal(a) {
+			t.Errorf("mutation not detected: %+v vs %+v", a, b)
+		}
+	}
+}

@@ -48,9 +48,20 @@ type Outcome struct {
 	extReach  map[callgraph.FuncID]bool
 }
 
-// RunBenchmark evaluates one benchmark: pre-analysis, baseline, extended,
-// and (if available and requested) the dynamic call graph.
+// RunBenchmark evaluates one benchmark: pre-analysis, baseline+extended
+// (incrementally — see RunBenchmarkOpts), and (if available and requested)
+// the dynamic call graph.
 func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
+	return runBenchmark(b, withDyn, false)
+}
+
+// runBenchmark evaluates one benchmark. With twoPass false (the default
+// path), baseline and extended run as one incremental solve
+// (static.AnalyzeBoth): constraints are generated once, the baseline
+// fixpoint is snapshotted, and the [DPR]/[DPW] hint deltas resume the same
+// solver — the outcome is identical to the two-pass path (asserted by the
+// differential test in internal/static), only cheaper.
+func runBenchmark(b *corpus.Benchmark, withDyn, twoPass bool) (*Outcome, error) {
 	out := &Outcome{Name: b.Project.Name, HasDynCG: b.HasDynCG}
 	perf.Global().AddProject()
 
@@ -60,6 +71,7 @@ func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 	}
 	out.Stats = st
 
+	approxAlloc := perf.TotalAllocBytes()
 	ar, err := approx.Run(b.Project, approx.Options{})
 	if err != nil {
 		return nil, fmt.Errorf("%s: approx: %w", b.Project.Name, err)
@@ -68,36 +80,79 @@ func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 	out.VisitedRatio = ar.VisitedRatio()
 	out.ApproxTime = ar.Duration
 	perf.Global().AddPhase(perf.PhaseApprox, ar.Duration)
+	perf.Global().AddPhaseAlloc(perf.PhaseApprox, perf.TotalAllocBytes()-approxAlloc)
 
-	base, err := static.Analyze(b.Project, static.Options{Mode: static.Baseline})
-	if err != nil {
-		return nil, fmt.Errorf("%s: baseline: %w", b.Project.Name, err)
+	var base, ext *static.Result
+	if twoPass {
+		base, err = static.Analyze(b.Project, static.Options{Mode: static.Baseline})
+		if err != nil {
+			return nil, fmt.Errorf("%s: baseline: %w", b.Project.Name, err)
+		}
+		ext, err = static.Analyze(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
+		if err != nil {
+			return nil, fmt.Errorf("%s: extended: %w", b.Project.Name, err)
+		}
+	} else {
+		base, ext, err = static.AnalyzeBoth(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
+		if err != nil {
+			return nil, fmt.Errorf("%s: baseline+extended: %w", b.Project.Name, err)
+		}
 	}
 	out.BaselineTime = base.Duration
 	out.Base = base.Metrics()
 	out.baseReach = base.Graph.Reachable(base.MainEntries)
 	perf.Global().AddPhase(perf.PhaseBaseline, base.Duration)
-
-	ext, err := static.Analyze(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
-	if err != nil {
-		return nil, fmt.Errorf("%s: extended: %w", b.Project.Name, err)
-	}
+	perf.Global().AddPhaseAlloc(perf.PhaseBaseline, base.AllocBytes)
 	out.ExtendedTime = ext.Duration
 	out.Ext = ext.Metrics()
 	out.extReach = ext.Graph.Reachable(ext.MainEntries)
 	perf.Global().AddPhase(perf.PhaseExtended, ext.Duration)
+	perf.Global().AddPhaseAlloc(perf.PhaseExtended, ext.AllocBytes)
 
 	if withDyn && b.HasDynCG {
-		dr, err := dyncg.Build(b.Project, dyncg.Options{})
+		dr, err := dynGraph(b)
 		if err != nil {
 			return nil, fmt.Errorf("%s: dyncg: %w", b.Project.Name, err)
 		}
 		out.DynEdges = dr.Graph.NumEdges()
 		out.BaseAcc = callgraph.CompareWithDynamic(base.Graph, dr.Graph)
 		out.ExtAcc = callgraph.CompareWithDynamic(ext.Graph, dr.Graph)
-		perf.Global().AddPhase(perf.PhaseDynCG, dr.Duration)
 	}
 	return out, nil
+}
+
+// dynEntry is one memoized dynamic call-graph build.
+type dynEntry struct {
+	once sync.Once
+	res  *dyncg.Result
+	err  error
+}
+
+// dynMemo caches dynamic call graphs per *modules.Project, so an
+// evaluation that needs a project's dynamic graph in several places
+// (RunBenchmark accuracy, RunAblation precision) builds it at most once.
+// Keyed by project pointer: corpus generation returns fresh projects per
+// call, so reuse requires passing the same benchmarks to both runs (as
+// cmd/evaluate does).
+var dynMemo sync.Map
+
+// dynBuilds counts actual dynamic call-graph builds (memo misses).
+var dynBuilds atomic.Int64
+
+// dynGraph returns the (memoized) dynamic call graph of a benchmark.
+func dynGraph(b *corpus.Benchmark) (*dyncg.Result, error) {
+	e, _ := dynMemo.LoadOrStore(b.Project, &dynEntry{})
+	ent := e.(*dynEntry)
+	ent.once.Do(func() {
+		dynBuilds.Add(1)
+		alloc0 := perf.TotalAllocBytes()
+		ent.res, ent.err = dyncg.Build(b.Project, dyncg.Options{})
+		if ent.err == nil {
+			perf.Global().AddPhase(perf.PhaseDynCG, ent.res.Duration)
+			perf.Global().AddPhaseAlloc(perf.PhaseDynCG, perf.TotalAllocBytes()-alloc0)
+		}
+	})
+	return ent.res, ent.err
 }
 
 // Options configures a corpus evaluation run.
@@ -110,6 +165,11 @@ type Options struct {
 	// sequential run regardless of the worker count: benchmarks share no
 	// state, and outcomes are collected by input position.
 	Workers int
+	// TwoPass forces the legacy two-pass baseline/extended analysis (each
+	// from scratch) instead of the incremental baseline→extended resume.
+	// Reports are identical either way; the flag exists for cross-checking
+	// and for timing the two paths against each other.
+	TwoPass bool
 }
 
 // RunCorpus evaluates the given benchmarks over a worker pool sized to the
@@ -133,7 +193,7 @@ func RunCorpusOpts(bs []*corpus.Benchmark, opts Options) ([]*Outcome, error) {
 	outs := make([]*Outcome, len(bs))
 	if workers <= 1 {
 		for i, b := range bs {
-			o, err := RunBenchmark(b, opts.WithDynCG)
+			o, err := runBenchmark(b, opts.WithDynCG, opts.TwoPass)
 			if err != nil {
 				return nil, err
 			}
@@ -151,7 +211,7 @@ func RunCorpusOpts(bs []*corpus.Benchmark, opts Options) ([]*Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				o, err := RunBenchmark(bs[i], opts.WithDynCG)
+				o, err := runBenchmark(bs[i], opts.WithDynCG, opts.TwoPass)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -330,7 +390,7 @@ func RunAblation(b *corpus.Benchmark) (*AblationOutcome, error) {
 		NameOnlyMonomorphic:   abl.Metrics().MonomorphicPct,
 	}
 	if b.HasDynCG {
-		dr, err := dyncg.Build(b.Project, dyncg.Options{})
+		dr, err := dynGraph(b)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestIncrementalMatchesTwoPassOutcomes asserts the combined
+// baseline+extended path produces outcomes — and therefore rendered
+// reports, which are pure functions of the timing-free outcome fields —
+// identical to the legacy two-pass path.
+func TestIncrementalMatchesTwoPassOutcomes(t *testing.T) {
+	// Fresh benchmark sets per path so neither run sees warm parse caches.
+	incBenches := slice(t, 6)
+	twoBenches := slice(t, 6)
+
+	inc, err := RunCorpusOpts(incBenches, Options{WithDynCG: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := RunCorpusOpts(twoBenches, Options{WithDynCG: true, Workers: 1, TwoPass: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc) != len(two) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(inc), len(two))
+	}
+	for i := range inc {
+		a, b := strip(inc[i]), strip(two[i])
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("outcome %d differs:\nincremental: %+v\ntwo-pass:    %+v", i, a, b)
+		}
+	}
+
+	// Spot-check the rendered reports byte for byte on the time-free
+	// tables (Table 3 prints wall times, which vary run to run by nature).
+	for _, render := range []struct {
+		name string
+		do   func(w *bytes.Buffer, outs []*Outcome)
+	}{
+		{"table1", func(w *bytes.Buffer, outs []*Outcome) { RenderTable1(w, outs) }},
+		{"fig4", func(w *bytes.Buffer, outs []*Outcome) { RenderFigure(w, outs, 4) }},
+		{"table2", func(w *bytes.Buffer, outs []*Outcome) { RenderTable2(w, outs) }},
+	} {
+		var bufInc, bufTwo bytes.Buffer
+		render.do(&bufInc, inc)
+		render.do(&bufTwo, two)
+		if bufInc.String() != bufTwo.String() {
+			t.Errorf("%s reports differ:\nincremental:\n%s\ntwo-pass:\n%s",
+				render.name, bufInc.String(), bufTwo.String())
+		}
+	}
+}
+
+// TestDynCGMemoBuildsOnce asserts that one project's dynamic call graph is
+// built at most once per evaluation, however many consumers ask for it.
+func TestDynCGMemoBuildsOnce(t *testing.T) {
+	var b *corpus.Benchmark
+	for _, cand := range corpus.WithDynCG() {
+		b = cand
+		break
+	}
+	if b == nil {
+		t.Fatal("no dyn-CG benchmark available")
+	}
+	before := dynBuilds.Load()
+	if _, err := RunBenchmark(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBenchmark(b, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunAblation(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := dynBuilds.Load() - before; got != 1 {
+		t.Fatalf("dynamic call graph built %d times, want 1", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sync/atomic"
 	"time"
 )
@@ -41,7 +42,8 @@ func (p Phase) String() string {
 
 // Counters accumulates pipeline statistics.
 type Counters struct {
-	phaseNS [numPhases]atomic.Int64
+	phaseNS         [numPhases]atomic.Int64
+	phaseAllocBytes [numPhases]atomic.Int64
 
 	projects       atomic.Int64
 	parses         atomic.Int64
@@ -49,6 +51,15 @@ type Counters struct {
 
 	solveIterations atomic.Int64
 	tokensDelivered atomic.Int64
+
+	// Incremental-solve split: fixpoint effort spent reaching the baseline
+	// fixpoint vs. effort spent on the resumed [DPR]/[DPW] delta solve
+	// (static.AnalyzeBoth). Their sum is what the combined path actually
+	// paid; a two-pass run would have paid the baseline share twice.
+	solveIterationsBase  atomic.Int64
+	solveIterationsDelta atomic.Int64
+	tokensDeliveredBase  atomic.Int64
+	tokensDeliveredDelta atomic.Int64
 }
 
 var global Counters
@@ -82,16 +93,47 @@ func (c *Counters) AddSolve(iterations, tokens int64) {
 	c.tokensDelivered.Add(tokens)
 }
 
+// AddIncrementalSolve accrues one incremental baseline+extended run,
+// split into the baseline-phase effort and the resumed-delta effort.
+func (c *Counters) AddIncrementalSolve(baseIters, baseTokens, deltaIters, deltaTokens int64) {
+	c.solveIterationsBase.Add(baseIters)
+	c.tokensDeliveredBase.Add(baseTokens)
+	c.solveIterationsDelta.Add(deltaIters)
+	c.tokensDeliveredDelta.Add(deltaTokens)
+}
+
+// AddPhaseAlloc accrues heap-allocation bytes to a phase.
+func (c *Counters) AddPhaseAlloc(p Phase, bytes int64) {
+	if p >= 0 && p < numPhases {
+		c.phaseAllocBytes[p].Add(bytes)
+	}
+}
+
+// TotalAllocBytes reads the process-wide cumulative heap allocation
+// (runtime.MemStats.TotalAlloc). Deltas of this value around a phase give
+// that phase's allocation: exact with one worker, approximate (other
+// goroutines' allocations bleed in) when phases overlap.
+func TotalAllocBytes() int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.TotalAlloc)
+}
+
 // Reset zeroes all counters.
 func (c *Counters) Reset() {
 	for i := range c.phaseNS {
 		c.phaseNS[i].Store(0)
+		c.phaseAllocBytes[i].Store(0)
 	}
 	c.projects.Store(0)
 	c.parses.Store(0)
 	c.parseCacheHits.Store(0)
 	c.solveIterations.Store(0)
 	c.tokensDelivered.Store(0)
+	c.solveIterationsBase.Store(0)
+	c.solveIterationsDelta.Store(0)
+	c.tokensDeliveredBase.Store(0)
+	c.tokensDeliveredDelta.Store(0)
 }
 
 // Snapshot is a point-in-time copy of the counters, serializable as
@@ -109,24 +151,45 @@ type Snapshot struct {
 	SolveIterations int64 `json:"solve_iterations"`
 	TokensDelivered int64 `json:"tokens_delivered"`
 
-	PhaseMS map[string]float64 `json:"phase_ms"`
+	// Incremental split (zero when the two-pass path ran).
+	SolveIterationsBase  int64 `json:"solve_iterations_baseline,omitempty"`
+	SolveIterationsDelta int64 `json:"solve_iterations_delta,omitempty"`
+	TokensDeliveredBase  int64 `json:"tokens_delivered_baseline,omitempty"`
+	TokensDeliveredDelta int64 `json:"tokens_delivered_delta,omitempty"`
+
+	PhaseMS         map[string]float64 `json:"phase_ms"`
+	PhaseAllocBytes map[string]int64   `json:"phase_alloc_bytes,omitempty"`
 }
 
 // Snapshot copies the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{
-		Projects:        c.projects.Load(),
-		Parses:          c.parses.Load(),
-		ParseCacheHits:  c.parseCacheHits.Load(),
-		SolveIterations: c.solveIterations.Load(),
-		TokensDelivered: c.tokensDelivered.Load(),
-		PhaseMS:         map[string]float64{},
+		Projects:             c.projects.Load(),
+		Parses:               c.parses.Load(),
+		ParseCacheHits:       c.parseCacheHits.Load(),
+		SolveIterations:      c.solveIterations.Load(),
+		TokensDelivered:      c.tokensDelivered.Load(),
+		SolveIterationsBase:  c.solveIterationsBase.Load(),
+		SolveIterationsDelta: c.solveIterationsDelta.Load(),
+		TokensDeliveredBase:  c.tokensDeliveredBase.Load(),
+		TokensDeliveredDelta: c.tokensDeliveredDelta.Load(),
+		PhaseMS:              map[string]float64{},
 	}
 	if total := s.Parses + s.ParseCacheHits; total > 0 {
 		s.ParseHitRate = float64(s.ParseCacheHits) / float64(total)
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		s.PhaseMS[p.String()] = float64(c.phaseNS[p].Load()) / 1e6
+	}
+	var allocTotal int64
+	for p := Phase(0); p < numPhases; p++ {
+		allocTotal += c.phaseAllocBytes[p].Load()
+	}
+	if allocTotal > 0 {
+		s.PhaseAllocBytes = map[string]int64{}
+		for p := Phase(0); p < numPhases; p++ {
+			s.PhaseAllocBytes[p.String()] = c.phaseAllocBytes[p].Load()
+		}
 	}
 	return s
 }
@@ -151,7 +214,15 @@ func (s Snapshot) Render(w io.Writer) {
 		s.Parses, s.ParseCacheHits, 100*s.ParseHitRate)
 	fmt.Fprintf(w, "solve iterations:   %d\n", s.SolveIterations)
 	fmt.Fprintf(w, "tokens delivered:   %d\n", s.TokensDelivered)
+	if s.SolveIterationsBase+s.SolveIterationsDelta > 0 {
+		fmt.Fprintf(w, "  incremental:      baseline %d iters / %d tokens, resumed delta %d iters / %d tokens\n",
+			s.SolveIterationsBase, s.TokensDeliveredBase, s.SolveIterationsDelta, s.TokensDeliveredDelta)
+	}
 	for p := Phase(0); p < numPhases; p++ {
-		fmt.Fprintf(w, "%-9s phase:     %.1f ms\n", p.String(), s.PhaseMS[p.String()])
+		fmt.Fprintf(w, "%-9s phase:     %.1f ms", p.String(), s.PhaseMS[p.String()])
+		if b, ok := s.PhaseAllocBytes[p.String()]; ok {
+			fmt.Fprintf(w, "  (%.1f MB alloc)", float64(b)/(1<<20))
+		}
+		fmt.Fprintln(w)
 	}
 }

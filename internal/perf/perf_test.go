@@ -39,6 +39,54 @@ func TestCountersBasic(t *testing.T) {
 	}
 }
 
+func TestIncrementalAndAllocCounters(t *testing.T) {
+	var c Counters
+	c.AddIncrementalSolve(100, 200, 10, 20)
+	c.AddIncrementalSolve(1, 2, 3, 4)
+	c.AddPhaseAlloc(PhaseBaseline, 1<<20)
+	c.AddPhaseAlloc(PhaseBaseline, 1<<20)
+	c.AddPhaseAlloc(PhaseExtended, 512)
+	c.AddPhaseAlloc(Phase(-1), 999) // out of range: ignored
+
+	s := c.Snapshot()
+	if s.SolveIterationsBase != 101 || s.TokensDeliveredBase != 202 ||
+		s.SolveIterationsDelta != 13 || s.TokensDeliveredDelta != 24 {
+		t.Errorf("incremental split wrong: %+v", s)
+	}
+	if s.PhaseAllocBytes["baseline"] != 2<<20 || s.PhaseAllocBytes["extended"] != 512 {
+		t.Errorf("phase allocs wrong: %v", s.PhaseAllocBytes)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"solve_iterations_baseline", "solve_iterations_delta", "phase_alloc_bytes"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, buf.String())
+		}
+	}
+	var out strings.Builder
+	s.Render(&out)
+	if !strings.Contains(out.String(), "resumed delta") || !strings.Contains(out.String(), "MB alloc") {
+		t.Errorf("render missing incremental/alloc lines:\n%s", out.String())
+	}
+
+	c.Reset()
+	if s := c.Snapshot(); s.SolveIterationsBase != 0 || s.PhaseAllocBytes != nil {
+		t.Errorf("reset did not zero incremental/alloc counters: %+v", s)
+	}
+}
+
+func TestTotalAllocBytesMonotone(t *testing.T) {
+	a := TotalAllocBytes()
+	sink := make([]byte, 1<<20)
+	_ = sink
+	if b := TotalAllocBytes(); b < a {
+		t.Errorf("TotalAllocBytes went backwards: %d then %d", a, b)
+	}
+}
+
 func TestCountersConcurrent(t *testing.T) {
 	var c Counters
 	var wg sync.WaitGroup

@@ -71,6 +71,11 @@ type Result struct {
 	// AnalyzedModules is the number of modules in the whole-program view.
 	AnalyzedModules int
 	Duration        time.Duration
+	// AllocBytes is the heap allocated while this analysis (or, for the
+	// incremental path, this phase of it) ran — a process-global
+	// runtime.MemStats TotalAlloc delta, so exact in single-threaded runs
+	// and approximate when other goroutines allocate concurrently.
+	AllocBytes int64
 }
 
 // Metrics computes the paper's §5 call-graph metrics for this result.
@@ -172,6 +177,11 @@ type analyzer struct {
 	// dynWrites maps each dynamic write site to its base/value variables
 	// (used by the name-only ablation).
 	dynWrites map[loc.Loc]dynWriteInfo
+	// dynRequires maps each dynamically-specified require call site whose
+	// require behavior has fired to its result variable, so an incremental
+	// resume can retro-link module hints for sites whose behavior fired
+	// (once, per trigger/token pair) during the baseline solve.
+	dynRequires map[loc.Loc]Var
 	// requireLits maps require call sites to their literal module
 	// specifier ("" when the specifier is dynamically computed).
 	requireLits map[loc.Loc]string
@@ -189,17 +199,22 @@ type analyzer struct {
 	curModule string
 	curFn     callgraph.FuncID
 
+	// paths is the sorted whole-program module list, filled by generate.
+	paths []string
+
+	// hintTokenEligible, when non-nil, filters which site tokens hint
+	// injection may bind to. The incremental resume sets it so injection
+	// sees exactly the tokens a from-scratch run would see at injection
+	// time (generation-created ones), not tokens the baseline solve
+	// materialized afterwards (native members, Object.create sites, …).
+	hintTokenEligible func(Token) bool
+
 	// commonly used native prototype tokens
 	objectProto, arrayProto, functionProto Token
 }
 
-// Analyze runs the static analysis on a whole program (the project plus
-// transitively required built-in modules).
-func Analyze(project *modules.Project, opts Options) (*Result, error) {
-	if opts.Mode != Baseline && opts.Hints == nil {
-		return nil, fmt.Errorf("static: mode %d requires hints", opts.Mode)
-	}
-	start := time.Now()
+// newAnalyzer builds an analyzer with empty state.
+func newAnalyzer(project *modules.Project, opts Options) *analyzer {
 	a := &analyzer{
 		project:        project,
 		opts:           opts,
@@ -218,24 +233,60 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 		dynReads:       map[loc.Loc]Var{},
 		dynReadBases:   map[loc.Loc]Var{},
 		dynWrites:      map[loc.Loc]dynWriteInfo{},
+		dynRequires:    map[loc.Loc]Var{},
 		requireLits:    map[loc.Loc]string{},
 		siteModule:     map[loc.Loc]string{},
 		tokenBehaviors: map[Token]func(loc.Loc, []Var, Var){},
 		cg:             callgraph.New(),
 	}
+	return a
+}
+
+// generate parses the whole program and emits its base constraints: native
+// token setup, module collection, and per-module constraint generation in
+// deterministic (sorted-path) order. Generation is mode-independent — the
+// hint-consuming rules only add constraints on top, via genEvalHints and
+// injectHints before solving (or, in the incremental path, as deltas after
+// the baseline fixpoint).
+func (a *analyzer) generate() error {
 	a.setupNativeTokens()
 	if err := a.collectModules(); err != nil {
-		return nil, err
+		return err
 	}
-
-	// Generate constraints for every module, in deterministic order.
-	paths := make([]string, 0, len(a.progs))
+	a.paths = make([]string, 0, len(a.progs))
 	for p := range a.progs {
-		paths = append(paths, p)
+		a.paths = append(a.paths, p)
 	}
-	sort.Strings(paths)
-	for _, path := range paths {
+	sort.Strings(a.paths)
+	for _, path := range a.paths {
 		a.genModule(path, a.progs[path])
+	}
+	return nil
+}
+
+// mainEntries returns the reachability roots: the module functions of the
+// main package, in sorted-path order.
+func (a *analyzer) mainEntries() []callgraph.FuncID {
+	var entries []callgraph.FuncID
+	for _, path := range a.paths {
+		if a.project.IsMainModule(path) {
+			entries = append(entries, callgraph.ModuleFunc(path))
+		}
+	}
+	return entries
+}
+
+// Analyze runs the static analysis on a whole program (the project plus
+// transitively required built-in modules).
+func Analyze(project *modules.Project, opts Options) (*Result, error) {
+	if opts.Mode != Baseline && opts.Hints == nil {
+		return nil, fmt.Errorf("static: mode %d requires hints", opts.Mode)
+	}
+	start := time.Now()
+	alloc0 := perf.TotalAllocBytes()
+	a := newAnalyzer(project, opts)
+	if err := a.generate(); err != nil {
+		return nil, err
 	}
 
 	// §6 extension: analyze dynamically generated code observed by the
@@ -250,25 +301,19 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 	// Solve to fixpoint.
 	a.s.solve()
 
-	var entries []callgraph.FuncID
-	for _, path := range paths {
-		if project.IsMainModule(path) {
-			entries = append(entries, callgraph.ModuleFunc(path))
-		}
-	}
-
 	iters, delivered := a.s.stats()
 	perf.Global().AddSolve(iters, delivered)
 
 	return &Result{
 		Graph:           a.cg,
-		MainEntries:     entries,
+		MainEntries:     a.mainEntries(),
 		NumVars:         a.s.numVars(),
 		NumTokens:       len(a.tokens),
 		SolveIterations: iters,
 		TokensDelivered: delivered,
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(start),
+		AllocBytes:      perf.TotalAllocBytes() - alloc0,
 	}, nil
 }
 

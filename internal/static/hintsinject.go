@@ -28,7 +28,7 @@ func (a *analyzer) injectHints() {
 				continue // read happened in code we do not analyze (eval)
 			}
 			for _, valueSite := range h.ReadValues(site) {
-				if t, ok := a.siteToken[valueSite]; ok {
+				if t, ok := a.hintSiteToken(valueSite); ok {
 					a.s.addToken(v, t)
 				}
 			}
@@ -60,8 +60,8 @@ func (a *analyzer) injectHints() {
 		// occurred, but only which objects … and property names were
 		// involved").
 		for _, w := range h.WriteHints() {
-			target, ok1 := a.siteToken[w.Target]
-			val, ok2 := a.siteToken[w.Value]
+			target, ok1 := a.hintSiteToken(w.Target)
+			val, ok2 := a.hintSiteToken(w.Value)
 			if !ok1 || !ok2 {
 				continue
 			}
@@ -116,11 +116,11 @@ func (a *analyzer) injectNameOnly(h *hints.Hints) {
 		seenT := map[Token]bool{}
 		seenV := map[Token]bool{}
 		for _, w := range group {
-			if t, ok := a.siteToken[w.Target]; ok && !seenT[t] {
+			if t, ok := a.hintSiteToken(w.Target); ok && !seenT[t] {
 				seenT[t] = true
 				targets = append(targets, t)
 			}
-			if v, ok := a.siteToken[w.Value]; ok && !seenV[v] {
+			if v, ok := a.hintSiteToken(w.Value); ok && !seenV[v] {
 				seenV[v] = true
 				values = append(values, v)
 			}

@@ -1,0 +1,141 @@
+package static
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/loc"
+	"repro/internal/modules"
+	"repro/internal/perf"
+)
+
+// AnalyzeBoth runs the baseline analysis and a hint-consuming analysis of
+// the same program as one incremental pass: constraints are generated
+// once, solved to the baseline fixpoint, the baseline call graph and
+// counters are snapshotted there, and then the hint-derived constraints
+// ([DPR], [DPW], module-load hints, and the enabled §6 extensions) are
+// injected as deltas into the same solver, which resumes to the extended
+// fixpoint.
+//
+// This is sound and exact, not an approximation: the extended constraint
+// system of §4 is the baseline system plus additional subset constraints,
+// and subset constraints are monotone, so the least fixpoint of the
+// resumed system equals the least fixpoint of a from-scratch extended
+// solve — the same argument that makes the paper's hints "strictly
+// additive". Two details keep the equivalence exact rather than merely
+// set-theoretically eventual:
+//
+//   - hint injection only binds to allocation-site tokens that exist at
+//     injection time in a from-scratch run (tokens created by constraint
+//     generation). Tokens the baseline solve materializes on the way
+//     (native members, Object.create results, …) are filtered out via
+//     hintTokenEligible, exactly reproducing the from-scratch behavior of
+//     injectHints running before any solving;
+//   - the require() native behavior fires once per (callee, token) pair,
+//     so dynamic-specifier require sites whose behavior already fired
+//     during the baseline phase are retro-linked to their module hints by
+//     injectModuleHintDeltas.
+//
+// opts describes the extended run and must name a hint-consuming mode.
+// The returned baseline result is identical to Analyze(Options{Mode:
+// Baseline}) — same call graph, metrics, reachability, and solver effort
+// counters — and the extended result's call graph, metrics, and
+// reachability are identical to a from-scratch Analyze(opts)
+// (solver-effort counters in the extended result are cumulative across
+// both phases, which is the point: the baseline work is not redone).
+func AnalyzeBoth(project *modules.Project, opts Options) (baseline, extended *Result, err error) {
+	if opts.Mode == Baseline {
+		return nil, nil, fmt.Errorf("static: AnalyzeBoth requires a hint-consuming mode")
+	}
+	if opts.Hints == nil {
+		return nil, nil, fmt.Errorf("static: mode %d requires hints", opts.Mode)
+	}
+
+	// Phase 1 — the baseline system, exactly as Analyze(Baseline) runs it.
+	// Constraint generation is mode-independent and solve-time behaviors
+	// consult a.opts, so solving with baseline options up to the first
+	// fixpoint reproduces the standalone baseline analysis bit for bit.
+	start := time.Now()
+	alloc0 := perf.TotalAllocBytes()
+	a := newAnalyzer(project, Options{Mode: Baseline})
+	if err := a.generate(); err != nil {
+		return nil, nil, err
+	}
+	preSolveTokens := len(a.tokens)
+	a.s.solve()
+	cp := a.s.checkpoint()
+	postSolveTokens := len(a.tokens)
+	entries := a.mainEntries()
+	baseline = &Result{
+		Graph:           a.cg.Clone(),
+		MainEntries:     entries,
+		NumVars:         cp.nVars,
+		NumTokens:       postSolveTokens,
+		SolveIterations: cp.iterations,
+		TokensDelivered: cp.tokensDelivered,
+		AnalyzedModules: len(a.progs),
+		Duration:        time.Since(start),
+		AllocBytes:      perf.TotalAllocBytes() - alloc0,
+	}
+
+	// Phase 2 — switch to the extended options and inject the deltas.
+	deltaStart := time.Now()
+	deltaAlloc0 := perf.TotalAllocBytes()
+	a.opts = opts
+	if opts.EvalHints {
+		a.genEvalHints()
+	}
+	a.hintTokenEligible = func(t Token) bool {
+		return int(t) < preSolveTokens || int(t) >= postSolveTokens
+	}
+	a.injectHints()
+	a.injectModuleHintDeltas()
+	a.s.solve()
+
+	iters, delivered := a.s.stats()
+	perf.Global().AddSolve(iters, delivered)
+	perf.Global().AddIncrementalSolve(cp.iterations, cp.tokensDelivered,
+		iters-cp.iterations, delivered-cp.tokensDelivered)
+
+	extended = &Result{
+		Graph:           a.cg,
+		MainEntries:     entries,
+		NumVars:         a.s.numVars(),
+		NumTokens:       len(a.tokens),
+		SolveIterations: iters,
+		TokensDelivered: delivered,
+		AnalyzedModules: len(a.progs),
+		Duration:        time.Since(deltaStart),
+		AllocBytes:      perf.TotalAllocBytes() - deltaAlloc0,
+	}
+	return baseline, extended, nil
+}
+
+// injectModuleHintDeltas applies module-load hints to dynamic-specifier
+// require sites whose require behavior already fired (with module hints
+// disabled) during the baseline solve. Sites whose behavior fires during
+// the resumed solve consume the hints directly in requireCall; linking is
+// idempotent, so a site may safely take both paths.
+func (a *analyzer) injectModuleHintDeltas() {
+	if a.opts.Mode == Baseline || a.opts.DisableModuleHints || a.opts.Hints == nil {
+		return
+	}
+	for _, mh := range a.opts.Hints.ModuleHints() {
+		if result, ok := a.dynRequires[mh.Site]; ok {
+			a.linkRequire(mh.Site, result, mh.Path)
+		}
+	}
+}
+
+// hintSiteToken resolves an allocation site to its token for hint
+// injection, honoring the incremental eligibility filter (see AnalyzeBoth).
+func (a *analyzer) hintSiteToken(site loc.Loc) (Token, bool) {
+	t, ok := a.siteToken[site]
+	if !ok {
+		return 0, false
+	}
+	if a.hintTokenEligible != nil && !a.hintTokenEligible(t) {
+		return 0, false
+	}
+	return t, true
+}

@@ -576,30 +576,37 @@ func argVarsTail(argVars []Var) []Var {
 // resolved modules, and — when module hints are enabled — to dynamically
 // observed modules (the paper's module-load-hint extension).
 func (a *analyzer) requireCall(site loc.Loc, result Var) {
-	link := func(path string) {
-		if exp, ok := a.moduleExports[path]; ok {
-			a.s.addEdge(exp, result)
-			a.cg.AddEdge(site, callgraph.ModuleFunc(path))
-			return
-		}
-		// External (mocked) built-in modules resolve to a native token so
-		// the site counts as resolved.
-		if strings.HasPrefix(path, "node:") {
-			a.s.addToken(result, a.nativeToken("module:"+path))
-		}
-	}
 	if lit, ok := a.requireLits[site]; ok {
 		if path, err := modules.Resolve(a.project, a.siteModule[site], lit); err == nil {
-			link(path)
+			a.linkRequire(site, result, path)
 		}
 		return
 	}
-	// Dynamically computed specifier.
+	// Dynamically computed specifier. Recorded in every mode: this behavior
+	// fires once per callee token, so an incremental resume needs the site
+	// on record to retro-link module hints after the baseline fixpoint.
+	a.dynRequires[site] = result
 	if a.opts.Mode != Baseline && !a.opts.DisableModuleHints && a.opts.Hints != nil {
 		for _, mh := range a.opts.Hints.ModuleHints() {
 			if mh.Site == site {
-				link(mh.Path)
+				a.linkRequire(site, result, mh.Path)
 			}
 		}
+	}
+}
+
+// linkRequire wires one require() call site to the exports of a resolved
+// module path. Idempotent: edges and tokens deduplicate in the solver and
+// the call graph.
+func (a *analyzer) linkRequire(site loc.Loc, result Var, path string) {
+	if exp, ok := a.moduleExports[path]; ok {
+		a.s.addEdge(exp, result)
+		a.cg.AddEdge(site, callgraph.ModuleFunc(path))
+		return
+	}
+	// External (mocked) built-in modules resolve to a native token so
+	// the site counts as resolved.
+	if strings.HasPrefix(path, "node:") {
+		a.s.addToken(result, a.nativeToken("module:"+path))
 	}
 }

@@ -175,11 +175,19 @@ func (s *solver) addEdge(from, to Var) {
 func (s *solver) onToken(v Var, fn func(Token)) {
 	st := s.state(v)
 	st.triggers = append(st.triggers, fn)
-	// Run for already-delivered tokens (copy: fn may grow the slice);
-	// tokens still in the queue will reach this trigger when drained.
-	existing := append([]Token(nil), st.tokens[:st.delivered]...)
-	for _, t := range existing {
-		fn(t)
+	if st.delivered == 0 {
+		// Fast path: nothing delivered yet — the common case during
+		// constraint generation, where registration must not allocate.
+		return
+	}
+	// Replay the delivered prefix by index instead of copying it: tokens
+	// is append-only and st is chunk-stable, so st.tokens[i] for i < n
+	// keeps its value even if fn appends (and reallocates) the slice.
+	// delivered itself only advances inside solve's pop loop, never from
+	// within a trigger, so n is stable across the replay.
+	n := st.delivered
+	for i := 0; i < n; i++ {
+		fn(st.tokens[i])
 	}
 }
 
@@ -218,6 +226,45 @@ func (s *solver) solve() {
 // stats reports fixpoint iterations and token-delivery attempts so far.
 func (s *solver) stats() (iterations, tokensDelivered int64) {
 	return s.iterations, s.tokensDelivered
+}
+
+// checkpoint freezes a view of the solver at a fixpoint: the effort
+// counters plus the per-variable token counts. Token slices are
+// append-only, so a count per variable pins each set's membership at
+// checkpoint time without copying any set — tokensAt reads the frozen
+// prefix later, even after further constraints have been injected and
+// solved on top (the incremental baseline→extended resume).
+type checkpoint struct {
+	nVars           int
+	counts          []int32
+	iterations      int64
+	tokensDelivered int64
+}
+
+// checkpoint captures the current fixpoint. It must be taken when the
+// delivery queue is drained (right after solve returns); otherwise the
+// "fixpoint" being frozen would include tokens whose triggers have not
+// fired yet.
+func (s *solver) checkpoint() *checkpoint {
+	cp := &checkpoint{
+		nVars:           s.nVars,
+		counts:          make([]int32, s.nVars),
+		iterations:      s.iterations,
+		tokensDelivered: s.tokensDelivered,
+	}
+	for v := 0; v < s.nVars; v++ {
+		cp.counts[v] = int32(len(s.state(Var(v)).tokens))
+	}
+	return cp
+}
+
+// tokensAt returns the members of ⟦v⟧ as of the checkpoint, in arrival
+// order. Variables allocated after the checkpoint read as empty.
+func (s *solver) tokensAt(cp *checkpoint, v Var) []Token {
+	if int(v) >= cp.nVars {
+		return nil
+	}
+	return s.state(v).tokens[:cp.counts[v]]
 }
 
 // tokens returns the current members of ⟦v⟧ in arrival order.
