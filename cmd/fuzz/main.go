@@ -1,0 +1,112 @@
+// Command fuzz runs the soundness differential fuzzer: generated programs
+// are executed concretely (dynamic call graph), analyzed statically
+// (baseline + extended, incremental and two-pass), and checked against the
+// soundness, monotonicity, equivalence, and round-trip oracles.
+//
+// Usage:
+//
+//	fuzz -seeds 1000                   # check seeds 0..999
+//	fuzz -seeds 1000 -workers 8        # bounded parallelism
+//	fuzz -seed 412 -v                  # re-run one seed, print its program
+//	fuzz -seeds 1000 -minimize -out testdata/fuzz/open
+//	fuzz -seeds 300 -known testdata/fuzz/open   # CI: fail only on NEW buckets
+//
+// Exit status: 0 when every failure bucket is known (or none occurred),
+// 1 when a new divergence appeared, 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/fuzz"
+)
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 200, "number of seeds to check")
+		start    = flag.Uint64("start", 0, "first seed")
+		oneSeed  = flag.Int64("seed", -1, "check exactly this seed (overrides -seeds/-start)")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		minimize = flag.Bool("minimize", false, "delta-debug the first failure of each bucket")
+		outDir   = flag.String("out", "", "write minimized reproducers into this directory (implies -minimize)")
+		known    = flag.String("known", "", "directory of known-open reproducers; their buckets do not fail the run")
+		note     = flag.String("note", "found by cmd/fuzz; not yet fixed", "tracking note recorded in written reproducers")
+		verbose  = flag.Bool("v", false, "print the generated program of every failure")
+	)
+	flag.Parse()
+	if *outDir != "" {
+		*minimize = true
+	}
+
+	if *oneSeed >= 0 {
+		*start, *seeds = uint64(*oneSeed), 1
+	}
+	rep := fuzz.Run(fuzz.Options{
+		Seeds:    *seeds,
+		Start:    *start,
+		Workers:  *workers,
+		Minimize: *minimize,
+	})
+
+	fmt.Printf("fuzz: %d seeds, %d failures, %d distinct buckets (%s)\n",
+		rep.Seeds, len(rep.Failures), len(rep.Buckets), rep.Duration.Round(1e6))
+	for _, b := range rep.SortedBuckets() {
+		fmt.Printf("  %-44s %4d  (first: seed %d)\n", b, rep.Buckets[b], rep.Representative[b].Seed)
+	}
+
+	var newBuckets []string
+	knownSet := map[string]bool{}
+	if *known != "" {
+		var err error
+		knownSet, err = fuzz.KnownBuckets(*known)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz:", err)
+			os.Exit(2)
+		}
+	}
+	for _, b := range rep.SortedBuckets() {
+		if !knownSet[b] {
+			newBuckets = append(newBuckets, b)
+		}
+	}
+	sort.Strings(newBuckets)
+
+	for _, b := range rep.SortedBuckets() {
+		f := rep.Representative[b]
+		status := "known"
+		if !knownSet[b] {
+			status = "NEW"
+		}
+		fmt.Printf("\n[%s] %s\n", status, f)
+		if *verbose || *minimize {
+			for _, path := range sortedPaths(f.Files) {
+				fmt.Printf("-- %s --\n%s\n", path, f.Files[path])
+			}
+		}
+		if *outDir != "" && !knownSet[b] {
+			path, err := fuzz.WriteRepro(*outDir, f, *note)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fuzz: write repro:", err)
+				os.Exit(2)
+			}
+			fmt.Printf("reproducer written to %s\n", path)
+		}
+	}
+
+	if len(newBuckets) > 0 {
+		fmt.Printf("\nfuzz: %d new divergence bucket(s): %v\n", len(newBuckets), newBuckets)
+		os.Exit(1)
+	}
+}
+
+func sortedPaths(files map[string]string) []string {
+	var out []string
+	for p := range files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,108 @@
+package fuzz
+
+import (
+	"sort"
+	"strings"
+)
+
+// Minimize delta-debugs a failing program: it removes whole files, then
+// contiguous line chunks of decreasing size (ddmin-style), keeping any
+// reduction that still fails with the same root-cause bucket. budget caps
+// the number of oracle re-runs (0 means 1500); each run is a full pipeline
+// execution on a small program, so minimization stays in the hundreds of
+// milliseconds.
+func Minimize(f *Failure, budget int) *Failure {
+	pred := func(files map[string]string) *Failure {
+		nf := CheckFiles(files, f.Entries)
+		if nf != nil && nf.Bucket == f.Bucket {
+			return nf
+		}
+		return nil
+	}
+	files, last := MinimizeFiles(f.Files, f.Entries, pred, budget)
+	if last == nil {
+		last = f // could not reproduce at all (flaky input?); keep original
+	}
+	out := *last
+	out.Seed = f.Seed
+	out.Files = files
+	out.Entries = f.Entries
+	out.Minimized = true
+	return &out
+}
+
+// MinimizeFiles reduces files while pred keeps returning a non-nil
+// failure. pred must be pure. It returns the smallest failing file set
+// found and pred's result on it.
+func MinimizeFiles(files map[string]string, entries []string,
+	pred func(map[string]string) *Failure, budget int) (map[string]string, *Failure) {
+	if budget <= 0 {
+		budget = 1500
+	}
+	cur := copyFiles(files)
+	best := pred(cur)
+	budget--
+	if best == nil {
+		return cur, nil
+	}
+
+	entrySet := map[string]bool{}
+	for _, e := range entries {
+		entrySet[e] = true
+	}
+
+	for changed := true; changed && budget > 0; {
+		changed = false
+
+		// Pass 1: drop whole non-entry files.
+		for _, path := range sortedPaths(cur) {
+			if entrySet[path] || budget <= 0 {
+				continue
+			}
+			trial := copyFiles(cur)
+			delete(trial, path)
+			budget--
+			if nf := pred(trial); nf != nil {
+				cur, best, changed = trial, nf, true
+			}
+		}
+
+		// Pass 2: per file, remove contiguous line chunks of halving size.
+		for _, path := range sortedPaths(cur) {
+			lines := strings.Split(cur[path], "\n")
+			for size := (len(lines) + 1) / 2; size >= 1 && budget > 0; size /= 2 {
+				for i := 0; i+size <= len(lines) && budget > 0; {
+					trial := copyFiles(cur)
+					reduced := append(append([]string{}, lines[:i]...), lines[i+size:]...)
+					trial[path] = strings.Join(reduced, "\n")
+					budget--
+					if nf := pred(trial); nf != nil {
+						cur, best, changed = trial, nf, true
+						lines = reduced
+						// i stays: the next chunk moved into place.
+					} else {
+						i += size
+					}
+				}
+			}
+		}
+	}
+	return cur, best
+}
+
+func copyFiles(files map[string]string) map[string]string {
+	out := make(map[string]string, len(files))
+	for k, v := range files {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedPaths(files map[string]string) []string {
+	var out []string
+	for p := range files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

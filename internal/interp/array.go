@@ -321,6 +321,9 @@ func (it *Interp) setupArrayBuiltin(def func(string, value.Value)) {
 		}
 		for i := 0; i < len(a.Elems); i++ {
 			if err := it.chargeLoop(); err != nil {
+				if err == errLoopExhausted {
+					return nil // forced-execution budget spent: stop iterating
+				}
 				return err
 			}
 			cont, err := visit(elemAt(a, i), i, a)
@@ -483,6 +486,9 @@ func (it *Interp) setupArrayBuiltin(def func(string, value.Value)) {
 		}
 		for i := start; i < len(a.Elems); i++ {
 			if err := it.chargeLoop(); err != nil {
+				if err == errLoopExhausted {
+					return acc, nil // forced-execution budget spent: stop folding
+				}
 				return nil, err
 			}
 			r, err := it.CallWithSite(fn, value.Undefined{}, []value.Value{acc, elemAt(a, i), value.Number(i), a}, it.CallSite())

@@ -389,6 +389,9 @@ func (it *Interp) execStmt(s ast.Stmt, env *value.Scope, this value.Value) (comp
 				return completion{}, nil
 			}
 			if err := it.chargeLoop(); err != nil {
+				if err == errLoopExhausted {
+					return completion{}, nil
+				}
 				return completion{}, err
 			}
 			c, err := it.execStmt(s.Body, env, this)
@@ -406,6 +409,9 @@ func (it *Interp) execStmt(s ast.Stmt, env *value.Scope, this value.Value) (comp
 	case *ast.DoWhileStmt:
 		for {
 			if err := it.chargeLoop(); err != nil {
+				if err == errLoopExhausted {
+					return completion{}, nil
+				}
 				return completion{}, err
 			}
 			c, err := it.execStmt(s.Body, env, this)
@@ -445,6 +451,9 @@ func (it *Interp) execStmt(s ast.Stmt, env *value.Scope, this value.Value) (comp
 				}
 			}
 			if err := it.chargeLoop(); err != nil {
+				if err == errLoopExhausted {
+					return completion{}, nil
+				}
 				return completion{}, err
 			}
 			c, err := it.execStmt(s.Body, loopEnv, this)
@@ -576,6 +585,9 @@ func (it *Interp) execForIn(s *ast.ForInStmt, env *value.Scope, this value.Value
 	}
 	for _, item := range items {
 		if err := it.chargeLoop(); err != nil {
+			if err == errLoopExhausted {
+				return completion{}, nil
+			}
 			return completion{}, err
 		}
 		if item == nil {
@@ -671,10 +683,22 @@ func (it *Interp) execSwitch(s *ast.SwitchStmt, env *value.Scope, this value.Val
 	return completion{}, nil
 }
 
+// errLoopExhausted signals that the loop budget is spent in lenient
+// (forced-execution) mode: the enclosing loop must exit as if its condition
+// turned false, and execution continues after it. Aborting the whole item —
+// the strict-mode behavior — would also discard the hints of every
+// statement after the loop, statements that a concrete run of the same
+// code may well reach (e.g. when the loop only spins under forced proxy
+// semantics). Straight-line code stays budgeted by call depth.
+var errLoopExhausted = errors.New("interp: loop budget exhausted")
+
 func (it *Interp) chargeLoop() error {
 	if it.maxLoopIters > 0 {
 		it.loopIters++
 		if it.loopIters > it.maxLoopIters {
+			if it.lenient {
+				return errLoopExhausted
+			}
 			return &BudgetError{Reason: "loop iterations"}
 		}
 	}

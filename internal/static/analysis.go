@@ -188,6 +188,12 @@ type analyzer struct {
 	// siteModule maps call sites to the module containing them (for
 	// require resolution).
 	siteModule map[loc.Loc]string
+	// evalResults maps each module to the variable holding the completion
+	// values of code it passed to direct eval. The eval native behavior
+	// wires this variable to each eval call's result, and genEvalHints
+	// routes the observed programs' completion values into it, so values
+	// returned out of eval'd code reach the surrounding program.
+	evalResults map[string]Var
 
 	cg *callgraph.Graph
 
@@ -236,6 +242,7 @@ func newAnalyzer(project *modules.Project, opts Options) *analyzer {
 		dynRequires:    map[loc.Loc]Var{},
 		requireLits:    map[loc.Loc]string{},
 		siteModule:     map[loc.Loc]string{},
+		evalResults:    map[string]Var{},
 		tokenBehaviors: map[Token]func(loc.Loc, []Var, Var){},
 		cg:             callgraph.New(),
 	}
@@ -342,10 +349,30 @@ func (a *analyzer) genEvalHints() {
 		a.curFn = callgraph.ModuleFunc(e.Module)
 		a.hoistInto(prog.Body, fr)
 		for _, st := range prog.Body {
+			// A direct eval returns the completion value of the evaluated
+			// program. Route every top-level expression statement's value
+			// into the module's eval-result variable (an over-approximation
+			// of the completion value), where the eval native behavior
+			// forwards it to each eval call's result.
+			if es, ok := st.(*ast.ExprStmt); ok {
+				a.s.addEdge(a.genExpr(es.X, fr), a.evalResultVar(e.Module))
+				continue
+			}
 			a.genStmt(st, fr)
 		}
 		a.curModule, a.curFn = savedModule, savedFn
 	}
+}
+
+// evalResultVar returns (creating on first use) the variable holding the
+// completion values of programs module passed to direct eval.
+func (a *analyzer) evalResultVar(module string) Var {
+	v, ok := a.evalResults[module]
+	if !ok {
+		v = a.s.newVar()
+		a.evalResults[module] = v
+	}
+	return v
 }
 
 // collectModules parses every project file plus the transitive closure of

@@ -106,6 +106,16 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 	case "require":
 		a.requireCall(site, result)
 
+	case "eval":
+		// Direct eval returns the completion value of the evaluated code.
+		// genEvalHints routes each observed program's completion values
+		// into the containing module's eval-result variable; forward them
+		// to this call's result so values returned out of eval'd code
+		// (e.g. closures) reach the surrounding program.
+		if mod, ok := a.siteModule[site]; ok {
+			a.s.addEdge(a.evalResultVar(mod), result)
+		}
+
 	case "Object":
 		if v, ok := argOr(0); ok {
 			a.s.addEdge(v, result)

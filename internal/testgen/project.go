@@ -1,0 +1,576 @@
+package testgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ProjectSpec is a generated multi-file CommonJS project: virtual file
+// paths to source text plus the entry modules that drive it. The fuzzer
+// wraps it in a modules.Project; testgen itself stays dependency-free.
+type ProjectSpec struct {
+	Seed    uint64
+	Files   map[string]string
+	Entries []string
+}
+
+// GenProject generates a deterministic multi-file project for the given
+// seed. Programs are weighted toward the paper's hard cases: most modules
+// contain dynamic property reads/writes (the [DPR]/[DPW] triggers),
+// method tables, prototype chains, classes, closures, apply/call/bind,
+// higher-order calls, require() across files, and occasionally eval.
+func GenProject(seed uint64) *ProjectSpec {
+	g := New(seed ^ 0xF022D1_5EED)
+	spec := &ProjectSpec{Seed: seed, Files: map[string]string{}}
+
+	nModules := 1 + g.Intn(3)
+	var mods []*modState
+	for i := 0; i < nModules; i++ {
+		m := &modState{g: g, path: fmt.Sprintf("/app/m%d.js", i), spec: fmt.Sprintf("./m%d", i)}
+		m.generate(mods)
+		spec.Files[m.path] = m.source()
+		mods = append(mods, m)
+	}
+	// Occasionally a node_modules package, required by bare name.
+	if g.Intn(4) == 0 {
+		m := &modState{g: g, path: "/node_modules/pkg0/index.js", spec: "pkg0"}
+		m.generate(nil)
+		spec.Files[m.path] = m.source()
+		mods = append(mods, m)
+	}
+
+	entry := &modState{g: g, path: "/app/main.js", spec: "./main"}
+	entry.generateEntry(mods)
+	spec.Files[entry.path] = entry.source()
+	spec.Entries = []string{"/app/main.js"}
+	return spec
+}
+
+// ------------------------------------------------------------- module state
+
+type tableInfo struct {
+	name    string
+	methods []string
+}
+
+type ctorInfo struct {
+	name    string
+	methods []string // zero/one-arg instance methods
+	isClass bool
+}
+
+type importInfo struct {
+	local string
+	mod   *modState
+}
+
+// modState accumulates one generated module: declarations, driver code, and
+// the exported names the entry module can drive.
+type modState struct {
+	g    *Gen
+	path string
+	spec string // require() specifier for this module
+
+	decls   []string
+	drivers []string
+	exports []string
+
+	callables []string // functions callable with (number, number)
+	factories []string // zero-arg functions returning a callable
+	hofs      []string // functions calling their first argument
+	ctors     []ctorInfo
+	tables    []tableInfo
+	imports   []importInfo
+}
+
+func (m *modState) source() string {
+	var sb strings.Builder
+	// Pool preamble: the identifiers Expr/Stmt draw from are always bound,
+	// and fn is callable, so nested chaos code mostly keeps running.
+	sb.WriteString("var a = 0; var b = 1; var cfg = {mode: \"go\"}; var obj = {};\n")
+	sb.WriteString("var fn = function(x) { return x; }; var tmp = \"\"; var acc = 0;\n")
+	sb.WriteString("var val = 2; var res = null; var key = \"k\";\n")
+	for _, d := range m.decls {
+		sb.WriteString(d)
+		sb.WriteByte('\n')
+	}
+	for _, d := range m.drivers {
+		sb.WriteString(d)
+		sb.WriteByte('\n')
+	}
+	for _, e := range m.exports {
+		sb.WriteString(e)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func (m *modState) generate(prev []*modState) {
+	g := m.g
+	for _, p := range prev {
+		if len(p.exportedNames()) > 0 && g.Intn(3) == 0 {
+			m.addImport(p)
+		}
+	}
+	nDecls := 2 + g.Intn(3)
+	for i := 0; i < nDecls; i++ {
+		m.addDecl()
+	}
+	nDrivers := 2 + g.Intn(4)
+	for i := 0; i < nDrivers; i++ {
+		m.addDriver()
+	}
+	m.addExports()
+}
+
+// generateEntry builds the entry module: it requires every generated module
+// and drives their exports, statically and dynamically.
+func (m *modState) generateEntry(mods []*modState) {
+	g := m.g
+	for _, p := range mods {
+		m.addImport(p)
+	}
+	// A couple of local declarations so cross-module values flow into
+	// locally defined code too.
+	for i := 0; i < 1+g.Intn(2); i++ {
+		m.addDecl()
+	}
+	nDrivers := 3 + g.Intn(4)
+	for i := 0; i < nDrivers; i++ {
+		m.addDriver()
+	}
+	if len(mods) > 1 && g.Intn(2) == 0 {
+		m.addDynamicRequireDriver(mods)
+	}
+}
+
+func (m *modState) exportedNames() []string {
+	var out []string
+	out = append(out, m.callables...)
+	for _, t := range m.tables {
+		out = append(out, t.name)
+	}
+	for _, c := range m.ctors {
+		out = append(out, c.name)
+	}
+	return out
+}
+
+func (m *modState) addImport(p *modState) {
+	local := m.g.fresh("r")
+	m.decls = append(m.decls, fmt.Sprintf("var %s = require(%q);", local, p.spec))
+	m.imports = append(m.imports, importInfo{local: local, mod: p})
+}
+
+// --------------------------------------------------------------- decl forms
+
+func (m *modState) addDecl() {
+	g := m.g
+	switch g.Intn(7) {
+	case 0, 1:
+		m.addFunction()
+	case 2:
+		m.addTable()
+	case 3:
+		m.addClass()
+	case 4:
+		m.addProtoCtor()
+	case 5:
+		m.addFactory()
+	default:
+		m.addHof()
+	}
+}
+
+// addFunction declares a two-arg function; its body sometimes calls an
+// earlier callable or runs a chaos statement.
+func (m *modState) addFunction() {
+	g := m.g
+	name := g.fresh("f")
+	var body []string
+	if len(m.callables) > 0 && g.Intn(2) == 0 {
+		body = append(body, fmt.Sprintf("  var t = %s(x, y);", g.pick(m.callables)))
+	}
+	if g.Intn(3) == 0 {
+		body = append(body, "  "+g.Stmt())
+	}
+	ret := fmt.Sprintf("x + y + %d", g.Intn(10))
+	if g.Intn(4) == 0 {
+		ret = g.syncExpr()
+	}
+	m.decls = append(m.decls, fmt.Sprintf("function %s(x, y) {\n%s\n  return %s;\n}",
+		name, strings.Join(body, "\n"), ret))
+	m.callables = append(m.callables, name)
+}
+
+// addFactory declares a closure factory: calling it returns a counter
+// closure over a captured variable.
+func (m *modState) addFactory() {
+	g := m.g
+	name := g.fresh("mk")
+	cell := g.fresh("n")
+	m.decls = append(m.decls, fmt.Sprintf(
+		"function %s() {\n  var %s = %d;\n  return function(step) { %s = %s + 1; return %s; };\n}",
+		name, cell, g.Intn(5), cell, cell, cell))
+	m.factories = append(m.factories, name)
+}
+
+// addHof declares a higher-order function that invokes its first argument.
+func (m *modState) addHof() {
+	g := m.g
+	name := g.fresh("h")
+	call := "cb(x)"
+	switch g.Intn(3) {
+	case 1:
+		call = "cb.call(null, x)"
+	case 2:
+		call = "cb.apply(null, [x, x])"
+	}
+	m.decls = append(m.decls, fmt.Sprintf("function %s(cb, x) {\n  return %s;\n}", name, call))
+	m.hofs = append(m.hofs, name)
+}
+
+var methodPool = []string{"run", "go", "sum", "fire", "step", "emit", "poke", "calc"}
+
+func (m *modState) pickMethods(n int) []string {
+	start := m.g.Intn(len(methodPool) - n + 1)
+	return methodPool[start : start+n]
+}
+
+// addTable declares an object-literal method table.
+func (m *modState) addTable() {
+	g := m.g
+	name := g.fresh("t")
+	methods := m.pickMethods(2 + g.Intn(2))
+	var parts []string
+	for _, mm := range methods {
+		body := fmt.Sprintf("return x + %d;", g.Intn(10))
+		if len(m.callables) > 0 && g.Intn(3) == 0 {
+			body = fmt.Sprintf("return %s(x, %d);", g.pick(m.callables), g.Intn(5))
+		}
+		parts = append(parts, fmt.Sprintf("  %s: function(x) { %s }", mm, body))
+	}
+	m.decls = append(m.decls, fmt.Sprintf("var %s = {\n%s\n};", name, strings.Join(parts, ",\n")))
+	m.tables = append(m.tables, tableInfo{name: name, methods: methods})
+}
+
+// addClass declares a class with instance methods, sometimes extending a
+// previously declared class.
+func (m *modState) addClass() {
+	g := m.g
+	name := g.fresh("C")
+	extends := ""
+	for _, c := range m.ctors {
+		if c.isClass && g.Intn(2) == 0 {
+			extends = " extends " + c.name
+			break
+		}
+	}
+	methods := m.pickMethods(1 + g.Intn(2))
+	var parts []string
+	ctorBody := "this.x = x;"
+	if extends != "" {
+		ctorBody = "super(x); this.y = x + 1;"
+	}
+	parts = append(parts, fmt.Sprintf("  constructor(x) { %s }", ctorBody))
+	for _, mm := range methods {
+		body := "return this.x;"
+		if g.Intn(2) == 0 {
+			body = fmt.Sprintf("return this.x + %d;", g.Intn(10))
+		}
+		parts = append(parts, fmt.Sprintf("  %s(z) { %s }", mm, body))
+	}
+	m.decls = append(m.decls, fmt.Sprintf("class %s%s {\n%s\n}", name, extends, strings.Join(parts, "\n")))
+	m.ctors = append(m.ctors, ctorInfo{name: name, methods: methods, isClass: true})
+}
+
+// addProtoCtor declares a constructor function with methods installed on
+// its prototype (the pre-class idiom; exercises prototype chains directly).
+func (m *modState) addProtoCtor() {
+	g := m.g
+	name := g.fresh("P")
+	methods := m.pickMethods(1 + g.Intn(2))
+	lines := []string{fmt.Sprintf("function %s(x) {\n  this.x = x;\n}", name)}
+	for _, mm := range methods {
+		body := fmt.Sprintf("return this.x + z + %d;", g.Intn(5))
+		lines = append(lines, fmt.Sprintf("%s.prototype.%s = function(z) { %s };", name, mm, body))
+	}
+	m.decls = append(m.decls, strings.Join(lines, "\n"))
+	m.ctors = append(m.ctors, ctorInfo{name: name, methods: methods})
+}
+
+// ------------------------------------------------------------- driver forms
+
+// wrap shields a driver statement with try/catch most of the time, so one
+// thrown error does not keep the rest of the module from executing (and
+// from contributing dynamic edges).
+func (m *modState) wrap(stmt string) string {
+	if m.g.Intn(5) == 0 {
+		return stmt
+	}
+	return fmt.Sprintf("try {\n%s\n} catch (e) { res = e; }", stmt)
+}
+
+// keyExpr returns setup lines plus a variable holding one of choices,
+// computed in progressively less static ways.
+func (m *modState) keyExpr(choices []string) (setup, keyVar string) {
+	g := m.g
+	k := g.fresh("k")
+	choice := g.pick(choices)
+	switch g.Intn(4) {
+	case 0:
+		setup = fmt.Sprintf("var %s = %q;", k, choice)
+	case 1:
+		setup = fmt.Sprintf("var %s = %q + %q;", k, choice[:1], choice[1:])
+	case 2:
+		alt := g.pick(choices)
+		setup = fmt.Sprintf("var %s = (a === 0) ? %q : %q;", k, choice, alt)
+	default:
+		alt := g.pick(choices)
+		setup = fmt.Sprintf("var %s = [%q, %q][%d];", k, choice, alt, 0)
+	}
+	return setup, k
+}
+
+// callableRef returns an expression denoting a callable plus setup lines,
+// drawing from local callables and imported module members.
+func (m *modState) callableRef() (setup []string, expr string, ok bool) {
+	g := m.g
+	var local, imported []string
+	local = m.callables
+	for _, imp := range m.imports {
+		for _, name := range imp.mod.callables {
+			imported = append(imported, imp.local+"."+name)
+		}
+	}
+	switch {
+	case len(local) > 0 && (len(imported) == 0 || g.Intn(2) == 0):
+		return nil, g.pick(local), true
+	case len(imported) > 0:
+		return nil, g.pick(imported), true
+	}
+	return nil, "", false
+}
+
+func (m *modState) addDriver() {
+	g := m.g
+	var stmt string
+	switch g.Intn(10) {
+	case 0:
+		stmt = m.directCallDriver()
+	case 1, 2:
+		stmt = m.tableDriver()
+	case 3:
+		stmt = m.dynamicWriteDriver()
+	case 4:
+		stmt = m.instanceDriver()
+	case 5:
+		stmt = m.applyCallBindDriver()
+	case 6:
+		stmt = m.factoryDriver()
+	case 7:
+		stmt = m.hofDriver()
+	case 8:
+		if g.Intn(3) == 0 {
+			stmt = m.evalDriver()
+		} else {
+			stmt = m.forInDriver()
+		}
+	default:
+		stmt = m.importDriver()
+	}
+	if stmt == "" {
+		stmt = fmt.Sprintf("acc = acc + %d;", g.Intn(9))
+	}
+	m.drivers = append(m.drivers, m.wrap(stmt))
+}
+
+func (m *modState) directCallDriver() string {
+	_, callee, ok := m.callableRef()
+	if !ok {
+		return ""
+	}
+	return fmt.Sprintf("res = %s(%d, %d);", callee, m.g.Intn(9), m.g.Intn(9))
+}
+
+// tableDriver calls a method table member through a computed key (the
+// [DPR] trigger) or statically.
+func (m *modState) tableDriver() string {
+	g := m.g
+	var refs []tableInfo
+	refs = append(refs, m.tables...)
+	for _, imp := range m.imports {
+		for _, t := range imp.mod.tables {
+			refs = append(refs, tableInfo{name: imp.local + "." + t.name, methods: t.methods})
+		}
+	}
+	if len(refs) == 0 {
+		return ""
+	}
+	t := refs[g.Intn(len(refs))]
+	if g.Intn(4) == 0 {
+		return fmt.Sprintf("res = %s.%s(%d);", t.name, g.pick(t.methods), g.Intn(9))
+	}
+	setup, k := m.keyExpr(t.methods)
+	return fmt.Sprintf("%s\nres = %s[%s](%d);", setup, t.name, k, g.Intn(9))
+}
+
+// dynamicWriteDriver installs a callable under a computed key and calls it
+// back through a computed read ([DPW] then [DPR]).
+func (m *modState) dynamicWriteDriver() string {
+	g := m.g
+	_, callee, ok := m.callableRef()
+	if !ok {
+		return ""
+	}
+	setup, k := m.keyExpr([]string{"zap", "hit", "act"})
+	o := g.fresh("o")
+	recv := fmt.Sprintf("var %s = {};", o)
+	if len(m.tables) > 0 && g.Intn(2) == 0 {
+		o = m.tables[g.Intn(len(m.tables))].name
+		recv = ""
+	}
+	return strings.TrimSpace(fmt.Sprintf("%s\n%s\n%s[%s] = %s;\nres = %s[%s](%d);",
+		recv, setup, o, k, callee, o, k, g.Intn(9)))
+}
+
+// instanceDriver constructs an instance and dispatches methods statically
+// and through computed keys, exercising the (possibly inherited) prototype
+// chain.
+func (m *modState) instanceDriver() string {
+	g := m.g
+	var refs []ctorInfo
+	refs = append(refs, m.ctors...)
+	for _, imp := range m.imports {
+		for _, c := range imp.mod.ctors {
+			refs = append(refs, ctorInfo{name: imp.local + "." + c.name, methods: c.methods})
+		}
+	}
+	if len(refs) == 0 {
+		return ""
+	}
+	c := refs[g.Intn(len(refs))]
+	i := g.fresh("i")
+	lines := []string{fmt.Sprintf("var %s = new %s(%d);", i, c.name, g.Intn(9))}
+	lines = append(lines, fmt.Sprintf("res = %s.%s(%d);", i, g.pick(c.methods), g.Intn(9)))
+	if g.Intn(2) == 0 {
+		setup, k := m.keyExpr(c.methods)
+		lines = append(lines, setup, fmt.Sprintf("res = %s[%s](%d);", i, k, g.Intn(9)))
+	}
+	return strings.Join(lines, "\n")
+}
+
+func (m *modState) applyCallBindDriver() string {
+	g := m.g
+	_, callee, ok := m.callableRef()
+	if !ok {
+		return ""
+	}
+	switch g.Intn(3) {
+	case 0:
+		return fmt.Sprintf("res = %s.call(null, %d, %d);", callee, g.Intn(9), g.Intn(9))
+	case 1:
+		return fmt.Sprintf("res = %s.apply(null, [%d, %d]);", callee, g.Intn(9), g.Intn(9))
+	default:
+		bnd := g.fresh("bd")
+		return fmt.Sprintf("var %s = %s.bind(null, %d);\nres = %s(%d);",
+			bnd, callee, g.Intn(9), bnd, g.Intn(9))
+	}
+}
+
+func (m *modState) factoryDriver() string {
+	g := m.g
+	if len(m.factories) == 0 {
+		return ""
+	}
+	c := g.fresh("c")
+	f := g.pick(m.factories)
+	return fmt.Sprintf("var %s = %s();\n%s(1);\nres = %s(2);", c, f, c, c)
+}
+
+func (m *modState) hofDriver() string {
+	g := m.g
+	if len(m.hofs) == 0 {
+		return ""
+	}
+	h := g.pick(m.hofs)
+	if _, callee, ok := m.callableRef(); ok && g.Intn(2) == 0 {
+		return fmt.Sprintf("res = %s(%s, %d);", h, callee, g.Intn(9))
+	}
+	return fmt.Sprintf("res = %s(function(x) { return x + %d; }, %d);", h, g.Intn(9), g.Intn(9))
+}
+
+// evalDriver evals a snippet that calls a known function: dynamic edges
+// inside eval'd code carry no usable location (the paper's eval rule), but
+// the EvalCode hint path and the interpreter's eval machinery both run.
+func (m *modState) evalDriver() string {
+	_, callee, ok := m.callableRef()
+	if !ok || strings.Contains(callee, ".") {
+		return ""
+	}
+	return fmt.Sprintf("res = eval(%q);", fmt.Sprintf("%s(%d, 0);", callee, m.g.Intn(9)))
+}
+
+// forInDriver enumerates a method table and calls every member through the
+// loop variable — a dynamic read per iteration.
+func (m *modState) forInDriver() string {
+	g := m.g
+	if len(m.tables) == 0 {
+		return ""
+	}
+	t := m.tables[g.Intn(len(m.tables))]
+	k := g.fresh("k")
+	return fmt.Sprintf("for (var %s in %s) {\n  try { %s[%s](%d); } catch (e) { res = e; }\n}",
+		k, t.name, t.name, k, g.Intn(9))
+}
+
+// importDriver drives an imported module member through a computed key.
+func (m *modState) importDriver() string {
+	g := m.g
+	var pool []importInfo
+	for _, imp := range m.imports {
+		if len(imp.mod.callables) > 0 {
+			pool = append(pool, imp)
+		}
+	}
+	if len(pool) == 0 {
+		return ""
+	}
+	imp := pool[g.Intn(len(pool))]
+	setup, k := m.keyExpr(imp.mod.callables)
+	return fmt.Sprintf("%s\nres = %s[%s](%d, %d);", setup, imp.local, k, g.Intn(9), g.Intn(9))
+}
+
+// addDynamicRequireDriver requires a module through a computed specifier
+// (the module-hint trigger).
+func (m *modState) addDynamicRequireDriver(mods []*modState) {
+	g := m.g
+	if len(mods) < 2 {
+		return
+	}
+	first, second := mods[0], mods[1]
+	s := g.fresh("s")
+	r := g.fresh("r")
+	stmt := fmt.Sprintf("var %s = (a === 0) ? %q : %q;\nvar %s = require(%s);",
+		s, first.spec, second.spec, r, s)
+	if names := first.exportedNames(); len(names) > 0 {
+		stmt += fmt.Sprintf("\nres = %s[%q];", r, names[0])
+	}
+	m.drivers = append(m.drivers, m.wrap(stmt))
+}
+
+// addExports exports every driveable declaration under its own name,
+// alternating between the exports alias and module.exports.
+func (m *modState) addExports() {
+	g := m.g
+	for _, name := range m.exportedNames() {
+		lhs := "exports"
+		if g.Intn(3) == 0 {
+			lhs = "module.exports"
+		}
+		m.exports = append(m.exports, fmt.Sprintf("%s.%s = %s;", lhs, name, name))
+	}
+	for _, f := range m.factories {
+		m.exports = append(m.exports, fmt.Sprintf("exports.%s = %s;", f, f))
+	}
+}

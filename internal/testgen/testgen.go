@@ -1,7 +1,11 @@
 // Package testgen deterministically generates random-but-valid programs in
 // the supported JavaScript subset. It backs the property-based tests of the
 // parser (print round-trips), the interpreter (crash-freedom, determinism),
-// and the static analysis (robustness on arbitrary program shapes).
+// the static analysis (robustness on arbitrary program shapes), and the
+// soundness differential fuzzer (package fuzz), which needs programs that
+// exercise the paper's hard cases: closures, prototype chains, classes,
+// computed property reads/writes, apply/call/bind, object-literal method
+// tables, require() across multi-file projects, and eval.
 package testgen
 
 import (
@@ -13,6 +17,13 @@ import (
 type Gen struct {
 	state uint64
 	depth int
+	// async is the async-function nesting depth: await expressions are
+	// only generated while it is positive, so generated programs stay
+	// valid JS for real engines (await outside async is a syntax error
+	// there, even though this repo's parser is lenient about it).
+	async int
+	// uniq numbers generated declarations so their names never collide.
+	uniq int
 }
 
 // New returns a generator for the given seed; equal seeds generate equal
@@ -27,8 +38,30 @@ func (g *Gen) next() uint64 {
 	return z ^ (z >> 31)
 }
 
-// Intn returns a deterministic value in [0, n).
-func (g *Gen) Intn(n int) int { return int(g.next() % uint64(n)) }
+// Intn returns a deterministic value in [0, n). Non-positive n yields 0
+// rather than panicking, so callers may pass computed (possibly empty)
+// bounds.
+func (g *Gen) Intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(g.next() % uint64(n))
+}
+
+// pick returns a deterministic element of names (empty string for an empty
+// slice).
+func (g *Gen) pick(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	return names[g.Intn(len(names))]
+}
+
+// fresh returns a new unique identifier with the given prefix.
+func (g *Gen) fresh(prefix string) string {
+	g.uniq++
+	return fmt.Sprintf("%s%d", prefix, g.uniq)
+}
 
 // Ident returns a random identifier from a small pool (collisions are
 // intentional: shadowing and reassignment paths get exercised).
@@ -70,12 +103,37 @@ func (g *Gen) Expr() string {
 	case 11:
 		return fmt.Sprintf("({%s: %s})", g.Ident(), g.Expr())
 	case 12:
-		return fmt.Sprintf("function(%s) { return %s; }", g.Ident(), g.Expr())
+		// A function expression body is a fresh non-async context unless
+		// the function itself is async.
+		if g.Intn(4) == 0 {
+			return fmt.Sprintf("async function(%s) { return %s; }", g.Ident(), g.asyncExpr())
+		}
+		return fmt.Sprintf("function(%s) { return %s; }", g.Ident(), g.syncExpr())
 	case 13:
-		return fmt.Sprintf("(await %s)", g.Expr())
+		// await only inside async functions; elsewhere generate a plain
+		// parenthesized expression instead.
+		if g.async > 0 {
+			return fmt.Sprintf("(await %s)", g.Expr())
+		}
+		return fmt.Sprintf("(%s)", g.Expr())
 	default:
 		return fmt.Sprintf("(%s ? %s : %s)", g.Expr(), g.Expr(), g.Expr())
 	}
+}
+
+// syncExpr generates an expression in a non-async function context.
+func (g *Gen) syncExpr() string {
+	saved := g.async
+	g.async = 0
+	defer func() { g.async = saved }()
+	return g.Expr()
+}
+
+// asyncExpr generates an expression in an async function context.
+func (g *Gen) asyncExpr() string {
+	g.async++
+	defer func() { g.async-- }()
+	return g.Expr()
 }
 
 // Stmt returns a random statement. Loops are bounded so generated programs
@@ -98,11 +156,17 @@ func (g *Gen) Stmt() string {
 	case 4:
 		return fmt.Sprintf("for (var i = 0; i < %d; i++) { %s }", g.Intn(5), g.Stmt())
 	case 5:
-		prefix := ""
 		if g.Intn(4) == 0 {
-			prefix = "async "
+			g.async++
+			body, ret := g.Stmt(), g.Expr()
+			g.async--
+			return fmt.Sprintf("async function %s_%d(x) { %s return %s; }", g.Ident(), g.Intn(100), body, ret)
 		}
-		return fmt.Sprintf("%sfunction %s_%d(x) { %s return x; }", prefix, g.Ident(), g.Intn(100), g.Stmt())
+		saved := g.async
+		g.async = 0
+		body := g.Stmt()
+		g.async = saved
+		return fmt.Sprintf("function %s_%d(x) { %s return x; }", g.Ident(), g.Intn(100), body)
 	case 6:
 		return fmt.Sprintf("try { %s } catch (e) { %s }", g.Stmt(), g.Stmt())
 	case 7:

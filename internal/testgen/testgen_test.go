@@ -50,3 +50,123 @@ func TestIntnBounds(t *testing.T) {
 		}
 	}
 }
+
+func TestIntnNonPositive(t *testing.T) {
+	g := New(2)
+	// Must not panic, and must return 0, for computed bounds that end up
+	// empty or negative.
+	for _, n := range []int{0, -1, -100, 1} {
+		if v := g.Intn(n); v != 0 {
+			t.Errorf("Intn(%d) = %d, want 0", n, v)
+		}
+	}
+}
+
+func TestAwaitOnlyInsideAsync(t *testing.T) {
+	// Strip every async function body (brace-matching on the generated
+	// text); no await may remain outside them.
+	for seed := uint64(0); seed < 500; seed++ {
+		p := New(seed).Program()
+		stripped := stripAsyncBodies(p)
+		if strings.Contains(stripped, "await") {
+			t.Fatalf("seed %d: await outside async function:\n%s", seed, p)
+		}
+	}
+}
+
+// stripAsyncBodies removes the brace-balanced body of every "async
+// function" occurrence.
+func stripAsyncBodies(src string) string {
+	for {
+		i := strings.Index(src, "async function")
+		if i < 0 {
+			return src
+		}
+		open := strings.Index(src[i:], "{")
+		if open < 0 {
+			return src
+		}
+		open += i
+		depth, j := 0, open
+		for ; j < len(src); j++ {
+			if src[j] == '{' {
+				depth++
+			} else if src[j] == '}' {
+				depth--
+				if depth == 0 {
+					break
+				}
+			}
+		}
+		if j == len(src) {
+			return src[:i]
+		}
+		src = src[:i] + src[j+1:]
+	}
+}
+
+func TestGenProjectDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 30; seed++ {
+		a, b := GenProject(seed), GenProject(seed)
+		if len(a.Files) != len(b.Files) {
+			t.Fatalf("seed %d: file count differs", seed)
+		}
+		for path, src := range a.Files {
+			if b.Files[path] != src {
+				t.Fatalf("seed %d: %s differs", seed, path)
+			}
+		}
+	}
+}
+
+func TestGenProjectShape(t *testing.T) {
+	sawMulti, sawDynRead, sawDynWrite, sawClass, sawProto, sawBind, sawEval, sawRequire := false, false, false, false, false, false, false, false
+	dynamicAccess := 0
+	const n = 200
+	for seed := uint64(0); seed < n; seed++ {
+		p := GenProject(seed)
+		if len(p.Files) > 2 {
+			sawMulti = true
+		}
+		all := ""
+		for _, src := range p.Files {
+			all += src
+		}
+		hasDyn := false
+		if strings.Contains(all, "[k") {
+			sawDynRead = true
+			hasDyn = true
+		}
+		if strings.Contains(all, "] = ") {
+			sawDynWrite = true
+			hasDyn = true
+		}
+		if hasDyn {
+			dynamicAccess++
+		}
+		if strings.Contains(all, "class ") {
+			sawClass = true
+		}
+		if strings.Contains(all, ".prototype.") {
+			sawProto = true
+		}
+		if strings.Contains(all, ".bind(") || strings.Contains(all, ".apply(") || strings.Contains(all, ".call(") {
+			sawBind = true
+		}
+		if strings.Contains(all, "eval(") {
+			sawEval = true
+		}
+		if strings.Contains(all, "require(") {
+			sawRequire = true
+		}
+	}
+	if !sawMulti || !sawDynRead || !sawDynWrite || !sawClass || !sawProto || !sawBind || !sawEval || !sawRequire {
+		t.Errorf("project generator lacks variety: multi=%v dynRead=%v dynWrite=%v class=%v proto=%v bind=%v eval=%v require=%v",
+			sawMulti, sawDynRead, sawDynWrite, sawClass, sawProto, sawBind, sawEval, sawRequire)
+	}
+	// Dynamic property access (the [DPR]/[DPW] trigger) must appear in
+	// most generated projects.
+	if dynamicAccess < n*3/4 {
+		t.Errorf("dynamic property access in only %d/%d projects", dynamicAccess, n)
+	}
+}
