@@ -43,6 +43,9 @@ func main() {
 		incr     = flag.Bool("incremental", true, "solve baseline once and resume with hint deltas (-incremental=false forces the legacy two-pass analysis; reports are identical)")
 		perfF    = flag.Bool("perf", false, "print pipeline perf counters (phase times, parse-cache hits, solver effort)")
 		benchout = flag.String("benchjson", "", "write per-phase wall times and counter totals as JSON to this file (e.g. BENCH_baseline.json)")
+
+		approxDeadline = flag.Duration("approx-deadline", 0, "wall-clock deadline per approximate-interpretation worklist item (0 = unlimited); tripped items become contained faults and their modules degrade to baseline-only hints")
+		dyncgDeadline  = flag.Duration("dyncg-deadline", 0, "wall-clock deadline per dynamic-call-graph entry module (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -71,12 +74,30 @@ func main() {
 	start := time.Now()
 
 	fmt.Printf("Evaluating %d benchmarks (dynamic call graphs: %v, workers: %d)…\n", len(benches), needDyn, nWorkers)
-	outs, err := experiments.RunCorpusOpts(benches, experiments.Options{WithDynCG: needDyn, Workers: nWorkers, TwoPass: !*incr})
+	outs, err := experiments.RunCorpusOpts(benches, experiments.Options{
+		WithDynCG:      needDyn,
+		Workers:        nWorkers,
+		TwoPass:        !*incr,
+		ApproxDeadline: *approxDeadline,
+		DynCGDeadline:  *dyncgDeadline,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
 		os.Exit(1)
 	}
 	w := os.Stdout
+
+	// Contained failures are reported, never fatal: one bad module degrades
+	// that module's hints, not the run.
+	for _, o := range outs {
+		for _, f := range o.Faults {
+			fmt.Fprintf(os.Stderr, "evaluate: %s: contained fault: %s\n", o.Name, f)
+		}
+		if len(o.DegradedModules) > 0 {
+			fmt.Fprintf(os.Stderr, "evaluate: %s: %d module(s) degraded to baseline-only hints\n",
+				o.Name, len(o.DegradedModules))
+		}
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

@@ -10,6 +10,7 @@
 //	fuzz -seed 412 -v                  # re-run one seed, print its program
 //	fuzz -seeds 1000 -minimize -out testdata/fuzz/open
 //	fuzz -seeds 300 -known testdata/fuzz/open   # CI: fail only on NEW buckets
+//	fuzz -seeds 500 -faults                     # chaos: inject one fault per seed
 //
 // Exit status: 0 when every failure bucket is known (or none occurred),
 // 1 when a new divergence appeared, 2 on usage errors.
@@ -35,6 +36,7 @@ func main() {
 		known    = flag.String("known", "", "directory of known-open reproducers; their buckets do not fail the run")
 		note     = flag.String("note", "found by cmd/fuzz; not yet fixed", "tracking note recorded in written reproducers")
 		verbose  = flag.Bool("v", false, "print the generated program of every failure")
+		faults   = flag.Bool("faults", false, "sixth oracle: inject one deterministic fault per seed and check containment")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -49,6 +51,7 @@ func main() {
 		Start:    *start,
 		Workers:  *workers,
 		Minimize: *minimize,
+		Faults:   *faults,
 	})
 
 	fmt.Printf("fuzz: %d seeds, %d failures, %d distinct buckets (%s)\n",

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/fault"
 	"repro/internal/hints"
 	"repro/internal/interp"
 	"repro/internal/loc"
@@ -45,6 +46,17 @@ type Options struct {
 	// load and execute concretely). RunWithCache uses it to avoid re-
 	// forcing library code whose hints are already cached (§6 reuse).
 	SkipForcingIn func(file string) bool
+	// Deadline bounds the wall-clock time of each worklist item (0 =
+	// unlimited). An item that trips it is aborted and recorded as a
+	// deadline fault for its module; the run continues with the next item.
+	Deadline time.Duration
+	// MaxSteps bounds the interpreter steps per worklist item (0 =
+	// unlimited); the allocation-proportional companion to Deadline.
+	MaxSteps int64
+	// WrapHooks, when non-nil, wraps the analyzer's own observation hooks
+	// before they are installed. The fault-injection harness
+	// (internal/faultinject) uses it to panic at the Nth observed event.
+	WrapHooks func(interp.Hooks) interp.Hooks
 }
 
 func (o Options) withDefaults() Options {
@@ -78,9 +90,20 @@ type Result struct {
 	Aborted int
 	// Failed counts items that ended with an uncaught exception.
 	Failed int
+	// Faults are the contained failures of the run: recovered panics,
+	// deadline/step aborts, unparsable modules. Hints observed before each
+	// fault are preserved in Hints — they are genuine observations, exactly
+	// like those of an execution later aborted by the loop budget — but the
+	// faulted modules are candidates for degradation to baseline-only
+	// constraints downstream (static.Options.DegradeFiles).
+	Faults []fault.Record
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
 }
+
+// FaultedModules returns the modules attributed a fault, as the degradation
+// set for static.Options.DegradeFiles. Nil when the run was fault-free.
+func (r *Result) FaultedModules() map[string]bool { return fault.ModuleSet(r.Faults) }
 
 // VisitedRatio returns the fraction of function definitions executed.
 func (r *Result) VisitedRatio() float64 {
@@ -107,6 +130,7 @@ type analyzer struct {
 	opts     Options
 	it       *interp.Interp
 	registry *modules.Registry
+	project  *modules.Project
 	h        *hints.Hints
 
 	worklist []workItem
@@ -125,6 +149,7 @@ type analyzer struct {
 	modules    int
 	aborted    int
 	failed     int
+	faults     []fault.Record
 }
 
 // Run performs approximate interpretation of the project and returns the
@@ -139,13 +164,19 @@ func Run(project *modules.Project, opts Options) (*Result, error) {
 		scheduled: map[loc.Loc]bool{},
 		thisMap:   map[*value.Object]*value.Object{},
 	}
-	col := &collector{a: a}
+	a.project = project
+	var hooks interp.Hooks = &collector{a: a}
+	if opts.WrapHooks != nil {
+		hooks = opts.WrapHooks(hooks)
+	}
 	a.it = interp.New(interp.Options{
-		Hooks:        col,
+		Hooks:        hooks,
 		Proxy:        true,
 		Lenient:      true,
 		MaxLoopIters: opts.MaxLoopIters,
 		MaxDepth:     opts.MaxDepth,
+		Deadline:     opts.Deadline,
+		MaxSteps:     opts.MaxSteps,
 	})
 	a.registry = modules.NewRegistry(project, a.it)
 	a.registry.Sandbox = true
@@ -175,24 +206,65 @@ func Run(project *modules.Project, opts Options) (*Result, error) {
 		a.runItem(item)
 	}
 
-	total, err := countFunctions(project, a.registry)
-	if err != nil {
-		return nil, err
-	}
-
 	return &Result{
 		Hints:            a.h,
-		FunctionsTotal:   total,
+		FunctionsTotal:   countFunctions(project),
 		FunctionsVisited: a.visitedFns,
 		ModulesLoaded:    a.modules,
 		ItemsProcessed:   items,
 		Aborted:          a.aborted,
 		Failed:           a.failed,
+		Faults:           a.faults,
 		Duration:         time.Since(start),
 	}, nil
 }
 
+// fault appends a contained-failure record for the current phase.
+func (a *analyzer) fault(module string, kind fault.Kind, detail string) {
+	a.faults = append(a.faults, fault.Record{
+		Phase:  "approx",
+		Module: module,
+		Kind:   kind,
+		Detail: detail,
+	})
+}
+
+// itemModule is the module a worklist item executes in, for fault
+// attribution: the module itself, or the file of the forced function.
+func itemModule(item workItem) string {
+	if item.module != "" {
+		return item.module
+	}
+	if item.fn != nil && item.fn.Alloc.Valid() {
+		return item.fn.Alloc.File
+	}
+	return ""
+}
+
 func (a *analyzer) runItem(item workItem) {
+	// Per-item panic recovery: a panic anywhere under this item — an
+	// interpreter bug, a hook bug, or an injected chaos fault — is contained
+	// here, recorded against the responsible module, and the run continues
+	// with the next worklist item. Hints observed before the panic were
+	// already accumulated through the hooks, matching the paper's lenient
+	// semantics of keeping everything learned before an abort.
+	defer func() {
+		if r := recover(); r != nil {
+			// ForceCall may have been unwound before its paired reset ran.
+			a.it.SetForceBranches(false)
+			a.failed++
+			mod := fault.PanicModule(r, itemModule(item))
+			a.fault(mod, fault.KindPanic, fault.PanicDetail(r))
+			// The panic also aborted the enclosing worklist item: when the
+			// responsible module differs from the item's module (e.g. a
+			// required module's top-level code faulted while the requiring
+			// module executed), the item's module lost the rest of its own
+			// observations, so it is degraded too.
+			if im := itemModule(item); im != mod {
+				a.fault(im, fault.KindCollateral, "item aborted by fault in "+mod)
+			}
+		}
+	}()
 	a.it.ResetBudget()
 	var err error
 	switch {
@@ -224,10 +296,28 @@ func (a *analyzer) runItem(item workItem) {
 		switch {
 		case errors.As(err, &budget):
 			a.aborted++
+			// Loop/stack budget aborts are the paper's normal operation;
+			// deadline and step aborts are containment of hangs, so they
+			// additionally degrade the module.
+			switch budget.Reason {
+			case interp.ReasonDeadline:
+				a.fault(itemModule(item), fault.KindDeadline, err.Error())
+			case interp.ReasonSteps:
+				a.fault(itemModule(item), fault.KindSteps, err.Error())
+			}
 		case errors.As(err, &thrown):
 			a.failed++
+			// A module item that threw because its source does not parse is
+			// a containment event, not a program exception: record it so the
+			// corrupt file degrades to baseline-only constraints.
+			if item.module != "" {
+				if _, perr := a.project.Parse(item.module); perr != nil {
+					a.fault(item.module, fault.KindParse, perr.Error())
+				}
+			}
 		default:
 			a.failed++
+			a.fault(itemModule(item), fault.KindError, err.Error())
 		}
 	}
 }
@@ -375,15 +465,17 @@ func (c *collector) RequireResolved(site loc.Loc, name string, dynamic bool) {
 }
 
 // countFunctions statically counts function definitions in all project
-// files (used for the visited-functions ratio reported in §5).
-func countFunctions(project *modules.Project, reg *modules.Registry) (int, error) {
-	progs, err := reg.ParseAll()
-	if err != nil {
-		return 0, err
-	}
+// files (used for the visited-functions ratio reported in §5). Unparsable
+// (corrupt) files contribute no functions instead of failing the run; they
+// are already recorded as parse faults by the worklist.
+func countFunctions(project *modules.Project) int {
 	total := 0
-	for _, prog := range progs {
+	for _, path := range project.SortedPaths() {
+		prog, err := project.Parse(path)
+		if err != nil {
+			continue
+		}
 		total += len(ast.Functions(prog))
 	}
-	return total, nil
+	return total
 }

@@ -1,0 +1,198 @@
+package approx
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/interp"
+	"repro/internal/loc"
+	"repro/internal/modules"
+	"repro/internal/value"
+)
+
+// attributedPanic is a panic value that names its own module, like the
+// injected faults of internal/faultinject do.
+type attributedPanic struct{ file string }
+
+func (a attributedPanic) Error() string       { return "synthetic approx hook bug in " + a.file }
+func (a attributedPanic) FaultModule() string { return a.file }
+
+// hookPanic forwards every observation and panics on the first dynamic read
+// whose site is in the configured file.
+type hookPanic struct {
+	inner interp.Hooks
+	file  string
+}
+
+func (h *hookPanic) ObjectCreated(obj *value.Object, l loc.Loc)  { h.inner.ObjectCreated(obj, l) }
+func (h *hookPanic) FunctionDefined(fn *value.Object, l loc.Loc) { h.inner.FunctionDefined(fn, l) }
+func (h *hookPanic) StaticWrite(b value.Value, p string, v value.Value) {
+	h.inner.StaticWrite(b, p, v)
+}
+func (h *hookPanic) EvalCode(module, source string) { h.inner.EvalCode(module, source) }
+func (h *hookPanic) BeforeCall(site loc.Loc, callee *value.Object, this value.Value, args []value.Value) {
+	h.inner.BeforeCall(site, callee, this, args)
+}
+func (h *hookPanic) DynamicRead(site loc.Loc, base value.Value, key string, result value.Value) {
+	h.inner.DynamicRead(site, base, key, result)
+	if site.File == h.file {
+		panic(attributedPanic{file: h.file})
+	}
+}
+func (h *hookPanic) DynamicWrite(site loc.Loc, base value.Value, key string, val value.Value) {
+	h.inner.DynamicWrite(site, base, key, val)
+}
+func (h *hookPanic) RequireResolved(site loc.Loc, name string, dynamic bool) {
+	h.inner.RequireResolved(site, name, dynamic)
+}
+
+// faultProject: two independent entry modules; /app/bad.js carries the
+// failure under test, /app/good.js must keep its hints regardless.
+func faultProject(badSource string) *modules.Project {
+	return &modules.Project{
+		Name: "faults",
+		Files: map[string]string{
+			"/app/good.js": `var o = { k: function () { return 1; } };
+function g(m, p) { return m[p]; }
+g(o, "k")();
+`,
+			"/app/bad.js": badSource,
+		},
+		MainEntries: []string{"/app/good.js", "/app/bad.js"},
+	}
+}
+
+func goodHintsKept(t *testing.T, res *Result) {
+	t.Helper()
+	site := loc.Loc{File: "/app/good.js", Line: 2, Col: 28}
+	if len(res.Hints.Reads[site]) == 0 {
+		t.Errorf("read hints of the healthy module lost; reads: %v", res.Hints.Reads)
+	}
+}
+
+// TestItemFaultsContained covers per-item containment in the pre-analysis:
+// a hook panic, a wall-clock deadline, a step budget, and an unparsable
+// module each degrade only the responsible module, and hints from healthy
+// modules survive.
+func TestItemFaultsContained(t *testing.T) {
+	t.Run("panic", func(t *testing.T) {
+		p := faultProject(`var b = { k: function () { return 2; } };
+function f(m, p) { return m[p]; }
+f(b, "k")();
+`)
+		res, err := Run(p, Options{WrapHooks: func(inner interp.Hooks) interp.Hooks {
+			return &hookPanic{inner: inner, file: "/app/bad.js"}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Faults) == 0 {
+			t.Fatal("no fault recorded for the hook panic")
+		}
+		for _, f := range res.Faults {
+			if f.Module != "/app/bad.js" {
+				t.Errorf("fault attributed to %q: %v", f.Module, f)
+			}
+			if f.Kind != fault.KindPanic {
+				t.Errorf("fault kind = %s, want %s", f.Kind, fault.KindPanic)
+			}
+		}
+		if fm := res.FaultedModules(); !fm["/app/bad.js"] || fm["/app/good.js"] {
+			t.Errorf("FaultedModules = %v, want exactly /app/bad.js", fm)
+		}
+		goodHintsKept(t, res)
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		p := faultProject("for (;;) { }\n")
+		res, err := Run(p, Options{MaxLoopIters: 1 << 40, Deadline: 100 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Faults) != 1 || res.Faults[0].Kind != fault.KindDeadline || res.Faults[0].Module != "/app/bad.js" {
+			t.Fatalf("Faults = %v, want one deadline fault in /app/bad.js", res.Faults)
+		}
+		goodHintsKept(t, res)
+	})
+
+	t.Run("steps", func(t *testing.T) {
+		p := faultProject("var i = 0; while (true) { i = i + 1; }\n")
+		res, err := Run(p, Options{MaxSteps: 2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var kinds []fault.Kind
+		for _, f := range res.Faults {
+			kinds = append(kinds, f.Kind)
+			if f.Module != "/app/bad.js" {
+				t.Errorf("fault attributed to %q: %v", f.Module, f)
+			}
+		}
+		if len(res.Faults) == 0 || kinds[0] != fault.KindSteps {
+			t.Fatalf("Faults = %v, want a step-budget fault in /app/bad.js", res.Faults)
+		}
+		goodHintsKept(t, res)
+	})
+
+	t.Run("parse", func(t *testing.T) {
+		p := faultProject("var x = @#$%^&(((\n")
+		res, err := Run(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Faults) != 1 || res.Faults[0].Kind != fault.KindParse || res.Faults[0].Module != "/app/bad.js" {
+			t.Fatalf("Faults = %v, want one parse fault in /app/bad.js", res.Faults)
+		}
+		goodHintsKept(t, res)
+	})
+}
+
+// TestCollateralAttribution: when a required module's top-level panics
+// while the requiring module's item executes, the panic is attributed to
+// the required module (via the panic value's attribution) and the requiring
+// module is degraded as collateral — its own observations were cut short.
+func TestCollateralAttribution(t *testing.T) {
+	p := &modules.Project{
+		Name: "collateral",
+		Files: map[string]string{
+			"/app/main.js": `var lib = require("./lib");
+var o = { k: function () { return 1; } };
+function f(m, q) { return m[q]; }
+f(o, "k")();
+`,
+			"/app/lib.js": `var t = { k: function () { return 2; } };
+function g(m, q) { return m[q]; }
+g(t, "k")();
+module.exports = g;
+`,
+		},
+		MainEntries: []string{"/app/main.js"},
+	}
+	res, err := Run(p, Options{WrapHooks: func(inner interp.Hooks) interp.Hooks {
+		return &hookPanic{inner: inner, file: "/app/lib.js"}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm := res.FaultedModules()
+	if !fm["/app/lib.js"] {
+		t.Errorf("responsible module not degraded; FaultedModules = %v", fm)
+	}
+	if !fm["/app/main.js"] {
+		t.Errorf("item module not degraded as collateral; FaultedModules = %v", fm)
+	}
+	var sawCollateral bool
+	for _, f := range res.Faults {
+		if f.Kind == fault.KindCollateral {
+			sawCollateral = true
+			if f.Module != "/app/main.js" || !strings.Contains(f.Detail, "/app/lib.js") {
+				t.Errorf("collateral record %v, want main.js blaming lib.js", f)
+			}
+		}
+	}
+	if !sawCollateral {
+		t.Errorf("no collateral record; Faults = %v", res.Faults)
+	}
+}

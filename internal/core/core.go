@@ -11,10 +11,28 @@ import (
 	"repro/internal/approx"
 	"repro/internal/callgraph"
 	"repro/internal/dyncg"
+	"repro/internal/fault"
 	"repro/internal/hints"
 	"repro/internal/modules"
 	"repro/internal/perf"
 	"repro/internal/static"
+)
+
+// Fault is the pipeline's contained-failure record: a recovered panic,
+// deadline/step abort, or unparsable module, attributed to a phase and
+// module. Defined in internal/fault (the phases producing and consuming the
+// records sit below core in the import graph) and re-exported here as the
+// pipeline-level name.
+type Fault = fault.Record
+
+// Fault kinds (see internal/fault).
+const (
+	FaultPanic      = fault.KindPanic
+	FaultDeadline   = fault.KindDeadline
+	FaultSteps      = fault.KindSteps
+	FaultParse      = fault.KindParse
+	FaultError      = fault.KindError
+	FaultCollateral = fault.KindCollateral
 )
 
 // Config controls which phases run and their budgets.
@@ -56,6 +74,31 @@ type Result struct {
 	Dynamic          *dyncg.Result
 	BaselineAccuracy callgraph.Accuracy
 	ExtendedAccuracy callgraph.Accuracy
+
+	// Faults aggregates the contained failures of every phase that ran
+	// (exact duplicates collapsed — e.g. the same corrupt file skipped by
+	// both static runs). Empty on a healthy run.
+	Faults []Fault
+	// DegradedModules are the modules that fell back to baseline-only
+	// constraints because their pre-analysis faulted, sorted.
+	DegradedModules []string
+}
+
+// addFaults appends records not already present (phase/module/kind/detail
+// all equal).
+func (r *Result) addFaults(records []Fault) {
+	for _, rec := range records {
+		dup := false
+		for _, have := range r.Faults {
+			if have == rec {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			r.Faults = append(r.Faults, rec)
+		}
+	}
 }
 
 // Hints returns the hints produced by the pre-analysis.
@@ -78,6 +121,10 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("approximate interpretation: %w", err)
 	}
 	res.Approx = ar
+	res.addFaults(ar.Faults)
+	// Modules whose pre-analysis faulted degrade to baseline-only
+	// constraints in every hint-consuming analysis below.
+	degrade := ar.FaultedModules()
 	perf.Global().AddPhase(perf.PhaseApprox, ar.Duration)
 
 	// Phase 2: baseline static analysis (dynamic property accesses ignored).
@@ -87,6 +134,7 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("baseline analysis: %w", err)
 		}
 		res.Baseline = br
+		res.addFaults(br.Faults)
 		res.BaselineMetrics = br.Metrics()
 		perf.Global().AddPhase(perf.PhaseBaseline, br.Duration)
 	}
@@ -98,11 +146,14 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 			Hints:           ar.Hints,
 			DisableDPR:      cfg.DisableDPR,
 			UnknownArgHints: cfg.UnknownArgHints,
+			DegradeFiles:    degrade,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("extended analysis: %w", err)
 		}
 		res.Extended = er
+		res.addFaults(er.Faults)
+		res.DegradedModules = er.DegradedModules
 		res.ExtendedMetrics = er.Metrics()
 		perf.Global().AddPhase(perf.PhaseExtended, er.Duration)
 	}
@@ -110,8 +161,9 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 	// Optional: the name-only ablation (§4 strawman).
 	if cfg.Ablation {
 		ab, err := static.Analyze(project, static.Options{
-			Mode:  static.AblationNameOnly,
-			Hints: ar.Hints,
+			Mode:         static.AblationNameOnly,
+			Hints:        ar.Hints,
+			DegradeFiles: degrade,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("ablation analysis: %w", err)
@@ -127,6 +179,7 @@ func Analyze(project *modules.Project, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("dynamic call graph: %w", err)
 		}
 		res.Dynamic = dr
+		res.addFaults(dr.Faults)
 		perf.Global().AddPhase(perf.PhaseDynCG, dr.Duration)
 		if res.Baseline != nil {
 			res.BaselineAccuracy = callgraph.CompareWithDynamic(res.Baseline.Graph, dr.Graph)

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/callgraph"
+	"repro/internal/fault"
 	"repro/internal/interp"
 	"repro/internal/loc"
 	"repro/internal/modules"
@@ -24,6 +25,14 @@ type Options struct {
 	MaxLoopIters int64
 	// MaxDepth bounds the call stack (default 2500).
 	MaxDepth int
+	// Deadline bounds the wall-clock time per entry module (0 = unlimited);
+	// a tripped entry is recorded as a deadline fault and skipped.
+	Deadline time.Duration
+	// MaxSteps bounds interpreter steps per entry module (0 = unlimited).
+	MaxSteps int64
+	// WrapHooks, when non-nil, wraps the edge recorder before installation;
+	// the fault-injection harness (internal/faultinject) uses it.
+	WrapHooks func(interp.Hooks) interp.Hooks
 }
 
 // Result is a dynamic call graph plus execution statistics.
@@ -34,8 +43,15 @@ type Result struct {
 	// the failure).
 	EntriesRun    int
 	EntriesFailed int
-	Duration      time.Duration
+	// Faults are contained failures: panics recovered per entry, deadline
+	// and step-budget aborts, unparsable entry sources. Edges recorded
+	// before a fault are kept.
+	Faults   []fault.Record
+	Duration time.Duration
 }
+
+// FaultedModules returns the modules attributed a fault; nil if none.
+func (r *Result) FaultedModules() map[string]bool { return fault.ModuleSet(r.Faults) }
 
 type recorder struct {
 	interp.NopHooks
@@ -84,10 +100,16 @@ func Build(project *modules.Project, opts Options) (*Result, error) {
 	}
 	start := time.Now()
 	rec := &recorder{g: callgraph.New(), project: project}
+	var hooks interp.Hooks = rec
+	if opts.WrapHooks != nil {
+		hooks = opts.WrapHooks(hooks)
+	}
 	it := interp.New(interp.Options{
-		Hooks:        rec,
+		Hooks:        hooks,
 		MaxLoopIters: opts.MaxLoopIters,
 		MaxDepth:     opts.MaxDepth,
+		Deadline:     opts.Deadline,
+		MaxSteps:     opts.MaxSteps,
 	})
 	rec.registry = modules.NewRegistry(project, it)
 
@@ -99,16 +121,62 @@ func Build(project *modules.Project, opts Options) (*Result, error) {
 	for _, e := range entries {
 		res.EntriesRun++
 		it.ResetBudget()
-		if _, err := rec.registry.Load(e); err != nil {
-			var budget *interp.BudgetError
-			var thrown *interp.Thrown
-			if errors.As(err, &budget) || errors.As(err, &thrown) {
-				res.EntriesFailed++
-				continue
-			}
+		if err := runEntry(rec.registry, e, res); err != nil {
 			return nil, err
 		}
 	}
 	res.Duration = time.Since(start)
 	return res, nil
+}
+
+// runEntry loads one entry module with per-entry panic recovery: a panic —
+// interpreter bug or injected chaos fault — is contained here and recorded
+// against the responsible module, and edges recorded before it are kept
+// (the entry loop continues), mirroring the per-item recovery in approx.
+func runEntry(registry *modules.Registry, entry string, res *Result) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.EntriesFailed++
+			res.Faults = append(res.Faults, fault.Record{
+				Phase:  "dyncg",
+				Module: fault.PanicModule(r, entry),
+				Kind:   fault.KindPanic,
+				Detail: fault.PanicDetail(r),
+			})
+			err = nil
+		}
+	}()
+	_, lerr := registry.Load(entry)
+	if lerr == nil {
+		return nil
+	}
+	var budget *interp.BudgetError
+	var thrown *interp.Thrown
+	switch {
+	case errors.As(lerr, &budget):
+		res.EntriesFailed++
+		switch budget.Reason {
+		case interp.ReasonDeadline:
+			res.Faults = append(res.Faults, fault.Record{
+				Phase: "dyncg", Module: entry, Kind: fault.KindDeadline, Detail: lerr.Error(),
+			})
+		case interp.ReasonSteps:
+			res.Faults = append(res.Faults, fault.Record{
+				Phase: "dyncg", Module: entry, Kind: fault.KindSteps, Detail: lerr.Error(),
+			})
+		}
+		return nil
+	case errors.As(lerr, &thrown):
+		res.EntriesFailed++
+		// An entry that threw because its source does not parse is a
+		// containment event (corrupt file), not a failing test suite.
+		if _, perr := registry.Project.Parse(entry); perr != nil {
+			res.Faults = append(res.Faults, fault.Record{
+				Phase: "dyncg", Module: entry, Kind: fault.KindParse, Detail: perr.Error(),
+			})
+		}
+		return nil
+	default:
+		return lerr
+	}
 }

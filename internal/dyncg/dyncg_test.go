@@ -2,10 +2,14 @@ package dyncg
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/callgraph"
+	"repro/internal/fault"
+	"repro/internal/interp"
 	"repro/internal/loc"
 	"repro/internal/modules"
+	"repro/internal/value"
 )
 
 func TestRecordsDirectCalls(t *testing.T) {
@@ -203,4 +207,110 @@ handlers["b"]();
 			}
 		}
 	}
+}
+
+// TestEntryFaultsContained covers the per-entry containment paths: a panic,
+// a wall-clock deadline, a step-budget abort, and an unparsable entry each
+// fail only their entry, record an attributed fault, and keep the edges of
+// the other entries.
+func TestEntryFaultsContained(t *testing.T) {
+	files := map[string]string{
+		"/app/good.js": "function g() { return 1; }\ng();\n",
+		"/app/bad.js":  "function b() { return 2; }\nb();\n",
+	}
+	entries := []string{"/app/good.js", "/app/bad.js"}
+	goodCall := loc.Loc{File: "/app/good.js", Line: 2, Col: 2}
+
+	t.Run("panic", func(t *testing.T) {
+		p := &modules.Project{Files: files, MainEntries: entries}
+		res, err := Build(p, Options{WrapHooks: func(inner interp.Hooks) interp.Hooks {
+			return &selectivePanic{inner: inner, file: "/app/bad.js"}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EntriesFailed != 1 || len(res.Faults) != 1 || res.Faults[0].Kind != fault.KindPanic {
+			t.Fatalf("EntriesFailed=%d Faults=%v, want one contained panic", res.EntriesFailed, res.Faults)
+		}
+		if fm := res.FaultedModules(); !fm["/app/bad.js"] || len(fm) != 1 {
+			t.Errorf("FaultedModules = %v, want {/app/bad.js}", fm)
+		}
+		if !res.Graph.HasEdge(goodCall, loc.Loc{File: "/app/good.js", Line: 1, Col: 1}) {
+			t.Error("edge from the healthy entry lost")
+		}
+	})
+
+	t.Run("deadline", func(t *testing.T) {
+		p := &modules.Project{Files: map[string]string{
+			"/app/good.js": files["/app/good.js"],
+			"/app/bad.js":  "for (;;) { }\n",
+		}, MainEntries: entries}
+		res, err := Build(p, Options{MaxLoopIters: 1 << 40, Deadline: 100 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Faults) != 1 || res.Faults[0].Kind != fault.KindDeadline || res.Faults[0].Module != "/app/bad.js" {
+			t.Fatalf("Faults = %v, want one deadline fault in /app/bad.js", res.Faults)
+		}
+	})
+
+	t.Run("steps", func(t *testing.T) {
+		p := &modules.Project{Files: map[string]string{
+			"/app/good.js": files["/app/good.js"],
+			"/app/bad.js":  "var i = 0; while (true) { i = i + 1; }\n",
+		}, MainEntries: entries}
+		res, err := Build(p, Options{MaxSteps: 500})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Faults) != 1 || res.Faults[0].Kind != fault.KindSteps || res.Faults[0].Module != "/app/bad.js" {
+			t.Fatalf("Faults = %v, want one step-budget fault in /app/bad.js", res.Faults)
+		}
+	})
+
+	t.Run("parse", func(t *testing.T) {
+		p := &modules.Project{Files: map[string]string{
+			"/app/good.js": files["/app/good.js"],
+			"/app/bad.js":  "var x = @#$%^&(((\n",
+		}, MainEntries: entries}
+		res, err := Build(p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Faults) != 1 || res.Faults[0].Kind != fault.KindParse || res.Faults[0].Module != "/app/bad.js" {
+			t.Fatalf("Faults = %v, want one parse fault in /app/bad.js", res.Faults)
+		}
+		if !res.Graph.HasEdge(goodCall, loc.Loc{File: "/app/good.js", Line: 1, Col: 1}) {
+			t.Error("edge from the healthy entry lost")
+		}
+	})
+}
+
+// selectivePanic forwards every event and panics on the first call whose
+// site is in the configured file.
+type selectivePanic struct {
+	inner interp.Hooks
+	file  string
+}
+
+func (s *selectivePanic) ObjectCreated(obj *value.Object, l loc.Loc)  { s.inner.ObjectCreated(obj, l) }
+func (s *selectivePanic) FunctionDefined(fn *value.Object, l loc.Loc) { s.inner.FunctionDefined(fn, l) }
+func (s *selectivePanic) StaticWrite(b value.Value, p string, v value.Value) {
+	s.inner.StaticWrite(b, p, v)
+}
+func (s *selectivePanic) EvalCode(module, source string) { s.inner.EvalCode(module, source) }
+func (s *selectivePanic) BeforeCall(site loc.Loc, callee *value.Object, this value.Value, args []value.Value) {
+	s.inner.BeforeCall(site, callee, this, args)
+	if site.File == s.file {
+		panic("synthetic dyncg hook bug")
+	}
+}
+func (s *selectivePanic) DynamicRead(site loc.Loc, base value.Value, key string, result value.Value) {
+	s.inner.DynamicRead(site, base, key, result)
+}
+func (s *selectivePanic) DynamicWrite(site loc.Loc, base value.Value, key string, val value.Value) {
+	s.inner.DynamicWrite(site, base, key, val)
+}
+func (s *selectivePanic) RequireResolved(site loc.Loc, name string, dynamic bool) {
+	s.inner.RequireResolved(site, name, dynamic)
 }

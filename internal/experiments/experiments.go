@@ -19,6 +19,7 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/corpus"
 	"repro/internal/dyncg"
+	"repro/internal/fault"
 	"repro/internal/perf"
 	"repro/internal/static"
 )
@@ -43,6 +44,12 @@ type Outcome struct {
 	BaseAcc  callgraph.Accuracy
 	ExtAcc   callgraph.Accuracy
 
+	// Faults are the contained failures across this benchmark's phases;
+	// DegradedModules are the modules whose hints were dropped for them
+	// (baseline-only fallback). Both empty on a healthy run.
+	Faults          []fault.Record
+	DegradedModules []string
+
 	// Reachable function sets (for the vulnerability study).
 	baseReach map[callgraph.FuncID]bool
 	extReach  map[callgraph.FuncID]bool
@@ -52,16 +59,22 @@ type Outcome struct {
 // (incrementally — see RunBenchmarkOpts), and (if available and requested)
 // the dynamic call graph.
 func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
-	return runBenchmark(b, withDyn, false)
+	return runBenchmark(b, Options{WithDynCG: withDyn})
 }
 
-// runBenchmark evaluates one benchmark. With twoPass false (the default
-// path), baseline and extended run as one incremental solve
+// runBenchmark evaluates one benchmark. With opts.TwoPass false (the
+// default path), baseline and extended run as one incremental solve
 // (static.AnalyzeBoth): constraints are generated once, the baseline
 // fixpoint is snapshotted, and the [DPR]/[DPW] hint deltas resume the same
 // solver — the outcome is identical to the two-pass path (asserted by the
 // differential test in internal/static), only cheaper.
-func runBenchmark(b *corpus.Benchmark, withDyn, twoPass bool) (*Outcome, error) {
+//
+// Robustness: faults contained during the pre-analysis (recovered panics,
+// per-item deadline aborts when opts.ApproxDeadline is set, corrupt module
+// sources) degrade the faulted modules to baseline-only constraints in the
+// static phases and are reported on the Outcome and in the perf counters;
+// the benchmark still completes.
+func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 	out := &Outcome{Name: b.Project.Name, HasDynCG: b.HasDynCG}
 	perf.Global().AddProject()
 
@@ -72,7 +85,7 @@ func runBenchmark(b *corpus.Benchmark, withDyn, twoPass bool) (*Outcome, error) 
 	out.Stats = st
 
 	approxAlloc := perf.TotalAllocBytes()
-	ar, err := approx.Run(b.Project, approx.Options{})
+	ar, err := approx.Run(b.Project, approx.Options{Deadline: opts.ApproxDeadline})
 	if err != nil {
 		return nil, fmt.Errorf("%s: approx: %w", b.Project.Name, err)
 	}
@@ -82,22 +95,31 @@ func runBenchmark(b *corpus.Benchmark, withDyn, twoPass bool) (*Outcome, error) 
 	perf.Global().AddPhase(perf.PhaseApprox, ar.Duration)
 	perf.Global().AddPhaseAlloc(perf.PhaseApprox, perf.TotalAllocBytes()-approxAlloc)
 
+	degrade := ar.FaultedModules()
+	out.Faults = append(out.Faults, ar.Faults...)
+
 	var base, ext *static.Result
-	if twoPass {
+	if opts.TwoPass {
 		base, err = static.Analyze(b.Project, static.Options{Mode: static.Baseline})
 		if err != nil {
 			return nil, fmt.Errorf("%s: baseline: %w", b.Project.Name, err)
 		}
-		ext, err = static.Analyze(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
+		ext, err = static.Analyze(b.Project, static.Options{
+			Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: degrade,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: extended: %w", b.Project.Name, err)
 		}
 	} else {
-		base, ext, err = static.AnalyzeBoth(b.Project, static.Options{Mode: static.WithHints, Hints: ar.Hints})
+		base, ext, err = static.AnalyzeBoth(b.Project, static.Options{
+			Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: degrade,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: baseline+extended: %w", b.Project.Name, err)
 		}
 	}
+	out.Faults = append(out.Faults, ext.Faults...)
+	out.DegradedModules = ext.DegradedModules
 	out.BaselineTime = base.Duration
 	out.Base = base.Metrics()
 	out.baseReach = base.Graph.Reachable(base.MainEntries)
@@ -109,15 +131,17 @@ func runBenchmark(b *corpus.Benchmark, withDyn, twoPass bool) (*Outcome, error) 
 	perf.Global().AddPhase(perf.PhaseExtended, ext.Duration)
 	perf.Global().AddPhaseAlloc(perf.PhaseExtended, ext.AllocBytes)
 
-	if withDyn && b.HasDynCG {
-		dr, err := dynGraph(b)
+	if opts.WithDynCG && b.HasDynCG {
+		dr, err := dynGraph(b, dyncg.Options{Deadline: opts.DynCGDeadline})
 		if err != nil {
 			return nil, fmt.Errorf("%s: dyncg: %w", b.Project.Name, err)
 		}
 		out.DynEdges = dr.Graph.NumEdges()
 		out.BaseAcc = callgraph.CompareWithDynamic(base.Graph, dr.Graph)
 		out.ExtAcc = callgraph.CompareWithDynamic(ext.Graph, dr.Graph)
+		out.Faults = append(out.Faults, dr.Faults...)
 	}
+	perf.Global().AddFaults(len(out.Faults), len(out.DegradedModules))
 	return out, nil
 }
 
@@ -139,14 +163,17 @@ var dynMemo sync.Map
 // dynBuilds counts actual dynamic call-graph builds (memo misses).
 var dynBuilds atomic.Int64
 
-// dynGraph returns the (memoized) dynamic call graph of a benchmark.
-func dynGraph(b *corpus.Benchmark) (*dyncg.Result, error) {
+// dynGraph returns the (memoized) dynamic call graph of a benchmark. The
+// options of the first caller for a project win (the memo stores one build
+// per project); all callers in one evaluation pass the same options, so
+// this is only observable when mixing configurations in one process.
+func dynGraph(b *corpus.Benchmark, opts dyncg.Options) (*dyncg.Result, error) {
 	e, _ := dynMemo.LoadOrStore(b.Project, &dynEntry{})
 	ent := e.(*dynEntry)
 	ent.once.Do(func() {
 		dynBuilds.Add(1)
 		alloc0 := perf.TotalAllocBytes()
-		ent.res, ent.err = dyncg.Build(b.Project, dyncg.Options{})
+		ent.res, ent.err = dyncg.Build(b.Project, opts)
 		if ent.err == nil {
 			perf.Global().AddPhase(perf.PhaseDynCG, ent.res.Duration)
 			perf.Global().AddPhaseAlloc(perf.PhaseDynCG, perf.TotalAllocBytes()-alloc0)
@@ -170,6 +197,13 @@ type Options struct {
 	// Reports are identical either way; the flag exists for cross-checking
 	// and for timing the two paths against each other.
 	TwoPass bool
+	// ApproxDeadline is the per-worklist-item wall-clock deadline of the
+	// pre-analysis (0 = unlimited). Items that trip it are aborted, recorded
+	// as deadline faults, and their modules degrade to baseline-only hints.
+	ApproxDeadline time.Duration
+	// DynCGDeadline is the per-entry wall-clock deadline of dynamic
+	// call-graph construction (0 = unlimited).
+	DynCGDeadline time.Duration
 }
 
 // RunCorpus evaluates the given benchmarks over a worker pool sized to the
@@ -193,7 +227,7 @@ func RunCorpusOpts(bs []*corpus.Benchmark, opts Options) ([]*Outcome, error) {
 	outs := make([]*Outcome, len(bs))
 	if workers <= 1 {
 		for i, b := range bs {
-			o, err := runBenchmark(b, opts.WithDynCG, opts.TwoPass)
+			o, err := runBenchmark(b, opts)
 			if err != nil {
 				return nil, err
 			}
@@ -211,7 +245,7 @@ func RunCorpusOpts(bs []*corpus.Benchmark, opts Options) ([]*Outcome, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				o, err := runBenchmark(bs[i], opts.WithDynCG, opts.TwoPass)
+				o, err := runBenchmark(bs[i], opts)
 				if err != nil {
 					errs[i] = err
 					failed.Store(true)
@@ -390,7 +424,7 @@ func RunAblation(b *corpus.Benchmark) (*AblationOutcome, error) {
 		NameOnlyMonomorphic:   abl.Metrics().MonomorphicPct,
 	}
 	if b.HasDynCG {
-		dr, err := dynGraph(b)
+		dr, err := dynGraph(b, dyncg.Options{})
 		if err != nil {
 			return nil, err
 		}

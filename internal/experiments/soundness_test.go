@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/corpus"
+	"repro/internal/dyncg"
 	"repro/internal/fuzz"
 	"repro/internal/static"
 )
@@ -55,7 +56,7 @@ func TestCorpusSoundnessOracle(t *testing.T) {
 		}
 		checked++
 		name := b.Project.Name
-		dr, err := dynGraph(b)
+		dr, err := dynGraph(b, dyncg.Options{})
 		if err != nil {
 			t.Fatalf("%s: dyncg: %v", name, err)
 		}

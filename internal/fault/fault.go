@@ -1,0 +1,121 @@
+// Package fault defines the fault records of the pipeline's robustness
+// layer. The dynamic phases (approximate interpretation, dynamic call-graph
+// construction) and the static analysis convert contained failures — panics
+// recovered per execution unit, wall-clock deadline aborts, unparsable
+// module sources — into Records instead of letting them abort a run, so one
+// bad module degrades that module's results, never the whole corpus run
+// (the paper's "simply continues" philosophy, lifted from single executions
+// to the pipeline itself).
+package fault
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind classifies what went wrong in one execution unit.
+type Kind string
+
+// Fault kinds.
+const (
+	// KindPanic is a recovered Go panic (an interpreter or hook bug, or an
+	// injected chaos fault) during a dynamic-phase execution unit.
+	KindPanic Kind = "panic"
+	// KindDeadline is a wall-clock deadline abort: the unit ran longer than
+	// the configured per-item limit (a hang the loop/stack budgets missed).
+	KindDeadline Kind = "deadline"
+	// KindSteps is a step-budget abort: the unit exceeded the configured
+	// total interpreter-step allowance.
+	KindSteps Kind = "steps"
+	// KindParse marks a module whose source does not parse (corrupt or
+	// truncated file); the module is skipped or degraded, not fatal.
+	KindParse Kind = "parse"
+	// KindError is an internal (non-panic, non-budget) failure of a unit.
+	KindError Kind = "error"
+	// KindCollateral marks a module whose own execution unit was cut short
+	// by a fault attributed to a different module (e.g. a required module
+	// faulted mid-require): its observations are incomplete, so it is
+	// degraded alongside the responsible module.
+	KindCollateral Kind = "collateral"
+)
+
+// Record is one contained failure, attributed to the pipeline phase and the
+// module whose code (or source file) was executing when it happened.
+type Record struct {
+	// Phase is the pipeline stage: "approx", "dyncg", or "static".
+	Phase string
+	// Module is the attributed module path ("" when unknown).
+	Module string
+	Kind   Kind
+	// Detail is a human-readable description (panic value, error text).
+	Detail string
+}
+
+func (r Record) String() string {
+	mod := r.Module
+	if mod == "" {
+		mod = "<unknown module>"
+	}
+	return fmt.Sprintf("%s: %s in %s: %s", r.Phase, r.Kind, mod, r.Detail)
+}
+
+// Attributer lets a panic value carry its own module attribution. Injected
+// chaos faults (internal/faultinject) implement it so per-item recovery can
+// attribute a panic to the module whose code triggered it even after the
+// stack — and the interpreter's current-module bookkeeping — has unwound.
+type Attributer interface {
+	FaultModule() string
+}
+
+// PanicModule attributes a recovered panic value to a module: panic values
+// that implement Attributer name their own module (injected faults);
+// anything else — an organic interpreter bug — is attributed to the module
+// of the execution unit that was running, passed as fallback.
+func PanicModule(r any, fallback string) string {
+	if a, ok := r.(Attributer); ok {
+		if m := a.FaultModule(); m != "" {
+			return m
+		}
+	}
+	return fallback
+}
+
+// PanicDetail renders a recovered panic value for a Record's Detail field.
+func PanicDetail(r any) string {
+	if err, ok := r.(error); ok {
+		return err.Error()
+	}
+	return fmt.Sprintf("%v", r)
+}
+
+// Modules returns the sorted, deduplicated module paths of the records,
+// skipping unattributed ones. It is the degradation set fed to the static
+// analysis (static.Options.DegradeFiles).
+func Modules(records []Record) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range records {
+		if r.Module != "" && !seen[r.Module] {
+			seen[r.Module] = true
+			out = append(out, r.Module)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ModuleSet returns the records' attributed modules as a set, for
+// static.Options.DegradeFiles. Nil when no record is attributed.
+func ModuleSet(records []Record) map[string]bool {
+	var set map[string]bool
+	for _, r := range records {
+		if r.Module == "" {
+			continue
+		}
+		if set == nil {
+			set = map[string]bool{}
+		}
+		set[r.Module] = true
+	}
+	return set
+}

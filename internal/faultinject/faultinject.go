@@ -1,0 +1,232 @@
+// Package faultinject deterministically injects faults into the pipeline's
+// dynamic phases, so chaos tests can prove the robustness layer's claims:
+// every fault is contained to one execution unit, attributed to the right
+// module, and never changes results for modules independent of it.
+//
+// Two injection seams are used:
+//
+//   - the interpreter's observation hooks (interp/hooks.go): an Injector
+//     wraps the phase's own Hooks via approx/dyncg Options.WrapHooks and
+//     panics at the Nth matching event (property read, call, require
+//     resolution, eval) inside the target module — modeling a crash bug in
+//     the interpreter or an observation hook;
+//   - the in-memory module sources (modules.Project.Files): ApplySource
+//     returns a project copy with the target module's source corrupted,
+//     truncated, or extended with an unbounded spin loop — modeling bad
+//     files and hangs.
+//
+// Injection is deterministic: the same Fault against the same project
+// produces the same panic at the same event, so every chaos failure
+// reproduces.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/interp"
+	"repro/internal/loc"
+	"repro/internal/modules"
+	"repro/internal/value"
+)
+
+// Site selects the hook event an injected panic fires on.
+type Site string
+
+// Injection sites.
+const (
+	// SitePropRead panics at the Nth dynamic property read in the module.
+	SitePropRead Site = "prop-read"
+	// SiteCall panics at the Nth call observed in the module.
+	SiteCall Site = "call"
+	// SiteRequire panics at the Nth require resolution in the module.
+	SiteRequire Site = "require"
+	// SiteEval panics at the Nth eval observed in the module.
+	SiteEval Site = "eval"
+)
+
+// HookSites lists every hook-based injection site (the chaos matrix rows).
+var HookSites = []Site{SitePropRead, SiteCall, SiteRequire, SiteEval}
+
+// Fault describes one injected fault: panic at the Nth occurrence of the
+// Site event attributed to Module.
+type Fault struct {
+	Module string // module whose events trigger the fault
+	Site   Site
+	N      int // 1-based occurrence count; 0 means 1st
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("panic at %s #%d in %s", f.Site, f.nth(), f.Module)
+}
+
+func (f Fault) nth() int {
+	if f.N <= 0 {
+		return 1
+	}
+	return f.N
+}
+
+// Panic is the value an Injector panics with. It implements
+// fault.Attributer, so the per-item recovery in approx/dyncg attributes the
+// fault to the injected module even though the interpreter's current-module
+// bookkeeping has unwound by the time recover runs.
+type Panic struct{ Fault Fault }
+
+func (p Panic) Error() string       { return "injected fault: " + p.Fault.String() }
+func (p Panic) FaultModule() string { return p.Fault.Module }
+
+// Injector wraps a phase's observation hooks and panics at the Nth matching
+// event. Counters are atomic so wrapped hooks stay as goroutine-safe as the
+// hooks they wrap.
+type Injector struct {
+	fault Fault
+	count atomic.Int64
+	fired atomic.Bool
+}
+
+// NewInjector returns an injector for one fault. Use a fresh injector per
+// pipeline phase: approx and dyncg see different event streams, so sharing
+// one would make the second phase's trigger depend on the first's events.
+func NewInjector(f Fault) *Injector { return &Injector{fault: f} }
+
+// Fired reports whether the fault has been triggered. A fault that never
+// fires (e.g. SiteEval against a module with no eval) leaves the run
+// untouched; chaos tests use Fired to tell containment from vacuity.
+func (in *Injector) Fired() bool { return in.fired.Load() }
+
+// Wrap returns hooks that forward every event to inner and panic at the
+// Nth matching one. Matching this injector's module uses the event site's
+// file (where the triggering operation is written), so the panic fires
+// while that module's code executes.
+func (in *Injector) Wrap(inner interp.Hooks) interp.Hooks {
+	return &wrappedHooks{inner: inner, in: in}
+}
+
+// hit counts one matching event and panics on the Nth.
+func (in *Injector) hit() {
+	if in.count.Add(1) == int64(in.fault.nth()) {
+		in.fired.Store(true)
+		panic(Panic{Fault: in.fault})
+	}
+}
+
+type wrappedHooks struct {
+	inner interp.Hooks
+	in    *Injector
+}
+
+func (w *wrappedHooks) matches(site Site, file string) bool {
+	return w.in.fault.Site == site && file == w.in.fault.Module
+}
+
+func (w *wrappedHooks) ObjectCreated(obj *value.Object, l loc.Loc) {
+	w.inner.ObjectCreated(obj, l)
+}
+
+func (w *wrappedHooks) FunctionDefined(fn *value.Object, l loc.Loc) {
+	w.inner.FunctionDefined(fn, l)
+}
+
+func (w *wrappedHooks) BeforeCall(site loc.Loc, callee *value.Object, this value.Value, args []value.Value) {
+	// The inner hook observes the event before the panic: a real crash in
+	// the interpreter would also strike after observation, and the
+	// containment guarantee is about preserving hints up to the fault.
+	w.inner.BeforeCall(site, callee, this, args)
+	file := site.File
+	if !site.Valid() && callee != nil && callee.Alloc.Valid() {
+		// Calls without a syntactic site (natives, forced calls) attribute
+		// to the callee's definition site.
+		file = callee.Alloc.File
+	}
+	if w.matches(SiteCall, file) {
+		w.in.hit()
+	}
+}
+
+func (w *wrappedHooks) DynamicRead(site loc.Loc, base value.Value, key string, result value.Value) {
+	w.inner.DynamicRead(site, base, key, result)
+	if w.matches(SitePropRead, site.File) {
+		w.in.hit()
+	}
+}
+
+func (w *wrappedHooks) DynamicWrite(site loc.Loc, base value.Value, key string, val value.Value) {
+	w.inner.DynamicWrite(site, base, key, val)
+}
+
+func (w *wrappedHooks) StaticWrite(base value.Value, prop string, val value.Value) {
+	w.inner.StaticWrite(base, prop, val)
+}
+
+func (w *wrappedHooks) EvalCode(module, source string) {
+	w.inner.EvalCode(module, source)
+	if w.matches(SiteEval, module) {
+		w.in.hit()
+	}
+}
+
+func (w *wrappedHooks) RequireResolved(site loc.Loc, name string, dynamic bool) {
+	w.inner.RequireResolved(site, name, dynamic)
+	if w.matches(SiteRequire, site.File) {
+		w.in.hit()
+	}
+}
+
+// ------------------------------------------------------------ source faults
+
+// SourceFault mutates a module's source text in the in-memory FS.
+type SourceFault string
+
+// Source fault kinds.
+const (
+	// SourceCorrupt splices unparsable garbage into the middle of the file.
+	SourceCorrupt SourceFault = "corrupt"
+	// SourceTruncate cuts the file mid-token, leaving an unclosed paren so
+	// the remainder cannot parse.
+	SourceTruncate SourceFault = "truncate"
+	// SourceHang appends an unconditioned infinite loop to the file — a
+	// module that parses and starts executing but never finishes. Contained
+	// only by the loop budget or, with huge budgets, the wall-clock
+	// deadline.
+	SourceHang SourceFault = "hang"
+)
+
+// SourceFaults lists every source-mutation fault kind.
+var SourceFaults = []SourceFault{SourceCorrupt, SourceTruncate, SourceHang}
+
+// ApplySource returns a copy of the project (fresh parse cache, same entry
+// lists) with the source of module mutated per kind. The original project
+// is untouched, so a fault-free run over it stays valid for comparison.
+// Returns an error if the project has no such module.
+func ApplySource(project *modules.Project, module string, kind SourceFault) (*modules.Project, error) {
+	src, ok := project.Files[module]
+	if !ok {
+		return nil, fmt.Errorf("faultinject: no module %s in project", module)
+	}
+	files := make(map[string]string, len(project.Files))
+	for p, s := range project.Files {
+		files[p] = s
+	}
+	switch kind {
+	case SourceCorrupt:
+		// Garbage that no lexer state accepts, spliced mid-file so a prefix
+		// parses and the file as a whole cannot.
+		files[module] = src[:len(src)/2] + "\n@#$%^&(((\n" + src[len(src)/2:]
+	case SourceTruncate:
+		// Cut mid-file and open a paren: deterministically unparsable even
+		// if the cut lands on a statement boundary.
+		files[module] = src[:len(src)/2] + "\n(("
+	case SourceHang:
+		files[module] = src + "\n;(function () { for (;;) { } })();\n"
+	default:
+		return nil, fmt.Errorf("faultinject: unknown source fault %q", kind)
+	}
+	return &modules.Project{
+		Name:        project.Name,
+		Files:       files,
+		MainEntries: append([]string(nil), project.MainEntries...),
+		TestEntries: append([]string(nil), project.TestEntries...),
+		MainPrefix:  project.MainPrefix,
+	}, nil
+}

@@ -1,0 +1,266 @@
+package fuzz
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/dyncg"
+	"repro/internal/fault"
+	"repro/internal/faultinject"
+	"repro/internal/modules"
+	"repro/internal/static"
+	"repro/internal/testgen"
+)
+
+// KindFaultEscape is the sixth oracle's bucket: a deterministically injected
+// fault was not contained — it crashed a stage, went unrecorded, or changed
+// the analysis of modules it should not have touched.
+const KindFaultEscape Kind = "fault-escape"
+
+// faultPlan is the fault derived deterministically from a seed: exactly one
+// of Hook or Source is set, always targeting Module.
+type faultPlan struct {
+	Module string
+	Hook   *faultinject.Fault
+	Source faultinject.SourceFault
+}
+
+func (p faultPlan) String() string {
+	if p.Hook != nil {
+		return p.Hook.String()
+	}
+	return fmt.Sprintf("source %s in %s", p.Source, p.Module)
+}
+
+// splitmix64 is the standard SplitMix64 generator — a tiny, deterministic
+// PRNG so fault selection is reproducible from the seed alone.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// planFault picks one module and one fault kind pseudo-randomly but
+// deterministically from the seed.
+func planFault(seed uint64, files map[string]string) faultPlan {
+	state := seed ^ 0xfa117fa117fa117 // decorrelate from testgen's own PRNG
+	paths := sortedPaths(files)
+	module := paths[splitmix64(&state)%uint64(len(paths))]
+	nKinds := uint64(len(faultinject.HookSites) + len(faultinject.SourceFaults))
+	k := splitmix64(&state) % nKinds
+	if int(k) < len(faultinject.HookSites) {
+		return faultPlan{Module: module, Hook: &faultinject.Fault{
+			Module: module,
+			Site:   faultinject.HookSites[k],
+			N:      int(splitmix64(&state)%3) + 1,
+		}}
+	}
+	return faultPlan{Module: module, Source: faultinject.SourceFaults[int(k)-len(faultinject.HookSites)]}
+}
+
+// CheckSeedFaulted is the sixth oracle: it generates the program for seed,
+// injects one deterministic pseudo-random fault (a panic at the Nth hook
+// event of one module, or a corrupted / truncated / hanging module source),
+// and checks that the pipeline contains it:
+//
+//   - totality: no stage panics or fails internally despite the fault;
+//   - attribution: an injected hook panic is recorded as a fault naming the
+//     planned module; a fired fault is never silent;
+//   - restricted soundness: every dynamic edge missing from the extended
+//     graph either touches a faulted/degraded module or was already missing
+//     in the fault-free run (a pre-existing open bucket, not an escape);
+//   - monotonicity and incremental equivalence still hold globally on the
+//     degraded run;
+//   - vacuity: an injector whose Nth event never occurs must leave the
+//     analysis results byte-identical to the fault-free run.
+//
+// Seeds whose fault-free pipeline already fails an oracle return nil: the
+// plain CheckSeed run owns those failures.
+func CheckSeedFaulted(seed uint64) *Failure {
+	spec := testgen.GenProject(seed)
+	f := CheckFilesFaulted(spec.Files, spec.Entries, seed)
+	if f != nil {
+		f.Seed = seed
+	}
+	return f
+}
+
+// CheckFilesFaulted runs the sixth oracle on one project; seed selects the
+// injected fault.
+func CheckFilesFaulted(files map[string]string, entries []string, seed uint64) *Failure {
+	plan := planFault(seed, files)
+	fail := func(bucket, detail string) *Failure {
+		return &Failure{Kind: KindFaultEscape, Bucket: string(KindFaultEscape) + "/" + bucket,
+			Detail: fmt.Sprintf("[%s] %s", plan, detail), Files: files, Entries: entries}
+	}
+	project := newFuzzProject(files, entries)
+
+	// Fault-free reference run. Its own failures belong to CheckSeed.
+	cleanDyn, err := dyncg.Build(project, dyncg.Options{})
+	if err != nil {
+		return nil
+	}
+	cleanAr, err := approx.Run(project, approx.Options{})
+	if err != nil || len(cleanAr.Faults) != 0 {
+		return nil
+	}
+	cleanExt, err := static.Analyze(project, static.Options{
+		Mode: static.WithHints, Hints: cleanAr.Hints, EvalHints: true,
+	})
+	if err != nil {
+		return nil
+	}
+	cleanMissing := map[Edge]bool{}
+	for _, e := range MissingDynamicEdges(cleanExt.Graph, cleanDyn.Graph) {
+		cleanMissing[e] = true
+	}
+
+	// Faulted run: same pipeline, one fault injected.
+	fproject := project
+	dyn := cleanDyn
+	aopts := approx.Options{}
+	var inj *faultinject.Injector
+	if plan.Hook != nil {
+		inj = faultinject.NewInjector(*plan.Hook)
+		aopts.WrapHooks = inj.Wrap
+	} else {
+		fproject, err = faultinject.ApplySource(project, plan.Module, plan.Source)
+		if err != nil {
+			return fail("apply-source", err.Error())
+		}
+		dopts := dyncg.Options{}
+		if plan.Source == faultinject.SourceHang {
+			// Lift the structural loop budgets so only the wall-clock
+			// deadline can contain the injected spin.
+			aopts = approx.Options{MaxLoopIters: 1 << 40, Deadline: 150 * time.Millisecond}
+			dopts = dyncg.Options{MaxLoopIters: 1 << 40, Deadline: 300 * time.Millisecond}
+		}
+		// The program itself changed, so the dynamic ground truth must be
+		// rebuilt on the mutated project (with its own fault containment).
+		if f := guard("dyncg", func(k Kind, b, d string) *Failure { return fail("dyncg", d) }, func() error {
+			var derr error
+			dyn, derr = dyncg.Build(fproject, dopts)
+			return derr
+		}); f != nil {
+			return f
+		}
+	}
+
+	var ar *approx.Result
+	if f := guard("approx", func(k Kind, b, d string) *Failure { return fail("approx", d) }, func() error {
+		var aerr error
+		ar, aerr = approx.Run(fproject, aopts)
+		return aerr
+	}); f != nil {
+		return f
+	}
+
+	degrade := ar.FaultedModules()
+	extOpts := static.Options{Mode: static.WithHints, Hints: ar.Hints, EvalHints: true, DegradeFiles: degrade}
+	var baseTP, extTP, baseIn, extIn *static.Result
+	if f := guard("static", func(k Kind, b, d string) *Failure { return fail("static", d) }, func() error {
+		var serr error
+		if baseTP, serr = static.Analyze(fproject, static.Options{Mode: static.Baseline}); serr != nil {
+			return serr
+		}
+		if extTP, serr = static.Analyze(fproject, extOpts); serr != nil {
+			return serr
+		}
+		baseIn, extIn, serr = static.AnalyzeBoth(fproject, extOpts)
+		return serr
+	}); f != nil {
+		return f
+	}
+
+	// Vacuity: a hook fault whose Nth event never occurs must be a no-op.
+	if inj != nil && !inj.Fired() {
+		if len(ar.Faults) != 0 {
+			return fail("vacuous", fmt.Sprintf("unfired injector produced faults: %v", ar.Faults))
+		}
+		if !extTP.Graph.Equal(cleanExt.Graph) {
+			return fail("vacuous", "unfired injector changed the extended call graph: "+
+				firstGraphDiff(extTP.Graph, cleanExt.Graph))
+		}
+		return nil
+	}
+
+	// Attribution: a fired hook panic must be recorded against the planned
+	// module (the panic value carries the attribution).
+	if inj != nil {
+		if len(ar.Faults) == 0 {
+			return fail("silent", "injected panic fired but no fault was recorded")
+		}
+		for _, fr := range ar.Faults {
+			if fr.Kind == fault.KindPanic && fr.Module != plan.Module {
+				return fail("attribution", fmt.Sprintf("panic fault attributed to %q: %v", fr.Module, fr))
+			}
+		}
+	}
+
+	// The modules a missing edge is allowed to touch: the planned target,
+	// everything any phase attributed a fault to or degraded, and every
+	// module whose observations the fault cut short (hints present in the
+	// fault-free run but lost in the faulted one — e.g. modules that would
+	// have loaded, or code that would have run, after the fault point).
+	affected := map[string]bool{plan.Module: true}
+	for m := range degrade {
+		affected[m] = true
+	}
+	for _, frs := range [][]fault.Record{ar.Faults, extIn.Faults, extTP.Faults, dyn.Faults} {
+		for _, fr := range frs {
+			if fr.Module != "" {
+				affected[fr.Module] = true
+			}
+		}
+	}
+	for m := range cleanAr.Hints.LostFiles(ar.Hints) {
+		affected[m] = true
+	}
+
+	// Restricted soundness: dynamic ⊆ extended away from affected modules,
+	// modulo edges the fault-free run already missed (open buckets).
+	for _, e := range MissingDynamicEdges(extTP.Graph, dyn.Graph) {
+		if affected[e.Site.File] || affected[e.Target.File] || cleanMissing[e] {
+			continue
+		}
+		return fail("soundness", fmt.Sprintf(
+			"dynamic edge %s -> %s in unaffected modules missing from degraded extended graph",
+			e.Site, fmtTarget(e.Target)))
+	}
+
+	// Monotonicity still holds globally: degradation removes hints, and
+	// baseline constraints never depend on hints.
+	for _, site := range baseTP.Graph.SortedSites() {
+		for _, t := range baseTP.Graph.Targets(site) {
+			if !extTP.Graph.HasEdge(site, t) {
+				return fail("non-monotone",
+					fmt.Sprintf("baseline edge %s -> %s missing from degraded extended graph", site, fmtTarget(t)))
+			}
+		}
+	}
+
+	// Incremental equivalence still holds with DegradeFiles set.
+	if !baseIn.Graph.Equal(baseTP.Graph) {
+		return fail("incremental", "degraded incremental baseline differs from two-pass: "+
+			firstGraphDiff(baseIn.Graph, baseTP.Graph))
+	}
+	if !extIn.Graph.Equal(extTP.Graph) {
+		return fail("incremental", "degraded incremental extended differs from two-pass: "+
+			firstGraphDiff(extIn.Graph, extTP.Graph))
+	}
+	return nil
+}
+
+// newFuzzProject builds the virtual project the oracles analyze.
+func newFuzzProject(files map[string]string, entries []string) *modules.Project {
+	return &modules.Project{
+		Name:        "fuzz",
+		Files:       files,
+		MainEntries: entries,
+		TestEntries: entries,
+		MainPrefix:  "/app",
+	}
+}

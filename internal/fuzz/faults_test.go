@@ -1,0 +1,84 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/loc"
+	"repro/internal/testgen"
+)
+
+// TestFaultOracleSeeds is the in-tree smoke for the sixth oracle: every
+// deterministic injected fault over the first seeds must be contained.
+// (CI additionally runs cmd/fuzz -seeds 500 -faults.)
+func TestFaultOracleSeeds(t *testing.T) {
+	seeds := uint64(15)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(0); seed < seeds; seed++ {
+		if f := CheckSeedFaulted(seed); f != nil {
+			t.Errorf("seed %d: fault escaped containment: %v", seed, f)
+		}
+	}
+}
+
+// TestPlanFaultDeterministic: the same seed always yields the same plan,
+// and a window of seeds exercises both hook and source fault kinds.
+func TestPlanFaultDeterministic(t *testing.T) {
+	spec := testgen.GenProject(1)
+	var hooks, sources int
+	for seed := uint64(0); seed < 40; seed++ {
+		p1 := planFault(seed, spec.Files)
+		p2 := planFault(seed, spec.Files)
+		if p1.String() != p2.String() || p1.Module != p2.Module {
+			t.Fatalf("seed %d: plan not deterministic: %v vs %v", seed, p1, p2)
+		}
+		if _, ok := spec.Files[p1.Module]; !ok {
+			t.Fatalf("seed %d: plan targets %q, not a project file", seed, p1.Module)
+		}
+		if p1.Hook != nil {
+			hooks++
+			if p1.Hook.Module != p1.Module || p1.Hook.N < 1 || p1.Hook.N > 3 {
+				t.Fatalf("seed %d: malformed hook plan %+v", seed, p1.Hook)
+			}
+		} else {
+			sources++
+			if p1.Source == "" {
+				t.Fatalf("seed %d: plan has neither hook nor source fault", seed)
+			}
+			if !strings.Contains(p1.String(), "source") {
+				t.Errorf("source plan String() = %q", p1.String())
+			}
+		}
+	}
+	if hooks == 0 || sources == 0 {
+		t.Errorf("40 seeds produced %d hook and %d source plans; want both kinds", hooks, sources)
+	}
+}
+
+// TestFirstGraphDiff covers the divergence formatter used in failure
+// details for every asymmetric shape.
+func TestFirstGraphDiff(t *testing.T) {
+	site := loc.Loc{File: "/app/m.js", Line: 3, Col: 5}
+	fn := loc.Loc{File: "/app/m.js", Line: 1, Col: 1}
+	a, b := callgraph.New(), callgraph.New()
+	a.AddSite(site, callgraph.ModuleFunc("/app/m.js"))
+	a.AddEdge(site, fn)
+	b.AddSite(site, callgraph.ModuleFunc("/app/m.js"))
+	if d := firstGraphDiff(a, b); !strings.Contains(d, "only in first") {
+		t.Errorf("diff = %q, want edge only in first", d)
+	}
+	if d := firstGraphDiff(b, a); !strings.Contains(d, "only in second") {
+		t.Errorf("diff = %q, want edge only in second", d)
+	}
+	c := callgraph.New()
+	c.AddSite(site, callgraph.ModuleFunc("/app/m.js"))
+	if d := firstGraphDiff(callgraph.New(), c); !strings.Contains(d, "site count") {
+		t.Errorf("diff = %q, want site count", d)
+	}
+	if d := firstGraphDiff(callgraph.New(), callgraph.New()); !strings.Contains(d, "funcs") {
+		t.Errorf("diff = %q, want funcs/native fallback", d)
+	}
+}

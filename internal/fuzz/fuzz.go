@@ -33,7 +33,6 @@ import (
 	"repro/internal/callgraph"
 	"repro/internal/dyncg"
 	"repro/internal/loc"
-	"repro/internal/modules"
 	"repro/internal/parser"
 	"repro/internal/static"
 	"repro/internal/testgen"
@@ -91,13 +90,7 @@ func CheckFiles(files map[string]string, entries []string) *Failure {
 		return f
 	}
 
-	project := &modules.Project{
-		Name:        "fuzz",
-		Files:       files,
-		MainEntries: entries,
-		TestEntries: entries,
-		MainPrefix:  "/app",
-	}
+	project := newFuzzProject(files, entries)
 
 	// Oracle 2 — no stage may panic or fail internally.
 	var dyn *dyncg.Result
@@ -340,6 +333,10 @@ type Options struct {
 	Minimize bool
 	// MinimizeBudget caps oracle re-runs per minimization (0 = 1500).
 	MinimizeBudget int
+	// Faults switches every seed to the sixth oracle (CheckSeedFaulted):
+	// one deterministic fault is injected per seed and the run checks that
+	// the pipeline contains it.
+	Faults bool
 }
 
 // Report is the outcome of a fuzzing run.
@@ -377,7 +374,11 @@ func Run(opts Options) *Report {
 				if i >= uint64(opts.Seeds) {
 					return
 				}
-				results[i] = CheckSeed(opts.Start + i)
+				if opts.Faults {
+					results[i] = CheckSeedFaulted(opts.Start + i)
+				} else {
+					results[i] = CheckSeed(opts.Start + i)
+				}
 			}
 		}()
 	}
@@ -396,6 +397,11 @@ func Run(opts Options) *Report {
 	}
 	if opts.Minimize {
 		for bucket, f := range rep.Representative {
+			if f.Kind == KindFaultEscape {
+				// Minimization re-runs the plain oracles, which cannot
+				// reproduce an injected fault; keep the full program.
+				continue
+			}
 			rep.Representative[bucket] = Minimize(f, opts.MinimizeBudget)
 		}
 	}

@@ -208,12 +208,12 @@ func TestWriteAndLoadRepros(t *testing.T) {
 // call-site shapes.
 func TestClassifyEdge(t *testing.T) {
 	files := map[string]string{"/app/a.js": strings.Join([]string{
-		`res = t12[k16](8);`,     // 1: computed
-		`res = f1(1, 2);`,        // 2: direct
+		`res = t12[k16](8);`,      // 1: computed
+		`res = f1(1, 2);`,         // 2: direct
 		`res = f1.call(null, 1);`, // 3: reflective
-		`res = obj.go(1);`,       // 4: method
-		`var i = new C5(3);`,     // 5: constructor
-		`res = require("./m0");`, // 6: (module target)
+		`res = obj.go(1);`,        // 4: method
+		`var i = new C5(3);`,      // 5: constructor
+		`res = require("./m0");`,  // 6: (module target)
 	}, "\n")}
 	cases := []struct {
 		line, col int

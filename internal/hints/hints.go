@@ -239,6 +239,103 @@ func (h *Hints) ModuleHints() []ModuleHint {
 	return out
 }
 
+// WithoutFiles returns a copy of h with every hint anchored in one of the
+// given files removed. It is the degradation step for modules whose
+// approximate interpretation faulted: their partial observations may stop
+// at an arbitrary point, so the static analysis falls back to baseline-only
+// constraints for them. A hint is "anchored" in the file of the operation
+// that observed it — the read/require site, the write site (falling back to
+// the target's allocation site for writes without a syntactic site, e.g.
+// from natives), or the module eval'd code ran in. Returns h itself when
+// files is empty.
+func (h *Hints) WithoutFiles(files map[string]bool) *Hints {
+	if len(files) == 0 {
+		return h
+	}
+	out := New()
+	for site, set := range h.Reads {
+		if files[site.File] {
+			continue
+		}
+		for v := range set {
+			out.AddRead(site, v)
+		}
+	}
+	for w := range h.Writes {
+		anchor := w.Site.File
+		if !w.Site.Valid() {
+			anchor = w.Target.File
+		}
+		if files[anchor] {
+			continue
+		}
+		out.Writes[w] = true
+	}
+	for m := range h.Modules {
+		if files[m.Site.File] {
+			continue
+		}
+		out.Modules[m] = true
+	}
+	for site, set := range h.PropReads {
+		if files[site.File] {
+			continue
+		}
+		for p := range set {
+			out.AddPropRead(site, p)
+		}
+	}
+	for e := range h.Evals {
+		if files[e.Module] {
+			continue
+		}
+		out.Evals[e] = true
+	}
+	return out
+}
+
+// LostFiles returns the files anchoring at least one hint entry of h that is
+// absent from other, using the same anchoring rules as WithoutFiles. The
+// chaos fuzzer uses it to find the modules whose observations a fault cut
+// short beyond those the fault records name (collateral recall loss).
+func (h *Hints) LostFiles(other *Hints) map[string]bool {
+	lost := map[string]bool{}
+	for site, set := range h.Reads {
+		for v := range set {
+			if !other.Reads[site][v] {
+				lost[site.File] = true
+			}
+		}
+	}
+	for w := range h.Writes {
+		if !other.Writes[w] {
+			anchor := w.Site.File
+			if !w.Site.Valid() {
+				anchor = w.Target.File
+			}
+			lost[anchor] = true
+		}
+	}
+	for m := range h.Modules {
+		if !other.Modules[m] {
+			lost[m.Site.File] = true
+		}
+	}
+	for site, set := range h.PropReads {
+		for p := range set {
+			if !other.PropReads[site][p] {
+				lost[site.File] = true
+			}
+		}
+	}
+	for e := range h.Evals {
+		if !other.Evals[e] {
+			lost[e.Module] = true
+		}
+	}
+	return lost
+}
+
 // Merge adds every hint of other into h.
 func (h *Hints) Merge(other *Hints) {
 	for site, set := range other.Reads {

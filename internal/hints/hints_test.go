@@ -226,3 +226,79 @@ func TestMergeExtensionHints(t *testing.T) {
 		t.Errorf("merged count = %d, want 3", h1.Count())
 	}
 }
+
+// degradeFixture builds a hint set spanning two files, one entry of every
+// kind per file, including a write hint with an invalid operation site
+// (anchored by its target — the eval-write case).
+func degradeFixture() *Hints {
+	h := New()
+	for _, f := range []string{"/app/a.js", "/app/b.js"} {
+		h.AddRead(l(f, 1, 1), l(f, 9, 9))
+		h.AddWrite(l(f, 2, 2), l(f, 8, 8), "p", l(f, 7, 7))
+		h.AddWrite(loc.Loc{}, l(f, 6, 6), "q", l(f, 5, 5))
+		h.AddModule(l(f, 3, 3), "/app/lib.js")
+		h.AddPropRead(l(f, 4, 4), "k")
+		h.AddEval(f, "var x = 1;")
+	}
+	return h
+}
+
+func TestWithoutFiles(t *testing.T) {
+	h := degradeFixture()
+	if got := h.WithoutFiles(nil); got != h {
+		t.Error("WithoutFiles(nil) must return the receiver unchanged")
+	}
+	kept := h.WithoutFiles(map[string]bool{"/app/b.js": true})
+	if kept == h {
+		t.Fatal("WithoutFiles with a non-empty set must not return the receiver")
+	}
+	// Every b-anchored entry is gone, every a-anchored entry survives.
+	if len(kept.Reads) != 1 || len(kept.Reads[l("/app/a.js", 1, 1)]) != 1 {
+		t.Errorf("reads after degradation: %v", kept.Reads)
+	}
+	if len(kept.Writes) != 2 {
+		t.Errorf("writes after degradation: %d, want 2 (a-site and a-target anchored)", len(kept.Writes))
+	}
+	for w := range kept.Writes {
+		anchor := w.Site.File
+		if !w.Site.Valid() {
+			anchor = w.Target.File
+		}
+		if anchor != "/app/a.js" {
+			t.Errorf("surviving write anchored in %q", anchor)
+		}
+	}
+	if len(kept.Modules) != 1 || len(kept.PropReads) != 1 || len(kept.Evals) != 1 {
+		t.Errorf("modules/propreads/evals after degradation: %d/%d/%d, want 1/1/1",
+			len(kept.Modules), len(kept.PropReads), len(kept.Evals))
+	}
+	for e := range kept.Evals {
+		if e.Module != "/app/a.js" {
+			t.Errorf("surviving eval hint anchored in %q", e.Module)
+		}
+	}
+}
+
+func TestLostFiles(t *testing.T) {
+	h := degradeFixture()
+	if lost := h.LostFiles(h); len(lost) != 0 {
+		t.Errorf("LostFiles(self) = %v, want empty", lost)
+	}
+	// Against the b-degraded set, exactly /app/b.js lost entries.
+	kept := h.WithoutFiles(map[string]bool{"/app/b.js": true})
+	lost := h.LostFiles(kept)
+	if len(lost) != 1 || !lost["/app/b.js"] {
+		t.Errorf("LostFiles(degraded) = %v, want {/app/b.js}", lost)
+	}
+	// The reverse direction lost nothing: kept ⊆ h.
+	if lost := kept.LostFiles(h); len(lost) != 0 {
+		t.Errorf("LostFiles of a superset = %v, want empty", lost)
+	}
+	// Losing a single kind of entry is enough to mark a file.
+	h2 := degradeFixture()
+	h2.Evals = map[EvalHint]bool{}
+	lost = h.LostFiles(h2)
+	if !lost["/app/a.js"] || !lost["/app/b.js"] || len(lost) != 2 {
+		t.Errorf("LostFiles after dropping evals = %v, want both files", lost)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/loc"
@@ -29,14 +30,34 @@ func (t *Thrown) Error() string {
 	return "uncaught exception: " + value.ToString(t.Value)
 }
 
-// BudgetError reports that a forced execution exceeded its stack-depth or
-// loop-iteration budget. It is not catchable by JavaScript try/catch, so it
+// BudgetError reasons.
+const (
+	// ReasonLoopIters: the total loop-iteration budget (Options.MaxLoopIters)
+	// is spent. In lenient mode this budget instead exits the offending loop.
+	ReasonLoopIters = "loop iterations"
+	// ReasonStackDepth: the call-stack bound (Options.MaxDepth) is exceeded.
+	ReasonStackDepth = "stack depth"
+	// ReasonDeadline: the wall-clock deadline (Options.Deadline) passed.
+	ReasonDeadline = "wall-clock deadline"
+	// ReasonSteps: the total step budget (Options.MaxSteps) is spent.
+	ReasonSteps = "step budget"
+)
+
+// BudgetError reports that a forced execution exceeded one of its budgets:
+// stack depth, total loop iterations, total interpreter steps, or the
+// wall-clock deadline. It is not catchable by JavaScript try/catch, so it
 // aborts the whole forced execution, as in the paper ("execution is aborted
 // if the stack size or the total number of loop iterations reaches a
-// predefined limit").
+// predefined limit"). Unlike the loop budget, the deadline and step budgets
+// abort even in lenient mode: they exist to contain hangs and runaway
+// allocation that the structural budgets cannot see.
 type BudgetError struct{ Reason string }
 
 func (b *BudgetError) Error() string { return "execution budget exceeded: " + b.Reason }
+
+// IsDeadline reports whether the budget that tripped was the wall-clock
+// deadline (as opposed to a structural loop/stack/step budget).
+func (b *BudgetError) IsDeadline() bool { return b.Reason == ReasonDeadline }
 
 // ModuleHost resolves require() calls. The modules package implements it.
 type ModuleHost interface {
@@ -56,6 +77,19 @@ type Options struct {
 	// MaxLoopIters bounds the *total* number of loop iterations across an
 	// execution, 0 meaning unlimited. The approximate interpreter sets it.
 	MaxLoopIters int64
+	// Deadline bounds the wall-clock time of an execution unit, 0 meaning
+	// unlimited. The clock restarts on ResetBudget, so with the approximate
+	// interpreter it is a per-worklist-item deadline. Tripping it is a hard
+	// abort (a BudgetError with ReasonDeadline) even in lenient mode: it is
+	// the backstop for hangs the loop/stack budgets cannot see (e.g. spins
+	// inside native callbacks, pathological re-parsing).
+	Deadline time.Duration
+	// MaxSteps bounds the total number of interpreter steps (expression
+	// evaluations) per execution unit, 0 meaning unlimited. A portable,
+	// deterministic stand-in for an allocation budget: every allocation is
+	// driven by some expression, so bounding steps bounds allocation.
+	// Resets on ResetBudget. Tripping it aborts even in lenient mode.
+	MaxSteps int64
 	// Lenient enables forced-execution error recovery: property accesses
 	// on undefined/null and calls to non-functions yield the proxy value
 	// instead of throwing TypeError. Requires Proxy mode.
@@ -97,6 +131,16 @@ type Interp struct {
 	depth        int
 	loopIters    int64
 
+	// Wall-clock/step budgets (0 = unlimited). budgetActive caches whether
+	// either is configured so the evalExpr hot path pays a single bool test
+	// when they are not. budgetTick amortizes time.Now() calls.
+	deadlineDur  time.Duration
+	deadlineAt   time.Time
+	maxSteps     int64
+	steps        int64
+	budgetTick   int64
+	budgetActive bool
+
 	lenient       bool
 	proxy         *value.Object // p*, non-nil in approximate mode
 	forceBranches bool          // §6: execute untaken if/else branches too
@@ -123,8 +167,14 @@ func New(opts Options) *Interp {
 		stdout:       opts.Stdout,
 		maxDepth:     opts.MaxDepth,
 		maxLoopIters: opts.MaxLoopIters,
+		deadlineDur:  opts.Deadline,
+		maxSteps:     opts.MaxSteps,
 		lenient:      opts.Lenient,
 		rngState:     0x9E3779B97F4A7C15,
+	}
+	it.budgetActive = it.deadlineDur > 0 || it.maxSteps > 0
+	if it.deadlineDur > 0 {
+		it.deadlineAt = time.Now().Add(it.deadlineDur)
 	}
 	if it.hooks == nil {
 		it.hooks = NopHooks{}
@@ -158,10 +208,18 @@ func (it *Interp) ObjectProto() *value.Object { return it.protos.object }
 // FunctionProto returns Function.prototype.
 func (it *Interp) FunctionProto() *value.Object { return it.protos.function }
 
-// ResetBudget clears the accumulated loop-iteration counter; the
-// approximate interpreter calls it between worklist items. The paper bounds
-// the total number of iterations per forced execution.
-func (it *Interp) ResetBudget() { it.loopIters = 0; it.depth = 0 }
+// ResetBudget clears the accumulated loop-iteration, stack-depth, and step
+// counters and restarts the wall-clock deadline; the approximate interpreter
+// calls it between worklist items, so every budget in Options is per item.
+// The paper bounds the total number of iterations per forced execution.
+func (it *Interp) ResetBudget() {
+	it.loopIters = 0
+	it.depth = 0
+	it.steps = 0
+	if it.deadlineDur > 0 {
+		it.deadlineAt = time.Now().Add(it.deadlineDur)
+	}
+}
 
 // SetForceBranches toggles the §6 "function fragments" extension: when on,
 // the untaken branch of each if/else also executes (exceptions swallowed),
@@ -693,13 +751,43 @@ func (it *Interp) execSwitch(s *ast.SwitchStmt, env *value.Scope, this value.Val
 var errLoopExhausted = errors.New("interp: loop budget exhausted")
 
 func (it *Interp) chargeLoop() error {
+	// The deadline must also be checked here: a `for(;;){}` with no
+	// condition and an empty body never evaluates an expression, so
+	// chargeLoop is the only per-iteration charge point it reaches. The
+	// check is amortized (every 64 iterations) to keep time.Now() off the
+	// per-iteration path.
+	if it.deadlineDur > 0 {
+		it.budgetTick++
+		if it.budgetTick&63 == 0 && time.Now().After(it.deadlineAt) {
+			return &BudgetError{Reason: ReasonDeadline}
+		}
+	}
 	if it.maxLoopIters > 0 {
 		it.loopIters++
 		if it.loopIters > it.maxLoopIters {
 			if it.lenient {
 				return errLoopExhausted
 			}
-			return &BudgetError{Reason: "loop iterations"}
+			return &BudgetError{Reason: ReasonLoopIters}
+		}
+	}
+	return nil
+}
+
+// chargeStep accounts one interpreter step (an expression evaluation)
+// against the step budget and, amortized, the wall-clock deadline. Only
+// called when budgetActive, i.e. at least one of the two is configured.
+func (it *Interp) chargeStep() error {
+	if it.maxSteps > 0 {
+		it.steps++
+		if it.steps > it.maxSteps {
+			return &BudgetError{Reason: ReasonSteps}
+		}
+	}
+	if it.deadlineDur > 0 {
+		it.budgetTick++
+		if it.budgetTick&1023 == 0 && time.Now().After(it.deadlineAt) {
+			return &BudgetError{Reason: ReasonDeadline}
 		}
 	}
 	return nil
@@ -708,6 +796,11 @@ func (it *Interp) chargeLoop() error {
 // -------------------------------------------------------------- expressions
 
 func (it *Interp) evalExpr(e ast.Expr, env *value.Scope, this value.Value) (value.Value, error) {
+	if it.budgetActive {
+		if err := it.chargeStep(); err != nil {
+			return nil, err
+		}
+	}
 	switch e := e.(type) {
 	case *ast.NumberLit:
 		return value.Number(e.Value), nil
@@ -1533,7 +1626,7 @@ func (it *Interp) CallSite() loc.Loc { return it.callSiteLoc }
 
 func (it *Interp) callWithSite(fn *value.Object, this value.Value, args []value.Value, site loc.Loc) (value.Value, error) {
 	if it.depth >= it.maxDepth {
-		return nil, &BudgetError{Reason: "stack depth"}
+		return nil, &BudgetError{Reason: ReasonStackDepth}
 	}
 	it.depth++
 	defer func() { it.depth-- }()

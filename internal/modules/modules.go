@@ -307,6 +307,11 @@ func (r *Registry) Load(path string) (value.Value, error) {
 	module.Set("exports", exports)
 	module.Set("id", value.String(path))
 	r.inFlight[path] = exports
+	// Deferred so a panic unwinding out of module code (contained further up
+	// by the per-item recovery in approx/dyncg) does not leave the module
+	// permanently "in flight", which would hand its half-initialized exports
+	// to every later require.
+	defer delete(r.inFlight, path)
 
 	scope := value.NewScope(it.GlobalScope())
 	scope.Declare("module", module)
@@ -316,7 +321,6 @@ func (r *Registry) Load(path string) (value.Value, error) {
 	scope.Declare("require", r.makeRequire(path))
 
 	_, err = it.RunProgram(prog, scope, exports)
-	delete(r.inFlight, path)
 	if err != nil {
 		return nil, err
 	}

@@ -68,11 +68,22 @@ type bailout struct{ err *Error }
 
 func (p *parser) catchBailout(err *error) {
 	if r := recover(); r != nil {
-		b, ok := r.(bailout)
-		if !ok {
-			panic(r)
+		if b, ok := r.(bailout); ok {
+			*err = b.err
+			return
 		}
-		*err = b.err
+		// A non-bailout panic is a parser bug (index out of range, nil
+		// dereference, …). Parse is a total function over arbitrary input —
+		// corrupt files must degrade one module, never crash the run — so
+		// the bug surfaces as a parse error carrying the file and the
+		// position the parser had reached, instead of unwinding further.
+		l := loc.Loc{File: p.file, Line: 1, Col: 1}
+		if p.pos < len(p.toks) {
+			l = p.toks[p.pos].Loc
+		} else if len(p.toks) > 0 {
+			l = p.toks[len(p.toks)-1].Loc
+		}
+		*err = &Error{l, fmt.Sprintf("internal parser panic: %v", r)}
 	}
 }
 

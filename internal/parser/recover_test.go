@@ -1,0 +1,115 @@
+package parser
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/lexer"
+	"repro/internal/loc"
+	"repro/internal/testgen"
+)
+
+// TestCatchBailoutWrapsNonBailoutPanics pins the recovery contract of
+// catchBailout: a panic that is not the parser's own bailout value — i.e. a
+// parser bug such as an out-of-range token access — must surface as a
+// *Error carrying the file and the position the parser had reached, not
+// unwind out of Parse. (The old behavior rethrew such panics, so one buggy
+// input could crash a whole corpus run.)
+func TestCatchBailoutWrapsNonBailoutPanics(t *testing.T) {
+	// A parser with no tokens (no EOF sentinel): peek() indexes out of
+	// range, the canonical shape of an internal parser bug.
+	run := func() (err error) {
+		p := &parser{file: "/buggy.js"}
+		defer p.catchBailout(&err)
+		p.statement()
+		return err
+	}
+	err := run()
+	if err == nil {
+		t.Fatal("expected an error from the panicking parser, got nil")
+	}
+	var perr *Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("panic surfaced as %T (%v), want *parser.Error", err, err)
+	}
+	if perr.Loc.File != "/buggy.js" {
+		t.Errorf("error location file = %q, want /buggy.js", perr.Loc.File)
+	}
+	if !strings.Contains(perr.Msg, "internal parser panic") {
+		t.Errorf("error message %q does not mark the internal panic", perr.Msg)
+	}
+}
+
+// TestCatchBailoutKeepsTokenPosition checks that when tokens exist, the
+// wrapped error points at the token the parser was stuck on.
+func TestCatchBailoutKeepsTokenPosition(t *testing.T) {
+	toks, lerr := lexer.New("/pos.js", "a b").All()
+	if lerr != nil {
+		t.Fatal(lerr)
+	}
+	run := func() (err error) {
+		p := &parser{file: "/pos.js", toks: toks, pos: 1}
+		defer p.catchBailout(&err)
+		panic("synthetic parser bug")
+	}
+	err := run()
+	var perr *Error
+	if !errors.As(err, &perr) {
+		t.Fatalf("got %T (%v), want *parser.Error", err, err)
+	}
+	want := loc.Loc{File: "/pos.js", Line: 1, Col: 3} // token "b"
+	if perr.Loc != want {
+		t.Errorf("error location = %v, want %v", perr.Loc, want)
+	}
+	if !strings.Contains(perr.Msg, "synthetic parser bug") {
+		t.Errorf("error message %q does not carry the panic value", perr.Msg)
+	}
+}
+
+// TestParseTotalOnMutatedInputs is the fuzz-corpus regression harness: the
+// corrupt/truncated module sources the chaos harness injects (and every cut
+// of generated corpus programs) must produce a clean error or a program —
+// never a panic escaping Parse. Run with small seeds in -short mode.
+func TestParseTotalOnMutatedInputs(t *testing.T) {
+	seeds := uint64(60)
+	if testing.Short() {
+		seeds = 10
+	}
+	check := func(src string) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse panicked on %q: %v", src, r)
+			}
+		}()
+		prog, err := Parse("/m.js", src)
+		if err != nil {
+			var perr *Error
+			if !errors.As(err, &perr) && !errors.As(err, new(*lexer.Error)) {
+				t.Fatalf("Parse(%q) returned %T (%v), want *parser.Error or *lexer.Error", src, err, err)
+			}
+		} else if prog == nil {
+			t.Fatalf("Parse(%q) returned nil program and nil error", src)
+		}
+	}
+	// Hand-picked nasty fragments: unterminated constructs, stray closers,
+	// template/regex edges, the chaos harness's own corruption patterns.
+	for _, src := range []string{
+		"", "((", ")", "}", "]", "`${", "`${a", "case 1:", "a?.", "a?b",
+		"function", "function f(", "class C extends {", "new", "...x",
+		"var x = @#$%^&(((", "x[", "({get:})", "for(;;", "do{}while",
+		"try{", "throw", "a=>", "({...})", "switch(x){case", "/x/g/",
+	} {
+		check(src)
+	}
+	for seed := uint64(0); seed < seeds; seed++ {
+		spec := testgen.GenProject(seed)
+		for _, src := range spec.Files {
+			for cut := 0; cut < len(src); cut += 7 {
+				check(src[:cut])
+				check(src[:cut] + "\n@#$%^&(((\n" + src[cut:])
+				check(src[:cut] + "\n((")
+			}
+		}
+	}
+}

@@ -60,6 +60,11 @@ type Counters struct {
 	solveIterationsDelta atomic.Int64
 	tokensDeliveredBase  atomic.Int64
 	tokensDeliveredDelta atomic.Int64
+
+	// Robustness: contained failures (recovered panics, deadline/step
+	// aborts, corrupt files) and modules degraded to baseline-only hints.
+	faultsContained atomic.Int64
+	modulesDegraded atomic.Int64
 }
 
 var global Counters
@@ -102,6 +107,12 @@ func (c *Counters) AddIncrementalSolve(baseIters, baseTokens, deltaIters, deltaT
 	c.tokensDeliveredDelta.Add(deltaTokens)
 }
 
+// AddFaults counts contained failures and the modules degraded for them.
+func (c *Counters) AddFaults(faults, degraded int) {
+	c.faultsContained.Add(int64(faults))
+	c.modulesDegraded.Add(int64(degraded))
+}
+
 // AddPhaseAlloc accrues heap-allocation bytes to a phase.
 func (c *Counters) AddPhaseAlloc(p Phase, bytes int64) {
 	if p >= 0 && p < numPhases {
@@ -134,6 +145,8 @@ func (c *Counters) Reset() {
 	c.solveIterationsDelta.Store(0)
 	c.tokensDeliveredBase.Store(0)
 	c.tokensDeliveredDelta.Store(0)
+	c.faultsContained.Store(0)
+	c.modulesDegraded.Store(0)
 }
 
 // Snapshot is a point-in-time copy of the counters, serializable as
@@ -157,6 +170,10 @@ type Snapshot struct {
 	TokensDeliveredBase  int64 `json:"tokens_delivered_baseline,omitempty"`
 	TokensDeliveredDelta int64 `json:"tokens_delivered_delta,omitempty"`
 
+	// Robustness (zero on a healthy run).
+	FaultsContained int64 `json:"faults_contained,omitempty"`
+	ModulesDegraded int64 `json:"modules_degraded,omitempty"`
+
 	PhaseMS         map[string]float64 `json:"phase_ms"`
 	PhaseAllocBytes map[string]int64   `json:"phase_alloc_bytes,omitempty"`
 }
@@ -173,6 +190,8 @@ func (c *Counters) Snapshot() Snapshot {
 		SolveIterationsDelta: c.solveIterationsDelta.Load(),
 		TokensDeliveredBase:  c.tokensDeliveredBase.Load(),
 		TokensDeliveredDelta: c.tokensDeliveredDelta.Load(),
+		FaultsContained:      c.faultsContained.Load(),
+		ModulesDegraded:      c.modulesDegraded.Load(),
 		PhaseMS:              map[string]float64{},
 	}
 	if total := s.Parses + s.ParseCacheHits; total > 0 {
@@ -217,6 +236,10 @@ func (s Snapshot) Render(w io.Writer) {
 	if s.SolveIterationsBase+s.SolveIterationsDelta > 0 {
 		fmt.Fprintf(w, "  incremental:      baseline %d iters / %d tokens, resumed delta %d iters / %d tokens\n",
 			s.SolveIterationsBase, s.TokensDeliveredBase, s.SolveIterationsDelta, s.TokensDeliveredDelta)
+	}
+	if s.FaultsContained+s.ModulesDegraded > 0 {
+		fmt.Fprintf(w, "faults contained:   %d (modules degraded to baseline-only hints: %d)\n",
+			s.FaultsContained, s.ModulesDegraded)
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		fmt.Fprintf(w, "%-9s phase:     %.1f ms", p.String(), s.PhaseMS[p.String()])

@@ -135,3 +135,28 @@ func TestSnapshotJSONAndRender(t *testing.T) {
 		}
 	}
 }
+
+func TestFaultCounters(t *testing.T) {
+	var c Counters
+	c.AddFaults(3, 2)
+	c.AddFaults(1, 0)
+	s := c.Snapshot()
+	if s.FaultsContained != 4 || s.ModulesDegraded != 2 {
+		t.Errorf("fault counters = %d/%d, want 4/2", s.FaultsContained, s.ModulesDegraded)
+	}
+	var out strings.Builder
+	s.Render(&out)
+	if !strings.Contains(out.String(), "faults contained:   4") {
+		t.Errorf("Render lacks the fault line:\n%s", out.String())
+	}
+	c.Reset()
+	if s := c.Snapshot(); s.FaultsContained != 0 || s.ModulesDegraded != 0 {
+		t.Errorf("reset did not zero fault counters: %+v", s)
+	}
+	// A fault-free snapshot omits the line entirely.
+	out.Reset()
+	c.Snapshot().Render(&out)
+	if strings.Contains(out.String(), "faults contained") {
+		t.Errorf("fault-free Render still prints the fault line:\n%s", out.String())
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/callgraph"
+	"repro/internal/fault"
 	"repro/internal/hints"
 	"repro/internal/loc"
 	"repro/internal/modules"
@@ -53,6 +54,14 @@ type Options struct {
 	// hint should only be produced when no hints would otherwise be
 	// produced").
 	UnknownArgHints bool
+	// DegradeFiles names modules whose pre-analysis faulted (panic,
+	// deadline, corrupt source): every hint anchored in one of them is
+	// dropped before injection, so those modules fall back to baseline-only
+	// constraints. Their partial observations may stop at an arbitrary
+	// point; baseline constraints never depend on observations, so the
+	// degraded modules keep the analysis sound while only the faulted
+	// modules lose the hint-derived precision/recall.
+	DegradeFiles map[string]bool
 }
 
 // Result is the outcome of a static analysis run.
@@ -76,6 +85,12 @@ type Result struct {
 	// runtime.MemStats TotalAlloc delta, so exact in single-threaded runs
 	// and approximate when other goroutines allocate concurrently.
 	AllocBytes int64
+	// Faults records contained failures of this phase (currently only
+	// unparsable project files, skipped instead of failing the run).
+	Faults []fault.Record
+	// DegradedModules are the modules whose hints were dropped via
+	// Options.DegradeFiles, sorted.
+	DegradedModules []string
 }
 
 // Metrics computes the paper's §5 call-graph metrics for this result.
@@ -217,6 +232,10 @@ type analyzer struct {
 
 	// commonly used native prototype tokens
 	objectProto, arrayProto, functionProto Token
+
+	// faults records contained failures (unparsable project files skipped
+	// by collectModules).
+	faults []fault.Record
 }
 
 // newAnalyzer builds an analyzer with empty state.
@@ -289,6 +308,11 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 	if opts.Mode != Baseline && opts.Hints == nil {
 		return nil, fmt.Errorf("static: mode %d requires hints", opts.Mode)
 	}
+	// Degradation: drop every hint anchored in a faulted module before any
+	// injection, so those modules contribute only baseline constraints.
+	if opts.Hints != nil {
+		opts.Hints = opts.Hints.WithoutFiles(opts.DegradeFiles)
+	}
 	start := time.Now()
 	alloc0 := perf.TotalAllocBytes()
 	a := newAnalyzer(project, opts)
@@ -321,7 +345,22 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(start),
 		AllocBytes:      perf.TotalAllocBytes() - alloc0,
+		Faults:          a.faults,
+		DegradedModules: degradedList(opts.DegradeFiles),
 	}, nil
+}
+
+// degradedList returns the degradation set as a sorted slice for reporting.
+func degradedList(files map[string]bool) []string {
+	if len(files) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(files))
+	for f := range files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
 }
 
 type dynWriteInfo struct {
@@ -397,7 +436,14 @@ func (a *analyzer) collectModules() error {
 			if errors.Is(err, modules.ErrNoSource) {
 				continue
 			}
-			return fmt.Errorf("static: parsing %s: %w", path, err)
+			// A corrupt (unparsable) file is skipped, not fatal: the module
+			// drops out of the whole-program view — the deepest form of
+			// degradation — and the failure is reported as a fault so the
+			// run's metrics show which modules were lost.
+			a.faults = append(a.faults, fault.Record{
+				Phase: "static", Module: path, Kind: fault.KindParse, Detail: err.Error(),
+			})
+			continue
 		}
 		a.progs[path] = prog
 		// Discover statically required modules.

@@ -50,6 +50,10 @@ func AnalyzeBoth(project *modules.Project, opts Options) (baseline, extended *Re
 	if opts.Hints == nil {
 		return nil, nil, fmt.Errorf("static: mode %d requires hints", opts.Mode)
 	}
+	// Degradation happens before either phase: modules whose pre-analysis
+	// faulted contribute only baseline constraints (see Options.DegradeFiles),
+	// so the resumed extended solve injects no hint anchored in them.
+	opts.Hints = opts.Hints.WithoutFiles(opts.DegradeFiles)
 
 	// Phase 1 — the baseline system, exactly as Analyze(Baseline) runs it.
 	// Constraint generation is mode-independent and solve-time behaviors
@@ -76,6 +80,7 @@ func AnalyzeBoth(project *modules.Project, opts Options) (baseline, extended *Re
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(start),
 		AllocBytes:      perf.TotalAllocBytes() - alloc0,
+		Faults:          a.faults,
 	}
 
 	// Phase 2 — switch to the extended options and inject the deltas.
@@ -107,6 +112,8 @@ func AnalyzeBoth(project *modules.Project, opts Options) (baseline, extended *Re
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(deltaStart),
 		AllocBytes:      perf.TotalAllocBytes() - deltaAlloc0,
+		Faults:          a.faults,
+		DegradedModules: degradedList(opts.DegradeFiles),
 	}
 	return baseline, extended, nil
 }
