@@ -1,0 +1,77 @@
+// Command benchcheck compares a candidate BENCH json (written by
+// cmd/evaluate -benchjson) against a committed reference and fails when
+// solver effort regresses: tokens_delivered more than -tolerance above the
+// reference fails the build. Wall times are machine-dependent and are
+// deliberately not compared; tokens delivered and fixpoint iterations are
+// deterministic for a given corpus and solver, so they make a stable CI
+// regression gate.
+//
+// Usage:
+//
+//	benchcheck -ref BENCH_cycles.json -got /tmp/bench.json
+//	benchcheck -ref BENCH_cycles.json -got /tmp/bench.json -tolerance 0.10
+//
+// Exit status: 0 within tolerance, 1 on regression, 2 on usage/IO errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func load(path string) (perf.Snapshot, error) {
+	var s perf.Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	return s, json.Unmarshal(data, &s)
+}
+
+func main() {
+	var (
+		ref       = flag.String("ref", "", "committed reference BENCH json")
+		got       = flag.String("got", "", "candidate BENCH json from this build")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional increase over the reference")
+	)
+	flag.Parse()
+	if *ref == "" || *got == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	r, err := load(*ref)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: ref:", err)
+		os.Exit(2)
+	}
+	g, err := load(*got)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck: got:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	check := func(name string, refV, gotV int64) {
+		if refV <= 0 {
+			return // reference predates this counter
+		}
+		limit := float64(refV) * (1 + *tolerance)
+		status := "ok"
+		if float64(gotV) > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-18s ref %9d  got %9d  (limit %9.0f)  %s\n", name, refV, gotV, limit, status)
+	}
+	check("tokens_delivered", r.TokensDelivered, g.TokensDelivered)
+	check("solve_iterations", r.SolveIterations, g.SolveIterations)
+
+	if failed {
+		fmt.Println("benchcheck: solver effort regressed beyond tolerance")
+		os.Exit(1)
+	}
+}

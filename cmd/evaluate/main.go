@@ -80,6 +80,7 @@ func main() {
 		TwoPass:        !*incr,
 		ApproxDeadline: *approxDeadline,
 		DynCGDeadline:  *dyncgDeadline,
+		WithAblation:   *ablation,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -169,11 +170,20 @@ func main() {
 		experiments.Banner(w, "Hint statistics")
 		experiments.RenderHintStats(w, outs)
 	}
+	// Outcomes of the main corpus run, by benchmark name. The ablation and
+	// §6-extension runs reuse the extended (relational-hints) analysis from
+	// them instead of re-solving the identical constraint system; reuse is
+	// declined per benchmark when the outcome saw faults or degradation.
+	outByName := map[string]*experiments.Outcome{}
+	for _, o := range outs {
+		outByName[o.Name] = o
+	}
+
 	if *ablation {
 		experiments.Banner(w, "Ablation (§4)")
 		var abl []*experiments.AblationOutcome
 		for _, b := range dynBenches {
-			o, err := experiments.RunAblation(b)
+			o, err := experiments.RunAblationReusing(b, outByName[b.Project.Name])
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "evaluate: ablation:", err)
 				os.Exit(1)
@@ -184,7 +194,7 @@ func main() {
 	}
 	if *exts {
 		experiments.Banner(w, "§6 extensions")
-		eo, err := experiments.RunExtensionsCorpus(corpus.WithDynCG()[:12])
+		eo, err := experiments.RunExtensionsCorpus(corpus.WithDynCG()[:12], outByName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "evaluate: extensions:", err)
 			os.Exit(1)

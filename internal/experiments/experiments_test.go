@@ -164,7 +164,7 @@ func TestOutcomeDeterminism(t *testing.T) {
 
 func TestRunExtensions(t *testing.T) {
 	b := corpus.ByName("mini-schema")
-	o, err := RunExtensions(b.Project, nil)
+	o, err := RunExtensions(b.Project, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

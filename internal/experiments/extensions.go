@@ -30,37 +30,72 @@ type ExtensionOutcome struct {
 	CacheMisses int
 }
 
-// RunExtensions evaluates the §6 extensions on one project.
-func RunExtensions(project *modules.Project, cache *approx.Cache) (*ExtensionOutcome, error) {
+// RunExtensions evaluates the §6 extensions on one project. prior, when
+// non-nil, is the main corpus run's outcome for the same project: its
+// extended analysis solved the identical constraint system as the
+// plain-hints variant, so that re-solve is skipped (only when the outcome
+// is fault-free — degradation changes the extended graph), and its
+// baseline cycle condensation pre-unifies the remaining variant solves
+// (valid regardless of faults: the baseline graph never depends on hints).
+// Pass nil to solve all four variants from scratch.
+func RunExtensions(project *modules.Project, cache *approx.Cache, prior *Outcome) (*ExtensionOutcome, error) {
 	ar, err := approx.Run(project, approx.Options{})
 	if err != nil {
 		return nil, err
 	}
 	out := &ExtensionOutcome{Name: project.Name}
 
+	var preUnify [][]static.Var
+	if prior != nil && prior.Name == project.Name {
+		preUnify = prior.baseCondensation
+	}
 	analyze := func(unknownArgs, evalCode bool) (int, error) {
 		res, err := static.Analyze(project, static.Options{
 			Mode:            static.WithHints,
 			Hints:           ar.Hints,
 			UnknownArgHints: unknownArgs,
 			EvalHints:       evalCode,
+			PreUnify:        preUnify,
 		})
 		if err != nil {
 			return 0, err
 		}
 		return res.Graph.NumEdges(), nil
 	}
-	if out.EdgesPlain, err = analyze(false, false); err != nil {
+	if prior != nil && prior.Name == project.Name &&
+		len(prior.Faults) == 0 && len(prior.DegradedModules) == 0 {
+		out.EdgesPlain = prior.Ext.CallEdges
+	} else if out.EdgesPlain, err = analyze(false, false); err != nil {
 		return nil, err
 	}
-	if out.EdgesUnknownArg, err = analyze(true, false); err != nil {
+
+	// Variants whose hint delta is empty solve the identical constraint
+	// system as an already-solved variant; reuse that result instead of
+	// re-running the fixpoint (most projects observe no proxy reads or eval
+	// code, so this skips the bulk of the variant solves).
+	argsApply := static.UnknownArgHintsApply(ar.Hints)
+	evalApply := static.EvalHintsApply(ar.Hints)
+	if !argsApply {
+		out.EdgesUnknownArg = out.EdgesPlain
+	} else if out.EdgesUnknownArg, err = analyze(true, false); err != nil {
 		return nil, err
 	}
-	if out.EdgesEvalCode, err = analyze(false, true); err != nil {
+	if !evalApply {
+		out.EdgesEvalCode = out.EdgesPlain
+	} else if out.EdgesEvalCode, err = analyze(false, true); err != nil {
 		return nil, err
 	}
-	if out.EdgesBoth, err = analyze(true, true); err != nil {
-		return nil, err
+	switch {
+	case !argsApply && !evalApply:
+		out.EdgesBoth = out.EdgesPlain
+	case !argsApply:
+		out.EdgesBoth = out.EdgesEvalCode
+	case !evalApply:
+		out.EdgesBoth = out.EdgesUnknownArg
+	default:
+		if out.EdgesBoth, err = analyze(true, true); err != nil {
+			return nil, err
+		}
 	}
 
 	if cache != nil {
@@ -77,11 +112,14 @@ func RunExtensions(project *modules.Project, cache *approx.Cache) (*ExtensionOut
 
 // RunExtensionsCorpus evaluates the §6 extensions over benchmarks sharing
 // one hint cache (so identical packages across projects hit the cache).
-func RunExtensionsCorpus(bs []*corpus.Benchmark) ([]*ExtensionOutcome, error) {
+// prior maps benchmark name to the main corpus run's outcome for that
+// project, letting each extension evaluation reuse its solved results (see
+// RunExtensions); pass nil to solve everything from scratch.
+func RunExtensionsCorpus(bs []*corpus.Benchmark, prior map[string]*Outcome) ([]*ExtensionOutcome, error) {
 	cache := approx.NewCache()
 	var outs []*ExtensionOutcome
 	for _, b := range bs {
-		o, err := RunExtensions(b.Project, cache)
+		o, err := RunExtensions(b.Project, cache, prior[b.Project.Name])
 		if err != nil {
 			return nil, err
 		}

@@ -65,6 +65,17 @@ type Counters struct {
 	// aborts, corrupt files) and modules degraded to baseline-only hints.
 	faultsContained atomic.Int64
 	modulesDegraded atomic.Int64
+
+	// Cycle-collapse activity in the subset solver: unification events,
+	// variables absorbed into representatives (including offline copy
+	// substitution, also reported on its own), edges dropped as duplicate
+	// or self under condensation, and deliveries short-circuited because
+	// the representative had already processed the token.
+	cyclesCollapsed   atomic.Int64
+	varsUnified       atomic.Int64
+	copiesSubstituted atomic.Int64
+	edgesDeduped      atomic.Int64
+	redundantSkipped  atomic.Int64
 }
 
 var global Counters
@@ -107,6 +118,17 @@ func (c *Counters) AddIncrementalSolve(baseIters, baseTokens, deltaIters, deltaT
 	c.tokensDeliveredDelta.Add(deltaTokens)
 }
 
+// AddSolveStructure accrues one solver's cycle-collapse activity: collapse
+// events, variables unified (and, of those, variables removed by offline
+// copy substitution), edges deduplicated, and redundant deliveries skipped.
+func (c *Counters) AddSolveStructure(cycles, unified, substituted, deduped, skipped int64) {
+	c.cyclesCollapsed.Add(cycles)
+	c.varsUnified.Add(unified)
+	c.copiesSubstituted.Add(substituted)
+	c.edgesDeduped.Add(deduped)
+	c.redundantSkipped.Add(skipped)
+}
+
 // AddFaults counts contained failures and the modules degraded for them.
 func (c *Counters) AddFaults(faults, degraded int) {
 	c.faultsContained.Add(int64(faults))
@@ -147,6 +169,11 @@ func (c *Counters) Reset() {
 	c.tokensDeliveredDelta.Store(0)
 	c.faultsContained.Store(0)
 	c.modulesDegraded.Store(0)
+	c.cyclesCollapsed.Store(0)
+	c.varsUnified.Store(0)
+	c.copiesSubstituted.Store(0)
+	c.edgesDeduped.Store(0)
+	c.redundantSkipped.Store(0)
 }
 
 // Snapshot is a point-in-time copy of the counters, serializable as
@@ -174,6 +201,13 @@ type Snapshot struct {
 	FaultsContained int64 `json:"faults_contained,omitempty"`
 	ModulesDegraded int64 `json:"modules_degraded,omitempty"`
 
+	// Cycle-collapse activity (zero when unification is disabled).
+	CyclesCollapsed   int64 `json:"cycles_collapsed,omitempty"`
+	VarsUnified       int64 `json:"vars_unified,omitempty"`
+	CopiesSubstituted int64 `json:"copies_substituted,omitempty"`
+	EdgesDeduped      int64 `json:"edges_deduped,omitempty"`
+	RedundantSkipped  int64 `json:"redundant_deliveries_skipped,omitempty"`
+
 	PhaseMS         map[string]float64 `json:"phase_ms"`
 	PhaseAllocBytes map[string]int64   `json:"phase_alloc_bytes,omitempty"`
 }
@@ -192,6 +226,11 @@ func (c *Counters) Snapshot() Snapshot {
 		TokensDeliveredDelta: c.tokensDeliveredDelta.Load(),
 		FaultsContained:      c.faultsContained.Load(),
 		ModulesDegraded:      c.modulesDegraded.Load(),
+		CyclesCollapsed:      c.cyclesCollapsed.Load(),
+		VarsUnified:          c.varsUnified.Load(),
+		CopiesSubstituted:    c.copiesSubstituted.Load(),
+		EdgesDeduped:         c.edgesDeduped.Load(),
+		RedundantSkipped:     c.redundantSkipped.Load(),
 		PhaseMS:              map[string]float64{},
 	}
 	if total := s.Parses + s.ParseCacheHits; total > 0 {
@@ -240,6 +279,10 @@ func (s Snapshot) Render(w io.Writer) {
 	if s.FaultsContained+s.ModulesDegraded > 0 {
 		fmt.Fprintf(w, "faults contained:   %d (modules degraded to baseline-only hints: %d)\n",
 			s.FaultsContained, s.ModulesDegraded)
+	}
+	if s.VarsUnified+s.EdgesDeduped+s.RedundantSkipped > 0 {
+		fmt.Fprintf(w, "cycle collapse:     %d cycles, %d vars unified (%d by copy substitution), %d edges deduped, %d redundant deliveries skipped\n",
+			s.CyclesCollapsed, s.VarsUnified, s.CopiesSubstituted, s.EdgesDeduped, s.RedundantSkipped)
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		fmt.Fprintf(w, "%-9s phase:     %.1f ms", p.String(), s.PhaseMS[p.String()])

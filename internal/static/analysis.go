@@ -54,6 +54,21 @@ type Options struct {
 	// hint should only be produced when no hints would otherwise be
 	// produced").
 	UnknownArgHints bool
+	// PreUnify lists groups of generation-time constraint variables to
+	// unify before solving. Exactness requires every group to be cyclic in
+	// this run's final constraint graph; the intended source is
+	// Result.Condensation from a baseline solve of the same project
+	// (constraint generation is deterministic and mode-independent, and
+	// hint rules only add constraints, so baseline cycles remain cycles
+	// under every hint-consuming variant). Results are unchanged; only
+	// solver effort drops. See solver.preUnify for the full argument.
+	PreUnify [][]Var
+	// DisableCopyElim turns off the pre-solve copy substitution (unifying
+	// single-source, insert-free, unprotected variables into their source;
+	// see solver.substituteCopies). Results are identical either way — the
+	// switch exists so differential tests can compare the substituting run
+	// against the plain engine.
+	DisableCopyElim bool
 	// DegradeFiles names modules whose pre-analysis faulted (panic,
 	// deadline, corrupt source): every hint anchored in one of them is
 	// dropped before injection, so those modules fall back to baseline-only
@@ -91,6 +106,13 @@ type Result struct {
 	// DegradedModules are the modules whose hints were dropped via
 	// Options.DegradeFiles, sorted.
 	DegradedModules []string
+	// Condensation, set by AnalyzeBoth on the baseline result, lists the
+	// multi-member cycles of the baseline-final constraint graph over
+	// generation-time variables. Feeding it to Options.PreUnify lets later
+	// solves of the same project (the §4 ablation arm, the §6 extension
+	// variants) start condensed instead of rediscovering — and re-paying —
+	// the same cycles.
+	Condensation [][]Var
 }
 
 // Metrics computes the paper's §5 call-graph metrics for this result.
@@ -230,6 +252,11 @@ type analyzer struct {
 	// materialized afterwards (native members, Object.create sites, …).
 	hintTokenEligible func(Token) bool
 
+	// journal, when non-nil, records map insertions made inside an open
+	// rollback window that rollbackTo's watermark sweeps cannot detect
+	// (see beginRollbackWindow).
+	journal *deltaJournal
+
 	// commonly used native prototype tokens
 	objectProto, arrayProto, functionProto Token
 
@@ -320,6 +347,9 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	// Start from known cycle structure, when the caller has it.
+	a.s.preUnify(opts.PreUnify)
+
 	// §6 extension: analyze dynamically generated code observed by the
 	// pre-analysis as additional code of its module.
 	if opts.EvalHints && opts.Hints != nil {
@@ -329,11 +359,23 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 	// Inject hints (the [DPR]/[DPW] rules of §4).
 	a.injectHints()
 
+	// With the full pre-solve constraint graph in place (generation plus
+	// injected hints), substitute away pure copy variables. Runs after
+	// injection so injection-added edges count toward in-degrees; every
+	// constraint that can still arrive (solve-time triggers) targets
+	// protected variables only.
+	if !opts.DisableCopyElim {
+		a.s.substituteCopies()
+	}
+
 	// Solve to fixpoint.
 	a.s.solve()
 
 	iters, delivered := a.s.stats()
 	perf.Global().AddSolve(iters, delivered)
+	ss := a.s.structure()
+	perf.Global().AddSolveStructure(ss.CyclesCollapsed, ss.VarsUnified,
+		ss.CopiesSubstituted, ss.EdgesDeduped, ss.RedundantSkipped)
 
 	return &Result{
 		Graph:           a.cg,
@@ -387,6 +429,11 @@ func (a *analyzer) genEvalHints() {
 		a.curModule = e.Module
 		a.curFn = callgraph.ModuleFunc(e.Module)
 		a.hoistInto(prog.Body, fr)
+		// Names the eval code hoists into the module frame are addressable by
+		// later eval hints of the same module, like all module-scope bindings.
+		for _, v := range fr.vars {
+			a.s.protect(v)
+		}
 		for _, st := range prog.Body {
 			// A direct eval returns the completion value of the evaluated
 			// program. Route every top-level expression statement's value
@@ -409,6 +456,7 @@ func (a *analyzer) evalResultVar(module string) Var {
 	v, ok := a.evalResults[module]
 	if !ok {
 		v = a.s.newVar()
+		a.s.protect(v) // eval-hint completion values route here later
 		a.evalResults[module] = v
 	}
 	return v
@@ -526,6 +574,9 @@ func (a *analyzer) propVar(t Token, prop string) Var {
 		return v
 	}
 	v := a.s.newVar()
+	// Property variables are addressed by solve-time triggers (stores, hint
+	// injection) long after generation; never substitute them away.
+	a.s.protect(v)
 	a.propVars[key] = v
 	return v
 }
@@ -536,6 +587,7 @@ func (a *analyzer) protoVar(t Token) Var {
 		return v
 	}
 	v := a.s.newVar()
+	a.s.protect(v) // targeted by setPrototypeOf/new-wiring triggers
 	a.protoVars[t] = v
 	return v
 }
@@ -552,6 +604,10 @@ func (a *analyzer) fnInfoFor(t Token) *fnInfo {
 		ret:     a.s.newVar(),
 		this:    a.s.newVar(),
 	}
+	// Call-processing triggers wire arguments, this, and returns into these
+	// variables whenever a new call site resolves to this function.
+	a.s.protect(fi.ret)
+	a.s.protect(fi.this)
 	if f.IsAsync {
 		// Calls to async functions receive a promise whose payload is the
 		// function's return values.
@@ -563,8 +619,11 @@ func (a *analyzer) fnInfoFor(t Token) *fnInfo {
 	} else {
 		fi.out = fi.ret
 	}
+	a.s.protect(fi.out)
 	for range f.Params {
-		fi.params = append(fi.params, a.s.newVar())
+		p := a.s.newVar()
+		a.s.protect(p)
+		fi.params = append(fi.params, p)
 	}
 	// arguments object token and element var.
 	argsTok := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
@@ -587,6 +646,7 @@ func (a *analyzer) globalVar(name string) Var {
 		return v
 	}
 	v := a.s.newVar()
+	a.s.protect(v) // eval-generated code injected later may assign globals
 	a.globals[name] = v
 	return v
 }
@@ -597,6 +657,7 @@ func (a *analyzer) dynReadVar(site loc.Loc) Var {
 		return v
 	}
 	v := a.s.newVar()
+	a.s.protect(v) // [DPR]/unknown-arg hints inject into this variable
 	a.dynReads[site] = v
 	return v
 }
@@ -606,15 +667,22 @@ func (a *analyzer) dynReadVar(site loc.Loc) Var {
 // addLoad adds the constraint that reads of prop on every object in
 // ⟦base⟧ (following prototype chains) flow into dst.
 func (a *analyzer) addLoad(base Var, prop string, dst Var) {
+	// dst receives edges as base's tokens (and their prototype chains)
+	// arrive, at any point of the solve.
+	a.s.protect(dst)
 	a.s.onToken(base, func(t Token) { a.loadFromToken(t, prop, dst) })
 }
 
 func (a *analyzer) loadFromToken(t Token, prop string, dst Var) {
+	a.s.protect(dst)
 	key := loadKey{t, prop, dst}
 	if a.loadSeen[key] {
 		return
 	}
 	a.loadSeen[key] = true
+	if a.journal != nil {
+		a.journal.loadSeen = append(a.journal.loadSeen, key)
+	}
 	info := a.tokens[t]
 	if info.kind == tokNative && nativeHasMember(info.name, prop) {
 		// Property reads on natives yield native member tokens (Math.floor,

@@ -39,6 +39,14 @@ func (a *analyzer) genModule(path string, prog *ast.Program) {
 	}
 	a.moduleFrames[path] = fr
 	a.hoistInto(prog.Body, fr)
+	// Module-scope bindings stay addressable after generation: eval-hint
+	// code injected later is generated in this frame (direct-eval scoping)
+	// and may assign any of them. Function-local frames are not reachable
+	// that way — eval hints parse fresh ASTs — so their bindings stay
+	// eligible for copy substitution.
+	for _, v := range fr.vars {
+		a.s.protect(v)
+	}
 	for _, s := range prog.Body {
 		a.genStmt(s, fr)
 	}
@@ -505,6 +513,9 @@ func (a *analyzer) genNew(e *ast.NewExpr, fr *frame) Var {
 // arrive at calleeVar, arguments, this, and results are wired, and call
 // edges are recorded.
 func (a *analyzer) wireCall(site loc.Loc, calleeVar, recvVar Var, recvValid bool, argVars []Var, result Var, newTok Token, isNew bool) {
+	// Every callee token that arrives — at any point of the solve — may wire
+	// return values (or native results) into result.
+	a.s.protect(result)
 	a.s.onToken(calleeVar, func(t Token) {
 		info := a.tokens[t]
 		switch info.kind {

@@ -5,6 +5,40 @@ import (
 	"repro/internal/loc"
 )
 
+// UnknownArgHintsApply reports whether Options.UnknownArgHints would inject
+// any constraint for h: some observed property-name read site must lack ℋ_R
+// entries (the extension applies "only when no hints would otherwise be
+// produced"). When false, the unknown-arg variant solves the identical
+// constraint system as the plain one, so its results can be reused without
+// re-solving. Conservative: may report true for sites constraint generation
+// never saw (the variant then solves and changes nothing).
+func UnknownArgHintsApply(h *hints.Hints) bool {
+	if h == nil {
+		return false
+	}
+	for _, site := range h.PropReadSites() {
+		if len(h.Reads[site]) == 0 && len(h.PropReadNames(site)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// EvalHintsApply reports whether Options.EvalHints would add any code for
+// h. When false, the eval-code variant is the identical constraint system
+// as the plain one.
+func EvalHintsApply(h *hints.Hints) bool {
+	return h != nil && len(h.EvalHints()) > 0
+}
+
+// WriteHintsApply reports whether h carries any [DPW] write hints. When
+// false, WithHints and AblationNameOnly inject identical constraints (the
+// two modes differ only in how write hints are consumed), so the §4
+// ablation arms coincide and one solve serves both.
+func WriteHintsApply(h *hints.Hints) bool {
+	return h != nil && len(h.WriteHints()) > 0
+}
+
 // injectHints adds the hint-derived constraints of §4:
 //
 //	[DPR]  ∀ℓ′ ∈ ℋ_R(ℓ):        t_ℓ′ ∈ ⟦E[E′]_ℓ⟧

@@ -1,6 +1,9 @@
 package static
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // BenchmarkSolverPropagation measures fixpoint propagation over a deep edge
 // chain with fan-out — the worst case for the former O(n) queue head pop
@@ -68,4 +71,98 @@ func BenchmarkSolverWideSets(b *testing.B) {
 		}
 		s.solve()
 	}
+}
+
+// BenchmarkSolverCycles measures the cycle-collapsing engine on dense
+// cyclic constraint graphs: rings of varying size, each seeded with tokens
+// and cross-linked to the next ring, so every token orbits until the cycle
+// is detected and unified. Compare with the noUnify reference configuration
+// (run the same shape through newReferenceSolver) to see the collapse win.
+func BenchmarkSolverCycles(b *testing.B) {
+	shapes := []struct {
+		name   string
+		size   int // variables per ring
+		count  int // rings
+		tokens int // tokens seeded per ring
+	}{
+		{"size=4/rings=256", 4, 256, 8},
+		{"size=32/rings=32", 32, 32, 8},
+		{"size=256/rings=4", 256, 4, 8},
+	}
+	for _, sh := range shapes {
+		sh := sh
+		run := func(b *testing.B, mk func() *solver) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := mk()
+				rings := make([][]Var, sh.count)
+				for r := range rings {
+					ring := make([]Var, sh.size)
+					for j := range ring {
+						ring[j] = s.newVar()
+					}
+					for j := range ring {
+						s.addEdge(ring[j], ring[(j+1)%sh.size])
+					}
+					rings[r] = ring
+				}
+				// Cross-links chain the rings so tokens flow everywhere.
+				for r := 0; r+1 < sh.count; r++ {
+					s.addEdge(rings[r][0], rings[r+1][sh.size/2])
+				}
+				for r := range rings {
+					for k := 0; k < sh.tokens; k++ {
+						s.addToken(rings[r][k%sh.size], Token(r*sh.tokens+k))
+					}
+				}
+				s.solve()
+			}
+		}
+		b.Run(sh.name, func(b *testing.B) { run(b, newSolver) })
+		b.Run(sh.name+"/noUnify", func(b *testing.B) { run(b, newReferenceSolver) })
+	}
+}
+
+// BenchmarkSolverSetThresholds exercises the two tuned constants around
+// their workloads: membership tests right at the smallSetMax linear-scan /
+// map-spill boundary, and long delivery queues that trip queueCompactMin
+// compaction. Used to validate the documented choices (see DESIGN.md);
+// change the constants and re-run to re-tune.
+func BenchmarkSolverSetThresholds(b *testing.B) {
+	for _, width := range []int{smallSetMax / 2, smallSetMax, 2 * smallSetMax, 8 * smallSetMax} {
+		width := width
+		b.Run(fmt.Sprintf("setWidth=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := newSolver()
+				src := s.newVar()
+				snk := s.newVar()
+				s.addEdge(src, snk)
+				for round := 0; round < 4; round++ {
+					for k := 0; k < width; k++ {
+						s.addToken(src, Token(k))
+					}
+					s.solve()
+				}
+			}
+		})
+	}
+	b.Run("queueCompaction", func(b *testing.B) {
+		depth := queueCompactMin / 4
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := newSolver()
+			vars := make([]Var, depth)
+			for j := range vars {
+				vars[j] = s.newVar()
+			}
+			for j := 0; j+1 < depth; j++ {
+				s.addEdge(vars[j], vars[j+1])
+			}
+			for k := 0; k < 16; k++ {
+				s.addToken(vars[0], Token(k))
+			}
+			s.solve()
+		}
+	})
 }
