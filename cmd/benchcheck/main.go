@@ -1,17 +1,36 @@
-// Command benchcheck compares a candidate BENCH json (written by
-// cmd/evaluate -benchjson) against a committed reference and fails when
-// solver effort regresses: tokens_delivered more than -tolerance above the
-// reference fails the build. Wall times are machine-dependent and are
-// deliberately not compared; tokens delivered and fixpoint iterations are
-// deterministic for a given corpus and solver, so they make a stable CI
-// regression gate.
+// Command benchcheck compares candidate BENCH json files (written by
+// cmd/evaluate -benchjson) against committed references and fails when the
+// solver regresses. Wall times are machine-dependent and are never gated;
+// the gates run on the deterministic counters:
+//
+//   - effort counters (tokens_delivered, solve_iterations) are one-sided:
+//     the candidate may not exceed the reference by more than -tolerance;
+//
+//   - structure counters (cycles_collapsed, vars_unified,
+//     redundant_deliveries_skipped, ...) are two-sided: a structure counter
+//     drifting in either direction beyond -tolerance means the solver's
+//     cycle-collapsing behavior changed, which is a regression of the
+//     benchmark's meaning even when the effort went down;
+//
+//   - parallel snapshots (BENCH_parallel.json, written by cmd/evaluate
+//     -mega -benchjson) are compared row-by-row per worker count, the
+//     workers >= 1 rows of the candidate must agree with each other
+//     exactly (the epoch engine is deterministic by construction), the
+//     workers=1 row may not cost more than -seq-tax over the candidate's
+//     own workers=0 row (the epoch engine's sequential-path tax), and
+//     -min-speedup / -min-parallel-share gate the scaling claim —
+//     -min-speedup only on hosts with GOMAXPROCS >= 4, where a wall-clock
+//     speedup is measurable at all.
 //
 // Usage:
 //
 //	benchcheck -ref BENCH_cycles.json -got /tmp/bench.json
-//	benchcheck -ref BENCH_cycles.json -got /tmp/bench.json -tolerance 0.10
+//	benchcheck -pair BENCH_cycles.json=/tmp/a.json -pair BENCH_parallel.json=/tmp/b.json
+//	benchcheck -pair BENCH_parallel.json=/tmp/mega.json -min-speedup 2.0 -min-parallel-share 0.35
 //
-// Exit status: 0 within tolerance, 1 on regression, 2 on usage/IO errors.
+// Snapshot flavors (plain perf.Snapshot vs perf.ParallelSnapshot) are
+// auto-detected from the JSON. Exit status: 0 all gates hold, 1 on
+// regression, 2 on usage/IO errors.
 package main
 
 import (
@@ -19,59 +38,197 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/perf"
 )
 
-func load(path string) (perf.Snapshot, error) {
-	var s perf.Snapshot
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return s, err
-	}
-	return s, json.Unmarshal(data, &s)
+// pairList collects repeatable -pair ref=got arguments.
+type pairList []string
+
+func (p *pairList) String() string     { return strings.Join(*p, ",") }
+func (p *pairList) Set(v string) error { *p = append(*p, v); return nil }
+
+var (
+	tolerance = flag.Float64("tolerance", 0.10, "allowed fractional counter drift against the reference")
+	seqTax    = flag.Float64("seq-tax", 0.10, "allowed fractional effort overhead of the epoch engine's workers=1 row over its workers=0 row")
+	minSpeed  = flag.Float64("min-speedup", 0, "minimum workers=1 / workers=4 solve-wall speedup (enforced only when the candidate was measured with GOMAXPROCS >= 4)")
+	minShare  = flag.Float64("min-parallel-share", 0, "minimum fraction of workers=1 solve wall spent in the parallel scan phase")
+	failed    = false
+)
+
+func fatal(args ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"benchcheck:"}, args...)...)
+	os.Exit(2)
 }
 
-func main() {
-	var (
-		ref       = flag.String("ref", "", "committed reference BENCH json")
-		got       = flag.String("got", "", "candidate BENCH json from this build")
-		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional increase over the reference")
-	)
-	flag.Parse()
-	if *ref == "" || *got == "" {
-		flag.Usage()
-		os.Exit(2)
+// gate reports one counter comparison. oneSided only fails on increase;
+// two-sided fails on drift in either direction.
+func gate(name string, refV, gotV int64, oneSided bool) {
+	if refV <= 0 && gotV <= 0 {
+		return // neither side has this counter
 	}
-	r, err := load(*ref)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck: ref:", err)
-		os.Exit(2)
+	lo := float64(refV) * (1 - *tolerance)
+	hi := float64(refV) * (1 + *tolerance)
+	status := "ok"
+	if float64(gotV) > hi || (!oneSided && float64(gotV) < lo) {
+		status = "REGRESSION"
+		failed = true
 	}
-	g, err := load(*got)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcheck: got:", err)
-		os.Exit(2)
+	bound := fmt.Sprintf("limit %9.0f", hi)
+	if !oneSided {
+		bound = fmt.Sprintf("band %9.0f..%-9.0f", lo, hi)
+	}
+	fmt.Printf("  %-30s ref %12d  got %12d  (%s)  %s\n", name, refV, gotV, bound, status)
+}
+
+func checkPlain(ref, got perf.Snapshot) {
+	// Effort: one-sided — doing less work than the reference is fine.
+	gate("tokens_delivered", ref.TokensDelivered, got.TokensDelivered, true)
+	gate("solve_iterations", ref.SolveIterations, got.SolveIterations, true)
+	// Structure: two-sided — the collapse machinery changing its behavior
+	// in either direction is a semantic drift of the benchmark.
+	gate("cycles_collapsed", ref.CyclesCollapsed, got.CyclesCollapsed, false)
+	gate("vars_unified", ref.VarsUnified, got.VarsUnified, false)
+	gate("copies_substituted", ref.CopiesSubstituted, got.CopiesSubstituted, false)
+	gate("edges_deduped", ref.EdgesDeduped, got.EdgesDeduped, false)
+	gate("redundant_deliveries_skipped", ref.RedundantSkipped, got.RedundantSkipped, false)
+}
+
+func checkParallel(ref, got perf.ParallelSnapshot) {
+	// Per-worker-count rows against the committed reference.
+	for _, rr := range ref.Rows {
+		gr := got.Row(rr.SolverWorkers)
+		if gr == nil {
+			fmt.Printf("  workers=%d: MISSING from candidate\n", rr.SolverWorkers)
+			failed = true
+			continue
+		}
+		w := fmt.Sprintf("[workers=%d] ", rr.SolverWorkers)
+		gate(w+"tokens_delivered", rr.TokensDelivered, gr.TokensDelivered, true)
+		gate(w+"solve_iterations", rr.SolveIterations, gr.SolveIterations, true)
+		gate(w+"cycles_collapsed", rr.CyclesCollapsed, gr.CyclesCollapsed, false)
+		gate(w+"redundant_deliveries_skipped", rr.RedundantSkipped, gr.RedundantSkipped, false)
 	}
 
-	failed := false
-	check := func(name string, refV, gotV int64) {
-		if refV <= 0 {
-			return // reference predates this counter
+	// Determinism within the candidate: every epoch-engine row must agree
+	// exactly. No tolerance — divergence means the barrier leaked
+	// scheduling into the results.
+	var first *perf.ParallelRow
+	for i := range got.Rows {
+		r := &got.Rows[i]
+		if r.SolverWorkers < 1 {
+			continue
 		}
-		limit := float64(refV) * (1 + *tolerance)
+		if first == nil {
+			first = r
+			continue
+		}
+		if r.SolveIterations != first.SolveIterations || r.TokensDelivered != first.TokensDelivered ||
+			r.CyclesCollapsed != first.CyclesCollapsed || r.RedundantSkipped != first.RedundantSkipped ||
+			r.Epochs != first.Epochs || r.CrossShard != first.CrossShard {
+			fmt.Printf("  workers=%d: counters differ from workers=%d — epoch engine is NOT deterministic\n",
+				r.SolverWorkers, first.SolverWorkers)
+			failed = true
+		}
+	}
+
+	// Sequential-path tax: the epoch engine at workers=1 may not do more
+	// than -seq-tax extra solver effort over the sequential engine.
+	if seq, par := got.Row(0), got.Row(1); seq != nil && par != nil {
+		lim := float64(seq.TokensDelivered) * (1 + *seqTax)
 		status := "ok"
-		if float64(gotV) > limit {
+		if float64(par.TokensDelivered) > lim {
 			status = "REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-18s ref %9d  got %9d  (limit %9.0f)  %s\n", name, refV, gotV, limit, status)
+		fmt.Printf("  %-30s seq %12d  par %12d  (limit %9.0f)  %s\n",
+			"workers=1 effort tax", seq.TokensDelivered, par.TokensDelivered, lim, status)
 	}
-	check("tokens_delivered", r.TokensDelivered, g.TokensDelivered)
-	check("solve_iterations", r.SolveIterations, g.SolveIterations)
 
+	if *minSpeed > 0 {
+		if got.MaxProcs >= 4 {
+			status := "ok"
+			if got.SpeedupAt4 < *minSpeed {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("  %-30s %.2fx (want >= %.2fx)  %s\n", "speedup at 4 workers", got.SpeedupAt4, *minSpeed, status)
+		} else {
+			fmt.Printf("  %-30s skipped: measured with GOMAXPROCS=%d < 4\n", "speedup at 4 workers", got.MaxProcs)
+		}
+	}
+	if *minShare > 0 {
+		status := "ok"
+		if got.ParallelShare < *minShare {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-30s %.1f%% (want >= %.1f%%)  %s\n", "parallel share", 100*got.ParallelShare, 100**minShare, status)
+	}
+}
+
+// checkPair loads both sides of one ref=got pair, auto-detects the
+// snapshot flavor, and runs the matching gates.
+func checkPair(refPath, gotPath string) {
+	refData, err := os.ReadFile(refPath)
+	if err != nil {
+		fatal("ref:", err)
+	}
+	gotData, err := os.ReadFile(gotPath)
+	if err != nil {
+		fatal("got:", err)
+	}
+	fmt.Printf("%s vs %s:\n", refPath, gotPath)
+
+	// A ParallelSnapshot is the only flavor with a "rows" array.
+	var probe struct {
+		Rows []json.RawMessage `json:"rows"`
+	}
+	if json.Unmarshal(refData, &probe) == nil && probe.Rows != nil {
+		var ref, got perf.ParallelSnapshot
+		if err := json.Unmarshal(refData, &ref); err != nil {
+			fatal("ref:", err)
+		}
+		if err := json.Unmarshal(gotData, &got); err != nil {
+			fatal("got:", err)
+		}
+		checkParallel(ref, got)
+		return
+	}
+	var ref, got perf.Snapshot
+	if err := json.Unmarshal(refData, &ref); err != nil {
+		fatal("ref:", err)
+	}
+	if err := json.Unmarshal(gotData, &got); err != nil {
+		fatal("got:", err)
+	}
+	checkPlain(ref, got)
+}
+
+func main() {
+	var pairs pairList
+	refFlag := flag.String("ref", "", "committed reference BENCH json (legacy single-pair form)")
+	gotFlag := flag.String("got", "", "candidate BENCH json from this build (legacy single-pair form)")
+	flag.Var(&pairs, "pair", "ref=got json pair to compare (repeatable)")
+	flag.Parse()
+
+	if *refFlag != "" && *gotFlag != "" {
+		pairs = append(pairs, *refFlag+"="+*gotFlag)
+	}
+	if len(pairs) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, p := range pairs {
+		ref, got, ok := strings.Cut(p, "=")
+		if !ok || ref == "" || got == "" {
+			fatal("malformed -pair (want ref=got):", p)
+		}
+		checkPair(ref, got)
+	}
 	if failed {
-		fmt.Println("benchcheck: solver effort regressed beyond tolerance")
+		fmt.Println("benchcheck: solver regressed beyond tolerance")
 		os.Exit(1)
 	}
 }

@@ -21,6 +21,32 @@ import (
 	"repro/internal/perf"
 )
 
+// runMega runs the mega-tier solver-scaling benchmark (experiments
+// .RunMegaBench over the default worker arms), renders the scaling table,
+// and optionally writes the perf.ParallelSnapshot JSON for cmd/benchcheck.
+func runMega(nModules int, benchout string) {
+	fmt.Printf("Mega-tier solver scaling (workers %v)…\n", experiments.DefaultMegaWorkers)
+	snap, err := experiments.RunMegaBench(nModules, experiments.DefaultMegaWorkers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate: mega:", err)
+		os.Exit(1)
+	}
+	snap.Render(os.Stdout)
+	if benchout != "" {
+		f, err := os.Create(benchout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", benchout)
+	}
+}
+
 func main() {
 	var (
 		all      = flag.Bool("all", false, "run every experiment")
@@ -40,6 +66,9 @@ func main() {
 		summary  = flag.Bool("summary", false, "aggregate summary statistics")
 		csvDir   = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
 		workers  = flag.Int("workers", 0, "parallel benchmark workers (0 = NumCPU)")
+		solverW  = flag.Int("solver-workers", 0, "constraint-solver scan workers per benchmark (0 = sequential engine; >=1 the sharded epoch engine — reports are identical at every value)")
+		mega     = flag.Bool("mega", false, "run the mega-tier solver-scaling benchmark instead of the corpus experiments; with -benchjson the perf.ParallelSnapshot is written there (BENCH_parallel.json)")
+		megaMods = flag.Int("mega-modules", 0, "mega-tier module count (0 = corpus.DefaultMegaModules)")
 		incr     = flag.Bool("incremental", true, "solve baseline once and resume with hint deltas (-incremental=false forces the legacy two-pass analysis; reports are identical)")
 		perfF    = flag.Bool("perf", false, "print pipeline perf counters (phase times, parse-cache hits, solver effort)")
 		benchout = flag.String("benchjson", "", "write per-phase wall times and counter totals as JSON to this file (e.g. BENCH_baseline.json)")
@@ -54,6 +83,10 @@ func main() {
 		*table2, *table3, *vuln, *hintsF, *ablation, *summary = true, true, true, true, true, true
 		*exts = true
 		*scale = true
+	}
+	if *mega {
+		runMega(*megaMods, *benchout)
+		return
 	}
 	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *table2 || *table3 || *vuln || *hintsF || *ablation || *summary || *exts || *scale) {
 		flag.Usage()
@@ -81,6 +114,7 @@ func main() {
 		ApproxDeadline: *approxDeadline,
 		DynCGDeadline:  *dyncgDeadline,
 		WithAblation:   *ablation,
+		SolverWorkers:  *solverW,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)

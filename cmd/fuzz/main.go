@@ -37,6 +37,7 @@ func main() {
 		note     = flag.String("note", "found by cmd/fuzz; not yet fixed", "tracking note recorded in written reproducers")
 		verbose  = flag.Bool("v", false, "print the generated program of every failure")
 		faults   = flag.Bool("faults", false, "sixth oracle: inject one deterministic fault per seed and check containment")
+		solverW  = flag.Int("solver-workers", 0, "constraint-solver scan workers per oracle run (0 = sequential engine; >=1 the sharded epoch engine — graphs are identical at every value)")
 	)
 	flag.Parse()
 	if *outDir != "" {
@@ -47,11 +48,12 @@ func main() {
 		*start, *seeds = uint64(*oneSeed), 1
 	}
 	rep := fuzz.Run(fuzz.Options{
-		Seeds:    *seeds,
-		Start:    *start,
-		Workers:  *workers,
-		Minimize: *minimize,
-		Faults:   *faults,
+		Seeds:         *seeds,
+		Start:         *start,
+		Workers:       *workers,
+		Minimize:      *minimize,
+		Faults:        *faults,
+		SolverWorkers: *solverW,
 	})
 
 	fmt.Printf("fuzz: %d seeds, %d failures, %d distinct buckets (%s)\n",

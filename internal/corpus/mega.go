@@ -1,0 +1,189 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/modules"
+)
+
+// Mega tier: a single project large enough that the solver phase, not
+// parsing or orchestration, dominates wall time — the workload the
+// parallel propagation engine exists for. It is deliberately NOT part of
+// All(): the 141-project corpus mirrors the paper's benchmark set, while
+// the mega project is a scaling benchmark (cmd/evaluate -mega).
+//
+// Shape: a layered module DAG, megaWidth modules per layer, with two
+// superimposed webs:
+//
+//   - a re-export web: every module above layer 0 requires megaParents
+//     modules of the previous layer and re-exports unions of their
+//     function slots (nested ternaries, so all branches flow), plus its
+//     own function. Every megaFence layers the lineage is fenced off —
+//     slots restart from fresh local functions that *call* into the
+//     parent slots — which keeps token sets bounded while the call web
+//     keeps descending.
+//
+//   - a dispatch flood: the entry creates megaCtx context-object tokens
+//     and feeds them to the top layer's run() functions inside branches
+//     the approximate interpreter never executes. The contexts then flow
+//     down the call web through argument→parameter edges, whose fan-out
+//     is the resolved callee set of each site. Most of those deliveries
+//     find the context already present — exactly the wide, redundant
+//     traffic the parallel scan phase filters in parallel while the
+//     barrier stays cheap.
+//
+// Every 16th module installs its slots through the forEach-over-names
+// table idiom of Fig. 1d, so the baseline misses part of the web and the
+// hint-consuming extended pass has real deltas to resume with.
+const (
+	megaWidth   = 40
+	megaParents = 4
+	megaSlots   = 2
+	// megaReads is the union width of one re-export slot.
+	megaReads = 5
+	// megaFence is the lineage length in layers before slots restart from
+	// fresh functions, bounding per-slot token sets (and with them the
+	// quadratic-in-depth delivery blowup a pure union web would have).
+	megaFence = 8
+	// megaCtx is the number of distinct context-object tokens the entry
+	// floods the call web with.
+	megaCtx = 256
+)
+
+// DefaultMegaModules is the module count of the standard mega benchmark
+// (the 1000+ bar the scaling experiment is defined on).
+const DefaultMegaModules = 1200
+
+// Mega returns the mega-project benchmark with approximately nModules
+// modules (rounded down to whole layers; n <= 0 selects
+// DefaultMegaModules). Deterministic: same n, same project.
+func Mega(nModules int) *Benchmark {
+	if nModules <= 0 {
+		nModules = DefaultMegaModules
+	}
+	layers := nModules / megaWidth
+	if layers < 2 {
+		layers = 2
+	}
+	r := newRNG(0x4e6a)
+	files := map[string]string{}
+
+	modPath := func(l, i int) string { return fmt.Sprintf("/app/l%03d/m%02d", l, i) }
+
+	for l := 0; l < layers; l++ {
+		for i := 0; i < megaWidth; i++ {
+			var sb strings.Builder
+
+			writeParents := func() {
+				for pi := 0; pi < megaParents; pi++ {
+					fmt.Fprintf(&sb, "var p%d = require('../l%03d/m%02d');\n", pi, l-1, r.intn(megaWidth))
+				}
+			}
+			writeRun := func() {
+				// run threads its argument through two dispatch sites; the
+				// positive-guard recursion in the slot functions terminates
+				// immediately under concrete execution (the entry calls
+				// run(0)) while both branches flow statically.
+				fmt.Fprintf(&sb, "exports.run = function run_l%d_m%d(x) { exports.s%d(x); return exports.s%d(x); };\n",
+					l, i, r.intn(megaSlots), r.intn(megaSlots))
+			}
+
+			if l%megaFence == 0 {
+				// Fence layer: fresh functions cut the re-export lineage.
+				if l == 0 {
+					for f := 0; f < megaSlots; f++ {
+						fmt.Fprintf(&sb, "function base_l0_m%d_f%d(x) { return 0; }\n", i, f)
+					}
+					for sl := 0; sl < megaSlots; sl++ {
+						fmt.Fprintf(&sb, "exports.s%d = base_l0_m%d_f%d;\n", sl, i, r.intn(megaSlots))
+					}
+				} else {
+					writeParents()
+					for f := 0; f < megaSlots; f++ {
+						// Fresh function, but the call web still descends.
+						fmt.Fprintf(&sb, "function fresh_l%d_m%d_f%d(x) { return x > 0 ? p%d.s%d(x) : 0; }\n",
+							l, i, f, r.intn(megaParents), r.intn(megaSlots))
+					}
+					for sl := 0; sl < megaSlots; sl++ {
+						fmt.Fprintf(&sb, "exports.s%d = fresh_l%d_m%d_f%d;\n", sl, l, i, r.intn(megaSlots))
+					}
+				}
+				writeRun()
+				files[modPath(l, i)+".js"] = sb.String()
+				continue
+			}
+
+			writeParents()
+			// Own function: a dispatch site whose target set is the
+			// accumulated slot lineage. The positive guard keeps concrete
+			// execution finite; statically both branches flow and x carries
+			// the context tokens down.
+			fmt.Fprintf(&sb, "function own_l%d_m%d(x) { return x > 0 ? exports.s%d(x) : 0; }\n",
+				l, i, r.intn(megaSlots))
+			fmt.Fprintf(&sb, "var flag = %d;\n", (l+i)%2)
+
+			// Each slot is a megaReads-way union of upstream slots (plus,
+			// for one slot, the module's own function), expressed as a
+			// nested ternary so every branch contributes flow.
+			ownSlot := r.intn(megaSlots)
+			slotExpr := make([]string, megaSlots)
+			for sl := 0; sl < megaSlots; sl++ {
+				expr := fmt.Sprintf("p%d.s%d", r.intn(megaParents), r.intn(megaSlots))
+				if sl == ownSlot {
+					expr = fmt.Sprintf("own_l%d_m%d", l, i)
+				}
+				for k := 1; k < megaReads; k++ {
+					expr = fmt.Sprintf("flag ? p%d.s%d : (%s)", r.intn(megaParents), r.intn(megaSlots), expr)
+				}
+				slotExpr[sl] = expr
+			}
+			if (l*megaWidth+i)%16 == 0 {
+				// Fig. 1d table install: computed property writes the
+				// baseline cannot resolve without hints.
+				sb.WriteString("var names = ['s0', 's1'];\nvar impl = {\n")
+				for sl := 0; sl < megaSlots; sl++ {
+					fmt.Fprintf(&sb, "  s%d: %s,\n", sl, slotExpr[sl])
+				}
+				sb.WriteString("};\nnames.forEach(function(name) {\n  exports[name] = impl[name];\n});\n")
+			} else {
+				for sl := 0; sl < megaSlots; sl++ {
+					fmt.Fprintf(&sb, "exports.s%d = %s;\n", sl, slotExpr[sl])
+				}
+			}
+			writeRun()
+			files[modPath(l, i)+".js"] = sb.String()
+		}
+	}
+
+	// Entry: execute the whole top layer concretely with run(0) — the
+	// approximate interpreter observes every module load (including the
+	// forEach table installs) but no unbounded recursion — and flood the
+	// web with context tokens inside branches concrete execution skips.
+	var sb strings.Builder
+	for i := 0; i < megaWidth; i++ {
+		fmt.Fprintf(&sb, "var t%d = require('./l%03d/m%02d');\n", i, layers-1, i)
+	}
+	for c := 0; c < megaCtx; c++ {
+		fmt.Fprintf(&sb, "var c%d = { tag: %d };\n", c, c)
+	}
+	sb.WriteString("exports.main = function main(x) {\n  var acc = x;\n")
+	for i := 0; i < megaWidth; i++ {
+		fmt.Fprintf(&sb, "  acc = t%d.run(acc);\n", i)
+	}
+	for c := 0; c < megaCtx; c++ {
+		// Statically both branches flow; concretely c%d.missing is
+		// undefined, so the dispatch-flood calls never execute.
+		fmt.Fprintf(&sb, "  if (c%d.missing) { t%d.run(c%d); t%d.run(c%d); }\n",
+			c, (2*c)%megaWidth, c, (2*c+1)%megaWidth, c)
+	}
+	sb.WriteString("  return acc;\n};\nexports.main(0);\n")
+	files["/app/index.js"] = sb.String()
+
+	return &Benchmark{Project: &modules.Project{
+		Name:        fmt.Sprintf("mega-%dx%d", layers, megaWidth),
+		Files:       files,
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}}
+}

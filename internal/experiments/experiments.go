@@ -116,12 +116,13 @@ func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 
 	var base, ext, abl *static.Result
 	if opts.TwoPass {
-		base, err = static.Analyze(b.Project, static.Options{Mode: static.Baseline})
+		base, err = static.Analyze(b.Project, static.Options{Mode: static.Baseline, SolverWorkers: opts.SolverWorkers})
 		if err != nil {
 			return nil, fmt.Errorf("%s: baseline: %w", b.Project.Name, err)
 		}
 		ext, err = static.Analyze(b.Project, static.Options{
 			Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: degrade,
+			SolverWorkers: opts.SolverWorkers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: extended: %w", b.Project.Name, err)
@@ -129,6 +130,7 @@ func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 	} else {
 		sopts := static.Options{
 			Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: degrade,
+			SolverWorkers: opts.SolverWorkers,
 		}
 		// Piggy-back the §4 name-only arm on the incremental solve exactly
 		// when RunAblationReusing could consume it: a clean run of a
@@ -243,6 +245,12 @@ type Options struct {
 	// rolled-back deltas), so a later RunAblationReusing pass consumes it
 	// without solving anything. Ignored on the two-pass path.
 	WithAblation bool
+	// SolverWorkers selects the constraint-solver propagation engine per
+	// benchmark: 0 is the sequential pop loop, >= 1 the sharded epoch
+	// engine with that many scan workers (see internal/static/parallel.go).
+	// Reports are identical for every value; this multiplies with Workers,
+	// so corpus runs usually pick one axis of parallelism, not both.
+	SolverWorkers int
 }
 
 // RunCorpus evaluates the given benchmarks over a worker pool sized to the

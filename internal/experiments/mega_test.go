@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// TestRunMegaBench runs a scaled-down mega tier across the sequential
+// engine and several epoch-engine worker counts. RunMegaBench itself fails
+// on any counter divergence between parallel rows, so this test mostly
+// checks the snapshot's shape; it additionally pins that the sequential
+// engine agrees with the parallel rows on this workload (effort parity on
+// the mega tier is what BENCH_parallel.json records).
+func TestRunMegaBench(t *testing.T) {
+	snap, err := RunMegaBench(120, []int{0, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(snap.Rows))
+	}
+	if snap.MegaModules < 80 {
+		t.Fatalf("mega project has %d modules, want a solver-bound project", snap.MegaModules)
+	}
+	seq, par := snap.Row(0), snap.Row(1)
+	if seq == nil || par == nil {
+		t.Fatal("missing workers=0 or workers=1 row")
+	}
+	if par.SolveIterations != seq.SolveIterations || par.TokensDelivered != seq.TokensDelivered {
+		t.Fatalf("epoch engine effort differs from sequential on mega: %d iters / %d tokens vs %d / %d",
+			par.SolveIterations, par.TokensDelivered, seq.SolveIterations, seq.TokensDelivered)
+	}
+	if par.Epochs == 0 {
+		t.Fatal("workers=1 row recorded no epochs — sequential path ran instead")
+	}
+	if snap.ParallelShare <= 0 || snap.ParallelShare >= 1 {
+		t.Fatalf("parallel share %v outside (0, 1)", snap.ParallelShare)
+	}
+
+	// The render must be a pure function of the deterministic fields plus
+	// wall times; rendering twice from the same snapshot is byte-identical.
+	var a, b bytes.Buffer
+	snap.Render(&a)
+	snap.Render(&b)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshot render is not deterministic")
+	}
+}
+
+// TestCorpusSolverWorkersDeterministic runs a corpus slice through the full
+// evaluation pipeline with the sequential solver and with the epoch engine
+// at several worker counts, and requires the rendered report bytes to be
+// identical — the tentpole's 0-byte report-diff guarantee, end to end.
+func TestCorpusSolverWorkersDeterministic(t *testing.T) {
+	render := func(solverWorkers int) ([]byte, []*Outcome) {
+		outs, err := RunCorpusOpts(slice(t, 6), Options{
+			WithDynCG: true, Workers: 1, SolverWorkers: solverWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		RenderTable1(&buf, outs)
+		RenderFigure(&buf, outs, 4)
+		RenderFigure(&buf, outs, 5)
+		RenderFigure(&buf, outs, 6)
+		RenderFigure(&buf, outs, 7)
+		RenderTable2(&buf, outs)
+		RenderSummary(&buf, Aggregate(outs))
+		return buf.Bytes(), outs
+	}
+
+	refBytes, refOuts := render(0)
+	for _, workers := range []int{1, 2, 4, 8} {
+		gotBytes, gotOuts := render(workers)
+		if !bytes.Equal(refBytes, gotBytes) {
+			t.Fatalf("solver workers=%d: rendered report differs from sequential solver", workers)
+		}
+		for i := range refOuts {
+			if !reflect.DeepEqual(strip(refOuts[i]), strip(gotOuts[i])) {
+				t.Fatalf("solver workers=%d: outcome %d differs from sequential solver:\nseq: %+v\npar: %+v",
+					workers, i, strip(refOuts[i]), strip(gotOuts[i]))
+			}
+		}
+	}
+}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"repro/internal/approx"
@@ -10,6 +12,24 @@ import (
 	"repro/internal/fuzz"
 	"repro/internal/static"
 )
+
+// soundnessSolverWorkers selects the solver engine for the corpus
+// soundness sweep via REPRO_SOLVER_WORKERS, so CI can run the identical
+// oracle against the sequential engine and the parallel epoch engine. The
+// known-gap snapshot must hold verbatim for every value: the engines
+// produce identical call graphs.
+func soundnessSolverWorkers(t *testing.T) int {
+	v := os.Getenv("REPRO_SOLVER_WORKERS")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		t.Fatalf("REPRO_SOLVER_WORKERS=%q: want a non-negative integer", v)
+	}
+	t.Logf("solver workers: %d", n)
+	return n
+}
 
 // knownSoundnessGaps lists the dynamic call-graph edges the extended
 // analysis is known to miss, per benchmark, as "site -> target [bucket]"
@@ -49,6 +69,7 @@ func TestCorpusSoundnessOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus sweep; skipped with -short")
 	}
+	solverWorkers := soundnessSolverWorkers(t)
 	checked := 0
 	for _, b := range corpus.All() {
 		if !b.HasDynCG {
@@ -66,6 +87,7 @@ func TestCorpusSoundnessOracle(t *testing.T) {
 		}
 		_, ext, err := static.AnalyzeBoth(b.Project, static.Options{
 			Mode: static.WithHints, Hints: ar.Hints, EvalHints: true,
+			SolverWorkers: solverWorkers,
 		})
 		if err != nil {
 			t.Fatalf("%s: static: %v", name, err)

@@ -109,6 +109,7 @@ func CheckFilesFaulted(files map[string]string, entries []string, seed uint64) *
 	}
 	cleanExt, err := static.Analyze(project, static.Options{
 		Mode: static.WithHints, Hints: cleanAr.Hints, EvalHints: true,
+		SolverWorkers: solverWorkers,
 	})
 	if err != nil {
 		return nil
@@ -159,11 +160,11 @@ func CheckFilesFaulted(files map[string]string, entries []string, seed uint64) *
 	}
 
 	degrade := ar.FaultedModules()
-	extOpts := static.Options{Mode: static.WithHints, Hints: ar.Hints, EvalHints: true, DegradeFiles: degrade}
+	extOpts := static.Options{Mode: static.WithHints, Hints: ar.Hints, EvalHints: true, DegradeFiles: degrade, SolverWorkers: solverWorkers}
 	var baseTP, extTP, baseIn, extIn *static.Result
 	if f := guard("static", func(k Kind, b, d string) *Failure { return fail("static", d) }, func() error {
 		var serr error
-		if baseTP, serr = static.Analyze(fproject, static.Options{Mode: static.Baseline}); serr != nil {
+		if baseTP, serr = static.Analyze(fproject, static.Options{Mode: static.Baseline, SolverWorkers: solverWorkers}); serr != nil {
 			return serr
 		}
 		if extTP, serr = static.Analyze(fproject, extOpts); serr != nil {

@@ -66,6 +66,15 @@ func (f *Failure) String() string {
 	return fmt.Sprintf("seed %d [%s] %s", f.Seed, f.Bucket, f.Detail)
 }
 
+// solverWorkers is the constraint-solver engine every oracle run uses:
+// 0 the sequential engine, >= 1 the sharded epoch engine with that many
+// scan workers. Set once by Run (from Options.SolverWorkers) before any
+// worker starts; the oracles themselves are engine-agnostic — the static
+// analysis must produce identical graphs at every value, so a fuzzing
+// sweep under a parallel engine is the same differential search plus an
+// implicit engine-equivalence check against the dynamic ground truth.
+var solverWorkers int
+
 // CheckSeed generates the program for seed and checks every oracle.
 // It returns nil if all oracles hold.
 func CheckSeed(seed uint64) *Failure {
@@ -111,11 +120,11 @@ func CheckFiles(files map[string]string, entries []string) *Failure {
 		return f
 	}
 
-	extOpts := static.Options{Mode: static.WithHints, Hints: hints.Hints, EvalHints: true}
+	extOpts := static.Options{Mode: static.WithHints, Hints: hints.Hints, EvalHints: true, SolverWorkers: solverWorkers}
 	var baseTP, extTP, baseIn, extIn *static.Result
 	if f := guard("static-two-pass", fail, func() error {
 		var err error
-		if baseTP, err = static.Analyze(project, static.Options{Mode: static.Baseline}); err != nil {
+		if baseTP, err = static.Analyze(project, static.Options{Mode: static.Baseline, SolverWorkers: solverWorkers}); err != nil {
 			return err
 		}
 		extTP, err = static.Analyze(project, extOpts)
@@ -337,6 +346,11 @@ type Options struct {
 	// one deterministic fault is injected per seed and the run checks that
 	// the pipeline contains it.
 	Faults bool
+	// SolverWorkers selects the static solver engine for every oracle run
+	// (0 = sequential, >= 1 = the epoch engine with that many scan
+	// workers). Graphs are identical either way; failures found under one
+	// engine reproduce under the other.
+	SolverWorkers int
 }
 
 // Report is the outcome of a fuzzing run.
@@ -357,6 +371,7 @@ func Run(opts Options) *Report {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	solverWorkers = opts.SolverWorkers
 	start := time.Now()
 	results := make([]*Failure, opts.Seeds)
 	var next uint64

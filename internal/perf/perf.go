@@ -76,6 +76,17 @@ type Counters struct {
 	copiesSubstituted atomic.Int64
 	edgesDeduped      atomic.Int64
 	redundantSkipped  atomic.Int64
+
+	// Parallel-solver activity (zero when the sequential engine ran):
+	// epoch barriers crossed, chunks stolen across workers, deliveries
+	// whose target landed in a different shard than the source, and the
+	// wall time split between the read-only scan phase and the
+	// deterministic merge barrier.
+	solverEpochs     atomic.Int64
+	solverSteals     atomic.Int64
+	solverCrossShard atomic.Int64
+	solverScanNS     atomic.Int64
+	solverBarrierNS  atomic.Int64
 }
 
 var global Counters
@@ -129,6 +140,16 @@ func (c *Counters) AddSolveStructure(cycles, unified, substituted, deduped, skip
 	c.redundantSkipped.Add(skipped)
 }
 
+// AddSolverParallel accrues one parallel-solver run: epochs crossed,
+// chunks stolen, cross-shard deliveries, and scan/barrier wall time.
+func (c *Counters) AddSolverParallel(epochs, steals, crossShard, scanNS, barrierNS int64) {
+	c.solverEpochs.Add(epochs)
+	c.solverSteals.Add(steals)
+	c.solverCrossShard.Add(crossShard)
+	c.solverScanNS.Add(scanNS)
+	c.solverBarrierNS.Add(barrierNS)
+}
+
 // AddFaults counts contained failures and the modules degraded for them.
 func (c *Counters) AddFaults(faults, degraded int) {
 	c.faultsContained.Add(int64(faults))
@@ -174,6 +195,11 @@ func (c *Counters) Reset() {
 	c.copiesSubstituted.Store(0)
 	c.edgesDeduped.Store(0)
 	c.redundantSkipped.Store(0)
+	c.solverEpochs.Store(0)
+	c.solverSteals.Store(0)
+	c.solverCrossShard.Store(0)
+	c.solverScanNS.Store(0)
+	c.solverBarrierNS.Store(0)
 }
 
 // Snapshot is a point-in-time copy of the counters, serializable as
@@ -208,6 +234,16 @@ type Snapshot struct {
 	EdgesDeduped      int64 `json:"edges_deduped,omitempty"`
 	RedundantSkipped  int64 `json:"redundant_deliveries_skipped,omitempty"`
 
+	// Parallel-solver activity (zero when the sequential engine ran).
+	// SolverEpochs and SolverCrossShard are deterministic for a given
+	// worker count; SolverSteals and the scan/barrier times are
+	// scheduling-dependent diagnostics.
+	SolverEpochs     int64   `json:"solver_epochs,omitempty"`
+	SolverSteals     int64   `json:"solver_steals,omitempty"`
+	SolverCrossShard int64   `json:"solver_cross_shard_deliveries,omitempty"`
+	SolverScanMS     float64 `json:"solver_scan_ms,omitempty"`
+	SolverBarrierMS  float64 `json:"solver_barrier_ms,omitempty"`
+
 	PhaseMS         map[string]float64 `json:"phase_ms"`
 	PhaseAllocBytes map[string]int64   `json:"phase_alloc_bytes,omitempty"`
 }
@@ -231,6 +267,11 @@ func (c *Counters) Snapshot() Snapshot {
 		CopiesSubstituted:    c.copiesSubstituted.Load(),
 		EdgesDeduped:         c.edgesDeduped.Load(),
 		RedundantSkipped:     c.redundantSkipped.Load(),
+		SolverEpochs:         c.solverEpochs.Load(),
+		SolverSteals:         c.solverSteals.Load(),
+		SolverCrossShard:     c.solverCrossShard.Load(),
+		SolverScanMS:         float64(c.solverScanNS.Load()) / 1e6,
+		SolverBarrierMS:      float64(c.solverBarrierNS.Load()) / 1e6,
 		PhaseMS:              map[string]float64{},
 	}
 	if total := s.Parses + s.ParseCacheHits; total > 0 {
@@ -283,6 +324,10 @@ func (s Snapshot) Render(w io.Writer) {
 	if s.VarsUnified+s.EdgesDeduped+s.RedundantSkipped > 0 {
 		fmt.Fprintf(w, "cycle collapse:     %d cycles, %d vars unified (%d by copy substitution), %d edges deduped, %d redundant deliveries skipped\n",
 			s.CyclesCollapsed, s.VarsUnified, s.CopiesSubstituted, s.EdgesDeduped, s.RedundantSkipped)
+	}
+	if s.SolverEpochs > 0 {
+		fmt.Fprintf(w, "parallel solver:    %d epochs, %d steals, %d cross-shard deliveries, scan %.1f ms / barrier %.1f ms\n",
+			s.SolverEpochs, s.SolverSteals, s.SolverCrossShard, s.SolverScanMS, s.SolverBarrierMS)
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		fmt.Fprintf(w, "%-9s phase:     %.1f ms", p.String(), s.PhaseMS[p.String()])

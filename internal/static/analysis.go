@@ -69,6 +69,16 @@ type Options struct {
 	// switch exists so differential tests can compare the substituting run
 	// against the plain engine.
 	DisableCopyElim bool
+	// SolverWorkers selects the propagation engine. 0 (the default) runs
+	// the sequential pop loop; k ≥ 1 runs the sharded epoch engine
+	// (parallel.go) with k scan workers. Results are byte-identical for
+	// every value — the constraint system is monotone, so every schedule
+	// reaches the same least fixpoint — and all k ≥ 1 runs additionally
+	// produce identical solver-effort and structure counters (the epoch
+	// schedule does not depend on the worker count). Phases that must run
+	// in exact no-unify mode (the rolled-back ablation arm) always use the
+	// sequential engine regardless of this setting.
+	SolverWorkers int
 	// DegradeFiles names modules whose pre-analysis faulted (panic,
 	// deadline, corrupt source): every hint anchored in one of them is
 	// dropped before injection, so those modules fall back to baseline-only
@@ -92,6 +102,16 @@ type Result struct {
 	// iterations (queue pops) and token-propagation attempts.
 	SolveIterations int64
 	TokensDelivered int64
+	// Structure reports the solver's cycle-collapse activity for this run
+	// (cumulative across phases on the incremental path).
+	Structure StructureStats
+	// Parallel reports the epoch engine's activity; zero when the
+	// sequential engine ran (SolverWorkers == 0).
+	Parallel ParallelSolveStats
+	// SolveWall is the wall-clock time spent inside solver fixpoint
+	// propagation for this result's phase(s) — the quantity the parallel
+	// engine exists to shrink. A subset of Duration.
+	SolveWall time.Duration
 	// AnalyzedModules is the number of modules in the whole-program view.
 	AnalyzedModules int
 	Duration        time.Duration
@@ -292,7 +312,18 @@ func newAnalyzer(project *modules.Project, opts Options) *analyzer {
 		tokenBehaviors: map[Token]func(loc.Loc, []Var, Var){},
 		cg:             callgraph.New(),
 	}
+	a.s.configureParallel(opts.SolverWorkers)
 	return a
+}
+
+// recordParallelStats flushes the epoch engine's counters (when it ran) to
+// the global perf counters and returns them for the Result.
+func (a *analyzer) recordParallelStats() ParallelSolveStats {
+	ps := a.s.parallelStats()
+	if a.s.par != nil {
+		perf.Global().AddSolverParallel(ps.Epochs, ps.Steals, ps.CrossShard, ps.ScanNS, ps.BarrierNS)
+	}
+	return ps
 }
 
 // generate parses the whole program and emits its base constraints: native
@@ -369,13 +400,16 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 	}
 
 	// Solve to fixpoint.
+	solveStart := time.Now()
 	a.s.solve()
+	solveWall := time.Since(solveStart)
 
 	iters, delivered := a.s.stats()
 	perf.Global().AddSolve(iters, delivered)
 	ss := a.s.structure()
 	perf.Global().AddSolveStructure(ss.CyclesCollapsed, ss.VarsUnified,
 		ss.CopiesSubstituted, ss.EdgesDeduped, ss.RedundantSkipped)
+	pstats := a.recordParallelStats()
 
 	return &Result{
 		Graph:           a.cg,
@@ -384,6 +418,9 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 		NumTokens:       len(a.tokens),
 		SolveIterations: iters,
 		TokensDelivered: delivered,
+		Structure:       ss,
+		Parallel:        pstats,
+		SolveWall:       solveWall,
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(start),
 		AllocBytes:      perf.TotalAllocBytes() - alloc0,

@@ -89,7 +89,7 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 	// fixpoint reproduces the standalone baseline analysis bit for bit.
 	start := time.Now()
 	alloc0 := perf.TotalAllocBytes()
-	a := newAnalyzer(project, Options{Mode: Baseline})
+	a := newAnalyzer(project, Options{Mode: Baseline, SolverWorkers: opts.SolverWorkers})
 	if err := a.generate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -105,7 +105,11 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 	if !opts.DisableCopyElim {
 		a.s.substituteCopies()
 	}
+	baseSolveStart := time.Now()
 	a.s.solve()
+	baseSolveWall := time.Since(baseSolveStart)
+	baseStructure := a.s.structure()
+	baseParallel := a.s.parallelStats()
 	cp := a.s.checkpoint()
 	// Snapshot the baseline-final cycle structure over generation-time
 	// variables (running the full SCC sweep the delta solve would run at
@@ -123,6 +127,9 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 		NumTokens:       postSolveTokens,
 		SolveIterations: cp.iterations,
 		TokensDelivered: cp.tokensDelivered,
+		Structure:       baseStructure,
+		Parallel:        baseParallel,
+		SolveWall:       baseSolveWall,
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(start),
 		AllocBytes:      perf.TotalAllocBytes() - alloc0,
@@ -150,7 +157,9 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 	}
 	a.injectHints()
 	a.injectModuleHintDeltas()
+	deltaSolveStart := time.Now()
 	a.s.solve()
+	deltaSolveWall := time.Since(deltaSolveStart)
 
 	iters, delivered := a.s.stats()
 	perf.Global().AddIncrementalSolve(cp.iterations, cp.tokensDelivered,
@@ -163,6 +172,9 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 		NumTokens:       len(a.tokens),
 		SolveIterations: iters,
 		TokensDelivered: delivered,
+		Structure:       a.s.structure(),
+		Parallel:        a.s.parallelStats(),
+		SolveWall:       deltaSolveWall,
 		AnalyzedModules: len(a.progs),
 		Duration:        time.Since(deltaStart),
 		AllocBytes:      perf.TotalAllocBytes() - deltaAlloc0,
@@ -186,7 +198,9 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 		}
 		a.injectHints()
 		a.injectModuleHintDeltas()
+		ablSolveStart := time.Now()
 		a.s.solve()
+		ablSolveWall := time.Since(ablSolveStart)
 		ablIters, ablDelivered := a.s.stats()
 		perf.Global().AddIncrementalSolve(0, 0, ablIters-iters, ablDelivered-delivered)
 		ablation = &Result{
@@ -196,6 +210,9 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 			NumTokens:       len(a.tokens),
 			SolveIterations: ablIters,
 			TokensDelivered: ablDelivered,
+			Structure:       a.s.structure(),
+			Parallel:        a.s.parallelStats(),
+			SolveWall:       ablSolveWall,
 			AnalyzedModules: len(a.progs),
 			Duration:        time.Since(ablStart),
 			AllocBytes:      perf.TotalAllocBytes() - ablAlloc0,
@@ -209,6 +226,7 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 	ss := a.s.structure()
 	perf.Global().AddSolveStructure(ss.CyclesCollapsed, ss.VarsUnified,
 		ss.CopiesSubstituted, ss.EdgesDeduped, ss.RedundantSkipped)
+	a.recordParallelStats()
 	return baseline, extended, ablation, nil
 }
 

@@ -1,0 +1,967 @@
+package static
+
+// The sharded, work-stealing propagation engine. It computes the same least
+// fixpoint as the sequential pop loop in solve(), with the same counter
+// values for any worker count ≥ 1, by splitting each round of propagation
+// into two phases:
+//
+//   - a scan phase that is strictly read-only over solver state: the pending
+//     frontier (everything queued since the last round) is partitioned into
+//     shards keyed by union-find representative, cut into fixed-size chunks,
+//     and scanned by the workers — each delivery's edge list is walked and
+//     the destinations that would newly receive the token are recorded as
+//     proposals, together with the frozen edge/self-edge counts the barrier
+//     needs for exact effort accounting. Chunks are distributed round-robin
+//     over per-worker Chase-Lev deques; an idle worker steals from the top
+//     of a victim's deque while owners pop from the bottom.
+//
+//   - a barrier phase on the solver goroutine that replays the frontier in a
+//     fixed order (shards ascending, per-shard sequence order): proposals
+//     are applied, deliveries are marked processed, and triggers fire —
+//     every mutation of solver or analyzer state happens here, sequentially.
+//     Trigger-added edges invisible to the scan (appended during the barrier
+//     itself) are covered by an incremental delta scan per delivery.
+//
+// Exactness: the constraint system is monotone, so its least fixpoint is
+// independent of delivery order — the same argument that makes the
+// incremental baseline→extended resume exact. Determinism: proposal slots
+// are keyed by (shard, sequence), which depends only on the epoch-start
+// state, never on which worker scanned a chunk or in what order; the
+// barrier then consumes them in one fixed order. Hence reports *and* effort
+// counters are identical across worker counts, and identical between the
+// concurrent path and the inline path used for small frontiers.
+//
+// Relative to the sequential engine, results (token sets, trigger firings,
+// call graphs) are identical, but effort counters may differ slightly: the
+// sequential loop can collapse a detected cycle before the very next pop,
+// while the epoch engine collapses between epochs, so on cycle-dense inputs
+// some deliveries that the sequential engine short-circuits are still paid
+// here (and vice versa — epoch batching can also collapse sooner than a
+// pop-interleaved LCD would). cmd/benchcheck bounds this divergence at
+// workers=1 (no sequential-path tax beyond tolerance) rather than demanding
+// equality, which would serialize the scan.
+//
+// A collapsed SCC never spans shards: sharding hashes the union-find
+// representative, so every member of a unified group lands wherever its
+// representative lands. All unification (LCD, periodic sweeps) runs between
+// epochs on the solver goroutine, exactly like the sequential engine runs
+// it between pops.
+//
+// The exact no-unify mode (rollback windows, the reference engine) falls
+// back to the sequential pop loop — see solve().
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// shardBits fixes the shard count. 64 shards keep the partition pass
+	// cheap while giving the work-stealing layer enough grain to balance:
+	// the mega tier's frontiers spread over effectively all shards, and a
+	// chunk never crosses a shard boundary.
+	shardBits = 6
+	nShards   = 1 << shardBits
+
+	// epochChunk is the steal granularity: deliveries per chunk. Small
+	// enough that one hot shard splits into many stealable pieces, large
+	// enough that deque traffic stays a fraction of scan work.
+	epochChunk = 64
+
+	// lcdEpochStride is how many epochs of pending cycle evidence may
+	// accumulate before a collapse round (inline push flush + runLCD) is
+	// forced. The deferral only applies while deferred pushes are pending —
+	// flushing those inline is the collapse round's real cost, so when none
+	// are pending the engine collapses immediately, like the sequential
+	// engine does before every pop. The differential tests bound how far the
+	// deferred collapses can drift the effort counters from the sequential
+	// engine's.
+	lcdEpochStride = 2
+
+	// cycleEpochCap bounds the deliveries consumed per epoch while lazy
+	// cycle detection has pending evidence. The sequential engine collapses
+	// a detected cycle before the very next pop; unbounded epochs would
+	// defer that collapse past the whole frontier and pay every redundant
+	// delivery in between. Shrinking epochs only while cycles are actively
+	// being discovered keeps the effort counters within a small factor of
+	// the sequential engine's without giving up scan width on the
+	// cycle-quiet frontiers that dominate real projects. The policy reads
+	// only solver state, which evolves identically at every worker count,
+	// so determinism across worker counts is preserved.
+	cycleEpochCap = 128
+)
+
+// inlineFrontierMax is the frontier size at or below which the epoch runs
+// entirely on the solver goroutine (same scan/barrier algorithm, no
+// goroutine handoff). Results and counters are identical on both paths;
+// this only avoids paying synchronization on the small frontiers that
+// dominate per-module solves of the 141-project corpus. A variable so
+// tests can force the concurrent path under the race detector.
+var inlineFrontierMax = 512
+
+// ParallelSolveStats describes one solver's epoch-engine activity.
+// Epochs, CrossShard, and ShardDelivered are deterministic (identical for
+// every worker count); Steals and the phase times depend on scheduling and
+// are diagnostics only.
+type ParallelSolveStats struct {
+	// Epochs is the number of scan/barrier rounds run.
+	Epochs int64
+	// Steals counts chunks an idle worker took from another worker's deque.
+	Steals int64
+	// CrossShard counts applied proposals whose destination variable lives
+	// in a different shard than the delivery that produced them — the
+	// cross-shard edge traffic the steal deques exist to balance.
+	CrossShard int64
+	// ScanNS and BarrierNS split solver wall time into the parallelizable
+	// phases (scan + winnow) and the sequential reconciliation barrier.
+	ScanNS    int64
+	BarrierNS int64
+}
+
+// shardOfRep maps a representative variable to its shard. Fibonacci
+// hashing spreads consecutive variable ids (which are allocated in program
+// order, so neighbors are usually related) across shards.
+func shardOfRep(v Var) int32 {
+	return int32((uint32(v) * 0x9E3779B9) >> (32 - shardBits))
+}
+
+// findRO resolves v's representative without path compression. The scan
+// phase runs it concurrently from many workers; the parent forest is
+// read-only for the whole phase (all unification happens between epochs),
+// so the walk is race-free.
+func (s *solver) findRO(v Var) Var {
+	for s.parent[v] != v {
+		v = s.parent[v]
+	}
+	return v
+}
+
+// pushTask is a deferred addEdge prefix push: deliver from's first lim
+// processed tokens across the new from→to edge. Tasks are recorded when a
+// barrier-time trigger adds an edge (the sequential engine pushes inline at
+// that point) and executed as scan work in the next epoch, which moves the
+// membership checks — the dominant cost on dispatch-dense graphs, where
+// most flow happens through call-resolution edges discovered mid-solve —
+// onto the workers. from and to are representatives and tokens[0:lim] is an
+// immutable prefix for the task's whole lifetime, because unification only
+// runs on epochs with no pending pushes.
+type pushTask struct {
+	from Var
+	to   Var
+	lim  int32
+}
+
+// Chunk kinds: a chunk scans either a slice of a shard's delivery frontier
+// or a slice of the deferred push-task list.
+const (
+	chunkFrontier = int8(iota)
+	chunkPush
+)
+
+// chunkRef identifies one contiguous run of a shard's frontier (kind
+// chunkFrontier) or of the active push-task list (kind chunkPush, shard -1).
+type chunkRef struct {
+	id    int32
+	shard int32
+	lo    int32
+	hi    int32
+	kind  int8
+}
+
+// chunkOut is the scan output of one chunk, indexed by the chunk's
+// deterministic id so its content never depends on which worker produced
+// it. Slices are parallel per delivery: ends[i] is the end offset of
+// delivery i's proposals in dests, edgeCnt[i] is the epoch-start edge count
+// (-1 when the delivery was already redundant at scan time), selfCnt[i] the
+// self-edges among them.
+type chunkOut struct {
+	dests   []Var
+	ends    []int32
+	edgeCnt []int32
+	selfCnt []int32
+	// idx caches each delivery token's position in its variable's token
+	// array at scan time, saving the barrier a membership lookup. Earlier
+	// barrier processing of the same variable can move the token (merge
+	// swaps), so the barrier validates tokens[idx] == t before trusting it.
+	idx []int32
+	// lcdDests are the destinations whose sets already contained the token
+	// at scan time — the sequential engine's lazy-cycle-detection signal —
+	// delimited per delivery by lcdEnds. The barrier replays them through
+	// noteLCD so cycle detection sees the same redundant-delivery evidence
+	// the sequential engine would, just at epoch rather than pop granularity.
+	lcdDests []Var
+	lcdEnds  []int32
+
+	// code and lcdKeep are written by the winnow phase, one entry per dests /
+	// lcdDests slot. Each slot is written by exactly one winnow worker (the
+	// owner of the destination's shard), so concurrent writes never alias.
+	code    []int8 // winnowWinner / winnowDup / winnowDupNewPair
+	lcdKeep []bool
+
+	// Push-chunk output (kind chunkPush): pushToks holds the membership-
+	// negative tokens of each task, delimited by pushEnds; pushRed records
+	// whether any token was already present (the bulk-push cycle signal).
+	// pushCode (per token) and pushPairNew (per task) are winnow verdicts.
+	pushToks    []Token
+	pushEnds    []int32
+	pushRed     []bool
+	pushCode    []int8
+	pushPairNew []bool
+}
+
+// Winnow verdicts for one proposal slot.
+const (
+	winnowWinner     = int8(iota) // first proposal of its (dest, token) this epoch: insert
+	winnowDup                     // duplicate, LCD pair already known: skip entirely
+	winnowDupNewPair              // duplicate carrying a new cycle-detection pair
+)
+
+// winKey identifies a proposed insertion within an epoch.
+type winKey struct {
+	w Var
+	t Token
+}
+
+// wsDeque is a fixed-content Chase-Lev work-stealing deque: the owner pops
+// from the bottom (LIFO, cache-warm), thieves steal from the top with a
+// CAS. The item array is filled before the workers start and never written
+// afterwards, so the classic ring-buffer growth races cannot occur; top and
+// bottom are the only shared mutable words.
+type wsDeque struct {
+	items  []chunkRef
+	top    atomic.Int64
+	bottom atomic.Int64
+	// pad keeps neighboring deques off one cache line under false sharing.
+	_ [64]byte
+}
+
+func (d *wsDeque) reset() {
+	d.items = d.items[:0]
+	d.top.Store(0)
+	d.bottom.Store(0)
+}
+
+func (d *wsDeque) push(c chunkRef) {
+	// Pre-distribution only: runs before the workers launch.
+	d.items = append(d.items, c)
+	d.bottom.Store(int64(len(d.items)))
+}
+
+// popBottom takes the owner's next chunk, or reports an empty deque.
+func (d *wsDeque) popBottom() (chunkRef, bool) {
+	b := d.bottom.Add(-1)
+	t := d.top.Load()
+	if t > b {
+		d.bottom.Store(b + 1)
+		return chunkRef{}, false
+	}
+	c := d.items[b]
+	if t == b {
+		// Last item: contend with thieves for it via the top CAS.
+		if !d.top.CompareAndSwap(t, t+1) {
+			d.bottom.Store(b + 1)
+			return chunkRef{}, false
+		}
+		d.bottom.Store(b + 1)
+	}
+	return c, true
+}
+
+// stealTop takes the oldest chunk from a victim's deque. The third result
+// reports whether the deque looked nonempty (a failed CAS counts: someone
+// else won the race, so the thief should keep scanning victims).
+func (d *wsDeque) stealTop() (chunkRef, bool, bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return chunkRef{}, false, false
+	}
+	c := d.items[t]
+	if !d.top.CompareAndSwap(t, t+1) {
+		return chunkRef{}, false, true
+	}
+	return c, true, true
+}
+
+// parallelEngine holds the reusable epoch state of one solver. All fields
+// are owned by the solver goroutine outside the scan phase; during a scan,
+// shardFrontier/chunks are read-only, outs entries are written by exactly
+// one worker each (chunks are claimed exactly once), and the deques
+// synchronize claiming.
+type parallelEngine struct {
+	workers int
+	stats   ParallelSolveStats
+	// shardDelivered counts barrier-processed deliveries per shard —
+	// deterministic, used to observe shard balance.
+	shardDelivered [nShards]int64
+
+	shardFrontier [nShards][]delivery
+	chunks        []chunkRef
+	outs          []chunkOut
+	deques        []wsDeque
+
+	// deferPush is set for the duration of a barrier: addEdge calls from
+	// triggers record pushTasks instead of pushing token prefixes inline.
+	// partition moves the accumulated tasks into pushActive, whose chunks
+	// the next scan executes.
+	deferPush  bool
+	pushTasks  []pushTask
+	pushActive []pushTask
+	// sinceLCD counts epochs since the last collapse round, pacing
+	// lcdEpochStride.
+	sinceLCD int
+
+	// Winnow scratch: per-destination-shard stamp maps. An entry is live
+	// only when its value equals winStamp, so epochs never clear them; the
+	// maps are reallocated when they grow past winScratchMax (a memory
+	// bound, invisible to semantics).
+	winStamp int32
+	winTok   [nShards]map[winKey]int32
+	winPair  [nShards]map[edgePair]int32
+}
+
+// winScratchMax bounds a winnow scratch map's size before reallocation.
+const winScratchMax = 1 << 16
+
+func newParallelEngine(workers int) *parallelEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	return &parallelEngine{workers: workers, deques: make([]wsDeque, workers)}
+}
+
+// configureParallel switches the solver to the epoch engine with the given
+// worker count (≤ 0 keeps the sequential engine).
+func (s *solver) configureParallel(workers int) {
+	if workers > 0 {
+		s.par = newParallelEngine(workers)
+	} else {
+		s.par = nil
+	}
+}
+
+// solveParallel is the epoch-engine counterpart of the sequential pop loop
+// in solve. Between epochs it runs the identical LCD/sweep cadence; within
+// an epoch the frontier is scanned in parallel and reconciled at the
+// barrier.
+func (s *solver) solveParallel() {
+	p := s.par
+	// Entry sweep, as in the sequential engine.
+	s.collapseAllSCCs()
+	for s.head < len(s.queue) || len(p.pushTasks) > 0 {
+		budget := 0 // unlimited
+		if len(s.lcdPending) > 0 {
+			// Keep epochs short while cycle evidence is outstanding, so the
+			// next collapse round arrives after a bounded amount of possibly
+			// redundant work.
+			budget = cycleEpochCap
+			p.sinceLCD++
+		}
+		if (len(s.lcdPending) > 0 && (len(p.pushTasks) == 0 || p.sinceLCD >= lcdEpochStride)) || s.iterations >= s.nextSweep {
+			// Unification (cycle collapse, periodic sweeps) may rebuild token
+			// arrays and retire representatives, which would invalidate the
+			// frozen prefixes and frozen reps of pending push tasks — so any
+			// still-deferred pushes are applied inline (the sequential
+			// addEdge path, same accounting) before collapsing. Cycle-dense
+			// stretches thereby degrade toward the sequential engine, as the
+			// short-epoch budget above already makes them.
+			p.flushPushes(s)
+			p.sinceLCD = 0
+			if len(s.lcdPending) > 0 {
+				s.runLCD()
+			}
+			if s.iterations >= s.nextSweep {
+				s.collapseAllSCCs()
+				s.nextSweep = s.iterations + s.sweepInterval()
+			}
+		}
+		p.partition(s, budget)
+		nw := p.scan(s)
+		p.winnow(s, nw)
+		p.barrier(s)
+		p.stats.Epochs++
+	}
+	s.queue = s.queue[:0]
+	s.head = 0
+}
+
+// partition drains the delivery queue — all of it, or at most budget
+// entries when cycle detection asked for a short epoch — into per-shard
+// frontiers (resolving every address through find — single-threaded here,
+// so path compression is fine) and cuts them into chunks in shard-ascending
+// order. Chunk ids are assigned in that fixed order, making every
+// downstream index deterministic.
+func (p *parallelEngine) partition(s *solver, budget int) {
+	for i := range p.shardFrontier {
+		p.shardFrontier[i] = p.shardFrontier[i][:0]
+	}
+	n := len(s.queue) - s.head
+	if budget > 0 && n > budget {
+		n = budget
+	}
+	for _, d := range s.queue[s.head : s.head+n] {
+		v := s.find(d.v)
+		sh := shardOfRep(v)
+		p.shardFrontier[sh] = append(p.shardFrontier[sh], delivery{v, d.t})
+	}
+	s.head += n
+	if s.head == len(s.queue) {
+		s.queue = s.queue[:0]
+		s.head = 0
+	} else if s.head >= queueCompactMin && s.head*2 >= len(s.queue) {
+		// Same compaction policy as the sequential pop loop.
+		m := copy(s.queue, s.queue[s.head:])
+		s.queue = s.queue[:m]
+		s.head = 0
+	}
+	p.chunks = p.chunks[:0]
+	for sh := 0; sh < nShards; sh++ {
+		n := len(p.shardFrontier[sh])
+		for lo := 0; lo < n; lo += epochChunk {
+			hi := lo + epochChunk
+			if hi > n {
+				hi = n
+			}
+			p.chunks = append(p.chunks,
+				chunkRef{id: int32(len(p.chunks)), shard: int32(sh), lo: int32(lo), hi: int32(hi)})
+		}
+	}
+	// Deferred prefix pushes from the previous barrier run as scan work this
+	// epoch, chunked by token weight so one wide push cannot unbalance the
+	// steal deques. Their chunks follow the frontier chunks in the fixed
+	// barrier order.
+	p.pushActive, p.pushTasks = p.pushTasks, p.pushActive[:0]
+	const pushChunkWeight = 2048
+	for lo, weight := 0, int32(0); lo < len(p.pushActive); {
+		hi := lo
+		for hi < len(p.pushActive) && (hi == lo || weight+p.pushActive[hi].lim <= pushChunkWeight) {
+			weight += p.pushActive[hi].lim
+			hi++
+		}
+		p.chunks = append(p.chunks,
+			chunkRef{id: int32(len(p.chunks)), shard: -1, lo: int32(lo), hi: int32(hi), kind: chunkPush})
+		lo, weight = hi, 0
+	}
+}
+
+// scan runs the read-only proposal phase over every chunk and returns the
+// effective worker count for the epoch (1 when it ran inline), which the
+// winnow phase reuses. Small frontiers (or a single worker) run inline on
+// the solver goroutine; larger ones are distributed round-robin over the
+// worker deques and scanned concurrently.
+func (p *parallelEngine) scan(s *solver) int {
+	t0 := time.Now()
+	nc := len(p.chunks)
+	for cap(p.outs) < nc {
+		p.outs = append(p.outs[:cap(p.outs)], chunkOut{})
+	}
+	p.outs = p.outs[:nc]
+
+	frontier := 0
+	for sh := range p.shardFrontier {
+		frontier += len(p.shardFrontier[sh])
+	}
+	for i := range p.pushActive {
+		// A push task is scan work proportional to its prefix length.
+		frontier += int(p.pushActive[i].lim)
+	}
+	nw := p.workers
+	if nw > nc {
+		nw = nc
+	}
+	if nw <= 1 || frontier <= inlineFrontierMax {
+		for i := range p.chunks {
+			c := p.chunks[i]
+			p.scanChunk(s, c, &p.outs[c.id])
+		}
+		p.stats.ScanNS += time.Since(t0).Nanoseconds()
+		return 1
+	}
+
+	for wi := 0; wi < nw; wi++ {
+		p.deques[wi].reset()
+	}
+	for i := range p.chunks {
+		p.deques[i%nw].push(p.chunks[i])
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			p.runWorker(s, wi, nw)
+		}(wi)
+	}
+	wg.Wait()
+	p.stats.ScanNS += time.Since(t0).Nanoseconds()
+	return nw
+}
+
+// runWorker drains the worker's own deque bottom-first, then steals chunks
+// from other workers until no deque has work left. No new chunks appear
+// during a scan, so an all-empty sweep over the victims is a sound
+// termination condition.
+func (p *parallelEngine) runWorker(s *solver, wi, nw int) {
+	d := &p.deques[wi]
+	var steals int64
+	for {
+		c, ok := d.popBottom()
+		if !ok {
+			c, ok = p.stealAny(wi, nw, &steals)
+			if !ok {
+				break
+			}
+		}
+		p.scanChunk(s, c, &p.outs[c.id])
+	}
+	if steals > 0 {
+		atomic.AddInt64(&p.stats.Steals, steals)
+	}
+}
+
+func (p *parallelEngine) stealAny(wi, nw int, steals *int64) (chunkRef, bool) {
+	for {
+		sawWork := false
+		for k := 1; k < nw; k++ {
+			v := &p.deques[(wi+k)%nw]
+			c, ok, nonempty := v.stealTop()
+			if ok {
+				*steals++
+				return c, true
+			}
+			if nonempty {
+				sawWork = true
+			}
+		}
+		if !sawWork {
+			return chunkRef{}, false
+		}
+	}
+}
+
+// scanChunk computes one chunk's proposals. Strictly read-only over solver
+// state: it may only call findRO (no compression), indexOf/hasToken
+// (membership reads), and read edge slices. Its output depends only on the
+// epoch-start state and the chunk bounds — never on scheduling.
+func (p *parallelEngine) scanChunk(s *solver, c chunkRef, out *chunkOut) {
+	if c.kind == chunkPush {
+		p.scanPushChunk(s, c, out)
+		return
+	}
+	f := p.shardFrontier[c.shard][c.lo:c.hi]
+	out.dests = out.dests[:0]
+	out.ends = out.ends[:0]
+	out.edgeCnt = out.edgeCnt[:0]
+	out.selfCnt = out.selfCnt[:0]
+	out.idx = out.idx[:0]
+	out.lcdDests = out.lcdDests[:0]
+	out.lcdEnds = out.lcdEnds[:0]
+	for _, d := range f {
+		st := s.state(d.v)
+		idx := st.indexOf(d.t)
+		out.idx = append(out.idx, int32(idx))
+		if idx < st.delivered {
+			// Already processed when the epoch started (a duplicate queue
+			// entry from before a merge); the barrier will skip it too.
+			out.edgeCnt = append(out.edgeCnt, -1)
+			out.selfCnt = append(out.selfCnt, 0)
+			out.ends = append(out.ends, int32(len(out.dests)))
+			out.lcdEnds = append(out.lcdEnds, int32(len(out.lcdDests)))
+			continue
+		}
+		self := int32(0)
+		for _, e := range st.edges {
+			w := s.findRO(e)
+			if w == d.v {
+				self++
+				continue
+			}
+			if s.state(w).hasToken(d.t) {
+				// Redundant delivery: the cycle-detection signal. Pairs the
+				// solver has already checked (lcdChecked is written only
+				// between scans, so reading it here is race-free and
+				// deterministic) would be dropped by noteLCD anyway — filter
+				// them in parallel instead of serially in the barrier. On
+				// dispatch-heavy graphs this is most of the traffic.
+				if _, done := s.lcdChecked[edgePair{d.v, w}]; !done {
+					out.lcdDests = append(out.lcdDests, w)
+				}
+			} else {
+				out.dests = append(out.dests, w)
+			}
+		}
+		out.edgeCnt = append(out.edgeCnt, int32(len(st.edges)))
+		out.selfCnt = append(out.selfCnt, self)
+		out.ends = append(out.ends, int32(len(out.dests)))
+		out.lcdEnds = append(out.lcdEnds, int32(len(out.lcdDests)))
+	}
+	// Pre-size the winnow verdict arrays; the winnow workers fill every slot.
+	if cap(out.code) < len(out.dests) {
+		out.code = make([]int8, len(out.dests))
+	}
+	out.code = out.code[:len(out.dests)]
+	if cap(out.lcdKeep) < len(out.lcdDests) {
+		out.lcdKeep = make([]bool, len(out.lcdDests))
+	}
+	out.lcdKeep = out.lcdKeep[:len(out.lcdDests)]
+}
+
+// scanPushChunk scans a run of deferred prefix pushes: for each task it
+// membership-filters the frozen token prefix against the destination's set.
+// Read-only like the frontier scan — from/to are stable representatives
+// (no unification while pushes are pending) and the prefix is immutable.
+func (p *parallelEngine) scanPushChunk(s *solver, c chunkRef, out *chunkOut) {
+	tasks := p.pushActive[c.lo:c.hi]
+	out.pushToks = out.pushToks[:0]
+	out.pushEnds = out.pushEnds[:0]
+	out.pushRed = out.pushRed[:0]
+	for i := range tasks {
+		tk := tasks[i]
+		src := s.state(tk.from)
+		dst := s.state(tk.to)
+		red := false
+		for j := int32(0); j < tk.lim; j++ {
+			t := src.tokens[j]
+			if dst.hasToken(t) {
+				red = true
+			} else {
+				out.pushToks = append(out.pushToks, t)
+			}
+		}
+		out.pushRed = append(out.pushRed, red)
+		out.pushEnds = append(out.pushEnds, int32(len(out.pushToks)))
+	}
+	if cap(out.pushCode) < len(out.pushToks) {
+		out.pushCode = make([]int8, len(out.pushToks))
+	}
+	out.pushCode = out.pushCode[:len(out.pushToks)]
+	if cap(out.pushPairNew) < len(tasks) {
+		out.pushPairNew = make([]bool, len(tasks))
+	}
+	out.pushPairNew = out.pushPairNew[:len(tasks)]
+}
+
+// flushPushes applies any pending deferred pushes inline, exactly as the
+// sequential addEdge would have at trigger time: counted attempts and one
+// cycle note per redundant push. Called before unification, whose merges
+// would invalidate the tasks' frozen prefixes.
+func (p *parallelEngine) flushPushes(s *solver) {
+	for _, tk := range p.pushTasks {
+		st := s.state(tk.from)
+		noted := false
+		for i := int32(0); i < tk.lim; i++ {
+			if !s.addTokenRep(tk.to, st.tokens[i]) && !noted {
+				s.noteLCD(tk.from, tk.to)
+				noted = true
+			}
+		}
+	}
+	p.pushTasks = p.pushTasks[:0]
+}
+
+// winnow is the combining phase between scan and barrier: it walks every
+// chunk's proposals in exact barrier order and, per destination shard,
+// resolves same-epoch duplicates — diamond-shaped graphs propose the same
+// (destination, token) pair from many sources within one epoch, and without
+// this phase every duplicate would cost the sequential barrier a membership
+// lookup plus a cycle-pair lookup. The first proposal in barrier order wins
+// (winnowWinner); later ones are marked winnowDup, or winnowDupNewPair for
+// the first duplicate carrying a source→dest pair that lazy cycle detection
+// has not checked yet. lcdDests slots get the same per-pair dedup.
+//
+// Determinism: verdicts for a destination shard depend only on that shard's
+// proposal sequence in fixed chunk order and on epoch-start lcdChecked —
+// never on which worker processed the shard — so the barrier's behavior
+// (and hence all counters) is identical at every worker count, and
+// identical to running this phase inline. Workers partition by destination
+// shard (shard mod nw), so scratch maps are never shared; verdict slots are
+// written by exactly one worker each.
+func (p *parallelEngine) winnow(s *solver, nw int) {
+	t0 := time.Now()
+	defer func() { p.stats.ScanNS += time.Since(t0).Nanoseconds() }()
+	p.winStamp++
+	if nw <= 1 {
+		p.winnowShards(s, 0, 1) // stride 1: one walk handles every shard
+		return
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		wg.Add(1)
+		go func(wi int32) {
+			defer wg.Done()
+			p.winnowShards(s, wi, int32(nw))
+		}(int32(wi))
+	}
+	wg.Wait()
+}
+
+// winnowShards computes the verdicts of every destination shard congruent to
+// first modulo stride, walking all chunks in barrier order.
+func (p *parallelEngine) winnowShards(s *solver, first, stride int32) {
+	stamp := p.winStamp
+	for ci := range p.chunks {
+		c := p.chunks[ci]
+		out := &p.outs[c.id]
+		if c.kind == chunkPush {
+			p.winnowPushChunk(s, c, out, first, stride, stamp)
+			continue
+		}
+		f := p.shardFrontier[c.shard][c.lo:c.hi]
+		pstart, lstart := int32(0), int32(0)
+		for di := range f {
+			d := f[di]
+			pend, lend := out.ends[di], out.lcdEnds[di]
+			for pi := pstart; pi < pend; pi++ {
+				w := out.dests[pi]
+				sh := shardOfRep(w)
+				if stride > 1 && sh%stride != first {
+					continue
+				}
+				wt := p.winTok[sh]
+				if wt == nil || len(wt) > winScratchMax {
+					wt = make(map[winKey]int32)
+					p.winTok[sh] = wt
+				}
+				key := winKey{w, d.t}
+				if wt[key] != stamp {
+					wt[key] = stamp
+					out.code[pi] = winnowWinner
+					continue
+				}
+				out.code[pi] = p.winnowPair(s, sh, edgePair{d.v, w}, stamp)
+			}
+			for li := lstart; li < lend; li++ {
+				w := out.lcdDests[li]
+				sh := shardOfRep(w)
+				if stride > 1 && sh%stride != first {
+					continue
+				}
+				out.lcdKeep[li] = p.winnowPair(s, sh, edgePair{d.v, w}, stamp) == winnowDupNewPair
+			}
+			pstart, lstart = pend, lend
+		}
+	}
+}
+
+// winnowPushChunk computes verdicts for a push chunk: per-token winner
+// selection against the same (dest, token) stamp maps the frontier
+// proposals use — the shared keying is what makes a cross-kind duplicate
+// (a queued delivery and a prefix push proposing the same insertion) resolve
+// to exactly one winner — plus one cycle-pair verdict per task, since every
+// redundancy in a push carries the same (from, to) pair.
+func (p *parallelEngine) winnowPushChunk(s *solver, c chunkRef, out *chunkOut, first, stride, stamp int32) {
+	tasks := p.pushActive[c.lo:c.hi]
+	pstart := int32(0)
+	for ti := range tasks {
+		tk := tasks[ti]
+		pend := out.pushEnds[ti]
+		sh := shardOfRep(tk.to)
+		if stride > 1 && sh%stride != first {
+			pstart = pend
+			continue
+		}
+		pairWant := out.pushRed[ti]
+		wt := p.winTok[sh]
+		if wt == nil || len(wt) > winScratchMax {
+			wt = make(map[winKey]int32)
+			p.winTok[sh] = wt
+		}
+		for pi := pstart; pi < pend; pi++ {
+			key := winKey{tk.to, out.pushToks[pi]}
+			if wt[key] != stamp {
+				wt[key] = stamp
+				out.pushCode[pi] = winnowWinner
+			} else {
+				out.pushCode[pi] = winnowDup
+				pairWant = true
+			}
+		}
+		out.pushPairNew[ti] = pairWant &&
+			p.winnowPair(s, sh, edgePair{tk.from, tk.to}, stamp) == winnowDupNewPair
+		pstart = pend
+	}
+}
+
+// winnowPair classifies a redundant delivery's source→dest pair: the first
+// sighting this epoch of a pair lazy cycle detection has not checked yet is
+// the one the barrier must hand to noteLCD. lcdChecked is written only
+// between epochs, so reading it here is race-free.
+func (p *parallelEngine) winnowPair(s *solver, sh int32, pair edgePair, stamp int32) int8 {
+	if _, done := s.lcdChecked[pair]; done {
+		return winnowDup
+	}
+	wp := p.winPair[sh]
+	if wp == nil || len(wp) > winScratchMax {
+		wp = make(map[edgePair]int32)
+		p.winPair[sh] = wp
+	}
+	if wp[pair] == stamp {
+		return winnowDup
+	}
+	wp[pair] = stamp
+	return winnowDupNewPair
+}
+
+// barrier replays the frontier in fixed order (shards ascending, per-shard
+// sequence order), applying each delivery exactly as the sequential pop
+// loop would have: proposals insert and schedule their token, effort
+// counters account the scanned edges, edges added *during* this barrier by
+// earlier triggers are covered by the delta scan, and the delivery's
+// triggers fire last. All mutation of solver and analyzer state happens
+// here, on the solver goroutine.
+func (p *parallelEngine) barrier(s *solver) {
+	t0 := time.Now()
+	// Triggers fired below may add edges; their prefix pushes are deferred
+	// into next epoch's scan (see addEdge).
+	p.deferPush = true
+	defer func() { p.deferPush = false }()
+	for ci := range p.chunks {
+		c := p.chunks[ci]
+		out := &p.outs[c.id]
+		if c.kind == chunkPush {
+			p.applyPushChunk(s, c, out)
+			continue
+		}
+		f := p.shardFrontier[c.shard][c.lo:c.hi]
+		pstart, lstart := int32(0), int32(0)
+		for di := range f {
+			d := f[di]
+			pend, lend := out.ends[di], out.lcdEnds[di]
+			s.iterations++
+			st := s.state(d.v)
+			idx := int(out.idx[di])
+			if idx >= len(st.tokens) || st.tokens[idx] != d.t {
+				// The scan-time position went stale (an earlier merge-swap in
+				// this barrier moved the token); fall back to a lookup.
+				idx = st.indexOf(d.t)
+			}
+			if idx < st.delivered {
+				// Redundant: either the scan already saw it processed, or a
+				// duplicate earlier in this barrier processed it (duplicates
+				// carry identical proposals, so nothing is lost).
+				s.redundantSkipped++
+				pstart, lstart = pend, lend
+				continue
+			}
+			ec := out.edgeCnt[di]
+			for pi := pstart; pi < pend; pi++ {
+				w := out.dests[pi]
+				switch out.code[pi] {
+				case winnowWinner:
+					// The scan counted this attempt (below); insert quietly.
+					// A delta-scan insert from an earlier delivery may have
+					// landed already — addTokenQuiet's membership check
+					// absorbs it, and the redundant insert is cycle-detection
+					// evidence exactly as in the sequential engine.
+					if !s.addTokenQuiet(w, d.t) {
+						s.noteLCD(d.v, w)
+					} else if shardOfRep(w) != c.shard {
+						p.stats.CrossShard++
+					}
+				case winnowDupNewPair:
+					// noteLCD re-checks lcdChecked: an inline quiet-fail above
+					// may have claimed the pair first.
+					s.noteLCD(d.v, w)
+				}
+			}
+			for li := lstart; li < lend; li++ {
+				if out.lcdKeep[li] {
+					s.noteLCD(d.v, out.lcdDests[li])
+				}
+			}
+			pstart, lstart = pend, lend
+			// Exact sequential accounting: every non-self edge was one
+			// delivery attempt, every self-edge one redundant skip.
+			s.tokensDelivered += int64(ec - out.selfCnt[di])
+			s.redundantSkipped += int64(out.selfCnt[di])
+			// Delta scan: edges appended to this variable during the barrier
+			// (by triggers of earlier deliveries) are invisible to the scan
+			// phase; deliver across them now, with the sequential engine's
+			// counting and lazy-cycle-detection signal. No collapse runs
+			// during a barrier, so edges[ec:] is exactly the appended delta.
+			for j := int(ec); j < len(st.edges); j++ {
+				to := s.find(st.edges[j])
+				if to == d.v {
+					s.redundantSkipped++
+					continue
+				}
+				if !s.addTokenRep(to, d.t) {
+					s.noteLCD(d.v, to)
+				}
+			}
+			if idx != st.delivered {
+				st.swapTokens(idx, st.delivered)
+			}
+			st.delivered++
+			p.shardDelivered[c.shard]++
+			// Trigger snapshot, as in the sequential loop: triggers
+			// registered by these very triggers already saw d.t through the
+			// registration-time replay.
+			n := len(st.triggers)
+			for i := 0; i < n; i++ {
+				st.triggers[i](d.t)
+			}
+		}
+	}
+	p.stats.BarrierNS += time.Since(t0).Nanoseconds()
+}
+
+// applyPushChunk applies a push chunk's winnowed proposals with the
+// sequential addEdge's exact accounting: every token of the frozen prefix
+// was one delivery attempt, and a redundant push notes its (from, to) pair
+// for lazy cycle detection at most once.
+func (p *parallelEngine) applyPushChunk(s *solver, c chunkRef, out *chunkOut) {
+	tasks := p.pushActive[c.lo:c.hi]
+	pstart := int32(0)
+	for ti := range tasks {
+		tk := tasks[ti]
+		pend := out.pushEnds[ti]
+		noted := false
+		for pi := pstart; pi < pend; pi++ {
+			if out.pushCode[pi] != winnowWinner {
+				continue
+			}
+			// A winner can still lose to an insert applied earlier in this
+			// same barrier (a frontier proposal or another push); the
+			// membership check in addTokenQuiet absorbs it, with the same
+			// one-note-per-push cycle evidence as the inline path.
+			if !s.addTokenQuiet(tk.to, out.pushToks[pi]) {
+				if !noted {
+					s.noteLCD(tk.from, tk.to)
+					noted = true
+				}
+			} else if shardOfRep(tk.to) != shardOfRep(tk.from) {
+				p.stats.CrossShard++
+			}
+		}
+		if out.pushPairNew[ti] {
+			s.noteLCD(tk.from, tk.to)
+		}
+		s.tokensDelivered += int64(tk.lim)
+		pstart = pend
+	}
+}
+
+// parallelStats snapshots the epoch engine's counters so far (zero when
+// the sequential engine is configured).
+func (s *solver) parallelStats() ParallelSolveStats {
+	if s.par == nil {
+		return ParallelSolveStats{}
+	}
+	return s.par.stats
+}
+
+// addTokenQuiet inserts t into representative v's set and schedules its
+// processing, without counting a delivery attempt: the barrier accounts
+// attempts from the scan-phase edge counts, so counting here would double
+// them. Used only for applying scan proposals.
+func (s *solver) addTokenQuiet(v Var, t Token) bool {
+	st := s.state(v)
+	if st.hasToken(t) {
+		return false
+	}
+	st.appendToken(t)
+	s.queue = append(s.queue, delivery{v, t})
+	return true
+}

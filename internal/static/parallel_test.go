@@ -1,0 +1,209 @@
+package static
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// workerCounts are the arms every determinism test runs; workers=1 matters
+// because it exercises the epoch engine's partition/scan/barrier machinery
+// without concurrency, so a divergence there is a logic bug rather than a
+// race.
+var workerCounts = []int{1, 2, 4, 8}
+
+// TestParallelSolverMatchesSequential is the randomized differential test
+// of the epoch-based parallel engine against the sequential cycle-collapsing
+// engine: identical random constraint graphs with interleaved solves and
+// checkpoints, compared on final sets, every checkpoint's frozen views, and
+// trigger deliveries. Effort/structure counters are required to be identical
+// across all parallel worker counts (the engine is deterministic by
+// construction) and within a bounded factor of the sequential engine's —
+// cycle collapse lands at epoch rather than pop granularity, so exact
+// equality with the sequential counters is not a design goal (see
+// parallel.go), but gross divergence would mean the LCD signal is lost.
+func TestParallelSolverMatchesSequential(t *testing.T) {
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		nVars := 20 + rng.Intn(60)
+		rounds := 1 + rng.Intn(3)
+
+		sq := newSolver()
+		cpsSeq, firedSeq := randomOps(seed, sq, nVars, rounds)
+		seqIters, seqDelivered := sq.stats()
+
+		var refIters, refDelivered int64
+		var refStruct StructureStats
+		for wi, workers := range workerCounts {
+			sp := newSolver()
+			sp.configureParallel(workers)
+			cpsPar, firedPar := randomOps(seed, sp, nVars, rounds)
+
+			for v := 0; v < nVars; v++ {
+				gs := sortedTokens(sq.tokens(Var(v)))
+				gp := sortedTokens(sp.tokens(Var(v)))
+				if !tokensEqual(gs, gp) {
+					t.Fatalf("seed %d workers %d: var %d final sets differ: sequential %v, parallel %v",
+						seed, workers, v, gs, gp)
+				}
+				for k := range cpsSeq {
+					fs := sortedTokens(sq.tokensAt(cpsSeq[k], Var(v)))
+					fp := sortedTokens(sp.tokensAt(cpsPar[k], Var(v)))
+					if !tokensEqual(fs, fp) {
+						t.Fatalf("seed %d workers %d: var %d checkpoint %d frozen views differ: sequential %v, parallel %v",
+							seed, workers, v, k, fs, fp)
+					}
+				}
+			}
+			if len(firedPar) != len(firedSeq) {
+				t.Fatalf("seed %d workers %d: trigger deliveries differ: parallel %d pairs, sequential %d",
+					seed, workers, len(firedPar), len(firedSeq))
+			}
+			for k, n := range firedPar {
+				if n != 1 || firedSeq[k] != 1 {
+					t.Fatalf("seed %d workers %d: delivery %v fired %d times (sequential %d)",
+						seed, workers, k, n, firedSeq[k])
+				}
+			}
+
+			parIters, parDelivered := sp.stats()
+			parStruct := sp.structure()
+			if wi == 0 {
+				refIters, refDelivered, refStruct = parIters, parDelivered, parStruct
+				if parDelivered > 2*seqDelivered || parIters > 2*seqIters {
+					t.Fatalf("seed %d: parallel effort more than doubled the sequential engine's: %d iters / %d tokens vs %d / %d — LCD signal lost?",
+						seed, parIters, parDelivered, seqIters, seqDelivered)
+				}
+			} else {
+				if parIters != refIters || parDelivered != refDelivered {
+					t.Fatalf("seed %d workers %d: effort counters differ across worker counts: %d iters / %d tokens vs %d / %d at workers=%d",
+						seed, workers, parIters, parDelivered, refIters, refDelivered, workerCounts[0])
+				}
+				if parStruct != refStruct {
+					t.Fatalf("seed %d workers %d: structure counters differ across worker counts: %+v vs %+v at workers=%d",
+						seed, workers, parStruct, refStruct, workerCounts[0])
+				}
+			}
+			if st := sp.parallelStats(); st.Epochs == 0 {
+				t.Fatalf("seed %d workers %d: parallel engine recorded no epochs — sequential path ran instead", seed, workers)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministicAcrossWorkers pins the stronger property the
+// epoch barrier is designed for: not just that every worker count matches
+// the sequential engine, but that the scheduling-independent parallel
+// diagnostics (epochs, per-shard delivery totals, cross-shard deliveries)
+// are themselves identical at every worker count.
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		var refStats *ParallelSolveStats
+		for _, workers := range workerCounts {
+			s := newSolver()
+			s.configureParallel(workers)
+			randomOps(seed, s, 50, 2)
+			st := s.parallelStats()
+			if refStats == nil {
+				refStats = &st
+				continue
+			}
+			if st.Epochs != refStats.Epochs || st.CrossShard != refStats.CrossShard {
+				t.Fatalf("seed %d workers %d: scheduling-independent stats differ: %+v vs %+v at workers=1",
+					seed, workers, st, *refStats)
+			}
+		}
+	}
+}
+
+// TestParallelConcurrentScanPath forces every epoch — even one-delivery
+// frontiers — through the goroutine-and-deque scan path and re-checks the
+// differential against the sequential engine. With -race this is the test
+// that actually exercises the Chase-Lev deques and concurrent findRO walks;
+// the frontiers of the other tests often fit under inlineFrontierMax.
+func TestParallelConcurrentScanPath(t *testing.T) {
+	saved := inlineFrontierMax
+	inlineFrontierMax = 0
+	defer func() { inlineFrontierMax = saved }()
+
+	for seed := int64(0); seed < 6; seed++ {
+		sq := newSolver()
+		_, firedSeq := randomOps(seed, sq, 60, 2)
+		for _, workers := range []int{2, 4, 8} {
+			sp := newSolver()
+			sp.configureParallel(workers)
+			_, firedPar := randomOps(seed, sp, 60, 2)
+			for v := 0; v < 60; v++ {
+				if !tokensEqual(sortedTokens(sq.tokens(Var(v))), sortedTokens(sp.tokens(Var(v)))) {
+					t.Fatalf("seed %d workers %d: var %d final sets differ on forced-concurrent path", seed, workers, v)
+				}
+			}
+			if len(firedPar) != len(firedSeq) {
+				t.Fatalf("seed %d workers %d: trigger deliveries differ on forced-concurrent path", seed, workers)
+			}
+		}
+	}
+}
+
+// TestParallelRollbackWindowFallsBackSequential checks the exact no-unify
+// configurations (reference solver, rollback windows) never enter the
+// parallel engine even when workers are configured: the dispatch in solve()
+// must route them to the sequential loop.
+func TestParallelRollbackWindowFallsBackSequential(t *testing.T) {
+	s := newReferenceSolver()
+	s.configureParallel(4)
+	randomOps(7, s, 30, 2)
+	if st := s.parallelStats(); st.Epochs != 0 {
+		t.Fatalf("no-unify solver ran %d parallel epochs; must stay sequential", st.Epochs)
+	}
+}
+
+// TestAnalyzeParallelMatchesSequentialProject runs the full analysis
+// pipeline (not just the bare solver) on the paper's motivating Express
+// example at every worker count and requires identical call graphs and
+// counters.
+func TestAnalyzeParallelMatchesSequentialProject(t *testing.T) {
+	project := motivating()
+	ref, err := Analyze(project, Options{Mode: Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts {
+		got, err := Analyze(project, Options{Mode: Baseline, SolverWorkers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Graph.Equal(ref.Graph) {
+			t.Fatalf("workers %d: call graph differs from sequential", workers)
+		}
+		if got.SolveIterations != ref.SolveIterations || got.TokensDelivered != ref.TokensDelivered {
+			t.Fatalf("workers %d: effort differs: %d iters / %d tokens vs sequential %d / %d",
+				workers, got.SolveIterations, got.TokensDelivered, ref.SolveIterations, ref.TokensDelivered)
+		}
+		if got.Structure != ref.Structure {
+			t.Fatalf("workers %d: structure counters differ: %+v vs %+v", workers, got.Structure, ref.Structure)
+		}
+	}
+}
+
+// BenchmarkSolverParallel measures raw solver throughput per worker count
+// on a dense random system (go test -bench SolverParallel -benchtime ...).
+func BenchmarkSolverParallel(b *testing.B) {
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			s := newSolver()
+			if workers > 0 {
+				s.configureParallel(workers)
+			}
+			randomOps(1, s, 400, 3)
+		}
+	}
+	b.Run("seq", func(b *testing.B) { run(b, 0) })
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) { run(b, w) })
+	}
+}

@@ -53,8 +53,24 @@ const lcdSearchBudget = 2048
 // this analysis form late — call-processing triggers add the closing edges
 // mid-solve — and a cycle only pays off while propagation through it is
 // still happening: per-module solves run a few thousand iterations total,
-// so an interval in the tens of thousands would never fire.
+// so an interval in the tens of thousands would never fire. Graphs large
+// enough that a full pass every 1024 iterations would itself dominate the
+// solve use the size-scaled interval from sweepInterval instead.
 const sccSweepInterval = 1024
+
+// sweepInterval is the iteration gap between periodic SCC sweeps: the
+// fixed sccSweepInterval for corpus-sized graphs (nVars/4 does not exceed
+// 1024 until ~4k variables, so every corpus project keeps the exact
+// historical cadence), scaled linearly with graph size beyond that so the
+// O(V+E) pass stays a bounded fraction of solve time on mega-scale
+// projects. The sequential and epoch engines share this policy, so their
+// sweep cadences agree.
+func (s *solver) sweepInterval() int64 {
+	if v := int64(s.nVars) / 4; v > sccSweepInterval {
+		return v
+	}
+	return sccSweepInterval
+}
 
 // Var states live in fixed-size chunks so allocating a variable never
 // moves existing states: a growing flat []varState spends most of newVar
@@ -121,9 +137,25 @@ type solver struct {
 	// nextSweep is the iteration count at which the next periodic SCC
 	// sweep runs.
 	nextSweep int64
+	// sccDirty records whether any constraint edge was added since the
+	// last full SCC sweep. A sweep leaves the representative graph
+	// acyclic, and only new edges can close new cycles, so a sweep over a
+	// clean graph is a guaranteed no-op — collapseAllSCCs skips it. This
+	// is exact (identical collapse counters), not a heuristic, and it is
+	// what keeps the O(V+E) periodic sweep off the solver's critical path
+	// on large projects whose propagation phase adds no edges.
+	sccDirty bool
+	// par, when non-nil, routes solve through the sharded epoch engine
+	// (parallel.go). The exact no-unify mode (rollback windows, the
+	// reference engine) always takes the sequential pop loop: rollback
+	// depends on append-only mutation, and the epoch engine's value is
+	// moot without collapsing anyway.
+	par *parallelEngine
 	// Reusable sweep scratch (Tarjan index/lowlink/stacks), kept across
 	// sweeps to avoid re-allocating O(nVars) arrays every interval.
 	sweep sweepScratch
+	// Reusable pathBetween scratch (see lcdPathScratch).
+	lcdPath lcdPathScratch
 
 	// perf counters: fixpoint iterations (queue pops) and tokens delivered
 	// (insertion attempts on the hot path, i.e. addToken calls).
@@ -314,17 +346,33 @@ func (s *solver) addEdge(from, to Var) {
 		return
 	}
 	st.appendEdge(to)
+	s.sccDirty = true
+	if s.par != nil && s.par.deferPush && st.delivered > 0 {
+		// Inside a parallel barrier the prefix push is deferred into a scan
+		// task of the next epoch, so its membership checks run on the
+		// workers instead of serially here. The prefix [0:delivered] is
+		// immutable until the task runs (unification is gated off while
+		// pushes are pending), so recording the bound now is exact.
+		s.par.pushTasks = append(s.par.pushTasks,
+			pushTask{from: from, to: to, lim: int32(st.delivered)})
+		return
+	}
 	// Push only the processed prefix across the new edge: every pending
 	// token (the suffix) still has a live queue entry and will cross this
 	// edge when it pops — pushing it here too would deliver it twice.
+	noted := false
 	for i := 0; i < st.delivered; i++ {
-		if !s.addTokenRep(to, st.tokens[i]) && !s.noUnify {
+		if !s.addTokenRep(to, st.tokens[i]) && !s.noUnify && !noted {
 			// A redundant bulk push is the strongest cycle signal this
 			// analysis produces: closing edges are mostly added by call
 			// triggers after both sides' sets have settled, so the orbit
 			// deliveries classic lazy cycle detection watches for never
-			// happen — the redundancy shows up here instead.
+			// happen — the redundancy shows up here instead. One note per
+			// push suffices: noteLCD is keyed by the (from, to) pair, so
+			// every further redundant token in the same push is dropped by
+			// its dedup anyway.
 			s.noteLCD(from, to)
+			noted = true
 		}
 	}
 }
@@ -355,6 +403,10 @@ func (s *solver) onToken(v Var, fn func(Token)) {
 
 // solve runs propagation to a fixpoint.
 func (s *solver) solve() {
+	if s.par != nil && !s.noUnify {
+		s.solveParallel()
+		return
+	}
 	if !s.noUnify {
 		// Entry sweep: collapse every cycle the constraint generator (or a
 		// previous solve round plus injected deltas) built statically,
@@ -368,7 +420,7 @@ func (s *solver) solve() {
 			}
 			if s.iterations >= s.nextSweep {
 				s.collapseAllSCCs()
-				s.nextSweep = s.iterations + sccSweepInterval
+				s.nextSweep = s.iterations + s.sweepInterval()
 			}
 		}
 		d := s.queue[s.head]
@@ -456,12 +508,25 @@ func (s *solver) noteLCD(from, to Var) {
 	s.lcdPending = append(s.lcdPending, key)
 }
 
+// lcdSweepBatch is the pending-candidate count past which runLCD abandons
+// per-pair searches for one full Tarjan sweep: each search may visit up to
+// lcdSearchBudget nodes, so a large batch costs more than the linear sweep
+// that collapses every cycle (including ones the bounded searches would
+// miss) in a single pass.
+const lcdSweepBatch = 32
+
 // runLCD processes pending cycle candidates. For a candidate edge v→w, a
 // cycle exists iff w reaches v; the bounded search returns the discovered
 // path w…v, which together with the v→w edge forms the cycle to collapse.
+// Batches past lcdSweepBatch are resolved by a whole-graph SCC sweep
+// instead — strictly more collapsing for strictly less work.
 func (s *solver) runLCD() {
 	pending := s.lcdPending
 	s.lcdPending = s.lcdPending[:0]
+	if len(pending) >= lcdSweepBatch {
+		s.collapseAllSCCs()
+		return
+	}
 	for _, cand := range pending {
 		v, w := s.find(cand.from), s.find(cand.to)
 		if v == w {
@@ -475,25 +540,41 @@ func (s *solver) runLCD() {
 
 // pathBetween returns a path of representatives from src to dst following
 // constraint edges, or nil if none is found within lcdSearchBudget nodes.
+// Search state lives in reusable stamped scratch arrays: runLCD calls this
+// once per candidate pair, and on cycle-dense runs a per-call map allocation
+// showed up as a top profile entry.
 func (s *solver) pathBetween(src, dst Var) []Var {
-	prev := map[Var]Var{src: src}
-	stack := []Var{src}
+	lp := &s.lcdPath
+	if len(lp.prev) < s.nVars {
+		lp.prev = make([]Var, s.nVars)
+		lp.stamp = make([]int32, s.nVars)
+		lp.gen = 0
+	}
+	lp.gen++
+	if lp.gen == 0 { // stamp wrapped: invalidate everything once
+		for i := range lp.stamp {
+			lp.stamp[i] = 0
+		}
+		lp.gen = 1
+	}
+	seen := func(v Var) bool { return lp.stamp[v] == lp.gen }
+	mark := func(v, from Var) { lp.stamp[v] = lp.gen; lp.prev[v] = from }
+
+	mark(src, src)
+	lp.stack = append(lp.stack[:0], src)
 	visited := 1
-	for len(stack) > 0 {
-		n := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	for len(lp.stack) > 0 {
+		n := lp.stack[len(lp.stack)-1]
+		lp.stack = lp.stack[:len(lp.stack)-1]
 		for _, e := range s.state(n).edges {
 			te := s.find(e)
-			if te == n {
+			if te == n || seen(te) {
 				continue
 			}
-			if _, seen := prev[te]; seen {
-				continue
-			}
-			prev[te] = n
+			mark(te, n)
 			if te == dst {
 				var path []Var
-				for cur := dst; ; cur = prev[cur] {
+				for cur := dst; ; cur = lp.prev[cur] {
 					path = append(path, cur)
 					if cur == src {
 						return path
@@ -503,10 +584,19 @@ func (s *solver) pathBetween(src, dst Var) []Var {
 			if visited++; visited > lcdSearchBudget {
 				return nil
 			}
-			stack = append(stack, te)
+			lp.stack = append(lp.stack, te)
 		}
 	}
 	return nil
+}
+
+// lcdPathScratch is pathBetween's reusable DFS state: generation-stamped
+// visited marks and predecessor links, so a search never allocates.
+type lcdPathScratch struct {
+	prev  []Var
+	stamp []int32
+	gen   int32
+	stack []Var
 }
 
 // collapse unifies a group of mutually reachable representatives into one.
@@ -520,6 +610,11 @@ func (s *solver) collapse(members []Var) {
 		}
 	}
 	s.cyclesCollapsed++
+	// Contraction can close new representative-level cycles when the group
+	// is not itself an SCC (preUnify's set-equal classes, copy chains), so
+	// the clean-graph sweep skip must be invalidated. collapseAllSCCs
+	// clears the flag again after its own collapses.
+	s.sccDirty = true
 	// Point every member at the winner first, so intra-group edges resolve
 	// to self (and are dropped) while the contents merge. The protected flag
 	// is sticky: if any member could be targeted by later constraints, so can
@@ -689,7 +784,10 @@ type sweepFrame struct {
 // redundant deliveries happened, and ones beyond the LCD search budget.
 func (s *solver) collapseAllSCCs() {
 	n := s.nVars
-	if n == 0 {
+	if n == 0 || !s.sccDirty {
+		// Clean graph: the previous sweep left the representative graph
+		// acyclic and no edge has been added since, so there is nothing a
+		// Tarjan pass could collapse.
 		return
 	}
 	sw := &s.sweep
@@ -779,6 +877,10 @@ func (s *solver) collapseAllSCCs() {
 	for _, comp := range sw.comps {
 		s.collapse(comp)
 	}
+	// The representative graph is acyclic now; the next sweep can be
+	// skipped until an edge addition dirties it again. Cleared after the
+	// collapses, whose merge-time edge moves stay within this pass.
+	s.sccDirty = false
 }
 
 // preUnify unifies the given variable groups before (or during) a solve.
@@ -1067,8 +1169,12 @@ func (s *solver) stats() (iterations, tokensDelivered int64) {
 	return s.iterations, s.tokensDelivered
 }
 
-// structureStats describes cycle-collapse activity.
-type structureStats struct {
+// StructureStats describes cycle-collapse activity: collapse events,
+// variables unified (including, separately, those removed by offline copy
+// substitution), edges dropped as duplicate or self under condensation, and
+// deliveries short-circuited as redundant. Exposed on Result so callers can
+// compare solver structure — not just reports — across configurations.
+type StructureStats struct {
 	CyclesCollapsed   int64
 	VarsUnified       int64
 	EdgesDeduped      int64
@@ -1077,8 +1183,8 @@ type structureStats struct {
 }
 
 // structure reports the cycle-collapse counters so far.
-func (s *solver) structure() structureStats {
-	return structureStats{
+func (s *solver) structure() StructureStats {
+	return StructureStats{
 		CyclesCollapsed:   s.cyclesCollapsed,
 		VarsUnified:       s.varsUnified,
 		EdgesDeduped:      s.edgesDeduped,
