@@ -1,0 +1,310 @@
+// Command analyzed is the analysis-as-a-service daemon: a long-lived HTTP
+// server that accepts JavaScript projects (or file deltas against a
+// resident session) and returns call-graph metrics from the approximate-
+// interpretation pipeline.
+//
+//	POST /analyze {"project": {...}}                  full analysis, opens a session
+//	POST /analyze {"session": "s-1", "delta": {...}}  file-delta re-analysis
+//	GET  /healthz                                     liveness
+//	GET  /stats                                       session count + cache counters
+//
+// A full-project request opens (or replaces) a session holding a
+// static.DeltaSession: the project stays resident with its content-hash-
+// keyed parse cache, so a delta request re-parses only the files it
+// changed, reuses the memoized hint set when the content fingerprint is
+// unchanged, and skips the solve entirely for no-op deltas. With
+// -cache-dir, sessions additionally share the persistent artifact store,
+// so even a fresh session's parses can be served from disk.
+//
+// Isolation: each request runs under a panic guard (a panicking analysis
+// returns 500 and the daemon lives on), the pre-analysis runs with the
+// fault containment of internal/approx (per-item panic recovery plus the
+// -approx-deadline budget), and contained faults degrade hints per module
+// and are reported in the response — one bad module never takes down a
+// request, and one bad request never takes down the service.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/approx"
+	"repro/internal/cache"
+	"repro/internal/modules"
+	"repro/internal/static"
+)
+
+// projectPayload is the wire form of a full project.
+type projectPayload struct {
+	Name        string            `json:"name"`
+	Files       map[string]string `json:"files"`
+	MainEntries []string          `json:"main_entries"`
+	TestEntries []string          `json:"test_entries,omitempty"`
+	MainPrefix  string            `json:"main_prefix,omitempty"`
+}
+
+// deltaPayload is the wire form of a file delta against a session.
+type deltaPayload struct {
+	Changed map[string]string `json:"changed,omitempty"`
+	Removed []string          `json:"removed,omitempty"`
+}
+
+// analyzeRequest is the POST /analyze body: exactly one of Project (full
+// analysis, opens/replaces the session) or Delta (requires Session).
+type analyzeRequest struct {
+	Session string          `json:"session,omitempty"`
+	Project *projectPayload `json:"project,omitempty"`
+	Delta   *deltaPayload   `json:"delta,omitempty"`
+}
+
+// graphSummary is the per-graph slice of an analysis response.
+type graphSummary struct {
+	CallEdges          int     `json:"call_edges"`
+	ReachableFunctions int     `json:"reachable_functions"`
+	ResolvedPct        float64 `json:"resolved_pct"`
+	MonomorphicPct     float64 `json:"monomorphic_pct"`
+}
+
+// analyzeResponse is the POST /analyze response.
+type analyzeResponse struct {
+	Session string `json:"session"`
+	// Reused is true when no analysis input changed since the session's
+	// last solve (a no-op delta): the response is the memoized fixpoint
+	// and no solver work was done.
+	Reused bool `json:"reused"`
+
+	HintCount    int     `json:"hint_count"`
+	VisitedRatio float64 `json:"visited_ratio"`
+
+	Baseline graphSummary `json:"baseline"`
+	Extended graphSummary `json:"extended"`
+
+	Faults          []string `json:"faults,omitempty"`
+	DegradedModules []string `json:"degraded_modules,omitempty"`
+
+	DurationMS float64 `json:"duration_ms"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// session is one resident project plus the memoized pre-analysis of its
+// current content fingerprint. Requests against one session serialize.
+type session struct {
+	mu sync.Mutex
+	ds *static.DeltaSession
+
+	// Pre-analysis memo: valid while the project content fingerprint
+	// equals approxFP. Hints depend on the whole file set (one shared
+	// interpreter), so any edit invalidates them as a unit.
+	approxFP     string
+	hints        *approx.Result
+	hintsElapsed time.Duration
+}
+
+type server struct {
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int
+
+	store          *cache.Store
+	approxDeadline time.Duration
+}
+
+func newServer(store *cache.Store, approxDeadline time.Duration) *server {
+	return &server{
+		sessions:       map[string]*session{},
+		store:          store,
+		approxDeadline: approxDeadline,
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	var hits, misses, bytes int64
+	if s.store != nil {
+		hits, misses, bytes = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"sessions":            n,
+		"cache_hits":          hits,
+		"cache_misses":        misses,
+		"cache_bytes_written": bytes,
+	})
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	var req analyzeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+
+	var (
+		id   string
+		sess *session
+	)
+	switch {
+	case req.Project != nil:
+		if len(req.Project.Files) == 0 || len(req.Project.MainEntries) == 0 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"project needs files and main_entries"})
+			return
+		}
+		project := &modules.Project{
+			Name:        req.Project.Name,
+			Files:       req.Project.Files,
+			MainEntries: req.Project.MainEntries,
+			TestEntries: req.Project.TestEntries,
+			MainPrefix:  req.Project.MainPrefix,
+		}
+		if s.store != nil {
+			project.SetParseStore(s.store)
+		}
+		sess = &session{ds: static.NewDeltaSession(project)}
+		s.mu.Lock()
+		id = req.Session
+		if id == "" {
+			s.nextID++
+			id = fmt.Sprintf("s-%d", s.nextID)
+		}
+		s.sessions[id] = sess
+		s.mu.Unlock()
+	case req.Delta != nil:
+		if req.Session == "" {
+			writeJSON(w, http.StatusBadRequest, errorResponse{"delta requires a session"})
+			return
+		}
+		s.mu.Lock()
+		sess = s.sessions[req.Session]
+		s.mu.Unlock()
+		if sess == nil {
+			writeJSON(w, http.StatusNotFound, errorResponse{"unknown session " + req.Session})
+			return
+		}
+		id = req.Session
+		sess.ds.Update(req.Delta.Changed, req.Delta.Removed)
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{"request needs a project or a delta"})
+		return
+	}
+
+	resp, err := s.analyze(sess)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	resp.Session = id
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyze runs (or reuses) the session's pipeline under a panic guard: a
+// panicking analysis is converted into an error response, keeping the
+// daemon and the session map alive.
+func (s *server) analyze(sess *session) (resp *analyzeResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("analysis panicked (contained): %v", r)
+		}
+	}()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	start := time.Now()
+	project := sess.ds.Project()
+
+	// Pre-analysis, memoized per content fingerprint: hints are a function
+	// of the whole file set, so they are reused exactly when nothing
+	// changed and recomputed as a unit otherwise.
+	fp := cache.ProjectFingerprint(project)
+	if sess.hints == nil || fp != sess.approxFP {
+		hintStart := time.Now()
+		ar, aerr := approx.Run(project, approx.Options{Deadline: s.approxDeadline})
+		if aerr != nil {
+			return nil, fmt.Errorf("approx: %w", aerr)
+		}
+		sess.hints, sess.approxFP, sess.hintsElapsed = ar, fp, time.Since(hintStart)
+	}
+	ar := sess.hints
+
+	base, ext, reused, err := sess.ds.Analyze(static.Options{
+		Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: ar.FaultedModules(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("static: %w", err)
+	}
+
+	resp = &analyzeResponse{
+		Reused:          reused,
+		HintCount:       ar.Hints.Count(),
+		VisitedRatio:    ar.VisitedRatio(),
+		Baseline:        summarize(base),
+		Extended:        summarize(ext),
+		DegradedModules: ext.DegradedModules,
+		DurationMS:      float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, f := range ar.Faults {
+		resp.Faults = append(resp.Faults, f.String())
+	}
+	for _, f := range ext.Faults {
+		resp.Faults = append(resp.Faults, f.String())
+	}
+	return resp, nil
+}
+
+func summarize(res *static.Result) graphSummary {
+	m := res.Metrics()
+	return graphSummary{
+		CallEdges:          m.CallEdges,
+		ReachableFunctions: m.ReachableFunctions,
+		ResolvedPct:        m.ResolvedPct,
+		MonomorphicPct:     m.MonomorphicPct,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func main() {
+	var (
+		addr           = flag.String("addr", ":8791", "listen address")
+		cacheDir       = flag.String("cache-dir", "", "persistent artifact cache directory shared across sessions (empty = in-memory only)")
+		approxDeadline = flag.Duration("approx-deadline", 2*time.Second, "per-worklist-item deadline of the pre-analysis; tripped items become contained faults and degrade their module's hints (0 = unlimited)")
+	)
+	flag.Parse()
+
+	var store *cache.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = cache.Open(*cacheDir); err != nil {
+			log.Fatalf("analyzed: %v", err)
+		}
+	}
+	srv := newServer(store, *approxDeadline)
+	log.Printf("analyzed: listening on %s (cache: %q)", *addr, *cacheDir)
+	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
+}

@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+)
+
+func testProjectPayload() *projectPayload {
+	return &projectPayload{
+		Name: "svc",
+		Files: map[string]string{
+			"/app/index.js": "var lib = require('./lib');\nlib.go();\n",
+			"/app/lib.js":   "exports.go = function go() { return 1; };\nexports.extra = function extra() { return 2; };\n",
+		},
+		MainEntries: []string{"/app/index.js"},
+		MainPrefix:  "/app",
+	}
+}
+
+func post(t *testing.T, ts *httptest.Server, req analyzeRequest) (int, analyzeResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Post(ts.URL+"/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var resp analyzeResponse
+	if res.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return res.StatusCode, resp
+}
+
+func newTestServer(t *testing.T, store *cache.Store) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(store, 2*time.Second).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestAnalyzeFullProject(t *testing.T) {
+	ts := newTestServer(t, nil)
+	status, resp := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if resp.Session == "" {
+		t.Error("no session id assigned")
+	}
+	if resp.Reused {
+		t.Error("first analysis reported Reused")
+	}
+	if resp.Extended.CallEdges == 0 || resp.Extended.ReachableFunctions == 0 {
+		t.Errorf("empty extended graph: %+v", resp.Extended)
+	}
+	if len(resp.Faults) != 0 {
+		t.Errorf("unexpected faults: %v", resp.Faults)
+	}
+}
+
+func TestAnalyzeNoopDeltaReuses(t *testing.T) {
+	ts := newTestServer(t, nil)
+	_, full := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	status, again := post(t, ts, analyzeRequest{Session: full.Session, Delta: &deltaPayload{}})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if !again.Reused {
+		t.Error("no-op delta did not reuse the memoized fixpoint")
+	}
+	if again.Extended != full.Extended || again.Baseline != full.Baseline {
+		t.Errorf("reused metrics differ: %+v vs %+v", again.Extended, full.Extended)
+	}
+}
+
+// TestAnalyzeDeltaMatchesFromScratch is the service-level form of the delta
+// soundness contract: a session that absorbed an edit via /analyze delta
+// must report exactly the metrics of a fresh session given the edited files.
+func TestAnalyzeDeltaMatchesFromScratch(t *testing.T) {
+	ts := newTestServer(t, nil)
+	_, full := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	edited := "var lib = require('./lib');\nlib.go();\nlib.extra();\n"
+	status, delta := post(t, ts, analyzeRequest{
+		Session: full.Session,
+		Delta:   &deltaPayload{Changed: map[string]string{"/app/index.js": edited}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if delta.Reused {
+		t.Error("edit delta reported Reused")
+	}
+	if delta.Extended == full.Extended {
+		t.Error("edit did not change extended metrics — lib.extra() call not analyzed")
+	}
+
+	scratch := testProjectPayload()
+	scratch.Files["/app/index.js"] = edited
+	_, fresh := post(t, ts, analyzeRequest{Project: scratch})
+	if delta.Extended != fresh.Extended || delta.Baseline != fresh.Baseline {
+		t.Errorf("delta metrics differ from from-scratch:\n delta %+v / %+v\n fresh %+v / %+v",
+			delta.Baseline, delta.Extended, fresh.Baseline, fresh.Extended)
+	}
+	if delta.HintCount != fresh.HintCount {
+		t.Errorf("hint count %d after delta, %d from scratch", delta.HintCount, fresh.HintCount)
+	}
+}
+
+func TestAnalyzeRemoveFile(t *testing.T) {
+	ts := newTestServer(t, nil)
+	p := testProjectPayload()
+	p.Files["/app/dead.js"] = "exports.unused = function unused() { return 0; };\n"
+	_, full := post(t, ts, analyzeRequest{Project: p})
+
+	status, resp := post(t, ts, analyzeRequest{
+		Session: full.Session,
+		Delta:   &deltaPayload{Removed: []string{"/app/dead.js"}},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	scratch := testProjectPayload()
+	_, fresh := post(t, ts, analyzeRequest{Project: scratch})
+	if resp.Extended != fresh.Extended {
+		t.Errorf("after removal: %+v, from scratch without the file: %+v", resp.Extended, fresh.Extended)
+	}
+}
+
+func TestAnalyzeWithCacheStore(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, store)
+	_, first := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	// A second, independent session over the same files: its parses should
+	// be served from the shared store (content-addressed, path+content keys).
+	_, second := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+	if second.Extended != first.Extended {
+		t.Errorf("second session metrics differ: %+v vs %+v", second.Extended, first.Extended)
+	}
+	hits, _, written := store.Stats()
+	if written == 0 {
+		t.Error("first session wrote nothing to the store")
+	}
+	if hits == 0 {
+		t.Error("second session hit nothing in the store")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	ts := newTestServer(t, nil)
+
+	res, err := http.Post(ts.URL+"/analyze", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status = %d, want 400", res.StatusCode)
+	}
+
+	if status, _ := post(t, ts, analyzeRequest{}); status != http.StatusBadRequest {
+		t.Errorf("empty request: status = %d, want 400", status)
+	}
+	if status, _ := post(t, ts, analyzeRequest{Project: &projectPayload{Name: "x"}}); status != http.StatusBadRequest {
+		t.Errorf("project without files: status = %d, want 400", status)
+	}
+	if status, _ := post(t, ts, analyzeRequest{Session: "nope", Delta: &deltaPayload{}}); status != http.StatusNotFound {
+		t.Errorf("unknown session: status = %d, want 404", status)
+	}
+	if status, _ := post(t, ts, analyzeRequest{Delta: &deltaPayload{}}); status != http.StatusBadRequest {
+		t.Errorf("delta without session: status = %d, want 400", status)
+	}
+
+	res, err = http.Get(ts.URL + "/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /analyze: status = %d, want 405", res.StatusCode)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	store, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newTestServer(t, store)
+
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Errorf("healthz: status = %d", res.StatusCode)
+	}
+
+	post(t, ts, analyzeRequest{Project: testProjectPayload()})
+	res, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Sessions          int   `json:"sessions"`
+		CacheBytesWritten int64 `json:"cache_bytes_written"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if stats.Sessions != 1 {
+		t.Errorf("sessions = %d, want 1", stats.Sessions)
+	}
+	if stats.CacheBytesWritten == 0 {
+		t.Error("stats report zero cache bytes written after an analysis")
+	}
+}

@@ -22,15 +22,23 @@
 //     -min-speedup only on hosts with GOMAXPROCS >= 4, where a wall-clock
 //     speedup is measurable at all.
 //
+//   - delta snapshots (BENCH_delta.json, written by cmd/evaluate -delta
+//     -benchjson) gate the persistent cache: the in-harness byte-identical-
+//     reports assertion must have held, the warm run must be fully cached
+//     (zero misses/parses/solver effort), the cold arm's effort counters
+//     may not regress, and -min-warm-speedup / -min-edit-speedup put
+//     floors under the cold/warm and cold/edit-warm wall ratios.
+//
 // Usage:
 //
 //	benchcheck -ref BENCH_cycles.json -got /tmp/bench.json
 //	benchcheck -pair BENCH_cycles.json=/tmp/a.json -pair BENCH_parallel.json=/tmp/b.json
 //	benchcheck -pair BENCH_parallel.json=/tmp/mega.json -min-speedup 2.0 -min-parallel-share 0.35
+//	benchcheck -pair BENCH_delta.json=/tmp/delta.json -min-edit-speedup 5.0
 //
-// Snapshot flavors (plain perf.Snapshot vs perf.ParallelSnapshot) are
-// auto-detected from the JSON. Exit status: 0 all gates hold, 1 on
-// regression, 2 on usage/IO errors.
+// Snapshot flavors (plain perf.Snapshot vs perf.ParallelSnapshot vs
+// perf.DeltaSnapshot) are auto-detected from the JSON. Exit status: 0 all
+// gates hold, 1 on regression, 2 on usage/IO errors.
 package main
 
 import (
@@ -54,6 +62,8 @@ var (
 	seqTax    = flag.Float64("seq-tax", 0.10, "allowed fractional effort overhead of the epoch engine's workers=1 row over its workers=0 row")
 	minSpeed  = flag.Float64("min-speedup", 0, "minimum workers=1 / workers=4 solve-wall speedup (enforced only when the candidate was measured with GOMAXPROCS >= 4)")
 	minShare  = flag.Float64("min-parallel-share", 0, "minimum fraction of workers=1 solve wall spent in the parallel scan phase")
+	minWarm   = flag.Float64("min-warm-speedup", 0, "delta snapshots: minimum cold/warm wall speedup of an unchanged warm corpus run")
+	minEdit   = flag.Float64("min-edit-speedup", 0, "delta snapshots: minimum cold/edit-warm wall speedup of a warm one-file-edit run")
 	failed    = false
 )
 
@@ -168,6 +178,51 @@ func checkParallel(ref, got perf.ParallelSnapshot) {
 	}
 }
 
+// checkDelta gates a persistent-cache delta snapshot (BENCH_delta.json).
+// Wall speedups are gated (they are the snapshot's whole claim — and with
+// two-orders-of-magnitude headroom, host noise cannot flip a sane floor);
+// the rest of the gates run on deterministic facts: the harness's
+// byte-identical-reports assertion must have held, the warm run must have
+// been served entirely from cache (zero misses, zero parses, zero solver
+// effort), and the cold arm's solver effort may not regress past the
+// reference.
+func checkDelta(ref, got perf.DeltaSnapshot) {
+	boolGate := func(name string, ok bool, want string) {
+		status := "ok"
+		if !ok {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-30s %s  %s\n", name, want, status)
+	}
+	boolGate("reports_identical", got.ReportsIdentical, "byte-identical reports asserted in-harness")
+
+	if warm := got.Run("warm"); warm == nil {
+		fmt.Println("  warm run: MISSING from candidate")
+		failed = true
+	} else {
+		boolGate("warm run fully cached", warm.CacheMisses == 0 && warm.Parses == 0 && warm.TokensDelivered == 0,
+			"zero misses / parses / solver effort")
+	}
+	if refCold, gotCold := ref.Run("cold"), got.Run("cold"); refCold != nil && gotCold != nil {
+		gate("[cold] tokens_delivered", refCold.TokensDelivered, gotCold.TokensDelivered, true)
+		gate("[cold] solve_iterations", refCold.SolveIterations, gotCold.SolveIterations, true)
+	}
+	speedGate := func(name string, gotV, want float64) {
+		if want <= 0 {
+			return
+		}
+		status := "ok"
+		if gotV < want {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("  %-30s %.1fx (want >= %.1fx)  %s\n", name, gotV, want, status)
+	}
+	speedGate("warm speedup", got.WarmSpeedup, *minWarm)
+	speedGate("edit speedup", got.EditSpeedup, *minEdit)
+}
+
 // checkPair loads both sides of one ref=got pair, auto-detects the
 // snapshot flavor, and runs the matching gates.
 func checkPair(refPath, gotPath string) {
@@ -181,11 +236,24 @@ func checkPair(refPath, gotPath string) {
 	}
 	fmt.Printf("%s vs %s:\n", refPath, gotPath)
 
-	// A ParallelSnapshot is the only flavor with a "rows" array.
+	// Flavor detection: a DeltaSnapshot has a "runs" array, a
+	// ParallelSnapshot a "rows" array, a plain Snapshot neither.
 	var probe struct {
 		Rows []json.RawMessage `json:"rows"`
+		Runs []json.RawMessage `json:"runs"`
 	}
-	if json.Unmarshal(refData, &probe) == nil && probe.Rows != nil {
+	if json.Unmarshal(refData, &probe) == nil && probe.Runs != nil {
+		var ref, got perf.DeltaSnapshot
+		if err := json.Unmarshal(refData, &ref); err != nil {
+			fatal("ref:", err)
+		}
+		if err := json.Unmarshal(gotData, &got); err != nil {
+			fatal("got:", err)
+		}
+		checkDelta(ref, got)
+		return
+	}
+	if probe.Rows != nil {
 		var ref, got perf.ParallelSnapshot
 		if err := json.Unmarshal(refData, &ref); err != nil {
 			fatal("ref:", err)

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/corpus"
 	"repro/internal/experiments"
 	"repro/internal/perf"
@@ -29,6 +30,43 @@ func runMega(nModules int, benchout string) {
 	snap, err := experiments.RunMegaBench(nModules, experiments.DefaultMegaWorkers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate: mega:", err)
+		os.Exit(1)
+	}
+	snap.Render(os.Stdout)
+	if benchout != "" {
+		f, err := os.Create(benchout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %s\n", benchout)
+	}
+}
+
+// runDelta runs the persistent-cache delta benchmark (cold / warm /
+// one-file-edit corpus evaluations against one cache directory, reports
+// asserted byte-identical in-harness), renders the table, and optionally
+// writes the perf.DeltaSnapshot JSON (BENCH_delta.json) for cmd/benchcheck.
+func runDelta(cacheDir, benchout string, workers int) {
+	dir := cacheDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "repro-cache-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	fmt.Printf("Delta benchmark (cache dir %s)…\n", dir)
+	snap, err := experiments.RunDeltaBench(dir, experiments.Options{Workers: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evaluate: delta:", err)
 		os.Exit(1)
 	}
 	snap.Render(os.Stdout)
@@ -70,6 +108,8 @@ func main() {
 		mega     = flag.Bool("mega", false, "run the mega-tier solver-scaling benchmark instead of the corpus experiments; with -benchjson the perf.ParallelSnapshot is written there (BENCH_parallel.json)")
 		megaMods = flag.Int("mega-modules", 0, "mega-tier module count (0 = corpus.DefaultMegaModules)")
 		incr     = flag.Bool("incremental", true, "solve baseline once and resume with hint deltas (-incremental=false forces the legacy two-pass analysis; reports are identical)")
+		cacheDir = flag.String("cache-dir", "", "persistent artifact cache directory (parses, hint sets, solved outcomes); created if missing — a second run against the same directory reuses everything that still matches")
+		delta    = flag.Bool("delta", false, "run the cache delta benchmark (cold/warm/one-file-edit corpus runs, byte-identical reports asserted) instead of the corpus experiments; uses -cache-dir or a temp dir, and -benchjson writes the snapshot (BENCH_delta.json)")
 		perfF    = flag.Bool("perf", false, "print pipeline perf counters (phase times, parse-cache hits, solver effort)")
 		benchout = flag.String("benchjson", "", "write per-phase wall times and counter totals as JSON to this file (e.g. BENCH_baseline.json)")
 
@@ -88,6 +128,10 @@ func main() {
 		runMega(*megaMods, *benchout)
 		return
 	}
+	if *delta {
+		runDelta(*cacheDir, *benchout, *workers)
+		return
+	}
 	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *table2 || *table3 || *vuln || *hintsF || *ablation || *summary || *exts || *scale) {
 		flag.Usage()
 		os.Exit(2)
@@ -103,6 +147,14 @@ func main() {
 	if nWorkers <= 0 {
 		nWorkers = runtime.NumCPU()
 	}
+	var store *cache.Store
+	if *cacheDir != "" {
+		var err error
+		if store, err = cache.Open(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate:", err)
+			os.Exit(1)
+		}
+	}
 	perf.Global().Reset()
 	start := time.Now()
 
@@ -115,6 +167,7 @@ func main() {
 		DynCGDeadline:  *dyncgDeadline,
 		WithAblation:   *ablation,
 		SolverWorkers:  *solverW,
+		Cache:          store,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)

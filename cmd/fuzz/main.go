@@ -11,6 +11,7 @@
 //	fuzz -seeds 1000 -minimize -out testdata/fuzz/open
 //	fuzz -seeds 300 -known testdata/fuzz/open   # CI: fail only on NEW buckets
 //	fuzz -seeds 500 -faults                     # chaos: inject one fault per seed
+//	fuzz -seeds 1000 -delta                     # delta re-analysis == from-scratch
 //
 // Exit status: 0 when every failure bucket is known (or none occurred),
 // 1 when a new divergence appeared, 2 on usage errors.
@@ -37,6 +38,7 @@ func main() {
 		note     = flag.String("note", "found by cmd/fuzz; not yet fixed", "tracking note recorded in written reproducers")
 		verbose  = flag.Bool("v", false, "print the generated program of every failure")
 		faults   = flag.Bool("faults", false, "sixth oracle: inject one deterministic fault per seed and check containment")
+		delta    = flag.Bool("delta", false, "seventh oracle: mutate one file per seed through a resident delta session and check re-analysis == from-scratch")
 		solverW  = flag.Int("solver-workers", 0, "constraint-solver scan workers per oracle run (0 = sequential engine; >=1 the sharded epoch engine — graphs are identical at every value)")
 	)
 	flag.Parse()
@@ -53,6 +55,7 @@ func main() {
 		Workers:       *workers,
 		Minimize:      *minimize,
 		Faults:        *faults,
+		Delta:         *delta,
 		SolverWorkers: *solverW,
 	})
 

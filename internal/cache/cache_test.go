@@ -1,0 +1,312 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/modules"
+	"repro/internal/parser"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	payload := []byte("hello artifact")
+	key := HashBytes(payload)
+	if _, ok := s.Get(KindAST, key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put(KindAST, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(KindAST, key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %t; want payload back", got, ok)
+	}
+	hits, misses, written := s.Stats()
+	if hits != 1 || misses != 1 || written == 0 {
+		t.Errorf("Stats = %d hits, %d misses, %d bytes; want 1, 1, >0", hits, misses, written)
+	}
+
+	// A second Store over the same directory sees the entry (the
+	// cross-process persistence contract).
+	s2, err := Open(s.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get(KindAST, key); !ok || !bytes.Equal(got, payload) {
+		t.Error("fresh store over the same dir missed a persisted entry")
+	}
+}
+
+func TestNilStoreIsMiss(t *testing.T) {
+	var s *Store
+	if _, ok := s.Get(KindAST, HashBytes(nil)); ok {
+		t.Error("nil store reported a hit")
+	}
+	if err := s.Put(KindAST, HashBytes(nil), []byte("x")); err != nil {
+		t.Errorf("nil store Put errored: %v", err)
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s := open(t)
+	for _, key := range []string{"", "short", "../../../../etc/passwd", "ABCDEF0123456789", "0123456/23456789"} {
+		if err := s.Put(KindAST, key, []byte("x")); err != nil {
+			t.Errorf("Put(%q) errored: %v", key, err)
+		}
+		if _, ok := s.Get(KindAST, key); ok {
+			t.Errorf("Get(%q) hit", key)
+		}
+	}
+	// Nothing may have been written anywhere under the root.
+	var files int
+	filepath.Walk(s.Dir(), func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() {
+			files++
+		}
+		return nil
+	})
+	if files != 0 {
+		t.Errorf("invalid keys left %d files in the cache dir", files)
+	}
+}
+
+// mutateEntry rewrites the single on-disk entry through fn.
+func mutateEntry(t *testing.T, s *Store, kind, key string, fn func([]byte) []byte) {
+	t.Helper()
+	path := s.entryPath(kind, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptedEntryIsMiss(t *testing.T) {
+	payload := []byte("some payload bytes for corruption")
+	key := HashBytes(payload)
+
+	cases := []struct {
+		name string
+		fn   func([]byte) []byte
+	}{
+		{"truncated-header", func(d []byte) []byte { return d[:6] }},
+		{"truncated-payload", func(d []byte) []byte { return d[:len(d)-5] }},
+		{"empty", func(d []byte) []byte { return nil }},
+		{"flipped-payload-bit", func(d []byte) []byte { d[len(d)-1] ^= 0x40; return d }},
+		{"flipped-magic", func(d []byte) []byte { d[0] ^= 0xff; return d }},
+		{"stale-version", func(d []byte) []byte {
+			binary.BigEndian.PutUint32(d[4:8], FormatVersion+1)
+			return d
+		}},
+		{"extra-trailing-bytes", func(d []byte) []byte { return append(d, 0xde, 0xad) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t)
+			if err := s.Put(KindHints, key, payload); err != nil {
+				t.Fatal(err)
+			}
+			mutateEntry(t, s, KindHints, key, tc.fn)
+			if _, ok := s.Get(KindHints, key); ok {
+				t.Error("corrupted entry loaded as a hit")
+			}
+		})
+	}
+}
+
+func TestKindsDoNotAlias(t *testing.T) {
+	s := open(t)
+	payload := []byte("payload")
+	key := HashBytes(payload)
+	if err := s.Put(KindAST, key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindHints, key); ok {
+		t.Error("entry stored under one kind loaded under another")
+	}
+	// Even a file copied across kind directories must miss: the kind is in
+	// the frame, not only in the path.
+	src := s.entryPath(KindAST, key)
+	dst := s.entryPath(KindOutcome, key)
+	os.MkdirAll(filepath.Dir(dst), 0o755)
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindOutcome, key); ok {
+		t.Error("frame written for one kind decoded under another kind")
+	}
+}
+
+func TestFingerprintFraming(t *testing.T) {
+	if Fingerprint("ab", "c") == Fingerprint("a", "bc") {
+		t.Error("part boundaries alias")
+	}
+	if Fingerprint("a", "b") != Fingerprint("a", "b") {
+		t.Error("fingerprint not deterministic")
+	}
+	if Fingerprint("a", "") == Fingerprint("a") {
+		t.Error("empty trailing part aliases with absence")
+	}
+}
+
+func TestProjectFingerprint(t *testing.T) {
+	mk := func() *modules.Project {
+		return &modules.Project{
+			Name:        "p",
+			Files:       map[string]string{"/app/a.js": "1;", "/app/b.js": "2;"},
+			MainEntries: []string{"/app/a.js"},
+			MainPrefix:  "/app",
+		}
+	}
+	base := ProjectFingerprint(mk())
+	if got := ProjectFingerprint(mk()); got != base {
+		t.Error("equal projects fingerprint differently")
+	}
+	edited := mk()
+	edited.Files["/app/b.js"] = "3;"
+	if ProjectFingerprint(edited) == base {
+		t.Error("content edit did not change the fingerprint")
+	}
+	renamed := mk()
+	renamed.Name = "q"
+	if ProjectFingerprint(renamed) == base {
+		t.Error("project rename did not change the fingerprint")
+	}
+	entry := mk()
+	entry.TestEntries = []string{"/app/b.js"}
+	if ProjectFingerprint(entry) == base {
+		t.Error("entry change did not change the fingerprint")
+	}
+}
+
+// TestOptionsFingerprintMismatch is the invalidation story for analysis
+// options: artifacts are keyed by Fingerprint(..., optionsString), so a
+// changed option resolves to a different key and the old artifact is
+// simply never consulted.
+func TestOptionsFingerprintMismatch(t *testing.T) {
+	s := open(t)
+	fp := "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+	keyA := Fingerprint("outcome", "v1", fp, "dyn=true")
+	keyB := Fingerprint("outcome", "v1", fp, "dyn=false")
+	if keyA == keyB {
+		t.Fatal("differing options produced the same key")
+	}
+	if err := s.Put(KindOutcome, keyA, []byte("outcome-under-A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(KindOutcome, keyB); ok {
+		t.Error("artifact stored under one options fingerprint served under another")
+	}
+}
+
+func TestASTRoundTrip(t *testing.T) {
+	src := `var x = require('./lib');
+function f(a, b) { if (a) { return b(); } else { while (b) { b = x[a]; } } return function g() { return 1; }; }
+f(1, function () { return new f(); });
+`
+	prog, err := parser.Parse("/app/a.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := EncodeAST(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeAST(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ast.Print(dec) != ast.Print(prog) {
+		t.Error("decoded AST prints differently from the original")
+	}
+}
+
+func TestParseStoreRoundTrip(t *testing.T) {
+	s := open(t)
+	src := "function f() { return 1; }\nf();\n"
+	prog, err := parser.Parse("/app/a.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := modules.SourceKey("/app/a.js", src)
+	if _, ok := s.LoadAST(key); ok {
+		t.Fatal("empty store loaded an AST")
+	}
+	s.StoreAST(key, prog)
+	got, ok := s.LoadAST(key)
+	if !ok {
+		t.Fatal("stored AST not loadable")
+	}
+	if ast.Print(got) != ast.Print(prog) {
+		t.Error("loaded AST prints differently")
+	}
+}
+
+// TestConcurrentStores hammers one shared cache directory from two Store
+// values (standing in for two processes) with overlapping keys, under the
+// race detector in CI.
+func TestConcurrentStores(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 24
+	payload := func(i int) []byte { return []byte(fmt.Sprintf("payload-%d", i)) }
+	var wg sync.WaitGroup
+	for _, s := range []*Store{s1, s2} {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(s *Store, g int) {
+				defer wg.Done()
+				for round := 0; round < 20; round++ {
+					i := (g*7 + round) % keys
+					key := HashBytes(payload(i))
+					if got, ok := s.Get(KindAST, key); ok && !bytes.Equal(got, payload(i)) {
+						t.Errorf("hit returned wrong payload for key %d", i)
+						return
+					}
+					if err := s.Put(KindAST, key, payload(i)); err != nil {
+						t.Errorf("Put: %v", err)
+						return
+					}
+				}
+			}(s, g)
+		}
+	}
+	wg.Wait()
+	// After the dust settles every key must load with the right payload.
+	for i := 0; i < keys; i++ {
+		key := HashBytes(payload(i))
+		got, ok := s1.Get(KindAST, key)
+		if !ok || !bytes.Equal(got, payload(i)) {
+			t.Errorf("key %d: Get = %q, %t after concurrent writes", i, got, ok)
+		}
+	}
+}

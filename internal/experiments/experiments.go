@@ -16,10 +16,12 @@ import (
 	"time"
 
 	"repro/internal/approx"
+	"repro/internal/cache"
 	"repro/internal/callgraph"
 	"repro/internal/corpus"
 	"repro/internal/dyncg"
 	"repro/internal/fault"
+	"repro/internal/hints"
 	"repro/internal/perf"
 	"repro/internal/static"
 )
@@ -91,6 +93,23 @@ func RunBenchmark(b *corpus.Benchmark, withDyn bool) (*Outcome, error) {
 // static phases and are reported on the Outcome and in the perf counters;
 // the benchmark still completes.
 func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
+	// Whole-outcome reuse: an unchanged project (same content fingerprint,
+	// same outcome-shaping options) skips every phase. On a miss, modules
+	// about to be re-analyzed are counted and the project's parses are
+	// backed by the persistent store, so unchanged files inside a dirty
+	// project still skip the parser.
+	var cacheFP, hintsCacheKey string
+	if opts.Cache != nil {
+		cacheFP = cache.ProjectFingerprint(b.Project)
+		if cached, ok := loadOutcome(opts.Cache, outcomeKey(cacheFP, opts, b), b); ok {
+			perf.Global().AddProject()
+			return cached, nil
+		}
+		perf.Global().AddDeltaModules(len(b.Project.Files))
+		b.Project.SetParseStore(opts.Cache)
+		hintsCacheKey = approxKey(cacheFP, opts)
+	}
+
 	out := &Outcome{Name: b.Project.Name, HasDynCG: b.HasDynCG}
 	perf.Global().AddProject()
 
@@ -100,19 +119,41 @@ func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 	}
 	out.Stats = st
 
-	approxAlloc := perf.TotalAllocBytes()
-	ar, err := approx.Run(b.Project, approx.Options{Deadline: opts.ApproxDeadline})
-	if err != nil {
-		return nil, fmt.Errorf("%s: approx: %w", b.Project.Name, err)
+	// Pre-analysis, possibly from the hint-set artifact layer (hit when the
+	// project is unchanged but a static/dyncg option invalidated the
+	// outcome record). Only fault-free pre-analyses are ever cached, so a
+	// hit implies no degraded modules.
+	var hintSet *hints.Hints
+	var degrade map[string]bool
+	gotApprox := false
+	if hintsCacheKey != "" {
+		if rec, h, ok := loadApprox(opts.Cache, hintsCacheKey); ok {
+			hintSet = h
+			out.HintCount = rec.HintCount
+			out.VisitedRatio = rec.VisitedRatio
+			out.ApproxTime = time.Duration(rec.DurationNS)
+			gotApprox = true
+		}
 	}
-	out.HintCount = ar.Hints.Count()
-	out.VisitedRatio = ar.VisitedRatio()
-	out.ApproxTime = ar.Duration
-	perf.Global().AddPhase(perf.PhaseApprox, ar.Duration)
-	perf.Global().AddPhaseAlloc(perf.PhaseApprox, perf.TotalAllocBytes()-approxAlloc)
+	if !gotApprox {
+		approxAlloc := perf.TotalAllocBytes()
+		ar, err := approx.Run(b.Project, approx.Options{Deadline: opts.ApproxDeadline})
+		if err != nil {
+			return nil, fmt.Errorf("%s: approx: %w", b.Project.Name, err)
+		}
+		out.HintCount = ar.Hints.Count()
+		out.VisitedRatio = ar.VisitedRatio()
+		out.ApproxTime = ar.Duration
+		perf.Global().AddPhase(perf.PhaseApprox, ar.Duration)
+		perf.Global().AddPhaseAlloc(perf.PhaseApprox, perf.TotalAllocBytes()-approxAlloc)
 
-	degrade := ar.FaultedModules()
-	out.Faults = append(out.Faults, ar.Faults...)
+		hintSet = ar.Hints
+		degrade = ar.FaultedModules()
+		out.Faults = append(out.Faults, ar.Faults...)
+		if hintsCacheKey != "" && len(ar.Faults) == 0 {
+			storeApprox(opts.Cache, hintsCacheKey, out.HintCount, out.VisitedRatio, out.ApproxTime, hintSet)
+		}
+	}
 
 	var base, ext, abl *static.Result
 	if opts.TwoPass {
@@ -121,7 +162,7 @@ func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 			return nil, fmt.Errorf("%s: baseline: %w", b.Project.Name, err)
 		}
 		ext, err = static.Analyze(b.Project, static.Options{
-			Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: degrade,
+			Mode: static.WithHints, Hints: hintSet, DegradeFiles: degrade,
 			SolverWorkers: opts.SolverWorkers,
 		})
 		if err != nil {
@@ -129,7 +170,7 @@ func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 		}
 	} else {
 		sopts := static.Options{
-			Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: degrade,
+			Mode: static.WithHints, Hints: hintSet, DegradeFiles: degrade,
 			SolverWorkers: opts.SolverWorkers,
 		}
 		// Piggy-back the §4 name-only arm on the incremental solve exactly
@@ -137,8 +178,8 @@ func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 		// dynamic-CG benchmark whose hints carry [DPW] writes (without
 		// them the arm equals the relational one and needs no solve).
 		if opts.WithAblation && opts.WithDynCG && b.HasDynCG &&
-			len(degrade) == 0 && len(ar.Faults) == 0 &&
-			static.WriteHintsApply(ar.Hints) {
+			len(degrade) == 0 && len(out.Faults) == 0 &&
+			static.WriteHintsApply(hintSet) {
 			base, ext, abl, err = static.AnalyzeBothAndAblation(b.Project, sopts)
 		} else {
 			base, ext, err = static.AnalyzeBoth(b.Project, sopts)
@@ -178,6 +219,12 @@ func runBenchmark(b *corpus.Benchmark, opts Options) (*Outcome, error) {
 		}
 	}
 	perf.Global().AddFaults(len(out.Faults), len(out.DegradedModules))
+	// Cache only clean runs: a faulted or degraded outcome reflects this
+	// run's containment decisions, not the project's content, and must
+	// never be served to a later run.
+	if opts.Cache != nil && len(out.Faults) == 0 && len(out.DegradedModules) == 0 {
+		storeOutcome(opts.Cache, outcomeKey(cacheFP, opts, b), out)
+	}
 	return out, nil
 }
 
@@ -251,6 +298,14 @@ type Options struct {
 	// Reports are identical for every value; this multiplies with Workers,
 	// so corpus runs usually pick one axis of parallelism, not both.
 	SolverWorkers int
+	// Cache attaches a persistent artifact store (internal/cache): parses,
+	// hint sets, and whole outcomes of fault-free runs are written there
+	// keyed by content fingerprints, and later runs reuse whatever still
+	// matches. Reports are byte-identical with or without a cache — every
+	// artifact key covers the complete input of its artifact, so a hit
+	// reconstructs exactly what recomputation would have produced. Nil
+	// disables caching.
+	Cache *cache.Store
 }
 
 // RunCorpus evaluates the given benchmarks over a worker pool sized to the

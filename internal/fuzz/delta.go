@@ -1,0 +1,210 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/approx"
+	"repro/internal/static"
+	"repro/internal/testgen"
+)
+
+// KindDeltaDivergence is the seventh oracle's bucket: a file-delta
+// re-analysis through a resident static.DeltaSession produced different
+// results than analyzing the mutated project from scratch.
+const KindDeltaDivergence Kind = "delta-divergence"
+
+// deltaMutations are the one-file edits the seventh oracle applies; the
+// probe names are outside testgen's identifier space, so they never collide.
+var deltaMutations = []struct {
+	name string
+	text string
+}{
+	// A new function plus a top-level call: the call graph must change.
+	{"add-called-fn", "\nfunction __dfzProbe() { return __dfzProbe; }\n__dfzProbe();\n"},
+	// A new function nothing calls: hints and function counts change.
+	{"add-dead-fn", "\nfunction __dfzDead() { return 0; }\n"},
+	// Whitespace only: the content hash changes but no analysis output may.
+	{"whitespace", "\n\n"},
+}
+
+// planDelta deterministically picks the file to edit and the mutation.
+func planDelta(seed uint64, files map[string]string) (path, mutation, text string) {
+	state := seed ^ 0xde17a0de17a0de1 // decorrelate from testgen and planFault
+	paths := sortedPaths(files)
+	path = paths[splitmix64(&state)%uint64(len(paths))]
+	m := deltaMutations[splitmix64(&state)%uint64(len(deltaMutations))]
+	return path, m.name, m.text
+}
+
+// CheckSeedDelta is the seventh oracle: delta re-analysis must be
+// indistinguishable from a restart. Per seed it generates the program,
+// analyzes it through a resident DeltaSession, applies one deterministic
+// one-file mutation through the session's delta path, and checks:
+//
+//   - equivalence: the re-analysis after the delta produces exactly the
+//     baseline and extended graphs of a from-scratch pipeline run (fresh
+//     project, fresh parses) on the mutated file set;
+//   - hint equivalence: the re-run pre-analysis produces byte-identical
+//     hints to the from-scratch pre-analysis (same files ⇒ same hints,
+//     warm parse cache or not);
+//   - memoization soundness: re-analyzing with no further edit reuses the
+//     memoized fixpoint, and an edit never reports a reused fixpoint;
+//   - totality: no stage panics or fails across the session's lifetime.
+//
+// Seeds whose unmutated pipeline already fails an oracle return nil: the
+// plain CheckSeed run owns those failures.
+func CheckSeedDelta(seed uint64) *Failure {
+	spec := testgen.GenProject(seed)
+	f := CheckFilesDelta(spec.Files, spec.Entries, seed)
+	if f != nil {
+		f.Seed = seed
+	}
+	return f
+}
+
+// CheckFilesDelta runs the seventh oracle on one project; seed selects the
+// mutation.
+func CheckFilesDelta(files map[string]string, entries []string, seed uint64) *Failure {
+	editPath, mutation, editText := planDelta(seed, files)
+	fail := func(bucket, detail string) *Failure {
+		return &Failure{Kind: KindDeltaDivergence, Bucket: string(KindDeltaDivergence) + "/" + bucket,
+			Detail: fmt.Sprintf("[%s %s] %s", mutation, editPath, detail), Files: files, Entries: entries}
+	}
+	crash := func(kind Kind, bucket, detail string) *Failure {
+		f := fail(bucket, detail)
+		f.Kind, f.Bucket = kind, string(kind)+"/"+bucket
+		return f
+	}
+
+	// The session owns a copy of the file map: Update mutates it in place,
+	// and the from-scratch reference needs the pristine original.
+	resident := make(map[string]string, len(files))
+	for p, src := range files {
+		resident[p] = src
+	}
+	project := newFuzzProject(resident, entries)
+	session := static.NewDeltaSession(project)
+
+	// Unmutated run through the session. Its own failures belong to
+	// CheckSeed, so any error or contained fault skips the seed.
+	ar, err := approx.Run(project, approx.Options{})
+	if err != nil || len(ar.Faults) != 0 {
+		return nil
+	}
+	opts := static.Options{Mode: static.WithHints, Hints: ar.Hints, EvalHints: true, SolverWorkers: solverWorkers}
+	base0, ext0, reused, err := session.Analyze(opts)
+	if err != nil {
+		return nil
+	}
+	if reused {
+		return fail("spurious-reuse", "first analysis of the session reported a reused fixpoint")
+	}
+
+	// No-op re-analysis: nothing changed, so the memoized fixpoint must be
+	// returned as-is.
+	base1, ext1, reused, err := session.Analyze(opts)
+	if f := checkErr(crash, "noop-reanalyze", err); f != nil {
+		return f
+	}
+	if !reused {
+		return fail("noop-not-reused", "re-analysis with unchanged inputs did not reuse the memoized fixpoint")
+	}
+	if !base1.Graph.Equal(base0.Graph) || !ext1.Graph.Equal(ext0.Graph) {
+		return fail("noop-drift", "reused fixpoint differs from the originally solved one")
+	}
+
+	// The delta: one file edited through the session.
+	session.Update(map[string]string{editPath: resident[editPath] + editText}, nil)
+
+	var arDelta *approx.Result
+	if f := guard("delta-approx", crash, func() error {
+		var err error
+		arDelta, err = approx.Run(session.Project(), approx.Options{})
+		return err
+	}); f != nil {
+		return f
+	}
+	deltaOpts := opts
+	deltaOpts.Hints = arDelta.Hints
+	var baseD, extD *static.Result
+	if f := guard("delta-analyze", crash, func() error {
+		var err error
+		var reused bool
+		baseD, extD, reused, err = session.Analyze(deltaOpts)
+		if err == nil && reused {
+			err = fmt.Errorf("edited session reported a reused fixpoint")
+		}
+		return err
+	}); f != nil {
+		return f
+	}
+
+	// The from-scratch referee: a fresh project over the mutated file set,
+	// fresh parses, fresh pre-analysis, two-phase analysis from nothing.
+	scratchFiles := make(map[string]string, len(files))
+	for p, src := range files {
+		scratchFiles[p] = src
+	}
+	scratchFiles[editPath] += editText
+	scratch := newFuzzProject(scratchFiles, entries)
+
+	var arScratch *approx.Result
+	if f := guard("scratch-approx", crash, func() error {
+		var err error
+		arScratch, err = approx.Run(scratch, approx.Options{})
+		return err
+	}); f != nil {
+		return f
+	}
+	scratchOpts := opts
+	scratchOpts.Hints = arScratch.Hints
+	var baseS, extS *static.Result
+	if f := guard("scratch-analyze", crash, func() error {
+		var err error
+		baseS, extS, err = static.AnalyzeBoth(scratch, scratchOpts)
+		return err
+	}); f != nil {
+		return f
+	}
+
+	// Hint equivalence: same mutated file set, so the pre-analysis must not
+	// be able to tell the resident session from the fresh project.
+	var hd, hs bytes.Buffer
+	if err := arDelta.Hints.WriteJSON(&hd); err != nil {
+		return crash(KindCrash, "hints-encode", err.Error())
+	}
+	if err := arScratch.Hints.WriteJSON(&hs); err != nil {
+		return crash(KindCrash, "hints-encode", err.Error())
+	}
+	if !bytes.Equal(hd.Bytes(), hs.Bytes()) {
+		return fail("hints", "delta-path pre-analysis hints differ from from-scratch hints")
+	}
+
+	// Graph equivalence: the delta is exactly a restart.
+	if !baseD.Graph.Equal(baseS.Graph) {
+		return fail("baseline",
+			"delta-path baseline graph differs from from-scratch: "+firstGraphDiff(baseD.Graph, baseS.Graph))
+	}
+	if !extD.Graph.Equal(extS.Graph) {
+		return fail("extended",
+			"delta-path extended graph differs from from-scratch: "+firstGraphDiff(extD.Graph, extS.Graph))
+	}
+
+	// The whitespace mutation changes no token, so beyond matching the
+	// referee the result must equal the pre-edit fixpoint outright.
+	if mutation == "whitespace" {
+		if !extD.Graph.Equal(ext0.Graph) || !baseD.Graph.Equal(base0.Graph) {
+			return fail("whitespace-drift", "whitespace-only edit changed the analysis result")
+		}
+	}
+	return nil
+}
+
+// checkErr converts a non-nil error into a crash failure.
+func checkErr(crash func(Kind, string, string) *Failure, stage string, err error) *Failure {
+	if err != nil {
+		return crash(KindCrash, stage, fmt.Sprintf("%s failed: %v", stage, err))
+	}
+	return nil
+}

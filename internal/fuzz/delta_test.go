@@ -1,0 +1,46 @@
+package fuzz
+
+import (
+	"testing"
+
+	"repro/internal/testgen"
+)
+
+// TestDeltaOracleSeeds is the in-tree smoke for the seventh oracle: over
+// the first seeds, re-analysis through a resident DeltaSession after one
+// deterministic file mutation must be indistinguishable from a restart.
+// (CI additionally runs cmd/fuzz -seeds 1000 -delta under -race.)
+func TestDeltaOracleSeeds(t *testing.T) {
+	seeds := uint64(15)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := uint64(0); seed < seeds; seed++ {
+		if f := CheckSeedDelta(seed); f != nil {
+			t.Errorf("seed %d: delta divergence: %v", seed, f)
+		}
+	}
+}
+
+// TestPlanDeltaDeterministic: the same seed always yields the same edit
+// plan, and a window of seeds exercises every mutation kind.
+func TestPlanDeltaDeterministic(t *testing.T) {
+	spec := testgen.GenProject(1)
+	kinds := map[string]int{}
+	for seed := uint64(0); seed < 40; seed++ {
+		p1, m1, t1 := planDelta(seed, spec.Files)
+		p2, m2, t2 := planDelta(seed, spec.Files)
+		if p1 != p2 || m1 != m2 || t1 != t2 {
+			t.Fatalf("seed %d: plan not deterministic: (%s,%s) vs (%s,%s)", seed, p1, m1, p2, m2)
+		}
+		if _, ok := spec.Files[p1]; !ok {
+			t.Fatalf("seed %d: plan edits %q, not a project file", seed, p1)
+		}
+		kinds[m1]++
+	}
+	for _, m := range deltaMutations {
+		if kinds[m.name] == 0 {
+			t.Errorf("40 seeds never picked mutation %q (got %v)", m.name, kinds)
+		}
+	}
+}

@@ -346,6 +346,11 @@ type Options struct {
 	// one deterministic fault is injected per seed and the run checks that
 	// the pipeline contains it.
 	Faults bool
+	// Delta switches every seed to the seventh oracle (CheckSeedDelta):
+	// one deterministic file mutation is applied through a resident
+	// static.DeltaSession and the run checks that delta re-analysis is
+	// indistinguishable from a from-scratch restart.
+	Delta bool
 	// SolverWorkers selects the static solver engine for every oracle run
 	// (0 = sequential, >= 1 = the epoch engine with that many scan
 	// workers). Graphs are identical either way; failures found under one
@@ -389,9 +394,12 @@ func Run(opts Options) *Report {
 				if i >= uint64(opts.Seeds) {
 					return
 				}
-				if opts.Faults {
+				switch {
+				case opts.Faults:
 					results[i] = CheckSeedFaulted(opts.Start + i)
-				} else {
+				case opts.Delta:
+					results[i] = CheckSeedDelta(opts.Start + i)
+				default:
 					results[i] = CheckSeed(opts.Start + i)
 				}
 			}
@@ -412,9 +420,10 @@ func Run(opts Options) *Report {
 	}
 	if opts.Minimize {
 		for bucket, f := range rep.Representative {
-			if f.Kind == KindFaultEscape {
+			if f.Kind == KindFaultEscape || f.Kind == KindDeltaDivergence {
 				// Minimization re-runs the plain oracles, which cannot
-				// reproduce an injected fault; keep the full program.
+				// reproduce an injected fault or a session-path divergence;
+				// keep the full program.
 				continue
 			}
 			rep.Representative[bucket] = Minimize(f, opts.MinimizeBudget)

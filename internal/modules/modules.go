@@ -5,6 +5,9 @@
 package modules
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -51,34 +54,84 @@ type Project struct {
 // node: module behind it.
 var ErrNoSource = errors.New("modules: no such file")
 
-// parseCache holds parse results for one project. The mutex is held across
-// parsing, which both serializes concurrent parsers of the same project
-// (the corpus driver parallelizes across projects, not within one) and
-// guarantees each file is parsed exactly once.
+// ParseStore is a persistent parse cache behind the in-memory one:
+// implemented by the content-addressed artifact store (internal/cache) and
+// attached per project via SetParseStore. Keys are SourceKey values, so
+// the persistent and in-memory caches share one key scheme. Loads that
+// miss for any reason return ok=false; stores are fire-and-forget.
+type ParseStore interface {
+	LoadAST(key string) (*ast.Program, bool)
+	StoreAST(key string, prog *ast.Program)
+}
+
+// SourceKey is the cache key of one parsed file: the SHA-256 over the path
+// (embedded in every source location the parser emits) and the source
+// bytes, length-framed so the two cannot alias. Parse results depend on
+// exactly these inputs, so equal keys mean interchangeable ASTs — within a
+// session and across processes sharing a persistent store.
+func SourceKey(path, src string) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(path)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(path))
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(src)))
+	h.Write(lenBuf[:])
+	h.Write([]byte(src))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// parseCache holds parse results for one project, keyed by SourceKey
+// (content hash, not path) so an in-session edit of a file invalidates its
+// stale parse by construction. The mutex is held across parsing, which
+// both serializes concurrent parsers of the same project (the corpus
+// driver parallelizes across projects, not within one) and guarantees each
+// file version is parsed exactly once.
 type parseCache struct {
 	mu    sync.Mutex
 	progs map[string]*ast.Program
+	store ParseStore
 
 	parses, hits int64
 }
 
+// SetParseStore attaches a persistent parse store to the project. Parses
+// not found in memory are looked up there before parsing, and fresh parses
+// are written back. Attach before analysis starts; safe to leave nil.
+func (p *Project) SetParseStore(s ParseStore) {
+	p.parseOnce.Do(func() { p.parseCache = &parseCache{progs: map[string]*ast.Program{}} })
+	c := p.parseCache
+	c.mu.Lock()
+	c.store = s
+	c.mu.Unlock()
+}
+
 // Parse returns the parsed program for path — a project file or a built-in
-// node: module — parsing each file at most once per project. It is safe
-// for concurrent use. Paths with no source return ErrNoSource.
+// node: module — parsing each file version at most once per project. It is
+// safe for concurrent use. Paths with no source return ErrNoSource.
 func (p *Project) Parse(path string) (*ast.Program, error) {
 	p.parseOnce.Do(func() { p.parseCache = &parseCache{progs: map[string]*ast.Program{}} })
 	c := p.parseCache
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if prog, ok := c.progs[path]; ok {
-		c.hits++
-		perf.Global().AddParseHit()
-		return prog, nil
-	}
 	src, ok := p.Files[path]
 	if !ok {
 		if src, ok = nodeLibSources[path]; !ok {
 			return nil, fmt.Errorf("%w: %s", ErrNoSource, path)
+		}
+	}
+	key := SourceKey(path, src)
+	if prog, ok := c.progs[key]; ok {
+		c.hits++
+		perf.Global().AddParseHit()
+		return prog, nil
+	}
+	if c.store != nil {
+		if prog, ok := c.store.LoadAST(key); ok {
+			c.progs[key] = prog
+			c.hits++
+			perf.Global().AddParseHit()
+			return prog, nil
 		}
 	}
 	start := time.Now()
@@ -88,7 +141,10 @@ func (p *Project) Parse(path string) (*ast.Program, error) {
 	}
 	c.parses++
 	perf.Global().AddParse(time.Since(start))
-	c.progs[path] = prog
+	c.progs[key] = prog
+	if c.store != nil {
+		c.store.StoreAST(key, prog)
+	}
 	return prog, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/ast"
 	"repro/internal/interp"
 )
 
@@ -97,5 +98,100 @@ func TestRegistryUsesSharedCache(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Error("registry load did not hit the shared cache")
+	}
+}
+
+// TestParseCacheContentKeyed is the stale-parse regression test: the cache
+// is keyed by SourceKey (path + content hash), so an in-session edit must
+// re-parse and serve the new AST, and reverting the edit must hit the
+// still-cached original version.
+func TestParseCacheContentKeyed(t *testing.T) {
+	p := cacheProject()
+	original := p.Files["/app/index.js"]
+	before, err := p.Parse("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.Files["/app/index.js"] = original + "\nexports.c = function c() { return 3; };"
+	after, err := p.Parse("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after == before {
+		t.Fatal("edited file served the stale pre-edit AST")
+	}
+	if len(after.Body) == len(before.Body) {
+		t.Error("re-parse did not see the appended statement")
+	}
+	parses, _ := p.ParseCounts()
+	if parses != 2 {
+		t.Errorf("parses = %d after one edit, want 2", parses)
+	}
+
+	// Reverting restores the old content hash: the original AST is still
+	// cached under it, so no third parse happens.
+	p.Files["/app/index.js"] = original
+	reverted, err := p.Parse("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reverted != before {
+		t.Error("reverted file did not hit the original cached AST")
+	}
+	if parses, _ := p.ParseCounts(); parses != 2 {
+		t.Errorf("parses = %d after revert, want still 2", parses)
+	}
+}
+
+// recordingStore is a ParseStore stub for observing store traffic.
+type recordingStore struct {
+	mu     sync.Mutex
+	progs  map[string]*ast.Program
+	loads  int
+	stores int
+}
+
+func (r *recordingStore) LoadAST(key string) (*ast.Program, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.loads++
+	prog, ok := r.progs[key]
+	return prog, ok
+}
+
+func (r *recordingStore) StoreAST(key string, prog *ast.Program) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.stores++
+	r.progs[key] = prog
+}
+
+// TestParseStoreBacksCache: a persistent store attached via SetParseStore
+// serves parses to a fresh project (simulating a second process) and
+// receives write-backs from fresh parses.
+func TestParseStoreBacksCache(t *testing.T) {
+	store := &recordingStore{progs: map[string]*ast.Program{}}
+
+	p1 := cacheProject()
+	p1.SetParseStore(store)
+	if _, err := p1.Parse("/app/index.js"); err != nil {
+		t.Fatal(err)
+	}
+	if store.stores != 1 {
+		t.Errorf("stores = %d after one fresh parse, want 1", store.stores)
+	}
+
+	p2 := cacheProject()
+	p2.SetParseStore(store)
+	prog, err := p2.Parse("/app/index.js")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parses, hits := p2.ParseCounts(); parses != 0 || hits != 1 {
+		t.Errorf("second project: parses=%d hits=%d, want 0/1 (served by the store)", parses, hits)
+	}
+	if prog != store.progs[SourceKey("/app/index.js", p2.Files["/app/index.js"])] {
+		t.Error("second project did not return the store's AST")
 	}
 }

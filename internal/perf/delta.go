@@ -1,0 +1,105 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// DeltaRow is one arm of the persistent-cache delta benchmark
+// (experiments.RunDeltaBench): a full corpus evaluation under one cache
+// regime. Wall times are machine-dependent; the counters are deterministic
+// given the arm's cache state.
+type DeltaRow struct {
+	// Label identifies the arm: "cold" (empty cache), "warm" (second run,
+	// unchanged corpus), "edit-warm" (one file edited, warm cache),
+	// "edit-scratch" (same edited corpus, no cache).
+	Label string `json:"label"`
+
+	WallMS float64 `json:"wall_ms"`
+
+	Projects int64 `json:"projects"`
+	Parses   int64 `json:"parses"`
+
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheBytesWritten int64 `json:"cache_bytes_written,omitempty"`
+	DeltaModulesRean  int64 `json:"delta_modules_reanalyzed,omitempty"`
+
+	SolveIterations int64 `json:"solve_iterations"`
+	TokensDelivered int64 `json:"tokens_delivered"`
+}
+
+// DeltaRowFrom projects a counter snapshot into a benchmark row.
+func DeltaRowFrom(label string, s Snapshot) DeltaRow {
+	return DeltaRow{
+		Label:             label,
+		WallMS:            s.WallMS,
+		Projects:          s.Projects,
+		Parses:            s.Parses,
+		CacheHits:         s.CacheHits,
+		CacheMisses:       s.CacheMisses,
+		CacheBytesWritten: s.CacheBytesWritten,
+		DeltaModulesRean:  s.DeltaModulesRean,
+		SolveIterations:   s.SolveIterations,
+		TokensDelivered:   s.TokensDelivered,
+	}
+}
+
+// DeltaSnapshot is BENCH_delta.json: cold vs warm vs one-file-edit corpus
+// evaluation against one cache directory. ReportsIdentical records the
+// in-harness assertion that the warm run rendered byte-identical reports
+// to the cold run AND the edit-warm run rendered byte-identical reports to
+// a from-scratch run of the same edited corpus — the harness hard-fails
+// before producing a snapshot when either comparison differs, so a
+// committed snapshot always carries true.
+type DeltaSnapshot struct {
+	CorpusProjects int    `json:"corpus_projects"`
+	EditedProject  string `json:"edited_project,omitempty"`
+	EditedFile     string `json:"edited_file,omitempty"`
+
+	Runs []DeltaRow `json:"runs"`
+
+	// WarmSpeedup is cold wall / warm wall (unchanged corpus).
+	WarmSpeedup float64 `json:"warm_speedup,omitempty"`
+	// EditSpeedup is cold wall / edit-warm wall: how much cheaper a warm
+	// one-file-edit re-analysis is than the from-scratch corpus run.
+	EditSpeedup float64 `json:"edit_speedup,omitempty"`
+
+	ReportsIdentical bool `json:"reports_identical"`
+}
+
+// Run returns the row with the given label, or nil.
+func (s *DeltaSnapshot) Run(label string) *DeltaRow {
+	for i := range s.Runs {
+		if s.Runs[i].Label == label {
+			return &s.Runs[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s DeltaSnapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Render writes a human-readable table.
+func (s DeltaSnapshot) Render(w io.Writer) {
+	fmt.Fprintf(w, "delta corpus:       %d projects (edited %s)\n", s.CorpusProjects, s.EditedFile)
+	fmt.Fprintf(w, "%-14s %10s %10s %10s %10s %12s %14s\n",
+		"run", "wall ms", "parses", "hits", "misses", "reanalyzed", "tokens")
+	for _, r := range s.Runs {
+		fmt.Fprintf(w, "%-14s %10.1f %10d %10d %10d %12d %14d\n",
+			r.Label, r.WallMS, r.Parses, r.CacheHits, r.CacheMisses, r.DeltaModulesRean, r.TokensDelivered)
+	}
+	if s.WarmSpeedup > 0 {
+		fmt.Fprintf(w, "warm speedup:       %.1fx (unchanged corpus vs cold)\n", s.WarmSpeedup)
+	}
+	if s.EditSpeedup > 0 {
+		fmt.Fprintf(w, "edit speedup:       %.1fx (one-file edit, warm cache, vs cold from-scratch)\n", s.EditSpeedup)
+	}
+	fmt.Fprintf(w, "reports identical:  %t\n", s.ReportsIdentical)
+}

@@ -87,6 +87,17 @@ type Counters struct {
 	solverCrossShard atomic.Int64
 	solverScanNS     atomic.Int64
 	solverBarrierNS  atomic.Int64
+
+	// Persistent-cache activity (zero when no cache store is attached):
+	// artifact loads served from disk, loads that missed (including
+	// corrupt/stale entries, which are misses by design), bytes written to
+	// the store, and modules that went through full re-analysis because
+	// their project's content fingerprint was not cached (on a warm
+	// one-file-edit run this is just the dirty project's module count).
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	cacheBytesWritten atomic.Int64
+	deltaModulesRean  atomic.Int64
 }
 
 var global Counters
@@ -150,6 +161,21 @@ func (c *Counters) AddSolverParallel(epochs, steals, crossShard, scanNS, barrier
 	c.solverBarrierNS.Add(barrierNS)
 }
 
+// AddCacheHit counts one artifact load served by the persistent store.
+func (c *Counters) AddCacheHit() { c.cacheHits.Add(1) }
+
+// AddCacheMiss counts one artifact load the persistent store could not
+// serve (absent, corrupt, truncated, or stale-version entries all count
+// here — they are equivalent to the analysis).
+func (c *Counters) AddCacheMiss() { c.cacheMisses.Add(1) }
+
+// AddCacheBytes accrues bytes written to the persistent store.
+func (c *Counters) AddCacheBytes(n int64) { c.cacheBytesWritten.Add(n) }
+
+// AddDeltaModules counts modules re-analyzed because their project's
+// content fingerprint missed the cache.
+func (c *Counters) AddDeltaModules(n int) { c.deltaModulesRean.Add(int64(n)) }
+
 // AddFaults counts contained failures and the modules degraded for them.
 func (c *Counters) AddFaults(faults, degraded int) {
 	c.faultsContained.Add(int64(faults))
@@ -200,6 +226,10 @@ func (c *Counters) Reset() {
 	c.solverCrossShard.Store(0)
 	c.solverScanNS.Store(0)
 	c.solverBarrierNS.Store(0)
+	c.cacheHits.Store(0)
+	c.cacheMisses.Store(0)
+	c.cacheBytesWritten.Store(0)
+	c.deltaModulesRean.Store(0)
 }
 
 // Snapshot is a point-in-time copy of the counters, serializable as
@@ -244,6 +274,12 @@ type Snapshot struct {
 	SolverScanMS     float64 `json:"solver_scan_ms,omitempty"`
 	SolverBarrierMS  float64 `json:"solver_barrier_ms,omitempty"`
 
+	// Persistent-cache activity (zero when no cache store is attached).
+	CacheHits         int64 `json:"cache_hits,omitempty"`
+	CacheMisses       int64 `json:"cache_misses,omitempty"`
+	CacheBytesWritten int64 `json:"cache_bytes_written,omitempty"`
+	DeltaModulesRean  int64 `json:"delta_modules_reanalyzed,omitempty"`
+
 	PhaseMS         map[string]float64 `json:"phase_ms"`
 	PhaseAllocBytes map[string]int64   `json:"phase_alloc_bytes,omitempty"`
 }
@@ -272,6 +308,10 @@ func (c *Counters) Snapshot() Snapshot {
 		SolverCrossShard:     c.solverCrossShard.Load(),
 		SolverScanMS:         float64(c.solverScanNS.Load()) / 1e6,
 		SolverBarrierMS:      float64(c.solverBarrierNS.Load()) / 1e6,
+		CacheHits:            c.cacheHits.Load(),
+		CacheMisses:          c.cacheMisses.Load(),
+		CacheBytesWritten:    c.cacheBytesWritten.Load(),
+		DeltaModulesRean:     c.deltaModulesRean.Load(),
 		PhaseMS:              map[string]float64{},
 	}
 	if total := s.Parses + s.ParseCacheHits; total > 0 {
@@ -328,6 +368,11 @@ func (s Snapshot) Render(w io.Writer) {
 	if s.SolverEpochs > 0 {
 		fmt.Fprintf(w, "parallel solver:    %d epochs, %d steals, %d cross-shard deliveries, scan %.1f ms / barrier %.1f ms\n",
 			s.SolverEpochs, s.SolverSteals, s.SolverCrossShard, s.SolverScanMS, s.SolverBarrierMS)
+	}
+	if s.CacheHits+s.CacheMisses > 0 {
+		rate := 100 * float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+		fmt.Fprintf(w, "artifact cache:     %d hits / %d misses (%.1f%%), %.1f KB written, %d modules re-analyzed\n",
+			s.CacheHits, s.CacheMisses, rate, float64(s.CacheBytesWritten)/1024, s.DeltaModulesRean)
 	}
 	for p := Phase(0); p < numPhases; p++ {
 		fmt.Fprintf(w, "%-9s phase:     %.1f ms", p.String(), s.PhaseMS[p.String()])

@@ -1,0 +1,202 @@
+// File-delta re-analysis. A DeltaSession keeps one project resident —
+// most importantly its content-hash-keyed parse cache — applies file
+// edits, and re-analyzes on demand, memoizing the last solved result
+// against a fingerprint of every analysis input.
+//
+// Reuse granularity is chosen where exactness is provable:
+//
+//   - Parses are reused per file: a parse depends only on (path, source),
+//     so after an edit every unchanged file's AST comes from the cache and
+//     only dirty files are re-parsed (the in-memory cache is keyed by
+//     modules.SourceKey, so stale parses cannot be served by construction).
+//
+//   - The solved fixpoint is reused only whole: when the input fingerprint
+//     (file set + analysis options + hints) is unchanged, the previous
+//     Results are returned without touching the solver. When anything
+//     changed, constraints are regenerated and solved from scratch.
+//
+// The solver deliberately does NOT try to keep per-file constraint
+// suffixes across an edit. The subset solver is monotone — constraints
+// and tokens are only ever added — so "remove the dirty file's
+// constraints and resume" would require deleting state the fixpoint
+// already propagated through shared variables, which the engine cannot do
+// exactly (its rollback windows, PR 5, truncate suffixes of an unchanged
+// constraint prefix; an edit invalidates the prefix itself). Re-solving
+// from regenerated constraints is therefore the exactness-preserving
+// delta: AnalyzeBoth is a pure function of (project, options), so the
+// delta path and a from-scratch restart produce byte-identical graphs —
+// the seventh fuzz oracle (internal/fuzz) asserts exactly this per seed.
+package static
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/modules"
+	"repro/internal/perf"
+)
+
+// DeltaSession is a resident analysis session over one mutable project.
+// All methods are safe for concurrent use; analyses are serialized.
+type DeltaSession struct {
+	mu      sync.Mutex
+	project *modules.Project
+
+	// fileKeys are the SourceKeys of the last analyzed file set, used to
+	// count how many modules an edit actually dirtied.
+	fileKeys map[string]string
+	// fp fingerprints every input of the last analysis; base/ext are its
+	// memoized results.
+	fp        string
+	base, ext *Result
+}
+
+// NewDeltaSession wraps a project for delta re-analysis. The project is
+// owned by the session from here on: edits must go through Update.
+func NewDeltaSession(project *modules.Project) *DeltaSession {
+	return &DeltaSession{project: project}
+}
+
+// Project returns the session's project (for read-only inspection).
+func (s *DeltaSession) Project() *modules.Project { return s.project }
+
+// Update applies a file delta: changed maps paths to their new content
+// (added or overwritten), removed lists paths to delete.
+func (s *DeltaSession) Update(changed map[string]string, removed []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for path, src := range changed {
+		s.project.Files[path] = src
+	}
+	for _, path := range removed {
+		delete(s.project.Files, path)
+	}
+}
+
+// Analyze runs (or reuses) the incremental baseline+extended analysis of
+// the session's current file set. When no analysis input changed since the
+// last call — file contents, options, hints — the memoized results are
+// returned with reused=true and zero solver work. Otherwise the project is
+// re-analyzed with a warm parse cache (only dirty files re-parse), the
+// number of dirtied modules is recorded in the perf counters, and the new
+// results are memoized.
+func (s *DeltaSession) Analyze(opts Options) (base, ext *Result, reused bool, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	fp := s.inputFingerprint(opts)
+	if s.base != nil && fp == s.fp {
+		return s.base, s.ext, true, nil
+	}
+
+	keys := s.currentKeys()
+	perf.Global().AddDeltaModules(s.dirtyAgainst(keys))
+
+	base, ext, err = AnalyzeBoth(s.project, opts)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	s.base, s.ext, s.fp, s.fileKeys = base, ext, fp, keys
+	return base, ext, false, nil
+}
+
+// currentKeys returns the SourceKey of every file in the project. Callers
+// hold s.mu.
+func (s *DeltaSession) currentKeys() map[string]string {
+	keys := make(map[string]string, len(s.project.Files))
+	for path, src := range s.project.Files {
+		keys[path] = modules.SourceKey(path, src)
+	}
+	return keys
+}
+
+// dirtyAgainst counts the modules whose content differs from the last
+// analyzed file set: edited and added files, plus removed ones. Callers
+// hold s.mu.
+func (s *DeltaSession) dirtyAgainst(keys map[string]string) int {
+	dirty := 0
+	for path, k := range keys {
+		if s.fileKeys == nil || s.fileKeys[path] != k {
+			dirty++
+		}
+	}
+	for path := range s.fileKeys {
+		if _, ok := keys[path]; !ok {
+			dirty++
+		}
+	}
+	return dirty
+}
+
+// dirtyCount reports how many modules the pending edits have dirtied since
+// the last analysis.
+func (s *DeltaSession) dirtyCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dirtyAgainst(s.currentKeys())
+}
+
+// inputFingerprint hashes every input the analysis outcome depends on: the
+// full file set, the entry configuration, the hints, and all
+// outcome-affecting options. SolverWorkers is deliberately excluded — the
+// epoch engine is report- and counter-identical at every worker count (see
+// Options.SolverWorkers).
+func (s *DeltaSession) inputFingerprint(opts Options) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	wr := func(str string) {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(str)))
+		h.Write(lenBuf[:])
+		h.Write([]byte(str))
+	}
+	p := s.project
+	wr(p.Name)
+	wr(p.MainPrefix)
+	for _, e := range p.MainEntries {
+		wr(e)
+	}
+	wr("|")
+	for _, e := range p.TestEntries {
+		wr(e)
+	}
+	wr("|files")
+	for _, path := range p.SortedPaths() {
+		wr(path)
+		wr(p.Files[path])
+	}
+	wr(fmt.Sprintf("|opts %d %t %t %t %t %t", opts.Mode,
+		opts.DisableDPR, opts.DisableModuleHints, opts.EvalHints,
+		opts.UnknownArgHints, opts.DisableCopyElim))
+	if opts.Hints != nil {
+		wr("|hints")
+		_ = opts.Hints.WriteJSON(h)
+	}
+	if len(opts.DegradeFiles) > 0 {
+		files := make([]string, 0, len(opts.DegradeFiles))
+		for f, on := range opts.DegradeFiles {
+			if on {
+				files = append(files, f)
+			}
+		}
+		sort.Strings(files)
+		wr("|degrade")
+		for _, f := range files {
+			wr(f)
+		}
+	}
+	if len(opts.PreUnify) > 0 {
+		wr("|preunify")
+		for _, group := range opts.PreUnify {
+			for _, v := range group {
+				binary.BigEndian.PutUint64(lenBuf[:], uint64(v))
+				h.Write(lenBuf[:])
+			}
+			wr(";")
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
