@@ -3,10 +3,11 @@
 // resident session) and returns call-graph metrics from the approximate-
 // interpretation pipeline.
 //
-//	POST /analyze {"project": {...}}                  full analysis, opens a session
-//	POST /analyze {"session": "s-1", "delta": {...}}  file-delta re-analysis
-//	GET  /healthz                                     liveness
-//	GET  /stats                                       session count + cache counters
+//	POST   /analyze {"project": {...}}                  full analysis, opens a session
+//	POST   /analyze {"session": "s-1", "delta": {...}}  file-delta re-analysis
+//	DELETE /session?id=s-1                              close a session
+//	GET    /healthz                                     liveness
+//	GET    /stats                                       session count + cache counters
 //
 // A full-project request opens (or replaces) a session holding a
 // static.DeltaSession: the project stays resident with its content-hash-
@@ -15,6 +16,10 @@
 // unchanged, and skips the solve entirely for no-op deltas. With
 // -cache-dir, sessions additionally share the persistent artifact store,
 // so even a fresh session's parses can be served from disk.
+//
+// Residency is bounded: at most -max-sessions sessions stay resident
+// (opening one more evicts the least recently used), and a client can
+// close a session eagerly with DELETE /session?id=.
 //
 // Isolation: each request runs under a panic guard (a panicking analysis
 // returns 500 and the daemon lives on), the pre-analysis runs with the
@@ -95,10 +100,16 @@ type errorResponse struct {
 }
 
 // session is one resident project plus the memoized pre-analysis of its
-// current content fingerprint. Requests against one session serialize.
+// current content fingerprint. Requests against one session serialize:
+// sess.mu guards every read and write of the resident project — delta
+// application included — so an edit can never land mid-analysis.
 type session struct {
 	mu sync.Mutex
 	ds *static.DeltaSession
+
+	// lastUsed orders sessions for LRU eviction. Guarded by server.mu
+	// (not sess.mu): it is only touched while the session map is locked.
+	lastUsed time.Time
 
 	// Pre-analysis memo: valid while the project content fingerprint
 	// equals approxFP. Hints depend on the whole file set (one shared
@@ -115,19 +126,25 @@ type server struct {
 
 	store          *cache.Store
 	approxDeadline time.Duration
+	maxSessions    int
 }
 
-func newServer(store *cache.Store, approxDeadline time.Duration) *server {
+func newServer(store *cache.Store, approxDeadline time.Duration, maxSessions int) *server {
+	if maxSessions < 1 {
+		maxSessions = 1
+	}
 	return &server{
 		sessions:       map[string]*session{},
 		store:          store,
 		approxDeadline: approxDeadline,
+		maxSessions:    maxSessions,
 	}
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -189,6 +206,10 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			s.nextID++
 			id = fmt.Sprintf("s-%d", s.nextID)
 		}
+		if _, exists := s.sessions[id]; !exists {
+			s.evictLRULocked()
+		}
+		sess.lastUsed = time.Now()
 		s.sessions[id] = sess
 		s.mu.Unlock()
 	case req.Delta != nil:
@@ -198,19 +219,21 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		s.mu.Lock()
 		sess = s.sessions[req.Session]
+		if sess != nil {
+			sess.lastUsed = time.Now()
+		}
 		s.mu.Unlock()
 		if sess == nil {
 			writeJSON(w, http.StatusNotFound, errorResponse{"unknown session " + req.Session})
 			return
 		}
 		id = req.Session
-		sess.ds.Update(req.Delta.Changed, req.Delta.Removed)
 	default:
 		writeJSON(w, http.StatusBadRequest, errorResponse{"request needs a project or a delta"})
 		return
 	}
 
-	resp, err := s.analyze(sess)
+	resp, err := s.analyze(sess, req.Delta)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		return
@@ -219,10 +242,55 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// analyze runs (or reuses) the session's pipeline under a panic guard: a
-// panicking analysis is converted into an error response, keeping the
-// daemon and the session map alive.
-func (s *server) analyze(sess *session) (resp *analyzeResponse, err error) {
+// evictLRULocked removes least-recently-used sessions until there is room
+// to add one more, so the resident set (each pinning a full project, its
+// parse cache, and two memoized Results) cannot grow without bound.
+// Callers hold s.mu. An evicted session with a request in flight finishes
+// that request on the orphaned value and is freed afterwards.
+func (s *server) evictLRULocked() {
+	for len(s.sessions) >= s.maxSessions {
+		var oldest string
+		var oldestT time.Time
+		for id, sess := range s.sessions {
+			if oldest == "" || sess.lastUsed.Before(oldestT) {
+				oldest, oldestT = id, sess.lastUsed
+			}
+		}
+		delete(s.sessions, oldest)
+	}
+}
+
+// handleSession closes a resident session: DELETE /session?id=s-1. Closing
+// releases the resident project immediately instead of waiting for LRU
+// eviction; a delta against a closed session is 404.
+func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"DELETE only"})
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"missing id parameter"})
+		return
+	}
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown session " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+}
+
+// analyze applies the delta (if any) and runs (or reuses) the session's
+// pipeline, all under sess.mu — the delta is applied inside the lock so
+// every read and write of the resident project is serialized per session
+// and an edit can never land while another request is mid-analysis. The
+// panic guard converts a panicking analysis into an error response,
+// keeping the daemon and the session map alive.
+func (s *server) analyze(sess *session, delta *deltaPayload) (resp *analyzeResponse, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("analysis panicked (contained): %v", r)
@@ -232,6 +300,9 @@ func (s *server) analyze(sess *session) (resp *analyzeResponse, err error) {
 	defer sess.mu.Unlock()
 
 	start := time.Now()
+	if delta != nil {
+		sess.ds.Update(delta.Changed, delta.Removed)
+	}
 	project := sess.ds.Project()
 
 	// Pre-analysis, memoized per content fingerprint: hints are a function
@@ -294,6 +365,7 @@ func main() {
 		addr           = flag.String("addr", ":8791", "listen address")
 		cacheDir       = flag.String("cache-dir", "", "persistent artifact cache directory shared across sessions (empty = in-memory only)")
 		approxDeadline = flag.Duration("approx-deadline", 2*time.Second, "per-worklist-item deadline of the pre-analysis; tripped items become contained faults and degrade their module's hints (0 = unlimited)")
+		maxSessions    = flag.Int("max-sessions", 64, "maximum resident sessions; opening one more evicts the least recently used")
 	)
 	flag.Parse()
 
@@ -304,7 +376,7 @@ func main() {
 			log.Fatalf("analyzed: %v", err)
 		}
 	}
-	srv := newServer(store, *approxDeadline)
+	srv := newServer(store, *approxDeadline, *maxSessions)
 	log.Printf("analyzed: listening on %s (cache: %q)", *addr, *cacheDir)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

@@ -3,9 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -46,7 +48,7 @@ func post(t *testing.T, ts *httptest.Server, req analyzeRequest) (int, analyzeRe
 
 func newTestServer(t *testing.T, store *cache.Store) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(store, 2*time.Second).handler())
+	ts := httptest.NewServer(newServer(store, 2*time.Second, 64).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -196,6 +198,109 @@ func TestAnalyzeErrors(t *testing.T) {
 	res.Body.Close()
 	if res.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /analyze: status = %d, want 405", res.StatusCode)
+	}
+}
+
+// TestConcurrentDeltaRequests hammers one session with concurrent edit
+// deltas. Deltas are applied inside the session lock, so under -race this
+// must be clean and every request must succeed — an edit can never land
+// while another request is mid-analysis.
+func TestConcurrentDeltaRequests(t *testing.T) {
+	ts := newTestServer(t, nil)
+	_, full := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				src := fmt.Sprintf("var lib = require('./lib');\nlib.go();\nvar w%d_%d = 1;\n", i, j)
+				status, resp := post(t, ts, analyzeRequest{
+					Session: full.Session,
+					Delta:   &deltaPayload{Changed: map[string]string{"/app/index.js": src}},
+				})
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("worker %d: status %d", i, status)
+					return
+				}
+				if resp.Extended.CallEdges == 0 {
+					errs <- fmt.Sprintf("worker %d: empty graph", i)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestSessionClose(t *testing.T) {
+	ts := newTestServer(t, nil)
+	_, full := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/session?id="+full.Session, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("close: status = %d", res.StatusCode)
+	}
+
+	// The session is gone: a delta against it is 404, closing again is 404.
+	if status, _ := post(t, ts, analyzeRequest{Session: full.Session, Delta: &deltaPayload{}}); status != http.StatusNotFound {
+		t.Errorf("delta on closed session: status = %d, want 404", status)
+	}
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Errorf("double close: status = %d, want 404", res.StatusCode)
+	}
+
+	// Bad requests.
+	res, err = http.Get(ts.URL + "/session?id=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /session: status = %d, want 405", res.StatusCode)
+	}
+}
+
+// TestSessionLRUEviction caps the server at two sessions and opens three:
+// the least recently used must be evicted, the others stay resident.
+func TestSessionLRUEviction(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil, 2*time.Second, 2).handler())
+	t.Cleanup(ts.Close)
+
+	_, s1 := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+	_, s2 := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	// Touch s1 so s2 becomes the LRU, then open a third session.
+	post(t, ts, analyzeRequest{Session: s1.Session, Delta: &deltaPayload{}})
+	_, s3 := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	if status, _ := post(t, ts, analyzeRequest{Session: s2.Session, Delta: &deltaPayload{}}); status != http.StatusNotFound {
+		t.Errorf("evicted LRU session still resident: status = %d, want 404", status)
+	}
+	for _, id := range []string{s1.Session, s3.Session} {
+		if status, _ := post(t, ts, analyzeRequest{Session: id, Delta: &deltaPayload{}}); status != http.StatusOK {
+			t.Errorf("session %s: status = %d, want 200", id, status)
+		}
 	}
 }
 

@@ -21,10 +21,13 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/modules"
 	"repro/internal/perf"
@@ -55,12 +58,39 @@ type Store struct {
 	hits, misses, bytesWritten atomic.Int64
 }
 
-// Open creates (if needed) and opens a cache directory.
+// tmpMaxAge is how old a leftover temp file must be before Open sweeps it:
+// younger ones may belong to a concurrent writer mid-Put.
+const tmpMaxAge = time.Hour
+
+// Open creates (if needed) and opens a cache directory. It also sweeps
+// stale temp files left behind by writers killed between CreateTemp and
+// Rename — nothing else would ever delete them from a long-lived shared
+// cache directory.
 func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	sweepTempFiles(dir, time.Now().Add(-tmpMaxAge))
 	return &Store{dir: dir}, nil
+}
+
+// sweepTempFiles removes Put's ".<key>.tmp*" files older than cutoff.
+// Cheap: entries are sharded into small per-prefix directories. All errors
+// are ignored — sweeping is best-effort hygiene, never a reason to fail.
+func sweepTempFiles(dir string, cutoff time.Time) {
+	_ = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp") {
+			return nil
+		}
+		if info, ierr := d.Info(); ierr == nil && info.ModTime().Before(cutoff) {
+			_ = os.Remove(path)
+		}
+		return nil
+	})
 }
 
 // Dir returns the store's root directory.
@@ -225,9 +255,11 @@ func Fingerprint(parts ...string) string {
 
 // ProjectFingerprint hashes everything the analysis pipeline reads from a
 // project: its name (reports embed it), entry configuration, and the full
-// file set as sorted (path, content) pairs. Two projects with equal
-// fingerprints are indistinguishable to every pipeline phase, which is the
-// soundness basis for whole-outcome reuse.
+// file set as sorted (path, content) pairs. Each list is prefixed by its
+// element count, so list boundaries cannot alias (MainEntries=["x"] with
+// empty TestEntries hashes differently from the reverse). Two projects
+// with equal fingerprints are indistinguishable to every pipeline phase,
+// which is the soundness basis for whole-outcome reuse.
 func ProjectFingerprint(p *modules.Project) string {
 	h := sha256.New()
 	var lenBuf [8]byte
@@ -236,13 +268,17 @@ func ProjectFingerprint(p *modules.Project) string {
 		h.Write(lenBuf[:])
 		h.Write([]byte(s))
 	}
+	wrN := func(n int) {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(n))
+		h.Write(lenBuf[:])
+	}
 	wr(p.Name)
 	wr(p.MainPrefix)
-	wr("main")
+	wrN(len(p.MainEntries))
 	for _, e := range p.MainEntries {
 		wr(e)
 	}
-	wr("test")
+	wrN(len(p.TestEntries))
 	for _, e := range p.TestEntries {
 		wr(e)
 	}
@@ -251,7 +287,7 @@ func ProjectFingerprint(p *modules.Project) string {
 		paths = append(paths, path)
 	}
 	sort.Strings(paths)
-	wr("files")
+	wrN(len(paths))
 	for _, path := range paths {
 		wr(path)
 		wr(p.Files[path])

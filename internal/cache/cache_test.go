@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/modules"
@@ -198,6 +199,58 @@ func TestProjectFingerprint(t *testing.T) {
 	entry.TestEntries = []string{"/app/b.js"}
 	if ProjectFingerprint(entry) == base {
 		t.Error("entry change did not change the fingerprint")
+	}
+}
+
+// TestProjectFingerprintListBoundaries: lists are count-prefixed, so an
+// entry whose value equals a neighboring section's content cannot slide
+// between lists and alias.
+func TestProjectFingerprintListBoundaries(t *testing.T) {
+	mk := func(mains, tests []string) *modules.Project {
+		return &modules.Project{
+			Name:        "p",
+			Files:       map[string]string{"/a.js": "1;"},
+			MainEntries: mains,
+			TestEntries: tests,
+		}
+	}
+	if ProjectFingerprint(mk([]string{"test"}, nil)) == ProjectFingerprint(mk(nil, []string{"test"})) {
+		t.Error("MainEntries=[test] aliases with TestEntries=[test]")
+	}
+	if ProjectFingerprint(mk([]string{"a", "b"}, nil)) == ProjectFingerprint(mk([]string{"a"}, []string{"b"})) {
+		t.Error("entry slid across the main/test list boundary without changing the fingerprint")
+	}
+}
+
+// TestOpenSweepsStaleTempFiles: a temp file orphaned by a writer killed
+// between CreateTemp and Rename is collected by the next Open, while a
+// fresh temp file (a possibly live concurrent writer) is left alone.
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	shard := filepath.Join(dir, KindAST, "ab")
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(shard, ".abcd1234.tmp42")
+	fresh := filepath.Join(shard, ".abcd5678.tmp43")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte("partial frame"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * tmpMaxAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale temp file survived Open")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh temp file was swept (may belong to a live writer)")
 	}
 }
 

@@ -148,6 +148,51 @@ func (p *Project) Parse(path string) (*ast.Program, error) {
 	return prog, nil
 }
 
+// nodeLibKeys memoizes the SourceKeys of the built-in node: modules, which
+// are live in every project's parse cache regardless of its file set.
+var (
+	nodeLibKeysOnce sync.Once
+	nodeLibKeys     map[string]bool
+)
+
+func builtinParseKeys() map[string]bool {
+	nodeLibKeysOnce.Do(func() {
+		nodeLibKeys = make(map[string]bool, len(nodeLibSources))
+		for path, src := range nodeLibSources {
+			nodeLibKeys[SourceKey(path, src)] = true
+		}
+	})
+	return nodeLibKeys
+}
+
+// PruneParses evicts cached parses whose content no longer appears in the
+// project. The cache is keyed by content hash, so without pruning every
+// edit in a long-lived session strands the superseded version's AST in
+// memory forever; pruning after each edit bounds the cache by the current
+// file set (plus the built-in node: modules, which stay resident). An
+// evicted parse can still be re-served by the persistent store if the old
+// content comes back. The caller must ensure p.Files is not concurrently
+// mutated (delta sessions call this under their session lock).
+func (p *Project) PruneParses() {
+	p.parseOnce.Do(func() { p.parseCache = &parseCache{progs: map[string]*ast.Program{}} })
+	c := p.parseCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.progs) == 0 {
+		return
+	}
+	builtin := builtinParseKeys()
+	live := make(map[string]bool, len(p.Files))
+	for path, src := range p.Files {
+		live[SourceKey(path, src)] = true
+	}
+	for key := range c.progs {
+		if !live[key] && !builtin[key] {
+			delete(c.progs, key)
+		}
+	}
+}
+
 // ParseCounts reports how many parses the project's cache performed and how
 // many repeat requests it served from cache.
 func (p *Project) ParseCounts() (parses, hits int64) {

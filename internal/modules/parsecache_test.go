@@ -2,6 +2,7 @@ package modules
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -141,6 +142,46 @@ func TestParseCacheContentKeyed(t *testing.T) {
 	}
 	if parses, _ := p.ParseCounts(); parses != 2 {
 		t.Errorf("parses = %d after revert, want still 2", parses)
+	}
+}
+
+// TestPruneParses is the memory-bound regression test for long-lived
+// sessions: edits strand superseded ASTs under their content keys, and
+// PruneParses must evict exactly those — current file versions and
+// built-in node: modules stay cached.
+func TestPruneParses(t *testing.T) {
+	p := cacheProject()
+	if _, err := p.Parse("node:events"); err != nil {
+		t.Fatal(err)
+	}
+	// Parse ten successive versions of index.js: each edit adds an AST.
+	original := p.Files["/app/index.js"]
+	for i := 0; i < 10; i++ {
+		p.Files["/app/index.js"] = fmt.Sprintf("%s\nvar v%d = %d;", original, i, i)
+		if _, err := p.Parse("/app/index.js"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(p.parseCache.progs); n != 11 {
+		t.Fatalf("cache holds %d ASTs before prune, want 11 (10 versions + node:events)", n)
+	}
+
+	p.PruneParses()
+	if n := len(p.parseCache.progs); n != 2 {
+		t.Errorf("cache holds %d ASTs after prune, want 2 (current index.js + node:events)", n)
+	}
+
+	// The survivors are the right ones: re-parsing the current version and
+	// the builtin is a pure cache hit.
+	parsesBefore, _ := p.ParseCounts()
+	if _, err := p.Parse("/app/index.js"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Parse("node:events"); err != nil {
+		t.Fatal(err)
+	}
+	if parsesAfter, _ := p.ParseCounts(); parsesAfter != parsesBefore {
+		t.Errorf("prune evicted a live parse: %d → %d parses", parsesBefore, parsesAfter)
 	}
 }
 

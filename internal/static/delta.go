@@ -29,6 +29,7 @@
 package static
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -65,16 +66,22 @@ func NewDeltaSession(project *modules.Project) *DeltaSession {
 func (s *DeltaSession) Project() *modules.Project { return s.project }
 
 // Update applies a file delta: changed maps paths to their new content
-// (added or overwritten), removed lists paths to delete.
+// (added or overwritten), removed lists paths to delete. Parses of the
+// superseded file versions are evicted from the in-memory cache so a
+// long-lived session's memory stays bounded by its current file set.
 func (s *DeltaSession) Update(changed map[string]string, removed []string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if len(changed) == 0 && len(removed) == 0 {
+		return
+	}
 	for path, src := range changed {
 		s.project.Files[path] = src
 	}
 	for _, path := range removed {
 		delete(s.project.Files, path)
 	}
+	s.project.PruneParses()
 }
 
 // Analyze runs (or reuses) the incremental baseline+extended analysis of
@@ -142,9 +149,11 @@ func (s *DeltaSession) dirtyCount() int {
 
 // inputFingerprint hashes every input the analysis outcome depends on: the
 // full file set, the entry configuration, the hints, and all
-// outcome-affecting options. SolverWorkers is deliberately excluded — the
-// epoch engine is report- and counter-identical at every worker count (see
-// Options.SolverWorkers).
+// outcome-affecting options. Every variable-length section is prefixed by
+// its element count and every string is length-framed, so section
+// boundaries cannot alias with entry values. SolverWorkers is deliberately
+// excluded — the epoch engine is report- and counter-identical at every
+// worker count (see Options.SolverWorkers).
 func (s *DeltaSession) inputFingerprint(opts Options) string {
 	h := sha256.New()
 	var lenBuf [8]byte
@@ -153,49 +162,55 @@ func (s *DeltaSession) inputFingerprint(opts Options) string {
 		h.Write(lenBuf[:])
 		h.Write([]byte(str))
 	}
+	wrN := func(n int) {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(n))
+		h.Write(lenBuf[:])
+	}
 	p := s.project
 	wr(p.Name)
 	wr(p.MainPrefix)
+	wrN(len(p.MainEntries))
 	for _, e := range p.MainEntries {
 		wr(e)
 	}
-	wr("|")
+	wrN(len(p.TestEntries))
 	for _, e := range p.TestEntries {
 		wr(e)
 	}
-	wr("|files")
-	for _, path := range p.SortedPaths() {
+	paths := p.SortedPaths()
+	wrN(len(paths))
+	for _, path := range paths {
 		wr(path)
 		wr(p.Files[path])
 	}
-	wr(fmt.Sprintf("|opts %d %t %t %t %t %t", opts.Mode,
+	wr(fmt.Sprintf("opts %d %t %t %t %t %t", opts.Mode,
 		opts.DisableDPR, opts.DisableModuleHints, opts.EvalHints,
 		opts.UnknownArgHints, opts.DisableCopyElim))
 	if opts.Hints != nil {
-		wr("|hints")
-		_ = opts.Hints.WriteJSON(h)
+		var hj bytes.Buffer
+		_ = opts.Hints.WriteJSON(&hj)
+		wrN(1)
+		wr(hj.String())
+	} else {
+		wrN(0)
 	}
-	if len(opts.DegradeFiles) > 0 {
-		files := make([]string, 0, len(opts.DegradeFiles))
-		for f, on := range opts.DegradeFiles {
-			if on {
-				files = append(files, f)
-			}
-		}
-		sort.Strings(files)
-		wr("|degrade")
-		for _, f := range files {
-			wr(f)
+	files := make([]string, 0, len(opts.DegradeFiles))
+	for f, on := range opts.DegradeFiles {
+		if on {
+			files = append(files, f)
 		}
 	}
-	if len(opts.PreUnify) > 0 {
-		wr("|preunify")
-		for _, group := range opts.PreUnify {
-			for _, v := range group {
-				binary.BigEndian.PutUint64(lenBuf[:], uint64(v))
-				h.Write(lenBuf[:])
-			}
-			wr(";")
+	sort.Strings(files)
+	wrN(len(files))
+	for _, f := range files {
+		wr(f)
+	}
+	wrN(len(opts.PreUnify))
+	for _, group := range opts.PreUnify {
+		wrN(len(group))
+		for _, v := range group {
+			binary.BigEndian.PutUint64(lenBuf[:], uint64(v))
+			h.Write(lenBuf[:])
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))
