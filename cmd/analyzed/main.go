@@ -5,6 +5,7 @@
 //
 //	POST   /analyze {"project": {...}}                  full analysis, opens a session
 //	POST   /analyze {"session": "s-1", "delta": {...}}  file-delta re-analysis
+//	GET    /provenance?session=s-1                      root-cause attribution of missed edges
 //	DELETE /session?id=s-1                              close a session
 //	GET    /healthz                                     liveness
 //	GET    /stats                                       session count + cache counters
@@ -40,6 +41,8 @@ import (
 
 	"repro/internal/approx"
 	"repro/internal/cache"
+	"repro/internal/dyncg"
+	"repro/internal/fuzz"
 	"repro/internal/modules"
 	"repro/internal/static"
 )
@@ -95,6 +98,34 @@ type analyzeResponse struct {
 	DurationMS float64 `json:"duration_ms"`
 }
 
+// provenanceCause is one attributed missed edge of a provenance response.
+type provenanceCause struct {
+	Site     string   `json:"site"`
+	Target   string   `json:"target"`
+	Bucket   string   `json:"bucket"`
+	Cause    string   `json:"cause"`
+	Detail   string   `json:"detail"`
+	Frontier []string `json:"frontier,omitempty"`
+	Neighbor string   `json:"neighbor,omitempty"`
+	Chain    []string `json:"chain,omitempty"`
+}
+
+// provenanceResponse is the GET /provenance response: every dynamic call
+// edge the session's extended graph misses, attributed to a root cause via
+// the provenance journal, plus the ranked fix list.
+type provenanceResponse struct {
+	Session      string            `json:"session"`
+	MissedEdges  int               `json:"missed_edges"`
+	Unattributed int               `json:"unattributed"`
+	Causes       []provenanceCause `json:"causes,omitempty"`
+	Fixes        []string          `json:"fixes,omitempty"`
+	// Journal sizes of the provenance-enabled solve that produced the
+	// attribution (constraint-edge records / token-insertion records).
+	JournalEdges   int     `json:"journal_edges"`
+	JournalInserts int     `json:"journal_inserts"`
+	DurationMS     float64 `json:"duration_ms"`
+}
+
 type errorResponse struct {
 	Error string `json:"error"`
 }
@@ -144,6 +175,7 @@ func newServer(store *cache.Store, approxDeadline time.Duration, maxSessions int
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/analyze", s.handleAnalyze)
+	mux.HandleFunc("/provenance", s.handleProvenance)
 	mux.HandleFunc("/session", s.handleSession)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -282,6 +314,112 @@ func (s *server) handleSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"closed": id})
+}
+
+// handleProvenance answers "why is this edge missing?" for a resident
+// session: GET /provenance?session=s-1. It executes the project concretely
+// for ground truth, re-solves with the provenance journal enabled, and
+// attributes every dynamic call edge the extended static graph lacks.
+func (s *server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	id := r.URL.Query().Get("session")
+	if id == "" {
+		id = r.URL.Query().Get("id")
+	}
+	if id == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"missing session parameter"})
+		return
+	}
+	s.mu.Lock()
+	sess := s.sessions[id]
+	if sess != nil {
+		sess.lastUsed = time.Now()
+	}
+	s.mu.Unlock()
+	if sess == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown session " + id})
+		return
+	}
+	resp, err := s.provenance(sess)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
+		return
+	}
+	resp.Session = id
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// provenance runs the attribution pipeline on the session's resident
+// project, under the same per-session lock and panic guard as analyze.
+// The provenance-enabled solve is a fresh two-pass run, not the resident
+// delta session: a journal describes exactly the run that produced it, so
+// it cannot be patched across deltas the way fixpoints can.
+func (s *server) provenance(sess *session) (resp *provenanceResponse, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("attribution panicked (contained): %v", r)
+		}
+	}()
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	start := time.Now()
+	project := sess.ds.Project()
+
+	dr, err := dyncg.Build(project, dyncg.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("dyncg: %w", err)
+	}
+	fp := cache.ProjectFingerprint(project)
+	if sess.hints == nil || fp != sess.approxFP {
+		hintStart := time.Now()
+		ar, aerr := approx.Run(project, approx.Options{Deadline: s.approxDeadline})
+		if aerr != nil {
+			return nil, fmt.Errorf("approx: %w", aerr)
+		}
+		sess.hints, sess.approxFP, sess.hintsElapsed = ar, fp, time.Since(hintStart)
+	}
+	ar := sess.hints
+
+	_, ext, err := static.AnalyzeBoth(project, static.Options{
+		Mode: static.WithHints, Hints: ar.Hints, EvalHints: true,
+		DegradeFiles: ar.FaultedModules(), Provenance: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("static: %w", err)
+	}
+
+	causes := fuzz.AttributeMissedEdges(project, dr.Graph, ar, ext)
+	resp = &provenanceResponse{MissedEdges: len(causes)}
+	for _, rc := range causes {
+		if rc.Cause == fuzz.CauseUnattributed {
+			resp.Unattributed++
+		}
+		pc := provenanceCause{
+			Site:     rc.Edge.Site.String(),
+			Target:   rc.Edge.TargetDesc(),
+			Bucket:   rc.Bucket,
+			Cause:    string(rc.Cause),
+			Detail:   rc.Detail,
+			Neighbor: rc.Neighbor,
+			Chain:    rc.Chain,
+		}
+		for _, f := range rc.Frontier {
+			pc.Frontier = append(pc.Frontier, f.String())
+		}
+		resp.Causes = append(resp.Causes, pc)
+	}
+	for _, f := range fuzz.RankFixes(causes) {
+		resp.Fixes = append(resp.Fixes, f.String())
+	}
+	if ext.Provenance != nil {
+		resp.JournalEdges, resp.JournalInserts = ext.Provenance.Records()
+	}
+	resp.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	return resp, nil
 }
 
 // analyze applies the delta (if any) and runs (or reuses) the session's

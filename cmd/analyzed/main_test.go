@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/fuzz"
 )
 
 func testProjectPayload() *projectPayload {
@@ -338,5 +340,89 @@ func TestHealthAndStats(t *testing.T) {
 	}
 	if stats.CacheBytesWritten == 0 {
 		t.Error("stats report zero cache bytes written after an analysis")
+	}
+}
+
+// TestProvenanceEndpoint covers GET /provenance on both ends of the
+// spectrum: a fully-resolved project (zero missed edges, but a populated
+// journal) and an open fuzz reproducer with a known missed edge, where the
+// attribution must name a cause for every miss.
+func TestProvenanceEndpoint(t *testing.T) {
+	ts := newTestServer(t, nil)
+	_, full := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+
+	getProv := func(query string) (int, provenanceResponse) {
+		t.Helper()
+		res, err := http.Get(ts.URL + "/provenance" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var resp provenanceResponse
+		if res.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(res.Body).Decode(&resp); err != nil {
+				t.Fatalf("decode response: %v", err)
+			}
+		}
+		return res.StatusCode, resp
+	}
+
+	status, resp := getProv("?session=" + full.Session)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if resp.MissedEdges != 0 {
+		t.Errorf("fully-resolved project reports %d missed edges: %+v", resp.MissedEdges, resp.Causes)
+	}
+	if resp.JournalEdges == 0 || resp.JournalInserts == 0 {
+		t.Errorf("empty provenance journal: %d edges, %d inserts", resp.JournalEdges, resp.JournalInserts)
+	}
+
+	// An open reproducer has a known missed edge; the endpoint must
+	// attribute it (zero unattributed) with a non-empty cause.
+	data, err := os.ReadFile("../../testdata/fuzz/open/unsound-edge-computed-call-seed36078.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	repro, err := fuzz.ParseRepro(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, open := post(t, ts, analyzeRequest{Project: &projectPayload{
+		Name: "repro", Files: repro.Files, MainEntries: repro.Entries, MainPrefix: "/app",
+	}})
+	status, resp = getProv("?session=" + open.Session)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	if resp.MissedEdges == 0 {
+		t.Fatal("open reproducer reports no missed edges")
+	}
+	if resp.Unattributed != 0 {
+		t.Errorf("%d of %d missed edges unattributed: %+v", resp.Unattributed, resp.MissedEdges, resp.Causes)
+	}
+	for _, c := range resp.Causes {
+		if c.Cause == "" || c.Detail == "" {
+			t.Errorf("cause without taxonomy entry: %+v", c)
+		}
+	}
+	if len(resp.Fixes) == 0 {
+		t.Error("missed edges but no ranked fixes")
+	}
+
+	// Error paths.
+	if status, _ := getProv("?session=s-999"); status != http.StatusNotFound {
+		t.Errorf("unknown session: status = %d, want 404", status)
+	}
+	if status, _ := getProv(""); status != http.StatusBadRequest {
+		t.Errorf("missing session: status = %d, want 400", status)
+	}
+	res, err := http.Post(ts.URL+"/provenance?session="+full.Session, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /provenance: status = %d, want 405", res.StatusCode)
 	}
 }

@@ -102,6 +102,7 @@ func main() {
 		exts     = flag.Bool("extensions", false, "§6 extensions: unknown-arg hints, eval-code hints, hint reuse")
 		scale    = flag.Bool("scale", false, "scalability: per-phase time by program size")
 		summary  = flag.Bool("summary", false, "aggregate summary statistics")
+		whyMiss  = flag.Bool("why-missed", false, "root-cause every dynamic edge the extended static graph misses (provenance engine) and print the ranked fix list")
 		csvDir   = flag.String("csv", "", "also write figure/table data as CSV files into this directory")
 		workers  = flag.Int("workers", 0, "parallel benchmark workers (0 = NumCPU)")
 		solverW  = flag.Int("solver-workers", 0, "constraint-solver scan workers per benchmark (0 = sequential engine; >=1 the sharded epoch engine — reports are identical at every value)")
@@ -130,6 +131,24 @@ func main() {
 	}
 	if *delta {
 		runDelta(*cacheDir, *benchout, *workers)
+		return
+	}
+	if *whyMiss {
+		benches := corpus.All()
+		if *quick {
+			benches = corpus.WithDynCG()
+		}
+		rep, err := experiments.RunWhyMissed(benches, *solverW)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "evaluate: why-missed:", err)
+			os.Exit(1)
+		}
+		experiments.Banner(os.Stdout, "Why is an edge missing?")
+		experiments.RenderWhyMissed(os.Stdout, rep)
+		if rep.Unattributed() > 0 {
+			fmt.Fprintf(os.Stderr, "evaluate: %d missed edge(s) unattributed\n", rep.Unattributed())
+			os.Exit(1)
+		}
 		return
 	}
 	if !(*table1 || *fig4 || *fig5 || *fig6 || *fig7 || *table2 || *table3 || *vuln || *hintsF || *ablation || *summary || *exts || *scale) {

@@ -21,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/fuzz"
 )
@@ -40,10 +42,19 @@ func main() {
 		faults   = flag.Bool("faults", false, "sixth oracle: inject one deterministic fault per seed and check containment")
 		delta    = flag.Bool("delta", false, "seventh oracle: mutate one file per seed through a resident delta session and check re-analysis == from-scratch")
 		solverW  = flag.Int("solver-workers", 0, "constraint-solver scan workers per oracle run (0 = sequential engine; >=1 the sharded epoch engine — graphs are identical at every value)")
+		annotate = flag.String("annotate", "", "root-cause annotator: attribute every unsound-edge reproducer in this directory via the provenance engine, embed cause:/chain: headers, rewrite the files, and exit")
 	)
 	flag.Parse()
 	if *outDir != "" {
 		*minimize = true
+	}
+
+	if *annotate != "" {
+		if err := annotateDir(*annotate); err != nil {
+			fmt.Fprintln(os.Stderr, "fuzz:", err)
+			os.Exit(2)
+		}
+		return
 	}
 
 	if *oneSeed >= 0 {
@@ -95,7 +106,15 @@ func main() {
 			}
 		}
 		if *outDir != "" && !knownSet[b] {
-			path, err := fuzz.WriteRepro(*outDir, f, *note)
+			r := fuzz.ReproFromFailure(f, *note)
+			if f.Kind == fuzz.KindUnsound {
+				// Attribute the missed edge so the reproducer records its
+				// root cause from the start.
+				if causes, err := fuzz.AttributeRepro(r); err == nil {
+					r.Annotate(causes)
+				}
+			}
+			path, err := fuzz.WriteReproFile(*outDir, r)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "fuzz: write repro:", err)
 				os.Exit(2)
@@ -108,6 +127,46 @@ func main() {
 		fmt.Printf("\nfuzz: %d new divergence bucket(s): %v\n", len(newBuckets), newBuckets)
 		os.Exit(1)
 	}
+}
+
+// annotateDir re-attributes every unsound-edge reproducer in dir and
+// rewrites it with cause:/chain: headers.
+func annotateDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		r, err := fuzz.ParseRepro(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		if r.Kind != fuzz.KindUnsound {
+			continue
+		}
+		causes, err := fuzz.AttributeRepro(r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		r.Annotate(causes)
+		if err := os.WriteFile(path, r.Marshal(), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("annotated %s", e.Name())
+		if r.Cause != "" {
+			fmt.Printf(": %s", r.Cause)
+		}
+		fmt.Println()
+	}
+	return nil
 }
 
 func sortedPaths(files map[string]string) []string {

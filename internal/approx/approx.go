@@ -99,6 +99,18 @@ type Result struct {
 	Faults []fault.Record
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
+
+	// ModulesSeen maps every module path whose top-level code the
+	// interpreter executed to true. Root-cause attribution uses it to tell
+	// "this allocator ran with a different value" (lenient divergence) from
+	// "this allocator never ran at all" (missing hint).
+	ModulesSeen map[string]bool
+	// VisitedFuncs maps the function-definition locations the interpreter
+	// executed (the paper's Visited set, program code and built-ins alike).
+	VisitedFuncs map[loc.Loc]bool
+	// AbortedIn counts budget aborts per module, so attribution can tell
+	// whether a module's observations were cut short.
+	AbortedIn map[string]int
 }
 
 // FaultedModules returns the modules attributed a fault, as the degradation
@@ -148,6 +160,7 @@ type analyzer struct {
 	visitedFns int
 	modules    int
 	aborted    int
+	abortedIn  map[string]int
 	failed     int
 	faults     []fault.Record
 }
@@ -163,6 +176,7 @@ func Run(project *modules.Project, opts Options) (*Result, error) {
 		modSeen:   map[string]bool{},
 		scheduled: map[loc.Loc]bool{},
 		thisMap:   map[*value.Object]*value.Object{},
+		abortedIn: map[string]int{},
 	}
 	a.project = project
 	var hooks interp.Hooks = &collector{a: a}
@@ -206,6 +220,19 @@ func Run(project *modules.Project, opts Options) (*Result, error) {
 		a.runItem(item)
 	}
 
+	// ModulesSeen covers both worklist module items and modules executed
+	// transitively through require() during another item.
+	modulesSeen := make(map[string]bool, len(a.modSeen))
+	for m := range a.modSeen {
+		modulesSeen[m] = true
+	}
+	for _, m := range a.registry.LoadedPaths() {
+		modulesSeen[m] = true
+	}
+	visitedFuncs := make(map[loc.Loc]bool, len(a.visited))
+	for l := range a.visited {
+		visitedFuncs[l] = true
+	}
 	return &Result{
 		Hints:            a.h,
 		FunctionsTotal:   countFunctions(project),
@@ -216,6 +243,9 @@ func Run(project *modules.Project, opts Options) (*Result, error) {
 		Failed:           a.failed,
 		Faults:           a.faults,
 		Duration:         time.Since(start),
+		ModulesSeen:      modulesSeen,
+		VisitedFuncs:     visitedFuncs,
+		AbortedIn:        a.abortedIn,
 	}, nil
 }
 
@@ -296,6 +326,7 @@ func (a *analyzer) runItem(item workItem) {
 		switch {
 		case errors.As(err, &budget):
 			a.aborted++
+			a.abortedIn[itemModule(item)]++
 			// Loop/stack budget aborts are the paper's normal operation;
 			// deadline and step aborts are containment of hangs, so they
 			// additionally degrade the module.

@@ -41,15 +41,6 @@ func soundnessSolverWorkers(t *testing.T) int {
 // entry disappearing means recall improved — update the snapshot either
 // way, and for new entries file the minimized reproducer via cmd/fuzz.
 var knownSoundnessGaps = map[string][]string{
-	"mini-events": {
-		"node:events:52:18 -> /app/test/ticker.test.js:5:14 [unknown-site]",
-	},
-	"mini-middleware": {
-		"/app/test/chain.test.js:5:51 -> /node_modules/chain/index.js:12:5 [direct-call]",
-		"/app/test/chain.test.js:6:51 -> /node_modules/chain/index.js:12:5 [direct-call]",
-		"/node_modules/chain/index.js:15:17 -> /app/test/chain.test.js:5:7 [direct-call]",
-		"/node_modules/chain/index.js:15:17 -> /app/test/chain.test.js:6:7 [direct-call]",
-	},
 	"mini-router": {
 		"/node_modules/routr/index.js:11:15 -> /app/test/routr.test.js:4:12 [direct-call]",
 	},

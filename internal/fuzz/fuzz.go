@@ -177,6 +177,10 @@ type Edge struct {
 	Target callgraph.FuncID
 }
 
+// TargetDesc renders the edge target for display: module(path) for module
+// functions, the definition site otherwise.
+func (e Edge) TargetDesc() string { return fmtTarget(e.Target) }
+
 // MissingDynamicEdges returns, in deterministic order, every edge of the
 // dynamic graph that the static graph lacks.
 func MissingDynamicEdges(static, dyn *callgraph.Graph) []Edge {
@@ -201,6 +205,12 @@ func MissingDynamicEdges(static, dyn *callgraph.Graph) []Edge {
 func ClassifyEdge(files map[string]string, site loc.Loc, target callgraph.FuncID) string {
 	if callgraph.IsModuleFunc(target) {
 		return "module-edge"
+	}
+	// A site inside built-in library code (or an edge into it) is a
+	// callback dispatched by a native — e.g. a timer or an events-style
+	// emitter invoking a user listener — not an unknown site.
+	if strings.HasPrefix(site.File, "node:") || strings.HasPrefix(target.File, "node:") {
+		return "builtin-callback"
 	}
 	line := sourceLine(files, site)
 	if line == "" {

@@ -30,6 +30,11 @@ type Repro struct {
 	Note    string
 	Entries []string
 	Files   map[string]string
+	// Cause and Chain are the root-cause attribution (see AttributeMissedEdges):
+	// the taxonomy cause of the missed edge and the provenance-chain summary
+	// of the nearest delivered value. Optional; set by the cmd/fuzz annotator.
+	Cause string
+	Chain []string
 }
 
 // Failure converts the reproducer back into a checkable failure record.
@@ -53,6 +58,12 @@ func (r *Repro) Marshal() []byte {
 	fmt.Fprintf(&sb, "detail: %s\n", sanitizeLine(r.Detail))
 	if r.Note != "" {
 		fmt.Fprintf(&sb, "note: %s\n", sanitizeLine(r.Note))
+	}
+	if r.Cause != "" {
+		fmt.Fprintf(&sb, "cause: %s\n", sanitizeLine(r.Cause))
+	}
+	for _, c := range r.Chain {
+		fmt.Fprintf(&sb, "chain: %s\n", sanitizeLine(c))
 	}
 	for _, e := range r.Entries {
 		fmt.Fprintf(&sb, "entry: %s\n", e)
@@ -107,6 +118,10 @@ func ParseRepro(data []byte) (*Repro, error) {
 			r.Detail = val
 		case "note":
 			r.Note = val
+		case "cause":
+			r.Cause = val
+		case "chain":
+			r.Chain = append(r.Chain, val)
 		case "entry":
 			r.Entries = append(r.Entries, val)
 		default:
@@ -140,12 +155,18 @@ func ParseRepro(data []byte) (*Repro, error) {
 // WriteRepro writes the failure as a reproducer file under dir, named
 // after its bucket and seed, and returns the path.
 func WriteRepro(dir string, f *Failure, note string) (string, error) {
+	return WriteReproFile(dir, ReproFromFailure(f, note))
+}
+
+// WriteReproFile writes an already-built reproducer (e.g. one carrying a
+// root-cause annotation) under dir, named after its bucket and seed.
+func WriteReproFile(dir string, r *Repro) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", err
 	}
-	name := fmt.Sprintf("%s-seed%d.txt", strings.ReplaceAll(f.Bucket, "/", "-"), f.Seed)
+	name := fmt.Sprintf("%s-seed%d.txt", strings.ReplaceAll(r.Bucket, "/", "-"), r.Seed)
 	path := filepath.Join(dir, name)
-	if err := os.WriteFile(path, ReproFromFailure(f, note).Marshal(), 0o644); err != nil {
+	if err := os.WriteFile(path, r.Marshal(), 0o644); err != nil {
 		return "", err
 	}
 	return path, nil

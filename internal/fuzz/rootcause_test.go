@@ -1,0 +1,130 @@
+package fuzz
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/loc"
+)
+
+// TestReproCauseChainRoundTrip: the cause:/chain: headers survive
+// Marshal → ParseRepro unchanged.
+func TestReproCauseChainRoundTrip(t *testing.T) {
+	r := &Repro{
+		Kind:    KindUnsound,
+		Bucket:  "unsound-edge/computed-call",
+		Seed:    412,
+		Detail:  "dynamic edge /app/m0.js:7:1 -> /app/m0.js:3:10 missing",
+		Note:    "tracking note",
+		Cause:   "lenient-branch-divergence — interpreter observed different values",
+		Chain:   []string{"nearest delivered: fn@/app/m0.js:3:10", "call@/app/m0.js:7:1", "hint frontier: /app/m0.js:5:3"},
+		Entries: []string{"/app/main.js"},
+		Files:   map[string]string{"/app/main.js": "var x = 1;\n"},
+	}
+	back, err := ParseRepro(r.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cause != r.Cause {
+		t.Errorf("cause round-trip: %q != %q", back.Cause, r.Cause)
+	}
+	if !reflect.DeepEqual(back.Chain, r.Chain) {
+		t.Errorf("chain round-trip: %v != %v", back.Chain, r.Chain)
+	}
+	// A reproducer without an attribution marshals without the headers.
+	plain := &Repro{Kind: KindUnsound, Bucket: "b", Seed: 1,
+		Entries: []string{"/app/main.js"}, Files: map[string]string{"/app/main.js": "1;\n"}}
+	if s := string(plain.Marshal()); strings.Contains(s, "cause:") || strings.Contains(s, "chain:") {
+		t.Errorf("unattributed reproducer marshals cause/chain headers:\n%s", s)
+	}
+}
+
+// TestOpenReproducersAttributionHonest re-attributes every open unsound-
+// edge reproducer and checks that (a) the missed edge gets a cause from the
+// taxonomy — never unattributed — and (b) the cause: header committed in
+// the file matches what the engine derives today, so the corpus of open
+// bugs can never silently drift from its recorded diagnosis.
+func TestOpenReproducersAttributionHonest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline per reproducer; skipped with -short")
+	}
+	repros := loadDir(t, openDir(t))
+	checked := 0
+	for _, r := range repros {
+		if r.Kind != KindUnsound {
+			continue
+		}
+		checked++
+		causes, err := AttributeRepro(r)
+		if err != nil {
+			t.Fatalf("%s seed %d: %v", r.Bucket, r.Seed, err)
+		}
+		if len(causes) == 0 {
+			t.Errorf("%s seed %d: unsound reproducer with no missed edges", r.Bucket, r.Seed)
+			continue
+		}
+		for _, rc := range causes {
+			if rc.Cause == CauseUnattributed {
+				t.Errorf("%s seed %d: unattributed miss: %s", r.Bucket, r.Seed, rc)
+			}
+		}
+		if r.Cause == "" {
+			t.Errorf("%s seed %d: open unsound reproducer has no recorded cause (run cmd/fuzz -annotate)", r.Bucket, r.Seed)
+			continue
+		}
+		fresh := &Repro{}
+		fresh.Annotate(causes)
+		if fresh.Cause != r.Cause {
+			t.Errorf("%s seed %d: recorded cause drifted from the engine's:\n recorded %s\n derived  %s",
+				r.Bucket, r.Seed, r.Cause, fresh.Cause)
+		}
+	}
+	if checked == 0 {
+		t.Skip("no open unsound-edge reproducers to attribute")
+	}
+}
+
+// TestRankFixes: attributions group by (cause, locus) and rank by coverage.
+func TestRankFixes(t *testing.T) {
+	site := loc.Loc{File: "/app/a.js", Line: 1, Col: 1}
+	target := loc.Loc{File: "/app/b.js", Line: 2, Col: 1}
+	mk := func(cause Cause, detail string) RootCause {
+		return RootCause{Edge: Edge{Site: site, Target: target}, Cause: cause, Detail: detail}
+	}
+	fixes := RankFixes([]RootCause{
+		mk(CauseMissingHint, "x"),
+		mk(CauseMissingHint, "y"),
+		mk(CauseBudgetExhaustion, "z"),
+	})
+	if len(fixes) != 2 {
+		t.Fatalf("got %d fixes, want 2: %v", len(fixes), fixes)
+	}
+	if fixes[0].Cause != CauseMissingHint || fixes[0].Count != 2 {
+		t.Errorf("top fix = %+v, want missing-hint ×2", fixes[0])
+	}
+	if fixes[1].Cause != CauseBudgetExhaustion || fixes[1].Count != 1 {
+		t.Errorf("second fix = %+v, want budget ×1", fixes[1])
+	}
+	for _, f := range fixes {
+		if f.Hint == "" || f.Where == "" {
+			t.Errorf("fix without suggestion or locus: %+v", f)
+		}
+	}
+	if got := RankFixes(nil); len(got) != 0 {
+		t.Errorf("RankFixes(nil) = %v, want none", got)
+	}
+}
+
+// TestClassifyEdgeBuiltinCallback: edges into or out of built-in library
+// code bucket as builtin-callback, not as unknown sites.
+func TestClassifyEdgeBuiltinCallback(t *testing.T) {
+	files := map[string]string{"/app/main.js": "setTimeout(function cb() {}, 1);\n"}
+	user := loc.Loc{File: "/app/main.js", Line: 1, Col: 12}
+	if got := ClassifyEdge(files, loc.Loc{File: "node:events", Line: 3, Col: 1}, user); got != "builtin-callback" {
+		t.Errorf("site in builtin: bucket %q, want builtin-callback", got)
+	}
+	if got := ClassifyEdge(files, user, loc.Loc{File: "node:util", Line: 2, Col: 2}); got != "builtin-callback" {
+		t.Errorf("target in builtin: bucket %q, want builtin-callback", got)
+	}
+}

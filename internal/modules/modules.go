@@ -434,6 +434,18 @@ func (r *Registry) Load(path string) (value.Value, error) {
 	return result, nil
 }
 
+// LoadedPaths returns every module path whose top-level code this registry
+// has executed to completion (entries and transitive requires alike), in
+// sorted order.
+func (r *Registry) LoadedPaths() []string {
+	out := make([]string, 0, len(r.cache))
+	for p := range r.cache {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func (r *Registry) makeRequire(from string) *value.Object {
 	req := r.Interp.NewNativeFunction("require", func(h value.Host, this value.Value, args []value.Value) (value.Value, error) {
 		if len(args) == 0 {

@@ -79,6 +79,15 @@ type Options struct {
 	// in exact no-unify mode (the rolled-back ablation arm) always use the
 	// sequential engine regardless of this setting.
 	SolverWorkers int
+	// Provenance enables the constraint-provenance journal: every issued
+	// constraint records the rule chain that produced it (rule id, source
+	// site, hint origin), queryable through Result.Provenance. Recording is
+	// observational — call graphs, metrics, and effort counters are
+	// byte-identical with it on or off — and costs one nil pointer check
+	// per constraint when disabled. Incompatible with the rolled-back
+	// ablation arm (AnalyzeBothAndAblation), whose rewind would strand
+	// journal entries.
+	Provenance bool
 	// DegradeFiles names modules whose pre-analysis faulted (panic,
 	// deadline, corrupt source): every hint anchored in one of them is
 	// dropped before injection, so those modules fall back to baseline-only
@@ -126,6 +135,10 @@ type Result struct {
 	// DegradedModules are the modules whose hints were dropped via
 	// Options.DegradeFiles, sorted.
 	DegradedModules []string
+	// Provenance is the constraint-provenance query surface, set when
+	// Options.Provenance was requested (on the extended result for the
+	// incremental path). It retains the solved constraint system.
+	Provenance *Provenance
 	// Condensation, set by AnalyzeBoth on the baseline result, lists the
 	// multi-member cycles of the baseline-final constraint graph over
 	// generation-time variables. Feeding it to Options.PreUnify lets later
@@ -277,6 +290,10 @@ type analyzer struct {
 	// (see beginRollbackWindow).
 	journal *deltaJournal
 
+	// provSites records per-call-site attribution data (callee/receiver/
+	// argument variables, callee kind) when provenance is enabled.
+	provSites map[loc.Loc]provCallSite
+
 	// commonly used native prototype tokens
 	objectProto, arrayProto, functionProto Token
 
@@ -313,6 +330,10 @@ func newAnalyzer(project *modules.Project, opts Options) *analyzer {
 		cg:             callgraph.New(),
 	}
 	a.s.configureParallel(opts.SolverWorkers)
+	if opts.Provenance {
+		a.s.prov = newProvJournal()
+		a.provSites = map[loc.Loc]provCallSite{}
+	}
 	return a
 }
 
@@ -411,7 +432,7 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 		ss.CopiesSubstituted, ss.EdgesDeduped, ss.RedundantSkipped)
 	pstats := a.recordParallelStats()
 
-	return &Result{
+	res := &Result{
 		Graph:           a.cg,
 		MainEntries:     a.mainEntries(),
 		NumVars:         a.s.numVars(),
@@ -426,7 +447,11 @@ func Analyze(project *modules.Project, opts Options) (*Result, error) {
 		AllocBytes:      perf.TotalAllocBytes() - alloc0,
 		Faults:          a.faults,
 		DegradedModules: degradedList(opts.DegradeFiles),
-	}, nil
+	}
+	if a.s.prov != nil {
+		res.Provenance = newProvenance(a)
+	}
+	return res, nil
 }
 
 // degradedList returns the degradation set as a sorted slice for reporting.
@@ -465,6 +490,7 @@ func (a *analyzer) genEvalHints() {
 		savedModule, savedFn := a.curModule, a.curFn
 		a.curModule = e.Module
 		a.curFn = callgraph.ModuleFunc(e.Module)
+		prevCtx := a.pushCtx(RuleEvalHint, loc.Loc{File: e.Module}, file)
 		a.hoistInto(prog.Body, fr)
 		// Names the eval code hoists into the module frame are addressable by
 		// later eval hints of the same module, like all module-scope bindings.
@@ -483,6 +509,7 @@ func (a *analyzer) genEvalHints() {
 			}
 			a.genStmt(st, fr)
 		}
+		a.popCtx(prevCtx)
 		a.curModule, a.curFn = savedModule, savedFn
 	}
 }
@@ -707,7 +734,9 @@ func (a *analyzer) addLoad(base Var, prop string, dst Var) {
 	// dst receives edges as base's tokens (and their prototype chains)
 	// arrive, at any point of the solve.
 	a.s.protect(dst)
-	a.s.onToken(base, func(t Token) { a.loadFromToken(t, prop, dst) })
+	prev := a.pushCtx(RuleLoad, loc.Loc{}, prop)
+	a.onTokenCtx(base, func(t Token) { a.loadFromToken(t, prop, dst) })
+	a.popCtx(prev)
 }
 
 func (a *analyzer) loadFromToken(t Token, prop string, dst Var) {
@@ -730,16 +759,42 @@ func (a *analyzer) loadFromToken(t Token, prop string, dst Var) {
 		a.s.addToken(dst, a.nativeToken(info.name+"."+prop))
 	}
 	a.s.addEdge(a.propVar(t, prop), dst)
-	// Prototype chain.
-	a.s.onToken(a.protoVar(t), func(pt Token) { a.loadFromToken(pt, prop, dst) })
+	// Prototype chain. Registration inherits the ambient rule context (the
+	// originating load/elem-read/native rule) into the nested trigger.
+	a.onTokenCtx(a.protoVar(t), func(pt Token) { a.loadFromToken(pt, prop, dst) })
+}
+
+// elemRead wires the element-conflation rule for a computed property read
+// x[k]: every non-native token in ⟦base⟧ contributes its "$elem"
+// pseudo-property — the conflated element set that array literals, spreads,
+// and the modeled Array.prototype natives already read and write — to the
+// read's destination. Without it the two halves of the array model
+// disagree: elements stored through push/unshift/splice are reachable via
+// forEach or slice, yet invisible to a direct stack[i] read, which used to
+// produce only a hint-fed dynamic-read variable. Native tokens are skipped:
+// their members are exposed by name only (see loadFromToken), and
+// conflating them under $elem would spuriously resolve arbitrary computed
+// reads on Math and friends.
+func (a *analyzer) elemRead(base, dst Var, site loc.Loc) {
+	a.s.protect(dst)
+	prev := a.pushCtx(RuleElemRead, site, "")
+	a.onTokenCtx(base, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return
+		}
+		a.loadFromToken(t, "$elem", dst)
+	})
+	a.popCtx(prev)
 }
 
 // addStore adds the constraint ⟦val⟧ ⊆ ⟦t.prop⟧ for every t in ⟦base⟧.
 func (a *analyzer) addStore(base Var, prop string, val Var) {
-	a.s.onToken(base, func(t Token) {
+	prev := a.pushCtx(RuleStore, loc.Loc{}, prop)
+	a.onTokenCtx(base, func(t Token) {
 		if a.tokens[t].kind == tokNative {
 			return // writes to natives are not tracked
 		}
 		a.s.addEdge(val, a.propVar(t, prop))
 	})
+	a.popCtx(prev)
 }

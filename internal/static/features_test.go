@@ -71,12 +71,12 @@ function target() { return 9; }
 var g = pick(target);
 g();
 `)
-	// arguments[0] is a *dynamic* read: the baseline does NOT resolve g()
-	// — this unsoundness is intentional (hints would recover it).
+	// arguments[0] is a computed read, and the arguments object stores its
+	// elements under $elem, so the element-conflation rule resolves g()
+	// already in the baseline — no hints needed.
 	gCall := at(7, 2)
-	if len(res.Graph.Targets(gCall)) != 0 {
-		t.Errorf("baseline should not see through arguments[i]: %v", res.Graph.Targets(gCall))
-	}
+	target := at(5, 1)
+	mustEdge(t, res, gCall, target, "call through arguments[i]")
 }
 
 func TestRestParamsFlow(t *testing.T) {

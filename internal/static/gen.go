@@ -12,6 +12,7 @@ func (a *analyzer) genModule(path string, prog *ast.Program) {
 	a.curModule = path
 	a.curFn = callgraph.ModuleFunc(path)
 	a.cg.AddFunc(a.curFn)
+	a.ctx(RuleFlow, loc.Loc{File: path})
 
 	moduleTok := a.newToken(tokenInfo{kind: tokModule, path: path})
 	exportsTok := a.newToken(tokenInfo{kind: tokExports, path: path})
@@ -303,10 +304,15 @@ func (a *analyzer) genExpr(e ast.Expr, fr *frame) Var {
 		base := a.genExpr(e.Obj, fr)
 		if e.Computed {
 			a.genExpr(e.PropExpr, fr)
-			// Dynamic property read: ignored by the baseline; [DPR] hints
-			// inject into this site's variable.
+			// Dynamic property read: [DPR] hints inject into this site's
+			// variable, and the element-conflation rule feeds it the $elem
+			// pseudo-property of the base (statically stored array
+			// elements), keeping computed indexing consistent with the
+			// modeled Array natives.
 			a.dynReadBases[e.Loc] = base
-			return a.dynReadVar(e.Loc)
+			dst := a.dynReadVar(e.Loc)
+			a.elemRead(base, dst, e.Loc)
+			return dst
 		}
 		dst := a.s.newVar()
 		a.addLoad(base, e.Prop, dst)
@@ -466,6 +472,7 @@ func (a *analyzer) genCall(e *ast.CallExpr, fr *frame) Var {
 	var calleeVar Var
 	var recvVar Var
 	recvValid := false
+	kind, prop := "direct", ""
 	switch c := e.Callee.(type) {
 	case *ast.MemberExpr:
 		base := a.genExpr(c.Obj, fr)
@@ -474,9 +481,12 @@ func (a *analyzer) genCall(e *ast.CallExpr, fr *frame) Var {
 			a.genExpr(c.PropExpr, fr)
 			a.dynReadBases[c.Loc] = base
 			calleeVar = a.dynReadVar(c.Loc)
+			a.elemRead(base, calleeVar, c.Loc)
+			kind = "computed"
 		} else {
 			calleeVar = a.s.newVar()
 			a.addLoad(base, c.Prop, calleeVar)
+			kind, prop = "member", c.Prop
 		}
 	default:
 		calleeVar = a.genExpr(e.Callee, fr)
@@ -490,6 +500,10 @@ func (a *analyzer) genCall(e *ast.CallExpr, fr *frame) Var {
 	}
 
 	argVars := a.genArgs(e.Args, fr)
+	if a.provSites != nil {
+		a.provSites[site] = provCallSite{kind: kind, prop: prop,
+			callee: calleeVar, recv: recvVar, hasRecv: recvValid, args: argVars}
+	}
 	a.wireCall(site, calleeVar, recvVar, recvValid, argVars, result, 0, false)
 	return result
 }
@@ -505,6 +519,9 @@ func (a *analyzer) genNew(e *ast.NewExpr, fr *frame) Var {
 
 	newTok := a.allocToken(site, tokObject)
 	a.s.addToken(result, newTok)
+	if a.provSites != nil {
+		a.provSites[site] = provCallSite{kind: "direct", callee: calleeVar, args: argVars}
+	}
 	a.wireCall(site, calleeVar, 0, false, argVars, result, newTok, true)
 	return result
 }
@@ -516,7 +533,8 @@ func (a *analyzer) wireCall(site loc.Loc, calleeVar, recvVar Var, recvValid bool
 	// Every callee token that arrives — at any point of the solve — may wire
 	// return values (or native results) into result.
 	a.s.protect(result)
-	a.s.onToken(calleeVar, func(t Token) {
+	prev := a.pushCtx(RuleCall, site, "")
+	a.onTokenCtx(calleeVar, func(t Token) {
 		info := a.tokens[t]
 		switch info.kind {
 		case tokFunction:
@@ -537,12 +555,15 @@ func (a *analyzer) wireCall(site loc.Loc, calleeVar, recvVar Var, recvValid bool
 		case tokNative:
 			a.cg.MarkNativeResolved(site)
 			if behavior, ok := a.tokenBehaviors[t]; ok {
+				bprev := a.pushCtx(RuleNative, site, info.name)
 				behavior(site, argVars, result)
+				a.popCtx(bprev)
 				return
 			}
 			a.nativeCall(info.name, site, recvVar, recvValid, argVars, result, newTok, isNew)
 		}
 	})
+	a.popCtx(prev)
 }
 
 // wireArgs connects call arguments to a function's parameters, rest array,

@@ -63,7 +63,9 @@ func (a *analyzer) injectHints() {
 			}
 			for _, valueSite := range h.ReadValues(site) {
 				if t, ok := a.hintSiteToken(valueSite); ok {
+					prev := a.pushCtx(RuleDPR, site, valueSite.String())
 					a.s.addToken(v, t)
+					a.popCtx(prev)
 				}
 			}
 		}
@@ -82,7 +84,9 @@ func (a *analyzer) injectHints() {
 				continue
 			}
 			for _, name := range h.PropReadNames(site) {
+				prev := a.pushCtx(RuleUnknownArg, site, name)
 				a.addLoad(base, name, dst)
+				a.popCtx(prev)
 			}
 		}
 	}
@@ -99,7 +103,9 @@ func (a *analyzer) injectHints() {
 			if !ok1 || !ok2 {
 				continue
 			}
+			prev := a.pushCtx(RuleDPW, w.Site, w.Prop)
 			a.s.addToken(a.propVar(target, w.Prop), val)
+			a.popCtx(prev)
 		}
 
 	case AblationNameOnly:
@@ -134,7 +140,9 @@ func (a *analyzer) injectNameOnly(h *hints.Hints) {
 	for site, names := range namesAt {
 		dw := a.dynWrites[site]
 		for name := range names {
+			prev := a.pushCtx(RuleDPW, site, name)
 			a.addStore(dw.base, name, dw.value)
+			a.popCtx(prev)
 		}
 	}
 	// Hints from native-mediated writes (defineProperty/assign) have no

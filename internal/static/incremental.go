@@ -68,6 +68,9 @@ func AnalyzeBothAndAblation(project *modules.Project, opts Options) (baseline, e
 	if opts.EvalHints {
 		return nil, nil, nil, fmt.Errorf("static: ablation arm cannot roll back an EvalHints delta")
 	}
+	if opts.Provenance {
+		return nil, nil, nil, fmt.Errorf("static: ablation arm cannot roll back a provenance journal")
+	}
 	return analyzeBothArms(project, opts, true)
 }
 
@@ -89,7 +92,8 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 	// fixpoint reproduces the standalone baseline analysis bit for bit.
 	start := time.Now()
 	alloc0 := perf.TotalAllocBytes()
-	a := newAnalyzer(project, Options{Mode: Baseline, SolverWorkers: opts.SolverWorkers})
+	a := newAnalyzer(project, Options{Mode: Baseline, SolverWorkers: opts.SolverWorkers,
+		Provenance: opts.Provenance})
 	if err := a.generate(); err != nil {
 		return nil, nil, nil, err
 	}
@@ -180,6 +184,9 @@ func analyzeBothArms(project *modules.Project, opts Options, withAblation bool) 
 		AllocBytes:      perf.TotalAllocBytes() - deltaAlloc0,
 		Faults:          a.faults,
 		DegradedModules: degradedList(opts.DegradeFiles),
+	}
+	if a.s.prov != nil {
+		extended.Provenance = newProvenance(a)
 	}
 
 	// Phase 3 (optional) — rewind to the baseline fixpoint and resume under
@@ -357,7 +364,9 @@ func (a *analyzer) injectModuleHintDeltas() {
 	}
 	for _, mh := range a.opts.Hints.ModuleHints() {
 		if result, ok := a.dynRequires[mh.Site]; ok {
+			prev := a.pushCtx(RuleModuleHint, mh.Site, mh.Path)
 			a.linkRequire(mh.Site, result, mh.Path)
+			a.popCtx(prev)
 		}
 	}
 }

@@ -95,6 +95,8 @@ func behaviorName(name string) string {
 // resolved-by-native.
 func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid bool, argVars []Var, result Var, newTok Token, isNew bool) {
 	name = behaviorName(name)
+	prev := a.pushCtx(RuleNative, site, name)
+	defer a.popCtx(prev)
 	argOr := func(i int) (Var, bool) {
 		if i < len(argVars) {
 			return argVars[i], true
@@ -141,7 +143,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		if name == "Object.setPrototypeOf" {
 			if tgt, ok := argOr(0); ok {
 				if proto, ok2 := argOr(1); ok2 {
-					a.s.onToken(tgt, func(t Token) {
+					a.onTokenCtx(tgt, func(t Token) {
 						if a.tokens[t].kind != tokNative {
 							a.s.addEdge(proto, a.protoVar(t))
 						}
@@ -162,7 +164,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 
 	case "Object.getPrototypeOf":
 		if v, ok := argOr(0); ok {
-			a.s.onToken(v, func(t Token) {
+			a.onTokenCtx(v, func(t Token) {
 				a.s.addEdge(a.protoVar(t), result)
 			})
 		}
@@ -194,7 +196,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		if recvValid {
 			a.addLoad(recvVar, "$elem", elems)
 		}
-		a.s.onToken(cb, func(t Token) {
+		a.onTokenCtx(cb, func(t Token) {
 			if a.tokens[t].kind != tokFunction {
 				return
 			}
@@ -235,7 +237,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		if recvValid {
 			a.addLoad(recvVar, "$elem", elems)
 		}
-		a.s.onToken(cb, func(t Token) {
+		a.onTokenCtx(cb, func(t Token) {
 			if a.tokens[t].kind != tokFunction {
 				return
 			}
@@ -259,7 +261,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 
 	case "Array.prototype.push", "Array.prototype.unshift":
 		if recvValid {
-			a.s.onToken(recvVar, func(t Token) {
+			a.onTokenCtx(recvVar, func(t Token) {
 				if a.tokens[t].kind == tokNative {
 					return
 				}
@@ -288,7 +290,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 				if recvValid {
 					a.addLoad(recvVar, "$elem", elems)
 				}
-				a.s.onToken(cmp, func(t Token) {
+				a.onTokenCtx(cmp, func(t Token) {
 					if a.tokens[t].kind != tokFunction {
 						return
 					}
@@ -325,7 +327,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		if av, ok := argOr(1); ok {
 			a.addLoad(av, "$elem", spreadElems)
 		}
-		a.s.onToken(recvVar, func(t Token) {
+		a.onTokenCtx(recvVar, func(t Token) {
 			if a.tokens[t].kind != tokFunction {
 				return
 			}
@@ -353,7 +355,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		if !recvValid {
 			return
 		}
-		a.s.onToken(recvVar, func(t Token) {
+		a.onTokenCtx(recvVar, func(t Token) {
 			if a.tokens[t].kind != tokFunction {
 				return
 			}
@@ -375,7 +377,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 	case "setTimeout", "setInterval", "setImmediate", "process.nextTick",
 		"queueMicrotask":
 		if cb, ok := argOr(0); ok {
-			a.s.onToken(cb, func(t Token) {
+			a.onTokenCtx(cb, func(t Token) {
 				if a.tokens[t].kind != tokFunction {
 					return
 				}
@@ -411,7 +413,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 	case "String.prototype.replace":
 		// A function replacer is invoked per match.
 		if cb, ok := argOr(1); ok {
-			a.s.onToken(cb, func(t Token) {
+			a.onTokenCtx(cb, func(t Token) {
 				if a.tokens[t].kind == tokFunction {
 					a.cg.AddEdge(site, a.tokens[t].fn.Loc)
 				}
@@ -439,7 +441,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 					a.s.addEdge(callArgs[0], payload)
 				}
 			}
-			a.s.onToken(cb, func(t Token) {
+			a.onTokenCtx(cb, func(t Token) {
 				if a.tokens[t].kind != tokFunction {
 					return
 				}
@@ -480,7 +482,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		a.s.addToken(a.protoVar(out), a.nativeToken("Promise.prototype"))
 		a.s.addToken(result, out)
 		if cb, ok := argOr(0); ok {
-			a.s.onToken(cb, func(t Token) {
+			a.onTokenCtx(cb, func(t Token) {
 				if a.tokens[t].kind != tokFunction {
 					return
 				}
@@ -494,7 +496,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		}
 		if recvValid {
 			// Pass-through for the unhandled state.
-			a.s.onToken(recvVar, func(t Token) {
+			a.onTokenCtx(recvVar, func(t Token) {
 				if a.tokens[t].kind != tokNative {
 					a.s.addEdge(a.propVar(t, "$promiseval"), a.propVar(out, "$promiseval"))
 				}
@@ -525,7 +527,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 
 	case "Map.prototype.set", "Set.prototype.add":
 		if recvValid {
-			a.s.onToken(recvVar, func(t Token) {
+			a.onTokenCtx(recvVar, func(t Token) {
 				if a.tokens[t].kind == tokNative {
 					return
 				}
@@ -555,7 +557,7 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 			a.addLoad(recvVar, "$mapval", vals)
 		}
 		if cb, ok := argOr(0); ok {
-			a.s.onToken(cb, func(t Token) {
+			a.onTokenCtx(cb, func(t Token) {
 				if a.tokens[t].kind != tokFunction {
 					return
 				}
@@ -588,7 +590,9 @@ func argVarsTail(argVars []Var) []Var {
 func (a *analyzer) requireCall(site loc.Loc, result Var) {
 	if lit, ok := a.requireLits[site]; ok {
 		if path, err := modules.Resolve(a.project, a.siteModule[site], lit); err == nil {
+			prev := a.pushCtx(RuleRequire, site, lit)
 			a.linkRequire(site, result, path)
+			a.popCtx(prev)
 		}
 		return
 	}
@@ -602,7 +606,9 @@ func (a *analyzer) requireCall(site loc.Loc, result Var) {
 	if a.opts.Mode != Baseline && !a.opts.DisableModuleHints && a.opts.Hints != nil {
 		for _, mh := range a.opts.Hints.ModuleHints() {
 			if mh.Site == site {
+				prev := a.pushCtx(RuleModuleHint, site, mh.Path)
 				a.linkRequire(site, result, mh.Path)
+				a.popCtx(prev)
 			}
 		}
 	}

@@ -107,6 +107,13 @@ const (
 type solver struct {
 	chunks [][]varState
 	nVars  int
+	// prov, when non-nil, journals every analyzer-issued constraint with
+	// the ambient rule context (see provenance.go). Structural rewires —
+	// cycle collapse, copy substitution, propagation — bypass addToken and
+	// addEdge, so the journal stays a record of the reference constraint
+	// system keyed by original variable ids. Nil (one pointer check per
+	// constraint) unless Options.Provenance is set.
+	prov *provJournal
 	// parent is the union-find forest over variables; parent[v] == v marks
 	// a representative. Paths are compressed on find.
 	parent []Var
@@ -319,6 +326,9 @@ func (s *solver) protect(v Var) { s.protected[v] = true }
 
 // addToken inserts token t into ⟦v⟧ (and schedules propagation).
 func (s *solver) addToken(v Var, t Token) {
+	if s.prov != nil {
+		s.prov.noteInsert(v, t)
+	}
 	s.addTokenRep(s.find(v), t)
 }
 
@@ -337,6 +347,9 @@ func (s *solver) addTokenRep(v Var, t Token) bool {
 
 // addEdge adds the subset constraint ⟦from⟧ ⊆ ⟦to⟧.
 func (s *solver) addEdge(from, to Var) {
+	if s.prov != nil {
+		s.prov.noteEdge(from, to)
+	}
 	from, to = s.find(from), s.find(to)
 	if from == to {
 		return
