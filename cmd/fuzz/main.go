@@ -12,6 +12,7 @@
 //	fuzz -seeds 300 -known testdata/fuzz/open   # CI: fail only on NEW buckets
 //	fuzz -seeds 500 -faults                     # chaos: inject one fault per seed
 //	fuzz -seeds 1000 -delta                     # delta re-analysis == from-scratch
+//	fuzz -seeds 2000 -tiers generators          # feature-tier grammar (also: combinators,proxy,esm,all)
 //
 // Exit status: 0 when every failure bucket is known (or none occurred),
 // 1 when a new divergence appeared, 2 on usage errors.
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"repro/internal/fuzz"
+	"repro/internal/testgen"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "sixth oracle: inject one deterministic fault per seed and check containment")
 		delta    = flag.Bool("delta", false, "seventh oracle: mutate one file per seed through a resident delta session and check re-analysis == from-scratch")
 		solverW  = flag.Int("solver-workers", 0, "constraint-solver scan workers per oracle run (0 = sequential engine; >=1 the sharded epoch engine — graphs are identical at every value)")
+		tiers    = flag.String("tiers", "", "comma-separated feature tiers (generators,combinators,proxy,esm): fuzz the feature-tier grammar instead of the core one ('all' = every tier)")
 		annotate = flag.String("annotate", "", "root-cause annotator: attribute every unsound-edge reproducer in this directory via the provenance engine, embed cause:/chain: headers, rewrite the files, and exit")
 	)
 	flag.Parse()
@@ -60,6 +63,26 @@ func main() {
 	if *oneSeed >= 0 {
 		*start, *seeds = uint64(*oneSeed), 1
 	}
+	var tierList []string
+	if *tiers != "" {
+		if *tiers == "all" {
+			tierList = testgen.FeatureTiers
+		} else {
+			known := map[string]bool{}
+			for _, t := range testgen.FeatureTiers {
+				known[t] = true
+			}
+			for _, t := range strings.Split(*tiers, ",") {
+				t = strings.TrimSpace(t)
+				if !known[t] {
+					fmt.Fprintf(os.Stderr, "fuzz: unknown tier %q (valid: %s)\n",
+						t, strings.Join(testgen.FeatureTiers, ","))
+					os.Exit(2)
+				}
+				tierList = append(tierList, t)
+			}
+		}
+	}
 	rep := fuzz.Run(fuzz.Options{
 		Seeds:         *seeds,
 		Start:         *start,
@@ -68,6 +91,7 @@ func main() {
 		Faults:        *faults,
 		Delta:         *delta,
 		SolverWorkers: *solverW,
+		Tiers:         tierList,
 	})
 
 	fmt.Printf("fuzz: %d seeds, %d failures, %d distinct buckets (%s)\n",

@@ -199,7 +199,11 @@ func Run(project *modules.Project, opts Options) (*Result, error) {
 
 	// Seed the worklist with the application-code modules (paper §3:
 	// "initialized with a collection of JavaScript modules from the
-	// program to be analyzed").
+	// program to be analyzed"). Test entries count as application code:
+	// the dynamic ground truth executes them, so hints anchored in them
+	// (callbacks registered from tests, dynamic keys fed by tests) must be
+	// observable too — otherwise every test-only flow is a guaranteed
+	// soundness gap.
 	seeds := project.MainEntries
 	if len(seeds) == 0 {
 		for _, p := range project.SortedPaths() {
@@ -208,7 +212,13 @@ func Run(project *modules.Project, opts Options) (*Result, error) {
 			}
 		}
 	}
+	seeds = append(append([]string{}, seeds...), project.TestEntries...)
+	seen := map[string]bool{}
 	for _, m := range seeds {
+		if seen[m] {
+			continue
+		}
+		seen[m] = true
 		a.worklist = append(a.worklist, workItem{module: m})
 	}
 

@@ -299,7 +299,10 @@ type FuncLit struct {
 	// IsAsync marks async functions; their results are promises and their
 	// bodies may use the await operator.
 	IsAsync bool
-	Loc     loc.Loc
+	// IsGenerator marks function* definitions; calling one returns a
+	// generator object over the values its body yields.
+	IsGenerator bool
+	Loc         loc.Loc
 }
 
 // CallExpr is a function call; its location is the call-site label.
@@ -388,6 +391,14 @@ type SpreadExpr struct {
 	Loc loc.Loc
 }
 
+// YieldExpr is yield or yield* inside a generator function. X may be nil
+// for a bare yield.
+type YieldExpr struct {
+	X        Expr // may be nil
+	Delegate bool // yield* E
+	Loc      loc.Loc
+}
+
 func (e *Ident) Pos() loc.Loc        { return e.Loc }
 func (e *NumberLit) Pos() loc.Loc    { return e.Loc }
 func (e *StringLit) Pos() loc.Loc    { return e.Loc }
@@ -411,6 +422,7 @@ func (e *CondExpr) Pos() loc.Loc     { return e.Loc }
 func (e *SeqExpr) Pos() loc.Loc      { return e.Loc }
 func (e *ThisExpr) Pos() loc.Loc     { return e.Loc }
 func (e *SpreadExpr) Pos() loc.Loc   { return e.Loc }
+func (e *YieldExpr) Pos() loc.Loc    { return e.Loc }
 
 func (*Ident) exprNode()        {}
 func (*NumberLit) exprNode()    {}
@@ -435,3 +447,4 @@ func (*CondExpr) exprNode()     {}
 func (*SeqExpr) exprNode()      {}
 func (*ThisExpr) exprNode()     {}
 func (*SpreadExpr) exprNode()   {}
+func (*YieldExpr) exprNode()    {}

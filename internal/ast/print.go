@@ -259,6 +259,9 @@ func (p *printer) funcLit(f *FuncLit, decl bool) {
 		return
 	}
 	p.sb.WriteString("function")
+	if f.IsGenerator {
+		p.sb.WriteByte('*')
+	}
 	if f.Name != "" {
 		p.sb.WriteByte(' ')
 		p.sb.WriteString(f.Name)
@@ -446,6 +449,16 @@ func (p *printer) expr(e Expr) {
 	case *SpreadExpr:
 		p.sb.WriteString("...")
 		p.expr(e.X)
+	case *YieldExpr:
+		p.sb.WriteString("(yield")
+		if e.Delegate {
+			p.sb.WriteByte('*')
+		}
+		if e.X != nil {
+			p.sb.WriteByte(' ')
+			p.expr(e.X)
+		}
+		p.sb.WriteByte(')')
 	default:
 		panic(fmt.Sprintf("ast.Print: unknown expression %T", e))
 	}

@@ -103,6 +103,8 @@ func Walk(n Node, fn func(Node) bool) {
 		}
 	case *SpreadExpr:
 		walkExpr(n.X, fn)
+	case *YieldExpr:
+		walkExpr(n.X, fn)
 	}
 }
 

@@ -33,24 +33,13 @@ func soundnessSolverWorkers(t *testing.T) int {
 
 // knownSoundnessGaps lists the dynamic call-graph edges the extended
 // analysis is known to miss, per benchmark, as "site -> target [bucket]"
-// strings. These are the residual unsoundness of approximate
-// interpretation on the corpus (the paper reports recall below 100% too):
-// lenient-mode forcing can follow branches concrete execution never takes,
-// so a hint feeding a dynamic property key or require specifier is never
-// observed. A new entry appearing here means a soundness regression; an
-// entry disappearing means recall improved — update the snapshot either
-// way, and for new entries file the minimized reproducer via cmd/fuzz.
-var knownSoundnessGaps = map[string][]string{
-	"mini-router": {
-		"/node_modules/routr/index.js:11:15 -> /app/test/routr.test.js:4:12 [direct-call]",
-	},
-	"mini-orm": {
-		"/app/test/orm.test.js:9:23 -> /node_modules/ormlite/index.js:15:36 [method-call]",
-	},
-	"mini-fetcher": {
-		"/node_modules/fetchr/index.js:11:25 -> /app/test/fetchr.test.js:4:24 [direct-call]",
-	},
-}
+// strings. Currently EMPTY: the last three residual gaps — all
+// missing-hint, caused by the approximate interpretation never seeding the
+// test-entry modules its dynamic ground truth executes — closed when the
+// pre-analysis worklist started including Project.TestEntries. A new entry
+// appearing here means a soundness regression; file the minimized
+// reproducer via cmd/fuzz before pinning it.
+var knownSoundnessGaps = map[string][]string{}
 
 // TestCorpusSoundnessOracle checks the fuzzer's soundness oracle — every
 // dynamically observed call edge must be in the extended static graph —

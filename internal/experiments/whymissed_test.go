@@ -11,9 +11,9 @@ import (
 
 // TestWhyMissedAttributionComplete is the CI contract of the root-cause
 // engine on the corpus: every dynamic edge the extended analysis misses
-// must carry a taxonomy cause — zero unattributed — and the current three
-// residual gaps are all missing-hint (the test module holding one end of
-// the edge is never interpreted).
+// must carry a taxonomy cause — zero unattributed — and the missed-edge
+// count must match the known-gap snapshot (currently empty: test-entry
+// seeding interprets the test modules, so no missing-hint gaps remain).
 func TestWhyMissedAttributionComplete(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full corpus pipeline; skipped with -short")
@@ -78,11 +78,11 @@ func TestWhyMissedDeterministicAcrossWorkers(t *testing.T) {
 }
 
 // TestSoundnessGapRatchet is the recall ratchet: the known-gap snapshot may
-// only shrink. The floor is the count this change established after the
-// element-conflation rule closed five of the eight seed gaps; raising it
-// requires deliberately accepting a soundness regression here.
+// only shrink. The floor reached zero when test-entry seeding closed the
+// last three missing-hint gaps; raising it requires deliberately accepting
+// a soundness regression here.
 func TestSoundnessGapRatchet(t *testing.T) {
-	const maxKnownGaps = 3
+	const maxKnownGaps = 0
 	total := 0
 	for name, gaps := range knownSoundnessGaps {
 		total += len(gaps)

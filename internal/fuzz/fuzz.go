@@ -86,6 +86,19 @@ func CheckSeed(seed uint64) *Failure {
 	return f
 }
 
+// CheckSeedTiers is CheckSeed over the feature-tier grammar: the generated
+// program is weighted toward the named tiers (generators, combinators,
+// proxy, esm — all of them when tiers is empty) and every oracle runs
+// unchanged.
+func CheckSeedTiers(seed uint64, tiers []string) *Failure {
+	spec := testgen.GenFeatureProject(seed, tiers)
+	f := CheckFiles(spec.Files, spec.Entries)
+	if f != nil {
+		f.Seed = seed
+	}
+	return f
+}
+
 // CheckFiles checks every oracle against the given virtual project. The
 // minimizer re-enters here with reduced file sets.
 func CheckFiles(files map[string]string, entries []string) *Failure {
@@ -366,6 +379,10 @@ type Options struct {
 	// workers). Graphs are identical either way; failures found under one
 	// engine reproduce under the other.
 	SolverWorkers int
+	// Tiers switches every seed to the feature-tier grammar
+	// (testgen.GenFeatureProject) weighted toward the named tiers. Mutually
+	// exclusive with Faults and Delta.
+	Tiers []string
 }
 
 // Report is the outcome of a fuzzing run.
@@ -409,6 +426,8 @@ func Run(opts Options) *Report {
 					results[i] = CheckSeedFaulted(opts.Start + i)
 				case opts.Delta:
 					results[i] = CheckSeedDelta(opts.Start + i)
+				case len(opts.Tiers) > 0:
+					results[i] = CheckSeedTiers(opts.Start+i, opts.Tiers)
 				default:
 					results[i] = CheckSeed(opts.Start + i)
 				}

@@ -93,6 +93,8 @@ func (it *Interp) setupGlobals() {
 	it.setupRegExp(def)
 	it.setupTimers(def)
 	it.setupCollections(def)
+	it.setupGenerators()
+	it.setupProxyReflect(def)
 	it.setupTopLevelFunctions(def)
 }
 

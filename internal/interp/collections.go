@@ -361,6 +361,79 @@ func (it *Interp) setupPromise(def func(string, value.Value)) {
 		return newPromise(1, it.NewArrayObject(results)), nil
 	})
 
+	// Combinators. Everything is already settled under the synchronous model,
+	// so "first to settle" means "first settled element in array order".
+	it.method(ctor, "race", func(_ value.Value, args []value.Value) (value.Value, error) {
+		if a, ok := arg(args, 0).(*value.Object); ok && a.Class == value.ClassArray {
+			for _, e := range a.Elems {
+				if e == nil {
+					e = value.Undefined{}
+				}
+				if d := dataOf(e); d != nil {
+					if d.state != 0 {
+						return newPromise(d.state, d.val), nil
+					}
+					continue // pending elements never win
+				}
+				return newPromise(1, e), nil
+			}
+		}
+		return newPromise(0, value.Undefined{}), nil
+	})
+	it.method(ctor, "allSettled", func(_ value.Value, args []value.Value) (value.Value, error) {
+		var results []value.Value
+		if a, ok := arg(args, 0).(*value.Object); ok && a.Class == value.ClassArray {
+			for _, e := range a.Elems {
+				if e == nil {
+					e = value.Undefined{}
+				}
+				entry := it.NewPlainObject()
+				if d := dataOf(e); d != nil && d.state == 2 {
+					entry.Set("status", value.String("rejected"))
+					entry.Set("reason", d.val)
+				} else {
+					entry.Set("status", value.String("fulfilled"))
+					if d != nil {
+						// A pending promise has no value to report; the
+						// synchronous model settles it as undefined.
+						if d.state == 1 {
+							entry.Set("value", d.val)
+						} else {
+							entry.Set("value", value.Undefined{})
+						}
+					} else {
+						entry.Set("value", e)
+					}
+				}
+				results = append(results, entry)
+			}
+		}
+		return newPromise(1, it.NewArrayObject(results)), nil
+	})
+	it.method(ctor, "any", func(_ value.Value, args []value.Value) (value.Value, error) {
+		var reasons []value.Value
+		if a, ok := arg(args, 0).(*value.Object); ok && a.Class == value.ClassArray {
+			for _, e := range a.Elems {
+				if e == nil {
+					e = value.Undefined{}
+				}
+				if d := dataOf(e); d != nil {
+					switch d.state {
+					case 1:
+						return newPromise(1, d.val), nil
+					case 2:
+						reasons = append(reasons, d.val)
+					}
+					continue
+				}
+				return newPromise(1, e), nil
+			}
+		}
+		agg := it.NewError("AggregateError", "all promises were rejected")
+		agg.Set("errors", it.NewArrayObject(reasons))
+		return newPromise(2, agg), nil
+	})
+
 	settle := func(p value.Value, cb *value.Object, want int) (value.Value, error) {
 		d := dataOf(p)
 		if d == nil {

@@ -1,0 +1,252 @@
+package interp
+
+import (
+	"repro/internal/value"
+)
+
+// This file implements the feature tiers beyond the core subset: generator
+// objects (the eager model — see invokeUser) and user-level Proxy/Reflect.
+
+// ------------------------------------------------------------- generators
+
+// genState is the host data of a generator object under the eager model:
+// the body already ran, elems holds every yielded value in order, idx is
+// the iteration cursor, and retVal is the body's return value (delivered
+// once by the first exhausted next()).
+type genState struct {
+	elems   []value.Value
+	idx     int
+	retVal  value.Value
+	retDone bool
+}
+
+func genStateOf(v value.Value) *genState {
+	o, ok := v.(*value.Object)
+	if !ok {
+		return nil
+	}
+	gs, _ := o.HostData.(*genState)
+	return gs
+}
+
+// yieldDelegate implements yield*: the operand's values are appended to the
+// current generator's sink, and the expression evaluates to the operand's
+// return value. Non-iterable operands leniently yield themselves, and p*
+// yields p* (the delegated generator is unknown).
+func (it *Interp) yieldDelegate(v value.Value) value.Value {
+	sink := it.genSink
+	push := func(vals ...value.Value) {
+		if sink == nil {
+			return
+		}
+		for _, e := range vals {
+			if e == nil {
+				e = value.Undefined{}
+			}
+			sink.elems = append(sink.elems, e)
+		}
+	}
+	switch o := v.(type) {
+	case *value.Object:
+		if o.IsProxy() {
+			push(o)
+			return o
+		}
+		if gs, ok := o.HostData.(*genState); ok {
+			push(gs.elems[gs.idx:]...)
+			gs.idx = len(gs.elems)
+			if gs.retVal != nil {
+				return gs.retVal
+			}
+			return value.Undefined{}
+		}
+		if o.Class == value.ClassArray {
+			push(o.Elems...)
+			return value.Undefined{}
+		}
+	case value.String:
+		for _, r := range string(o) {
+			push(value.String(string(r)))
+		}
+		return value.Undefined{}
+	}
+	push(v)
+	return value.Undefined{}
+}
+
+func (it *Interp) setupGenerators() {
+	it.generatorProto = value.NewObject(it.protos.object)
+
+	iterResult := func(v value.Value, done bool) *value.Object {
+		res := it.NewPlainObject()
+		it.recordAlloc(res, it.CallSite())
+		if v == nil {
+			v = value.Undefined{}
+		}
+		res.Set("value", v)
+		res.Set("done", value.Bool(done))
+		return res
+	}
+
+	it.method(it.generatorProto, "next", func(this value.Value, args []value.Value) (value.Value, error) {
+		gs := genStateOf(this)
+		if gs == nil {
+			return iterResult(value.Undefined{}, true), nil
+		}
+		if gs.idx < len(gs.elems) {
+			v := gs.elems[gs.idx]
+			gs.idx++
+			return iterResult(v, false), nil
+		}
+		var v value.Value = value.Undefined{}
+		if !gs.retDone && gs.retVal != nil {
+			v = gs.retVal
+		}
+		gs.retDone = true
+		return iterResult(v, true), nil
+	})
+
+	it.method(it.generatorProto, "return", func(this value.Value, args []value.Value) (value.Value, error) {
+		if gs := genStateOf(this); gs != nil {
+			gs.idx = len(gs.elems)
+			gs.retDone = true
+		}
+		return iterResult(arg(args, 0), true), nil
+	})
+
+	it.method(it.generatorProto, "throw", func(this value.Value, args []value.Value) (value.Value, error) {
+		if gs := genStateOf(this); gs != nil {
+			gs.idx = len(gs.elems)
+			gs.retDone = true
+		}
+		return nil, &Thrown{Value: arg(args, 0)}
+	})
+}
+
+// ---------------------------------------------------------- Proxy/Reflect
+
+// userProxyData is the host data of a user-constructed Proxy (distinct from
+// the approximate interpreter's p*, which is ClassProxy): operations on the
+// object route through handler traps when present and forward to target
+// otherwise.
+type userProxyData struct {
+	target  *value.Object
+	handler *value.Object // nil means no traps: a pure forwarder
+}
+
+func userProxyOf(v value.Value) *userProxyData {
+	o, ok := v.(*value.Object)
+	if !ok {
+		return nil
+	}
+	d, _ := o.HostData.(*userProxyData)
+	return d
+}
+
+// trap returns the handler's callable trap of the given name, or nil.
+func (d *userProxyData) trap(name string) *value.Object {
+	if d.handler == nil {
+		return nil
+	}
+	p, _ := d.handler.Lookup(name)
+	if p == nil || p.IsAccessor() {
+		return nil
+	}
+	if f, ok := p.Value.(*value.Object); ok && f.Callable() {
+		return f
+	}
+	return nil
+}
+
+func (it *Interp) setupProxyReflect(def func(string, value.Value)) {
+	proxyCtor := it.native("Proxy", func(this value.Value, args []value.Value) (value.Value, error) {
+		target := argObj(args, 0)
+		if target == nil || target.IsProxy() {
+			// Unknown or primitive target: the proxy is as unknown as p*.
+			return it.proxyOrUndefined(), nil
+		}
+		handler := argObj(args, 1)
+		if handler != nil && handler.IsProxy() {
+			handler = nil // unknown handler: treat as trapless forwarder
+		}
+		pr := value.NewObject(target.Proto)
+		pr.HostData = &userProxyData{target: target, handler: handler}
+		it.recordAlloc(pr, it.CallSite())
+		return pr, nil
+	})
+	def("Proxy", proxyCtor)
+
+	elemsOf := func(v value.Value) []value.Value {
+		if a, ok := v.(*value.Object); ok && a.Class == value.ClassArray {
+			out := make([]value.Value, len(a.Elems))
+			for i, e := range a.Elems {
+				if e == nil {
+					e = value.Undefined{}
+				}
+				out[i] = e
+			}
+			return out
+		}
+		return nil
+	}
+
+	r := it.NewPlainObject()
+	it.method(r, "apply", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return it.callValue(arg(args, 0), arg(args, 1), elemsOf(arg(args, 2)), it.CallSite())
+	})
+	it.method(r, "construct", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return it.Construct(arg(args, 0), elemsOf(arg(args, 1)), it.CallSite())
+	})
+	it.method(r, "get", func(_ value.Value, args []value.Value) (value.Value, error) {
+		base := arg(args, 0)
+		key := value.PropertyKey(arg(args, 1))
+		v, err := it.getMemberAt(base, key, it.CallSite())
+		if err != nil {
+			return nil, err
+		}
+		it.hooks.DynamicRead(it.CallSite(), base, key, v)
+		return v, nil
+	})
+	it.method(r, "set", func(_ value.Value, args []value.Value) (value.Value, error) {
+		base := arg(args, 0)
+		key := value.PropertyKey(arg(args, 1))
+		if err := it.setMember(base, key, arg(args, 2), true, it.CallSite()); err != nil {
+			return nil, err
+		}
+		return value.Bool(true), nil
+	})
+	it.method(r, "has", func(_ value.Value, args []value.Value) (value.Value, error) {
+		return it.hasMember(arg(args, 1), arg(args, 0), it.CallSite())
+	})
+	it.method(r, "ownKeys", func(_ value.Value, args []value.Value) (value.Value, error) {
+		o := argObj(args, 0)
+		if o == nil || o.IsProxy() {
+			return it.NewArrayObject(nil), nil
+		}
+		if up := userProxyOf(o); up != nil {
+			if t := up.trap("ownKeys"); t != nil {
+				v, err := it.callWithSite(t, up.handler, []value.Value{up.target}, it.CallSite())
+				if err != nil {
+					return nil, err
+				}
+				if a, ok := v.(*value.Object); ok && a.Class == value.ClassArray {
+					return a, nil
+				}
+				return it.NewArrayObject(nil), nil
+			}
+			o = up.target
+		}
+		var elems []value.Value
+		for _, k := range o.OwnKeys() {
+			elems = append(elems, value.String(k))
+		}
+		return it.NewArrayObject(elems), nil
+	})
+	it.method(r, "getPrototypeOf", func(_ value.Value, args []value.Value) (value.Value, error) {
+		if o := argObj(args, 0); o != nil && o.Proto != nil {
+			return o.Proto, nil
+		}
+		return value.Null{}, nil
+	})
+	def("Reflect", r)
+}

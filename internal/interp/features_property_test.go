@@ -1,0 +1,239 @@
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/testgen"
+)
+
+// TestGeneratorResumeOrderLaw is the resume-order property: for randomized
+// generator bodies (plain yields, yield* delegation to arrays, conditional
+// yields, optional return values), the sequence produced by .next() calls,
+// by for-of, and by array spread must all equal the statically predicted
+// yield order, and exhaustion must deliver the return value exactly once.
+func TestGeneratorResumeOrderLaw(t *testing.T) {
+	for seed := uint64(0); seed < 80; seed++ {
+		g := testgen.New(seed)
+		n := 1 + g.Intn(4)
+		var body []string
+		var want []int
+		for i := 0; i < n; i++ {
+			v := 10 + g.Intn(80)
+			switch g.Intn(3) {
+			case 0:
+				body = append(body, fmt.Sprintf("yield %d;", v))
+				want = append(want, v)
+			case 1:
+				body = append(body, fmt.Sprintf("yield* [%d, %d];", v, v+1))
+				want = append(want, v, v+1)
+			default:
+				cond := g.Intn(2)
+				body = append(body, fmt.Sprintf("if (%d === 1) { yield %d; }", cond, v))
+				if cond == 1 {
+					want = append(want, v)
+				}
+			}
+		}
+		ret := -1
+		retStmt := ""
+		if g.Intn(2) == 0 {
+			ret = 100 + g.Intn(9)
+			retStmt = fmt.Sprintf("return %d;", ret)
+		}
+		src := fmt.Sprintf("function* gen() { %s %s }\n", strings.Join(body, " "), retStmt)
+
+		var wantParts []string
+		for _, v := range want {
+			wantParts = append(wantParts, fmt.Sprintf("%d", v))
+		}
+		wantSeq := strings.Join(wantParts, ",")
+
+		// Law 1: manual .next() until done reproduces the yield order, and
+		// the first exhausted next() carries the return value.
+		wantString(t, run(t, src+`
+var it = gen();
+var seq = [];
+var r = it.next();
+while (!r.done) { seq.push(r.value); r = it.next(); }
+var result = seq.join(",");`), wantSeq)
+		if ret >= 0 {
+			wantNumber(t, run(t, src+`
+var it = gen();
+var r = it.next();
+while (!r.done) { r = it.next(); }
+var result = r.value;`), float64(ret))
+		}
+
+		// Law 2: for-of visits exactly the yields (never the return value).
+		wantString(t, run(t, src+`
+var seq = [];
+for (var v of gen()) { seq.push(v); }
+var result = seq.join(",");`), wantSeq)
+
+		// Law 3: spread agrees with for-of.
+		wantString(t, run(t, src+`
+var result = [...gen()].join(",");`), wantSeq)
+
+		// Law 4: return() closes the iterator — it reflects its argument and
+		// every later next() is done with undefined value.
+		wantString(t, run(t, src+`
+var it = gen();
+it.next();
+var r = it.return(55);
+var after = it.next();
+var result = r.value + "/" + r.done + "/" + after.done + "/" + (after.value === undefined);`),
+			"55/true/true/true")
+	}
+}
+
+// TestGeneratorDelegationLaw: yield* over another generator splices its
+// remaining yields in place and evaluates to that generator's return value.
+func TestGeneratorDelegationLaw(t *testing.T) {
+	wantString(t, run(t, `
+function* inner() { yield 1; yield 2; return 9; }
+function* outer() { var got = yield* inner(); yield got; yield 3; }
+var result = [...outer()].join(",");`), "1,2,9,3")
+	// A partially consumed inner generator delegates only its remainder.
+	wantString(t, run(t, `
+function* inner() { yield 1; yield 2; yield 3; }
+var it = inner();
+it.next();
+function* outer() { yield* it; }
+var result = [...outer()].join(",");`), "2,3")
+}
+
+// TestCombinatorSettlementLaws checks the promise-combinator algebra on
+// randomized mixes of plain values and already-settled promises: all
+// preserves input order, race and any settle to the first (fulfilled)
+// entry, allSettled mirrors the input with status/value pairs.
+func TestCombinatorSettlementLaws(t *testing.T) {
+	for seed := uint64(0); seed < 60; seed++ {
+		g := testgen.New(seed ^ 0xC0FFEE)
+		n := 1 + g.Intn(4)
+		var elems []string
+		var vals []string
+		for i := 0; i < n; i++ {
+			v := g.Intn(90)
+			if g.Intn(2) == 0 {
+				elems = append(elems, fmt.Sprintf("Promise.resolve(%d)", v))
+			} else {
+				elems = append(elems, fmt.Sprintf("%d", v))
+			}
+			vals = append(vals, fmt.Sprintf("%d", v))
+		}
+		arr := "[" + strings.Join(elems, ", ") + "]"
+
+		// all: fulfills with every value in input order.
+		wantString(t, run(t, fmt.Sprintf(`
+var result = "";
+Promise.all(%s).then(function (vs) { result = vs.join(","); });`, arr)),
+			strings.Join(vals, ","))
+
+		// race / any: with synchronously settled entries, the first wins.
+		wantNumber(t, run(t, fmt.Sprintf(`
+var result = -1;
+Promise.race(%s).then(function (v) { result = v; });`, arr)), mustAtof(t, vals[0]))
+		wantNumber(t, run(t, fmt.Sprintf(`
+var result = -1;
+Promise.any(%s).then(function (v) { result = v; });`, arr)), mustAtof(t, vals[0]))
+
+		// allSettled: one {status, value} entry per input, in order.
+		wantString(t, run(t, fmt.Sprintf(`
+var result = "";
+Promise.allSettled(%s).then(function (ss) {
+  var parts = [];
+  for (var i = 0; i < ss.length; i++) { parts.push(ss[i].status + ":" + ss[i].value); }
+  result = parts.join(",");
+});`, arr)), "fulfilled:"+strings.Join(vals, ",fulfilled:"))
+	}
+
+	// Rejection laws: all rejects on the first rejection, allSettled keeps
+	// it as a reason, any skips rejections.
+	wantString(t, run(t, `
+var result = "";
+Promise.all([1, Promise.reject("boom"), 3]).then(
+  function (vs) { result = "fulfilled"; },
+  function (e) { result = "rejected:" + e; });`), "rejected:boom")
+	wantString(t, run(t, `
+var result = "";
+Promise.allSettled([Promise.reject("bad"), 7]).then(function (ss) {
+  result = ss[0].status + ":" + ss[0].reason + "," + ss[1].status + ":" + ss[1].value;
+});`), "rejected:bad,fulfilled:7")
+	wantNumber(t, run(t, `
+var result = -1;
+Promise.any([Promise.reject("no"), Promise.resolve(4)]).then(function (v) { result = v; });`), 4)
+}
+
+// TestProxyTrapCompletenessTable drives every supported trap and the
+// trapless forwarding behavior through one table of cases.
+func TestProxyTrapCompletenessTable(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"get-trap", `
+var p = new Proxy({x: 1}, {get: function (t, k) { return "got:" + k; }});
+var result = p.anything;`, "got:anything"},
+		{"get-forward", `
+var p = new Proxy({x: "data"}, {});
+var result = p.x;`, "data"},
+		{"set-trap", `
+var log = "";
+var p = new Proxy({}, {set: function (t, k, v) { log = k + "=" + v; return true; }});
+p.field = 5;
+var result = log;`, "field=5"},
+		{"set-forward", `
+var t = {};
+var p = new Proxy(t, {});
+p.y = "w";
+var result = t.y;`, "w"},
+		{"has-trap", `
+var p = new Proxy({}, {has: function (t, k) { return k === "yes"; }});
+var result = ("yes" in p) + "/" + ("no" in p);`, "true/false"},
+		{"has-forward", `
+var p = new Proxy({here: 1}, {});
+var result = ("here" in p) + "/" + ("gone" in p);`, "true/false"},
+		{"apply-trap", `
+function target(a, b) { return a + b; }
+var p = new Proxy(target, {apply: function (t, self, args) { return "trapped:" + t(args[0], args[1]); }});
+var result = p(2, 3);`, "trapped:5"},
+		{"apply-forward", `
+function target(a, b) { return a * b; }
+var p = new Proxy(target, {});
+var result = "" + p(4, 5);`, "20"},
+		{"get-trap-computed", `
+var p = new Proxy({}, {get: function (t, k) { return "dyn:" + k; }});
+var k = "a" + "b";
+var result = p[k];`, "dyn:ab"},
+		{"reflect-get", `
+var result = Reflect.get({v: "rg"}, "v");`, "rg"},
+		{"reflect-set", `
+var o = {};
+Reflect.set(o, "k", "rs");
+var result = o.k;`, "rs"},
+		{"reflect-has", `
+var result = "" + Reflect.has({a: 1}, "a") + Reflect.has({}, "a");`, "truefalse"},
+		{"reflect-apply", `
+function f(x, y) { return x - y; }
+var result = "" + Reflect.apply(f, null, [9, 4]);`, "5"},
+		{"reflect-ownkeys", `
+var result = Reflect.ownKeys({a: 1, b: 2}).join(",");`, "a,b"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			wantString(t, run(t, c.src), c.want)
+		})
+	}
+}
+
+func mustAtof(t *testing.T, s string) float64 {
+	t.Helper()
+	var f float64
+	if _, err := fmt.Sscanf(s, "%g", &f); err != nil {
+		t.Fatalf("bad number %q: %v", s, err)
+	}
+	return f
+}

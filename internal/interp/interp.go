@@ -36,6 +36,8 @@ const (
 	// is spent. In lenient mode this budget instead exits the offending loop.
 	ReasonLoopIters = "loop iterations"
 	// ReasonStackDepth: the call-stack bound (Options.MaxDepth) is exceeded.
+	// In lenient mode the overflowing call instead evaluates to p* and the
+	// stack unwinds normally.
 	ReasonStackDepth = "stack depth"
 	// ReasonDeadline: the wall-clock deadline (Options.Deadline) passed.
 	ReasonDeadline = "wall-clock deadline"
@@ -154,6 +156,9 @@ type Interp struct {
 	rngState     uint64        // deterministic Math.random state
 	clock        int64         // deterministic Date counter (ms)
 	promiseProto *value.Object // Promise.prototype (for async wrapping)
+
+	generatorProto *value.Object // prototype of generator objects
+	genSink        *genState     // yield sink of the generator body executing
 }
 
 type prototypes struct {
@@ -604,15 +609,29 @@ func (it *Interp) execForIn(s *ast.ForInStmt, env *value.Scope, this value.Value
 		if o.IsProxy() {
 			return completion{}, nil // unknown value: iterate nothing
 		}
+		// Iterating a user Proxy walks its target (no ownKeys trap support).
+		for {
+			up := userProxyOf(o)
+			if up == nil {
+				break
+			}
+			o = up.target
+		}
 		if s.IsOf {
-			switch o.Class {
-			case value.ClassArray:
-				items = append(items, o.Elems...)
-			default:
-				if it.lenient {
-					return completion{}, nil
+			if gs, ok := o.HostData.(*genState); ok {
+				// for-of over a generator consumes its remaining yields.
+				items = append(items, gs.elems[gs.idx:]...)
+				gs.idx = len(gs.elems)
+			} else {
+				switch o.Class {
+				case value.ClassArray:
+					items = append(items, o.Elems...)
+				default:
+					if it.lenient {
+						return completion{}, nil
+					}
+					return completion{}, it.ThrowError("TypeError", "value is not iterable")
 				}
-				return completion{}, it.ThrowError("TypeError", "value is not iterable")
 			}
 		} else {
 			// for-in walks enumerable keys of the object and its prototypes.
@@ -919,14 +938,14 @@ func (it *Interp) evalExpr(e ast.Expr, env *value.Scope, this value.Value) (valu
 				return nil, err
 			}
 			key := value.PropertyKey(kv)
-			result, err := it.getMember(base, key)
+			result, err := it.getMemberAt(base, key, it.hookLoc(e.Loc))
 			if err != nil {
 				return nil, err
 			}
 			it.hooks.DynamicRead(it.hookLoc(e.Loc), base, key, result)
 			return result, nil
 		}
-		return it.getMember(base, e.Prop)
+		return it.getMemberAt(base, e.Prop, it.hookLoc(e.Loc))
 
 	case *ast.AssignExpr:
 		return it.evalAssign(e, env, this)
@@ -984,6 +1003,25 @@ func (it *Interp) evalExpr(e ast.Expr, env *value.Scope, this value.Value) (valu
 
 	case *ast.SpreadExpr:
 		return nil, it.ThrowError("SyntaxError", "unexpected spread")
+
+	case *ast.YieldExpr:
+		var v value.Value = value.Undefined{}
+		if e.X != nil {
+			var err error
+			v, err = it.evalExpr(e.X, env, this)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if e.Delegate {
+			return it.yieldDelegate(v), nil
+		}
+		if it.genSink != nil {
+			it.genSink.elems = append(it.genSink.elems, v)
+		}
+		// The resume value: unknown under forced execution, undefined
+		// concretely (nothing ever passes a value to next()).
+		return it.proxyOrUndefined(), nil
 
 	default:
 		return nil, fmt.Errorf("interp: unknown expression %T", e)
@@ -1079,9 +1117,18 @@ func (it *Interp) defineAccessor(obj *value.Object, key string, getter, setter v
 
 // ------------------------------------------------------------------ members
 
-// getMember reads base.key with full prototype-chain, accessor, primitive
-// and proxy handling.
+// getMember reads base.key attributing accessor and trap invocations to the
+// call site of the native currently executing (natives are the only callers
+// without a syntactic member site of their own).
 func (it *Interp) getMember(base value.Value, key string) (value.Value, error) {
+	return it.getMemberAt(base, key, it.callSiteLoc)
+}
+
+// getMemberAt reads base.key with full prototype-chain, accessor, primitive
+// and proxy handling. site is the source location of the member operation;
+// getter and Proxy-trap calls are attributed to it so the dynamic call graph
+// records accessor edges.
+func (it *Interp) getMemberAt(base value.Value, key string, site loc.Loc) (value.Value, error) {
 	switch b := base.(type) {
 	case *value.Object:
 		if b.IsProxy() {
@@ -1089,6 +1136,12 @@ func (it *Interp) getMember(base value.Value, key string) (value.Value, error) {
 		}
 		if b.Class == classMock {
 			return it.mockFunction(), nil
+		}
+		if up := userProxyOf(b); up != nil {
+			if t := up.trap("get"); t != nil {
+				return it.callWithSite(t, up.handler, []value.Value{up.target, value.String(key), b}, site)
+			}
+			return it.getMemberAt(up.target, key, site)
 		}
 		prop, _ := b.Lookup(key)
 		if prop == nil {
@@ -1101,7 +1154,7 @@ func (it *Interp) getMember(base value.Value, key string) (value.Value, error) {
 			if prop.Getter == nil {
 				return value.Undefined{}, nil
 			}
-			return it.CallFunction(prop.Getter, base, nil)
+			return it.callWithSite(prop.Getter, base, nil, site)
 		}
 		return prop.Value, nil
 	case value.String:
@@ -1146,10 +1199,17 @@ func (it *Interp) setMember(base value.Value, key string, val value.Value, dynam
 	if obj.IsProxy() || obj.Class == classMock {
 		return nil // the paper: writes to p* are ignored
 	}
+	if up := userProxyOf(obj); up != nil {
+		if t := up.trap("set"); t != nil {
+			_, err := it.callWithSite(t, up.handler, []value.Value{up.target, value.String(key), val, obj}, site)
+			return err
+		}
+		return it.setMember(up.target, key, val, dynamic, site)
+	}
 	// Setter anywhere on the prototype chain intercepts the write.
 	if prop, _ := obj.Lookup(key); prop != nil && prop.IsAccessor() {
 		if prop.Setter != nil {
-			_, err := it.CallFunction(prop.Setter, base, []value.Value{val})
+			_, err := it.callWithSite(prop.Setter, base, []value.Value{val}, site)
 			return err
 		}
 		return nil
@@ -1212,7 +1272,7 @@ func (it *Interp) evalAssign(e *ast.AssignExpr, env *value.Scope, this value.Val
 			}
 			key = value.PropertyKey(kv)
 		}
-		v, err := compute(func() (value.Value, error) { return it.getMember(base, key) })
+		v, err := compute(func() (value.Value, error) { return it.getMemberAt(base, key, it.hookLoc(e.Loc)) })
 		if err != nil {
 			return nil, err
 		}
@@ -1279,7 +1339,38 @@ func (it *Interp) evalBinary(e *ast.BinaryExpr, env *value.Scope, this value.Val
 	if err != nil {
 		return nil, err
 	}
+	if e.Op == "in" {
+		// Dispatched here rather than in applyBinary so a Proxy has-trap
+		// invocation carries the source site of the `in` expression.
+		return it.hasMember(l, r, it.hookLoc(e.Loc))
+	}
 	return it.applyBinary(e.Op, l, r)
+}
+
+// hasMember implements the `in` operator, routing through a Proxy has trap
+// when the right operand is a user proxy.
+func (it *Interp) hasMember(l, r value.Value, site loc.Loc) (value.Value, error) {
+	obj, ok := r.(*value.Object)
+	if !ok {
+		if it.lenient {
+			return value.Bool(false), nil
+		}
+		return nil, it.ThrowError("TypeError", "'in' requires an object")
+	}
+	if obj.IsProxy() {
+		return value.Bool(false), nil
+	}
+	if up := userProxyOf(obj); up != nil {
+		if t := up.trap("has"); t != nil {
+			v, err := it.callWithSite(t, up.handler, []value.Value{up.target, value.String(value.ToString(l))}, site)
+			if err != nil {
+				return nil, err
+			}
+			return value.Bool(value.ToBool(v)), nil
+		}
+		return it.hasMember(l, up.target, site)
+	}
+	return value.Bool(obj.Has(value.ToString(l))), nil
 }
 
 func (it *Interp) applyBinary(op string, l, r value.Value) (value.Value, error) {
@@ -1343,17 +1434,7 @@ func (it *Interp) applyBinary(op string, l, r value.Value) (value.Value, error) 
 	case ">>>":
 		return value.Number(float64(toUint32(l) >> (toUint32(r) & 31))), nil
 	case "in":
-		obj, ok := r.(*value.Object)
-		if !ok {
-			if it.lenient {
-				return value.Bool(false), nil
-			}
-			return nil, it.ThrowError("TypeError", "'in' requires an object")
-		}
-		if obj.IsProxy() {
-			return value.Bool(false), nil
-		}
-		return value.Bool(obj.Has(value.ToString(l))), nil
+		return it.hasMember(l, r, it.callSiteLoc)
 	case "instanceof":
 		fn, ok := r.(*value.Object)
 		if !ok || !fn.Callable() {
@@ -1510,6 +1591,16 @@ func (it *Interp) evalArgs(args []ast.Expr, env *value.Scope, this value.Value) 
 func (it *Interp) spreadValues(v value.Value) []value.Value {
 	switch v := v.(type) {
 	case *value.Object:
+		if gs, ok := v.HostData.(*genState); ok {
+			out := append([]value.Value{}, gs.elems[gs.idx:]...)
+			gs.idx = len(gs.elems)
+			for i, e := range out {
+				if e == nil {
+					out[i] = value.Undefined{}
+				}
+			}
+			return out
+		}
 		if v.Class == value.ClassArray {
 			out := make([]value.Value, len(v.Elems))
 			for i, e := range v.Elems {
@@ -1549,7 +1640,7 @@ func (it *Interp) evalCall(e *ast.CallExpr, env *value.Scope, this value.Value) 
 			}
 			key = value.PropertyKey(kv)
 		}
-		calleeVal, err = it.getMember(base, key)
+		calleeVal, err = it.getMemberAt(base, key, it.hookLoc(callee.Loc))
 		if err != nil {
 			return nil, err
 		}
@@ -1598,6 +1689,13 @@ func (it *Interp) callValue(callee, this value.Value, args []value.Value, site l
 			if obj.Class == classMock {
 				return it.invokeMock(args)
 			}
+			if up := userProxyOf(obj); up != nil {
+				if t := up.trap("apply"); t != nil {
+					argsArr := it.NewArrayObject(append([]value.Value{}, args...))
+					return it.callWithSite(t, up.handler, []value.Value{up.target, this, argsArr}, site)
+				}
+				return it.callValue(up.target, this, args, site)
+			}
 		}
 		if it.lenient {
 			return it.proxyOrUndefined(), nil
@@ -1626,6 +1724,16 @@ func (it *Interp) CallSite() loc.Loc { return it.callSiteLoc }
 
 func (it *Interp) callWithSite(fn *value.Object, this value.Value, args []value.Value, site loc.Loc) (value.Value, error) {
 	if it.depth >= it.maxDepth {
+		// In lenient (forced-execution) mode a too-deep call approximates
+		// to p* instead of aborting: the recursion unwinds frame by frame
+		// and every statement after the overflowing call still runs, so
+		// the item keeps collecting hints. Aborting here would discard the
+		// rest of the module's top level — and a concrete run of the same
+		// code survives the overflow whenever it sits inside try/catch.
+		// Mirrors the lenient loop-budget recovery (errLoopExhausted).
+		if it.lenient {
+			return it.proxyOrUndefined(), nil
+		}
 		return nil, &BudgetError{Reason: ReasonStackDepth}
 	}
 	it.depth++
@@ -1698,6 +1806,15 @@ func (it *Interp) invokeUser(fn *value.Object, this value.Value, args []value.Va
 	}
 	defer func() { it.currentModule = savedModule }()
 
+	// Yield routing: a generator body gets a fresh sink; an ordinary function
+	// body detaches from any enclosing generator's sink (its yields are not
+	// the outer generator's); arrows inherit the sink, like `this`.
+	savedSink := it.genSink
+	if !fd.IsArrow {
+		it.genSink = nil
+	}
+	defer func() { it.genSink = savedSink }()
+
 	runBody := func() (value.Value, error) {
 		// Expression-bodied arrow.
 		if f.ExprBody != nil {
@@ -1714,6 +1831,25 @@ func (it *Interp) invokeUser(fn *value.Object, this value.Value, args []value.Va
 			return c.value, nil
 		}
 		return value.Undefined{}, nil
+	}
+	if f.IsGenerator {
+		// Eager generator model: the body runs at call time, yields are
+		// collected in order into the returned generator object, and next()
+		// / for-of replay them. There is no resumption, so yield expressions
+		// evaluate to undefined (p* in approximate mode). Deterministic and
+		// identical across the concrete and approximate interpreters, which
+		// is what the differential oracles require. async function* returns
+		// the generator object directly, not a promise.
+		st := &genState{}
+		it.genSink = st
+		v, err := runBody()
+		if err != nil {
+			return nil, err
+		}
+		st.retVal = v
+		g := value.NewObject(it.generatorProto)
+		g.HostData = st
+		return g, nil
 	}
 	if !f.IsAsync {
 		return runBody()
@@ -1797,6 +1933,9 @@ func (it *Interp) Construct(calleeVal value.Value, args []value.Value, site loc.
 	if !ok || !fn.Callable() {
 		if obj, isObj := calleeVal.(*value.Object); isObj && (obj.IsProxy() || obj.Class == classMock) {
 			return it.proxy, nil
+		}
+		if up := userProxyOf(calleeVal); up != nil {
+			return it.Construct(up.target, args, site)
 		}
 		if it.lenient {
 			return it.proxyOrUndefined(), nil

@@ -79,7 +79,7 @@ var keywords = map[string]bool{
 	"null": true, "of": true, "return": true, "static": true, "switch": true,
 	"this": true, "throw": true, "true": true, "try": true, "typeof": true,
 	"undefined": true, "var": true, "void": true, "while": true, "get": true,
-	"set": true, "async": true, "await": true,
+	"set": true, "async": true, "await": true, "yield": true,
 }
 
 // Identifier-like keywords that are allowed as identifiers in most positions

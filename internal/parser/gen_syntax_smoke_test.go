@@ -1,0 +1,37 @@
+package parser
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+)
+
+func TestGenSyntaxSmoke(t *testing.T) {
+	src := "function* g(n) { yield n; yield* [1, 2]; yield; return 9; }\nvar it = g(3);\nfor (var v of it) { log(v); }\nvar obj = { gen: function* () { yield 1; } };\nasync function* ag() { yield (await p); }\n"
+	prog, err := Parse("/t.js", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	out := ast.Print(prog)
+	prog2, err := Parse("/t.js", out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	out2 := ast.Print(prog2)
+	if out != out2 {
+		t.Fatalf("round trip mismatch:\n%s\n---\n%s", out, out2)
+	}
+	nGen, nYield := 0, 0
+	ast.Walk(prog, func(n ast.Node) bool {
+		if f, ok := n.(*ast.FuncLit); ok && f.IsGenerator {
+			nGen++
+		}
+		if _, ok := n.(*ast.YieldExpr); ok {
+			nYield++
+		}
+		return true
+	})
+	if nGen != 3 || nYield != 5 {
+		t.Fatalf("got %d generators, %d yields\n%s", nGen, nYield, out)
+	}
+}

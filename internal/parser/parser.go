@@ -38,6 +38,7 @@ func Parse(file, src string) (prog *ast.Program, err error) {
 	for !p.at(lexer.EOF) {
 		prog.Body = append(prog.Body, p.statement())
 	}
+	p.applyESMLiveBindings(prog)
 	return prog, err
 }
 
@@ -61,6 +62,11 @@ type parser struct {
 	file string
 	toks []lexer.Token
 	pos  int
+
+	// ESM live-binding records, filled by importStmt/exportStmt and applied
+	// as a whole-module rewrite after parsing (see esmodules.go).
+	esmImports []*esmImport
+	esmExports []*esmExport
 }
 
 // bailout carries a parse error up through the recursive descent.
@@ -290,6 +296,9 @@ func (p *parser) funcDeclStmt() ast.Stmt {
 func (p *parser) funcLit(requireName bool) *ast.FuncLit {
 	kw := p.expectKeyword("function")
 	f := &ast.FuncLit{Loc: kw.Loc, RestIdx: -1}
+	if p.eatPunct("*") {
+		f.IsGenerator = true
+	}
 	if p.at(lexer.Ident) || (p.at(lexer.Keyword) && lexer.IsContextualKeyword(p.peek().Text)) {
 		f.Name, _ = p.identName()
 	} else if requireName {
@@ -513,6 +522,9 @@ var assignOps = map[string]bool{
 }
 
 func (p *parser) assignExpr() ast.Expr {
+	if p.atKeyword("yield") {
+		return p.yieldExpr()
+	}
 	if arrow, ok := p.tryArrow(); ok {
 		return arrow
 	}
@@ -529,6 +541,33 @@ func (p *parser) assignExpr() ast.Expr {
 		return &ast.AssignExpr{Op: t.Text, Target: lhs, Value: rhs, Loc: t.Loc}
 	}
 	return lhs
+}
+
+// yieldExpr parses yield / yield E / yield* E. Like await, yield is
+// accepted wherever an assignment expression may appear (a simplification:
+// outside generator bodies it evaluates leniently instead of being a syntax
+// error). A bare yield ends at a newline or at a token that cannot begin an
+// expression.
+func (p *parser) yieldExpr() ast.Expr {
+	kw := p.expectKeyword("yield")
+	y := &ast.YieldExpr{Loc: kw.Loc}
+	if p.eatPunct("*") {
+		y.X = p.assignExpr()
+		y.Delegate = true
+		return y
+	}
+	t := p.peek()
+	if t.NewlineBefore || t.Kind == lexer.EOF {
+		return y
+	}
+	if t.Kind == lexer.Punct {
+		switch t.Text {
+		case ")", "]", "}", ",", ";", ":":
+			return y
+		}
+	}
+	y.X = p.assignExpr()
+	return y
 }
 
 // tryArrow recognizes arrow functions by lookahead: IDENT "=>", or a

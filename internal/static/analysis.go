@@ -194,6 +194,10 @@ type fnInfo struct {
 	argsTok  Token
 	argsElem Var // $elem of the arguments object
 	restElem Var // $elem of the rest-parameter array (if any)
+	// yieldElem, for generator functions, is the $elem pseudo-property of
+	// the generator object calls receive: every yielded value flows there
+	// (the eager model — for-of, spread, and next() all read it).
+	yieldElem Var
 
 	generated bool // body constraints emitted
 }
@@ -255,6 +259,10 @@ type analyzer struct {
 	// requireLits maps require call sites to their literal module
 	// specifier ("" when the specifier is dynamically computed).
 	requireLits map[loc.Loc]string
+	// strArgs records string-literal argument values per call site, for
+	// native models that need literal keys (Object.defineProperty accessor
+	// descriptors, Reflect.get/set).
+	strArgs map[loc.Loc]map[int]string
 	// siteModule maps call sites to the module containing them (for
 	// require resolution).
 	siteModule map[loc.Loc]string
@@ -324,6 +332,7 @@ func newAnalyzer(project *modules.Project, opts Options) *analyzer {
 		dynWrites:      map[loc.Loc]dynWriteInfo{},
 		dynRequires:    map[loc.Loc]Var{},
 		requireLits:    map[loc.Loc]string{},
+		strArgs:        map[loc.Loc]map[int]string{},
 		siteModule:     map[loc.Loc]string{},
 		evalResults:    map[string]Var{},
 		tokenBehaviors: map[Token]func(loc.Loc, []Var, Var){},
@@ -672,7 +681,20 @@ func (a *analyzer) fnInfoFor(t Token) *fnInfo {
 	// variables whenever a new call site resolves to this function.
 	a.s.protect(fi.ret)
 	a.s.protect(fi.this)
-	if f.IsAsync {
+	switch {
+	case f.IsGenerator:
+		// Calls to generator functions receive a generator object whose
+		// conflated element set carries every yielded value; the body's
+		// return value is delivered by the final next() via $genret. (The
+		// interpreter's eager model: async generators return a generator
+		// directly, not a promise.)
+		genTok := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
+		a.s.addToken(a.protoVar(genTok), a.nativeToken("Generator.prototype"))
+		fi.yieldElem = a.propVar(genTok, "$elem")
+		a.s.addEdge(fi.ret, a.propVar(genTok, "$genret"))
+		fi.out = a.s.newVar()
+		a.s.addToken(fi.out, genTok)
+	case f.IsAsync:
 		// Calls to async functions receive a promise whose payload is the
 		// function's return values.
 		promiseTok := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
@@ -680,7 +702,7 @@ func (a *analyzer) fnInfoFor(t Token) *fnInfo {
 		a.s.addEdge(fi.ret, a.propVar(promiseTok, "$promiseval"))
 		fi.out = a.s.newVar()
 		a.s.addToken(fi.out, promiseTok)
-	} else {
+	default:
 		fi.out = fi.ret
 	}
 	a.s.protect(fi.out)
@@ -724,6 +746,13 @@ func (a *analyzer) dynReadVar(site loc.Loc) Var {
 	a.s.protect(v) // [DPR]/unknown-arg hints inject into this variable
 	a.dynReads[site] = v
 	return v
+}
+
+// strArg returns the string-literal value of argument i at a call site,
+// recorded during generation.
+func (a *analyzer) strArg(site loc.Loc, i int) (string, bool) {
+	v, ok := a.strArgs[site][i]
+	return v, ok
 }
 
 // ----------------------------------------------------------- load and store

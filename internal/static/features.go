@@ -1,0 +1,231 @@
+package static
+
+import (
+	"repro/internal/loc"
+)
+
+// This file models the feature tiers beyond the core subset: property
+// accessors (object-literal get/set, defineProperty descriptors), user
+// Proxy traps, and the Reflect namespace plumbing they share.
+//
+// Accessors are NOT data properties: reading o.p when p has a getter calls
+// the getter, and the dynamic call graph attributes that call to the member
+// expression's location. The static model mirrors that with pseudo-
+// properties on the base object's tokens:
+//
+//	$get$<key> / $set$<key>  — named accessor functions (object literals,
+//	                           defineProperty with a literal key)
+//	$getsall / $setsall      — every named accessor of the object, for
+//	                           computed accesses whose key is unknown (the
+//	                           accessor analogue of the $elem conflation)
+//	$getany / $setany        — Proxy get/set traps (key unknown)
+//	$hasany / $keysany       — Proxy has/ownKeys traps
+//
+// Every named member read consults $get$<key> and $getany of the base's
+// tokens (prototype chains included, like ordinary loads); every named
+// member write consults $set$<key> and $setany; the `in` operator consults
+// $hasany. When an accessor function token arrives, a call edge is added at
+// the member-expression (or operator) site — matching where the recorder
+// sees the interpreter's accessor invocation — and this/parameters/returns
+// are wired.
+
+// accessorLoad wires accessor invocation for a named property read: getter
+// functions stored under $get$<prop> and Proxy get traps under $getany are
+// called at the read site, their this bound to the base and their results
+// flowing to the read's destination.
+func (a *analyzer) accessorLoad(base Var, prop string, dst Var, site loc.Loc) {
+	a.s.protect(dst)
+	encl := a.curFn
+	getters := a.s.newVar()
+	prev := a.pushCtx(RuleAccessor, site, prop)
+	a.onTokenCtx(base, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return // native members are plain data; no accessor model
+		}
+		a.loadFromToken(t, "$get$"+prop, getters)
+		a.loadFromToken(t, "$getany", getters)
+	})
+	a.onTokenCtx(getters, func(t Token) {
+		if a.tokens[t].kind != tokFunction {
+			return
+		}
+		a.cg.AddSite(site, encl)
+		a.cg.AddEdge(site, a.tokens[t].fn.Loc)
+		fi := a.fnInfoFor(t)
+		a.s.addEdge(base, fi.this)
+		a.s.addEdge(fi.out, dst)
+	})
+	a.popCtx(prev)
+}
+
+// accessorLoadAny wires accessor invocation for a computed property read
+// x[k]: the key is unknown, so Proxy get traps ($getany) and every named
+// getter of the base ($getsall — the accessor analogue of the $elem
+// conflation) are called at the read site.
+func (a *analyzer) accessorLoadAny(base Var, dst Var, site loc.Loc) {
+	a.s.protect(dst)
+	encl := a.curFn
+	getters := a.s.newVar()
+	prev := a.pushCtx(RuleAccessor, site, "")
+	a.onTokenCtx(base, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return
+		}
+		a.loadFromToken(t, "$getany", getters)
+		a.loadFromToken(t, "$getsall", getters)
+	})
+	a.onTokenCtx(getters, func(t Token) {
+		if a.tokens[t].kind != tokFunction {
+			return
+		}
+		a.cg.AddSite(site, encl)
+		a.cg.AddEdge(site, a.tokens[t].fn.Loc)
+		fi := a.fnInfoFor(t)
+		a.s.addEdge(base, fi.this)
+		a.s.addEdge(fi.out, dst)
+	})
+	a.popCtx(prev)
+}
+
+// accessorStoreAny wires accessor invocation for a computed property write
+// x[k] = v: Proxy set traps ($setany) receive the written value as their
+// third parameter, named setters ($setsall) as their first.
+func (a *analyzer) accessorStoreAny(base Var, val Var, site loc.Loc) {
+	encl := a.curFn
+	named := a.s.newVar()
+	traps := a.s.newVar()
+	prev := a.pushCtx(RuleAccessor, site, "")
+	a.onTokenCtx(base, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return
+		}
+		a.loadFromToken(t, "$setsall", named)
+		a.loadFromToken(t, "$setany", traps)
+	})
+	wire := func(fns Var, valIdx int) {
+		a.onTokenCtx(fns, func(t Token) {
+			if a.tokens[t].kind != tokFunction {
+				return
+			}
+			a.cg.AddSite(site, encl)
+			a.cg.AddEdge(site, a.tokens[t].fn.Loc)
+			fi := a.fnInfoFor(t)
+			a.s.addEdge(base, fi.this)
+			if valIdx < len(fi.params) && valIdx != fi.restIdx {
+				a.s.addEdge(val, fi.params[valIdx])
+			}
+			a.s.addEdge(val, fi.argsElem)
+		})
+	}
+	wire(named, 0)
+	wire(traps, 2)
+	a.popCtx(prev)
+}
+
+// accessorStore wires accessor invocation for a named property write:
+// setters under $set$<prop> receive the written value as their first
+// parameter; Proxy set traps under $setany receive it as their third
+// (target, key, value, receiver).
+func (a *analyzer) accessorStore(base Var, prop string, val Var, site loc.Loc) {
+	encl := a.curFn
+	named := a.s.newVar()
+	traps := a.s.newVar()
+	prev := a.pushCtx(RuleAccessor, site, prop)
+	a.onTokenCtx(base, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return
+		}
+		a.loadFromToken(t, "$set$"+prop, named)
+		a.loadFromToken(t, "$setany", traps)
+	})
+	wire := func(fns Var, valIdx int) {
+		a.onTokenCtx(fns, func(t Token) {
+			if a.tokens[t].kind != tokFunction {
+				return
+			}
+			a.cg.AddSite(site, encl)
+			a.cg.AddEdge(site, a.tokens[t].fn.Loc)
+			fi := a.fnInfoFor(t)
+			a.s.addEdge(base, fi.this)
+			if valIdx < len(fi.params) && valIdx != fi.restIdx {
+				a.s.addEdge(val, fi.params[valIdx])
+			}
+			a.s.addEdge(val, fi.argsElem)
+		})
+	}
+	wire(named, 0)
+	wire(traps, 2)
+	a.popCtx(prev)
+}
+
+// hasTrapCheck wires `key in obj` (and Reflect.has) to Proxy has traps on
+// the object's tokens: a trap function arriving under $hasany is called at
+// the operator's site.
+func (a *analyzer) hasTrapCheck(base Var, site loc.Loc) {
+	encl := a.curFn
+	traps := a.s.newVar()
+	prev := a.pushCtx(RuleAccessor, site, "in")
+	a.onTokenCtx(base, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return
+		}
+		a.loadFromToken(t, "$hasany", traps)
+	})
+	a.onTokenCtx(traps, func(t Token) {
+		if a.tokens[t].kind != tokFunction {
+			return
+		}
+		a.cg.AddSite(site, encl)
+		a.cg.AddEdge(site, a.tokens[t].fn.Loc)
+	})
+	a.popCtx(prev)
+}
+
+// definePropertyModel wires an Object.defineProperty call whose property
+// key is a string literal: descriptor get/set functions become
+// $get$<key>/$set$<key> pseudo-properties on the target's tokens (the
+// accessor model above), and a value descriptor becomes a plain store.
+// Dynamic keys stay unmodeled, as in the paper's baseline — those flows
+// are recovered by the [DPW] hints the interpreter emits for them.
+func (a *analyzer) definePropertyModel(site loc.Loc, argVars []Var) {
+	key, ok := a.strArg(site, 1)
+	if !ok || len(argVars) < 3 {
+		return
+	}
+	tgt, desc := argVars[0], argVars[2]
+	getV := a.s.newVar()
+	setV := a.s.newVar()
+	valV := a.s.newVar()
+	a.addLoad(desc, "get", getV)
+	a.addLoad(desc, "set", setV)
+	a.addLoad(desc, "value", valV)
+	a.onTokenCtx(tgt, func(t Token) {
+		if a.tokens[t].kind == tokNative {
+			return
+		}
+		a.s.addEdge(getV, a.propVar(t, "$get$"+key))
+		a.s.addEdge(getV, a.propVar(t, "$getsall"))
+		a.s.addEdge(setV, a.propVar(t, "$set$"+key))
+		a.s.addEdge(setV, a.propVar(t, "$setsall"))
+		a.s.addEdge(valV, a.propVar(t, key))
+	})
+}
+
+// yieldSinkOf resolves the generator whose element set a yield expression
+// feeds: the nearest enclosing non-arrow function must be a generator
+// (arrows inherit the sink lexically, mirroring the interpreter).
+func yieldSinkOf(fr *frame) (Var, bool) {
+	for cur := fr; cur != nil; cur = cur.parent {
+		fi := cur.fn
+		if fi == nil {
+			return 0, false
+		}
+		if fi.decl.IsGenerator {
+			return fi.yieldElem, true
+		}
+		if !fi.decl.IsArrow {
+			return 0, false
+		}
+	}
+	return 0, false
+}

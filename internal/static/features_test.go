@@ -156,21 +156,41 @@ lib.other();
 	mustEdge(t, res, at(3, 10), otherFn, "property on reassigned exports")
 }
 
-func TestMethodShorthandAndAccessorApproximation(t *testing.T) {
+func TestMethodShorthandAndAccessorInvocation(t *testing.T) {
 	res := analyzeSrc(t, `var o = {
   m(x) { return x; },
-  get g() { return 1; }
+  get g() { return mk; },
+  set s(v) { v(); }
 };
+function mk() { return 1; }
 o.m(1);
 var v = o.g;
+o.s = mk;
+v();
 `)
-	mustEdge(t, res, at(5, 4), at(2, 3), "method shorthand")
-	// Accessors are approximated as data properties: reading o.g yields
-	// the getter function itself (documented deviation), so no call edge
-	// appears at the read — just no crash and no spurious sites.
-	if res.Graph.NumSites() == 0 {
-		t.Fatal("no sites")
+	mustEdge(t, res, at(7, 4), at(2, 3), "method shorthand")
+	// Accessors are invoked, not read as data: the getter is called at the
+	// o.g member expression, its return value is what the read produces
+	// (so v() resolves to mk), and the setter is called at the o.s write
+	// with the written value as its parameter.
+	edgeToLine := func(line int) bool {
+		for _, set := range res.Graph.Edges {
+			for f := range set {
+				if f.Line == line {
+					return true
+				}
+			}
+		}
+		return false
 	}
+	if !edgeToLine(3) {
+		t.Error("no call edge to the getter at the o.g read")
+	}
+	if !edgeToLine(4) {
+		t.Error("no call edge to the setter at the o.s write")
+	}
+	mustEdge(t, res, at(10, 2), at(6, 1), "getter result is the read's value")
+	mustEdge(t, res, at(4, 15), at(6, 1), "setter receives the written value")
 }
 
 func TestNestedModuleGraph(t *testing.T) {

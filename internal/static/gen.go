@@ -279,9 +279,20 @@ func (a *analyzer) genExpr(e ast.Expr, fr *frame) Var {
 				continue
 			}
 			v := a.genExpr(p.Value, fr)
-			// Accessors are approximated as data properties (deviation
-			// documented in DESIGN.md).
-			a.s.addEdge(v, a.propVar(t, p.Key))
+			switch p.Kind {
+			case ast.GetterProp:
+				// Accessors are modeled as $get$/$set$ pseudo-properties;
+				// reads and writes of the key invoke them (features.go).
+				// The $getsall/$setsall aggregates serve computed
+				// accesses, whose key is unknown.
+				a.s.addEdge(v, a.propVar(t, "$get$"+p.Key))
+				a.s.addEdge(v, a.propVar(t, "$getsall"))
+			case ast.SetterProp:
+				a.s.addEdge(v, a.propVar(t, "$set$"+p.Key))
+				a.s.addEdge(v, a.propVar(t, "$setsall"))
+			default:
+				a.s.addEdge(v, a.propVar(t, p.Key))
+			}
 		}
 		out := a.s.newVar()
 		a.s.addToken(out, t)
@@ -312,10 +323,12 @@ func (a *analyzer) genExpr(e ast.Expr, fr *frame) Var {
 			a.dynReadBases[e.Loc] = base
 			dst := a.dynReadVar(e.Loc)
 			a.elemRead(base, dst, e.Loc)
+			a.accessorLoadAny(base, dst, e.Loc)
 			return dst
 		}
 		dst := a.s.newVar()
 		a.addLoad(base, e.Prop, dst)
+		a.accessorLoad(base, e.Prop, dst, e.Loc)
 		return dst
 
 	case *ast.AssignExpr:
@@ -323,7 +336,11 @@ func (a *analyzer) genExpr(e ast.Expr, fr *frame) Var {
 
 	case *ast.BinaryExpr:
 		a.genExpr(e.L, fr)
-		a.genExpr(e.R, fr)
+		r := a.genExpr(e.R, fr)
+		if e.Op == "in" {
+			// `key in obj` fires Proxy has traps on obj.
+			a.hasTrapCheck(r, e.Loc)
+		}
 		return a.s.newVar()
 
 	case *ast.LogicalExpr:
@@ -370,6 +387,23 @@ func (a *analyzer) genExpr(e ast.Expr, fr *frame) Var {
 		// Handled at call/array sites; standalone occurrence is an error
 		// in the parser, but be safe.
 		return a.genExpr(e.X, fr)
+
+	case *ast.YieldExpr:
+		var v Var
+		if e.X != nil {
+			v = a.genExpr(e.X, fr)
+		}
+		if sink, ok := yieldSinkOf(fr); ok && e.X != nil {
+			a.s.addEdge(v, sink)
+			if e.Delegate {
+				// yield*: the operand's elements (arrays, generators) are
+				// yielded individually; the direct edge above covers the
+				// lenient non-iterable-yields-itself case.
+				a.addLoad(v, "$elem", sink)
+			}
+		}
+		// The resumed value is unknown (p* under approximation).
+		return a.s.newVar()
 	}
 	return a.s.newVar()
 }
@@ -439,9 +473,13 @@ func (a *analyzer) genAssign(e *ast.AssignExpr, fr *frame) Var {
 			// Dynamic property write: ignored by the baseline ([DPW]
 			// recovers the flow); recorded for the name-only ablation.
 			a.dynWrites[target.Loc] = dynWriteInfo{base: base, value: v}
+			// The interpreter attributes setter/set-trap invocations to the
+			// assignment expression, not the member target.
+			a.accessorStoreAny(base, v, e.Loc)
 			return v
 		}
 		a.addStore(base, target.Prop, v)
+		a.accessorStore(base, target.Prop, v, e.Loc)
 		return v
 	}
 	return v
@@ -482,10 +520,14 @@ func (a *analyzer) genCall(e *ast.CallExpr, fr *frame) Var {
 			a.dynReadBases[c.Loc] = base
 			calleeVar = a.dynReadVar(c.Loc)
 			a.elemRead(base, calleeVar, c.Loc)
+			a.accessorLoadAny(base, calleeVar, c.Loc)
 			kind = "computed"
 		} else {
 			calleeVar = a.s.newVar()
 			a.addLoad(base, c.Prop, calleeVar)
+			// A getter may supply the callee; its invocation is attributed
+			// to the member expression, the returned function to the call.
+			a.accessorLoad(base, c.Prop, calleeVar, c.Loc)
 			kind, prop = "member", c.Prop
 		}
 	default:
@@ -496,6 +538,16 @@ func (a *analyzer) genCall(e *ast.CallExpr, fr *frame) Var {
 	if len(e.Args) > 0 {
 		if lit, ok := e.Args[0].(*ast.StringLit); ok {
 			a.requireLits[site] = lit.Value
+		}
+	}
+	// Record every literal string argument, for native models keyed on
+	// literal property names (defineProperty, Reflect.get/set).
+	for i, argE := range e.Args {
+		if lit, ok := argE.(*ast.StringLit); ok {
+			if a.strArgs[site] == nil {
+				a.strArgs[site] = map[int]string{}
+			}
+			a.strArgs[site][i] = lit.Value
 		}
 	}
 

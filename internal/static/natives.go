@@ -30,7 +30,7 @@ func (a *analyzer) setupNativeTokens() {
 		"parseInt", "parseFloat", "isNaN", "isFinite", "eval",
 		"setTimeout", "setInterval", "setImmediate", "clearTimeout",
 		"clearInterval", "process", "globalThis", "global", "Promise",
-		"Symbol", "Date", "Map", "Set", "Buffer",
+		"Symbol", "Date", "Map", "Set", "Buffer", "Proxy", "Reflect",
 	} {
 		bind(name)
 	}
@@ -58,6 +58,7 @@ var protoMembers = map[string]map[string]bool{
 	"Set.prototype": setOf("add", "has", "delete", "clear", "forEach",
 		"values", "size", "constructor"),
 	"Promise.prototype": setOf("then", "catch", "finally", "constructor"),
+	"Generator.prototype": setOf("next", "return", "throw", "constructor"),
 }
 
 func setOf(names ...string) map[string]bool {
@@ -136,9 +137,15 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 		"Object.defineProperty", "Object.defineProperties",
 		"Object.setPrototypeOf":
 		// Return the target object; no property copying (the modeled
-		// unsoundness targeted by the paper).
+		// unsoundness targeted by the paper). Exception: defineProperty
+		// with a literal key is fully static — its descriptor wires the
+		// accessor pseudo-properties (features.go), which is how class
+		// accessors and ESM live-binding getters are declared.
 		if v, ok := argOr(0); ok {
 			a.s.addEdge(v, result)
+		}
+		if name == "Object.defineProperty" {
+			a.definePropertyModel(site, argVars)
 		}
 		if name == "Object.setPrototypeOf" {
 			if tgt, ok := argOr(0); ok {
@@ -468,6 +475,54 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 			a.s.addEdge(v, a.propVar(t, "$promiseval"))
 			a.addLoad(v, "$elem", a.propVar(t, "$promiseval")) // all: array elements
 		}
+		if name == "Promise.all" {
+			// all fulfills with a fresh array of settled values: each input
+			// element contributes itself (non-promise passthrough) and its
+			// promise payload.
+			if v, ok := argOr(0); ok {
+				res := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
+				a.s.addToken(a.protoVar(res), a.arrayProto)
+				elems := a.s.newVar()
+				a.addLoad(v, "$elem", elems)
+				a.s.addEdge(elems, a.propVar(res, "$elem"))
+				a.addLoad(elems, "$promiseval", a.propVar(res, "$elem"))
+				a.s.addToken(a.propVar(t, "$promiseval"), res)
+			}
+		}
+		a.s.addToken(result, t)
+
+	case "Promise.race", "Promise.any":
+		// The winning element settles the result: non-promise entries
+		// settle as themselves, promise entries to their payload.
+		t := a.allocToken(site, tokObject)
+		a.s.addToken(a.protoVar(t), a.nativeToken("Promise.prototype"))
+		if v, ok := argOr(0); ok {
+			payload := a.propVar(t, "$promiseval")
+			elems := a.s.newVar()
+			a.addLoad(v, "$elem", elems)
+			a.s.addEdge(elems, payload)
+			a.addLoad(elems, "$promiseval", payload)
+		}
+		a.s.addToken(result, t)
+
+	case "Promise.allSettled":
+		// Fulfills with an array of {status, value|reason} entry objects.
+		t := a.allocToken(site, tokObject)
+		a.s.addToken(a.protoVar(t), a.nativeToken("Promise.prototype"))
+		res := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
+		a.s.addToken(a.protoVar(res), a.arrayProto)
+		entry := a.newToken(tokenInfo{kind: tokObject, site: loc.Loc{}})
+		a.s.addToken(a.protoVar(entry), a.objectProto)
+		a.s.addToken(a.propVar(res, "$elem"), entry)
+		if v, ok := argOr(0); ok {
+			elems := a.s.newVar()
+			a.addLoad(v, "$elem", elems)
+			for _, prop := range []string{"value", "reason"} {
+				a.s.addEdge(elems, a.propVar(entry, prop))
+				a.addLoad(elems, "$promiseval", a.propVar(entry, prop))
+			}
+		}
+		a.s.addToken(a.propVar(t, "$promiseval"), res)
 		a.s.addToken(result, t)
 
 	case "Promise.prototype.then", "Promise.prototype.catch",
@@ -569,6 +624,224 @@ func (a *analyzer) nativeCall(name string, site loc.Loc, recvVar Var, recvValid 
 				if recvValid && len(fi.params) > 2 {
 					a.s.addEdge(recvVar, fi.params[2])
 				}
+			})
+		}
+
+	case "Generator.prototype.next", "Generator.prototype.return",
+		"Generator.prototype.throw":
+		// next() returns a fresh {value, done} object per site; under the
+		// eager model value draws from the yielded elements and, at
+		// exhaustion, the body's return value. return(v) echoes v.
+		t := a.allocToken(site, tokObject)
+		a.s.addToken(a.protoVar(t), a.objectProto)
+		v := a.propVar(t, "value")
+		if recvValid && name == "Generator.prototype.next" {
+			a.addLoad(recvVar, "$elem", v)
+			a.addLoad(recvVar, "$genret", v)
+		}
+		if name == "Generator.prototype.return" {
+			if av, ok := argOr(0); ok {
+				a.s.addEdge(av, v)
+			}
+		}
+		a.s.addToken(result, t)
+
+	case "Proxy":
+		// new Proxy(target, handler): the proxy aliases its target (the
+		// trapless-forwarder semantics), and handler traps become $…any
+		// pseudo-properties on the proxy's token so member reads, writes,
+		// `in`, and Reflect.ownKeys on the proxy call them (features.go).
+		tok := newTok
+		if !isNew {
+			tok = a.allocToken(site, tokObject)
+			a.s.addToken(result, tok)
+		}
+		a.s.addToken(a.protoVar(tok), a.objectProto)
+		tgt, hasTgt := argOr(0)
+		if hasTgt {
+			a.s.addEdge(tgt, result)
+		}
+		h, hasH := argOr(1)
+		if !hasH {
+			return
+		}
+		proxyVal := a.s.newVar()
+		a.s.addToken(proxyVal, tok)
+		wireTrap := func(trap, pseudo string, extra func(fi *fnInfo)) {
+			tv := a.s.newVar()
+			a.addLoad(h, trap, tv)
+			a.s.addEdge(tv, a.propVar(tok, pseudo))
+			a.onTokenCtx(tv, func(t Token) {
+				if a.tokens[t].kind != tokFunction {
+					return
+				}
+				fi := a.fnInfoFor(t)
+				if hasTgt && len(fi.params) > 0 && fi.restIdx != 0 {
+					a.s.addEdge(tgt, fi.params[0])
+				}
+				a.s.addEdge(h, fi.this)
+				if extra != nil {
+					extra(fi)
+				}
+			})
+		}
+		wireTrap("get", "$getany", func(fi *fnInfo) {
+			if len(fi.params) > 2 && fi.restIdx != 2 {
+				a.s.addEdge(proxyVal, fi.params[2]) // receiver
+			}
+		})
+		wireTrap("set", "$setany", func(fi *fnInfo) {
+			if len(fi.params) > 3 && fi.restIdx != 3 {
+				a.s.addEdge(proxyVal, fi.params[3]) // receiver
+			}
+		})
+		wireTrap("has", "$hasany", nil)
+		wireTrap("ownKeys", "$keysany", nil)
+		// The apply trap makes the proxy callable: trap functions flow into
+		// the proxy's value, so call sites on the proxy wire edges to them
+		// (and, via the target alias above, to the forwarded target).
+		applyV := a.s.newVar()
+		a.addLoad(h, "apply", applyV)
+		a.s.addEdge(applyV, result)
+		a.onTokenCtx(applyV, func(t Token) {
+			if a.tokens[t].kind != tokFunction {
+				return
+			}
+			fi := a.fnInfoFor(t)
+			if hasTgt && len(fi.params) > 0 && fi.restIdx != 0 {
+				a.s.addEdge(tgt, fi.params[0])
+			}
+			a.s.addEdge(h, fi.this)
+		})
+
+	case "Reflect.apply":
+		cb, ok := argOr(0)
+		if !ok {
+			return
+		}
+		spreadElems := a.s.newVar()
+		if av, ok2 := argOr(2); ok2 {
+			a.addLoad(av, "$elem", spreadElems)
+		}
+		a.onTokenCtx(cb, func(t Token) {
+			if a.tokens[t].kind != tokFunction {
+				return
+			}
+			a.cg.AddEdge(site, a.tokens[t].fn.Loc)
+			fi := a.fnInfoFor(t)
+			if thisArg, ok2 := argOr(1); ok2 {
+				a.s.addEdge(thisArg, fi.this)
+			}
+			for i, p := range fi.params {
+				if i == fi.restIdx {
+					continue
+				}
+				a.s.addEdge(spreadElems, p)
+			}
+			if fi.restIdx >= 0 {
+				a.s.addEdge(spreadElems, fi.restElem)
+			}
+			a.s.addEdge(spreadElems, fi.argsElem)
+			a.s.addEdge(fi.out, result)
+		})
+
+	case "Reflect.construct":
+		cb, ok := argOr(0)
+		if !ok {
+			return
+		}
+		t := a.allocToken(site, tokObject)
+		a.s.addToken(result, t)
+		spreadElems := a.s.newVar()
+		if av, ok2 := argOr(1); ok2 {
+			a.addLoad(av, "$elem", spreadElems)
+		}
+		a.onTokenCtx(cb, func(ft Token) {
+			if a.tokens[ft].kind != tokFunction {
+				return
+			}
+			a.cg.AddEdge(site, a.tokens[ft].fn.Loc)
+			fi := a.fnInfoFor(ft)
+			a.s.addToken(fi.this, t)
+			tmp := a.s.newVar()
+			a.loadFromToken(ft, "prototype", tmp)
+			a.s.addEdge(tmp, a.protoVar(t))
+			for i, p := range fi.params {
+				if i == fi.restIdx {
+					continue
+				}
+				a.s.addEdge(spreadElems, p)
+			}
+			if fi.restIdx >= 0 {
+				a.s.addEdge(spreadElems, fi.restElem)
+			}
+			a.s.addEdge(spreadElems, fi.argsElem)
+			a.s.addEdge(fi.out, result)
+		})
+
+	case "Reflect.get":
+		base, ok := argOr(0)
+		if !ok {
+			return
+		}
+		if key, ok2 := a.strArg(site, 1); ok2 {
+			a.addLoad(base, key, result)
+			a.accessorLoad(base, key, result, site)
+		} else {
+			// Dynamic key: a computed read — the interpreter fires a
+			// DynamicRead at this site, so [DPR] hints inject here; the
+			// element-conflation rule applies as for x[k].
+			a.dynReadBases[site] = base
+			dst := a.dynReadVar(site)
+			a.elemRead(base, dst, site)
+			a.s.addEdge(dst, result)
+		}
+
+	case "Reflect.set":
+		base, ok := argOr(0)
+		val, okV := argOr(2)
+		if !ok || !okV {
+			return
+		}
+		if key, ok2 := a.strArg(site, 1); ok2 {
+			a.addStore(base, key, val)
+			a.accessorStore(base, key, val, site)
+		} else {
+			// Dynamic key: a computed write, recovered by [DPW] hints.
+			a.dynWrites[site] = dynWriteInfo{base: base, value: val}
+		}
+
+	case "Reflect.has":
+		if base, ok := argOr(0); ok {
+			a.hasTrapCheck(base, site)
+		}
+
+	case "Reflect.ownKeys":
+		t := a.allocToken(site, tokObject)
+		a.s.addToken(a.protoVar(t), a.arrayProto)
+		a.s.addToken(result, t)
+		if base, ok := argOr(0); ok {
+			traps := a.s.newVar()
+			a.onTokenCtx(base, func(bt Token) {
+				if a.tokens[bt].kind == tokNative {
+					return
+				}
+				a.loadFromToken(bt, "$keysany", traps)
+			})
+			a.onTokenCtx(traps, func(ft Token) {
+				if a.tokens[ft].kind != tokFunction {
+					return
+				}
+				a.cg.AddEdge(site, a.tokens[ft].fn.Loc)
+				fi := a.fnInfoFor(ft)
+				a.s.addEdge(fi.out, result)
+			})
+		}
+
+	case "Reflect.getPrototypeOf":
+		if v, ok := argOr(0); ok {
+			a.onTokenCtx(v, func(t Token) {
+				a.s.addEdge(a.protoVar(t), result)
 			})
 		}
 

@@ -1,0 +1,242 @@
+package static
+
+import (
+	"testing"
+)
+
+// mustEdgeLine asserts some call edge runs from a site on siteLine to a
+// function declared on fnLine (both in /app/index.js) — line-level so the
+// tests stay readable without hand-counting columns.
+func mustEdgeLine(t *testing.T, res *Result, siteLine, fnLine int, what string) {
+	t.Helper()
+	for site, targets := range res.Graph.Edges {
+		if site.File != "/app/index.js" || site.Line != siteLine {
+			continue
+		}
+		for fn := range targets {
+			if fn.File == "/app/index.js" && fn.Line == fnLine {
+				return
+			}
+		}
+	}
+	t.Errorf("%s: no edge from line %d to function on line %d", what, siteLine, fnLine)
+}
+
+func noEdgeLine(t *testing.T, res *Result, siteLine, fnLine int, what string) {
+	t.Helper()
+	for site, targets := range res.Graph.Edges {
+		if site.File != "/app/index.js" || site.Line != siteLine {
+			continue
+		}
+		for fn := range targets {
+			if fn.File == "/app/index.js" && fn.Line == fnLine {
+				t.Errorf("%s: unexpected edge from line %d to function on line %d", what, siteLine, fnLine)
+			}
+		}
+	}
+}
+
+// ------------------------------------------------------------- combinators
+
+func TestPromiseAllElementsReachThenCallback(t *testing.T) {
+	res := analyzeSrc(t, `function fa() { return 1; }
+function fb() { return 2; }
+Promise.all([fa, fb]).then(function (vs) {
+  vs[0]();
+});`)
+	mustEdgeLine(t, res, 3, 3, "then callback invoked")
+	mustEdgeLine(t, res, 4, 1, "settled element fa callable")
+	mustEdgeLine(t, res, 4, 2, "settled element fb callable")
+}
+
+func TestPromiseRaceAnyWinnerReachesCallback(t *testing.T) {
+	for _, comb := range []string{"race", "any"} {
+		res := analyzeSrc(t, `function fa() { return 1; }
+Promise.`+comb+`([Promise.resolve(fa), fa]).then(function (w) {
+  w();
+});`)
+		mustEdgeLine(t, res, 3, 1, comb+": winner callable (plain and promise-wrapped)")
+	}
+}
+
+func TestPromiseAllSettledEntriesCarryValues(t *testing.T) {
+	res := analyzeSrc(t, `function fa() { return 1; }
+Promise.allSettled([fa, Promise.resolve(fa)]).then(function (ss) {
+  ss[0].value();
+});`)
+	mustEdgeLine(t, res, 3, 1, "allSettled entry value callable")
+}
+
+func TestPromiseConstructorExecutorAndResolveFlow(t *testing.T) {
+	res := analyzeSrc(t, `function fa() { return 1; }
+var p = new Promise(function (resolve, reject) {
+  resolve(fa);
+});
+p.then(function (v) {
+  v();
+});`)
+	mustEdgeLine(t, res, 2, 2, "executor runs synchronously")
+	mustEdgeLine(t, res, 5, 5, "then callback invoked")
+	mustEdgeLine(t, res, 6, 1, "resolved value reaches callback")
+}
+
+func TestPromiseRejectReasonReachesCatch(t *testing.T) {
+	res := analyzeSrc(t, `function boom() { return 1; }
+Promise.reject(boom).catch(function (e) {
+  e();
+});`)
+	mustEdgeLine(t, res, 3, 1, "rejection reason reaches catch callback")
+}
+
+func TestPromiseChainPassThrough(t *testing.T) {
+	// A then in the middle returns a value that settles the next promise.
+	res := analyzeSrc(t, `function fa() { return 1; }
+Promise.resolve(fa).then(function (v) {
+  return v;
+}).then(function (w) {
+  w();
+});`)
+	mustEdgeLine(t, res, 5, 1, "callback return value settles the chained promise")
+}
+
+// ---------------------------------------------------------------- Reflect
+
+func TestReflectApplyGetSet(t *testing.T) {
+	res := analyzeSrc(t, `function fa(cb) { cb(); }
+function fb() { return 2; }
+Reflect.apply(fa, null, [fb]);
+var o = {m: fa};
+var got = Reflect.get(o, "m");
+got(fb);
+var tgt = {};
+Reflect.set(tgt, "k", fb);
+tgt.k();`)
+	mustEdgeLine(t, res, 3, 1, "Reflect.apply invokes the target")
+	mustEdgeLine(t, res, 1, 2, "Reflect.apply args array reaches params")
+	mustEdgeLine(t, res, 6, 1, "Reflect.get reads the named property")
+	mustEdgeLine(t, res, 9, 2, "Reflect.set stores the value")
+}
+
+// ----------------------------------------------------------------- Proxy
+
+func TestProxyTrapEdges(t *testing.T) {
+	res := analyzeSrc(t, `var p = new Proxy({}, {
+  get: function getTrap(tgt, key) { return key; },
+  set: function setTrap(tgt, key, v) { return true; },
+  has: function hasTrap(tgt, key) { return true; }
+});
+var a = p.field;
+p.other = 1;
+var b = "x" in p;`)
+	mustEdgeLine(t, res, 6, 2, "member read fires the get trap")
+	mustEdgeLine(t, res, 7, 3, "member write fires the set trap")
+	mustEdgeLine(t, res, 8, 4, "in operator fires the has trap")
+}
+
+func TestProxyApplyTrapAndForwarding(t *testing.T) {
+	res := analyzeSrc(t, `function target() { return 1; }
+var p = new Proxy(target, {
+  apply: function applyTrap(tgt, self, args) { return tgt; }
+});
+p();
+var fwd = new Proxy(target, {});
+fwd();`)
+	mustEdgeLine(t, res, 5, 3, "call fires the apply trap")
+	mustEdgeLine(t, res, 7, 1, "trapless proxy forwards the call")
+}
+
+func TestProxyGetTrapComputedAccess(t *testing.T) {
+	res := analyzeSrc(t, `var p = new Proxy({}, {
+  get: function getTrap(tgt, key) { return key; }
+});
+var k = "a" + "b";
+var v = p[k];`)
+	mustEdgeLine(t, res, 5, 2, "computed read fires the get trap")
+}
+
+// ------------------------------------------------------------- generators
+
+func TestGeneratorProtocolEdges(t *testing.T) {
+	res := analyzeSrc(t, `function fa() { return 1; }
+function fb() { return 2; }
+function* gen() {
+  yield fa;
+  return fb;
+}
+var it = gen();
+var y = it.next().value;
+y();
+var r = it.return(fa).value;
+r();`)
+	mustEdgeLine(t, res, 7, 3, "calling the generator runs its body")
+	mustEdgeLine(t, res, 9, 1, "next().value yields the yielded function")
+	mustEdgeLine(t, res, 11, 1, "return(x).value reflects the argument")
+	// The return value conflates into next() results too ($genret), but a
+	// yielded value must never leak into .return()'s argument reflection.
+	mustEdgeLine(t, res, 9, 2, "generator return value reaches next().value")
+}
+
+func TestGeneratorForOfAndSpread(t *testing.T) {
+	res := analyzeSrc(t, `function fa() { return 1; }
+function* gen() { yield fa; }
+for (var v of gen()) {
+  v();
+}
+var sp = [...gen()];
+sp[0]();`)
+	mustEdgeLine(t, res, 4, 1, "for-of over a generator yields elements")
+	mustEdgeLine(t, res, 7, 1, "spread of a generator fills the array")
+}
+
+func TestGeneratorDelegationEdges(t *testing.T) {
+	res := analyzeSrc(t, `function fa() { return 1; }
+function* inner() { yield fa; }
+function* outer() { yield* inner(); }
+for (var v of outer()) {
+  v();
+}`)
+	mustEdgeLine(t, res, 5, 1, "yield* splices the inner generator's yields")
+}
+
+// --------------------------------------------------- accessor aggregates
+
+func TestComputedAccessConsultsNamedAccessors(t *testing.T) {
+	// $getsall/$setsall: a computed read on an object with named accessors
+	// must call every named getter (the accessor analogue of $elem
+	// conflation); same for writes and setters. Named reads stay precise.
+	res := analyzeSrc(t, `function got() { return 1; }
+var o = {
+  get alpha() { return got; },
+  set alpha(v) { var sink = v; }
+};
+var k = "al" + "pha";
+var r = o[k];
+r();
+o[k] = got;`)
+	mustEdgeLine(t, res, 7, 3, "computed read fires the named getter")
+	mustEdgeLine(t, res, 8, 1, "getter result flows out of the computed read")
+	mustEdgeLine(t, res, 9, 4, "computed write fires the named setter")
+}
+
+func TestDefinePropertyAccessorComputedAccess(t *testing.T) {
+	res := analyzeSrc(t, `function got() { return 1; }
+var o = {};
+Object.defineProperty(o, "alpha", {get: function dget() { return got; }});
+var k = "al" + "pha";
+var r = o[k];
+r();`)
+	mustEdgeLine(t, res, 5, 3, "computed read fires the defineProperty getter")
+	mustEdgeLine(t, res, 6, 1, "defineProperty getter result flows out")
+}
+
+func TestNamedAccessStaysPrecise(t *testing.T) {
+	// A *named* read of one accessor must not invoke the other accessors
+	// ($getsall serves computed reads only).
+	res := analyzeSrc(t, `var o = {
+  get alpha() { return 1; },
+  get beta() { return 2; }
+};
+var r = o.alpha;`)
+	mustEdgeLine(t, res, 5, 2, "named read fires its own getter")
+	noEdgeLine(t, res, 5, 3, "named read must not fire the other getter")
+}

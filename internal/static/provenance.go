@@ -42,6 +42,7 @@ const (
 	RuleDPW                      // [DPW] dynamic-property-write hint injection
 	RuleUnknownArg               // §6 unknown-argument hint
 	RuleEvalHint                 // §6 eval-generated code constraints
+	RuleAccessor                 // accessor/Proxy-trap invocation ($get$/$set$/$getany/…)
 )
 
 func (r RuleID) String() string {
@@ -70,6 +71,8 @@ func (r RuleID) String() string {
 		return "unknown-arg-hint"
 	case RuleEvalHint:
 		return "eval-hint"
+	case RuleAccessor:
+		return "accessor"
 	}
 	return fmt.Sprintf("rule%d", int(r))
 }
@@ -81,7 +84,7 @@ func provPriority(r RuleID) int {
 	switch r {
 	case RuleDPR, RuleDPW, RuleUnknownArg, RuleEvalHint, RuleModuleHint:
 		return 0
-	case RuleRequire, RuleNative, RuleElemRead:
+	case RuleRequire, RuleNative, RuleElemRead, RuleAccessor:
 		return 1
 	case RuleLoad, RuleStore, RuleCall:
 		return 2

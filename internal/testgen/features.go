@@ -1,0 +1,546 @@
+package testgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FeatureTiers lists the tier names GenFeatureProject recognizes. Each tier
+// gates a family of declaration and driver forms on top of the core
+// GenProject grammar:
+//
+//	generators  — function*/yield/yield*, driven through for-of, .next(),
+//	              .return(), array spread, and delegation
+//	combinators — Promise.all/race/allSettled/any over mixed promise and
+//	              plain-value arrays, with .then callbacks invoking the
+//	              settled values
+//	proxy       — new Proxy with get/set/has/apply traps (and trapless
+//	              forwarders), plus the Reflect namespace
+//	esm         — ES-module syntax with live bindings: export var + mutator,
+//	              export lists with renames, named and namespace imports
+var FeatureTiers = []string{"generators", "combinators", "proxy", "esm"}
+
+type proxyInfo struct {
+	name    string
+	methods []string // methods reachable through the proxy's get path
+}
+
+// GenFeatureProject generates a deterministic multi-file project weighted
+// toward the given feature tiers (every tier when tiers is empty). Unknown
+// tier names are ignored. The core GenProject forms — method tables,
+// prototype chains, higher-order calls, dynamic reads/writes — still appear
+// so tier features interact with the base grammar rather than living in
+// isolation.
+func GenFeatureProject(seed uint64, tiers []string) *ProjectSpec {
+	enabled := map[string]bool{}
+	for _, t := range tiers {
+		enabled[t] = true
+	}
+	if len(tiers) == 0 {
+		for _, t := range FeatureTiers {
+			enabled[t] = true
+		}
+	}
+	g := New(seed ^ 0xFEA7_05EED)
+	spec := &ProjectSpec{Seed: seed, Files: map[string]string{}}
+
+	nModules := 1 + g.Intn(2)
+	var mods []*modState
+	for i := 0; i < nModules; i++ {
+		m := &modState{
+			g: g, path: fmt.Sprintf("/app/m%d.js", i), spec: fmt.Sprintf("./m%d", i),
+			tiers: enabled, esm: enabled["esm"],
+		}
+		m.generateFeature(mods)
+		spec.Files[m.path] = m.source()
+		mods = append(mods, m)
+	}
+
+	entry := &modState{g: g, path: "/app/main.js", spec: "./main", tiers: enabled}
+	entry.generateFeatureEntry(mods)
+	spec.Files[entry.path] = entry.source()
+	spec.Entries = []string{"/app/main.js"}
+	return spec
+}
+
+// generateFeature builds a library module: base declarations first (so tier
+// forms have callables and tables to draw from), then tier declarations and
+// drivers, then exports.
+func (m *modState) generateFeature(prev []*modState) {
+	g := m.g
+	for _, p := range prev {
+		if len(p.exportedNames()) > 0 && g.Intn(2) == 0 {
+			m.addImport(p)
+		}
+	}
+	m.addFunction()
+	m.addFunction()
+	if g.Intn(2) == 0 {
+		m.addTable()
+	}
+	for i := 0; i < 1+g.Intn(2); i++ {
+		m.addDecl()
+	}
+	m.addTierDecls()
+	nDrivers := 2 + g.Intn(3)
+	for i := 0; i < nDrivers; i++ {
+		m.addTierDriver()
+	}
+	if g.Intn(2) == 0 {
+		m.addDriver()
+	}
+	if m.esm {
+		m.addESMExports()
+	} else {
+		m.addExports()
+	}
+}
+
+// generateFeatureEntry builds the entry module: it imports every library
+// module (ESM import syntax when the esm tier is on, require otherwise),
+// declares local tier material, and drives both.
+func (m *modState) generateFeatureEntry(mods []*modState) {
+	g := m.g
+	for _, p := range mods {
+		if m.tiers["esm"] {
+			m.addESMImport(p)
+		} else {
+			m.addImport(p)
+		}
+	}
+	m.addFunction()
+	m.addFunction()
+	if g.Intn(2) == 0 {
+		m.addTable()
+	}
+	m.addTierDecls()
+	nDrivers := 3 + g.Intn(3)
+	for i := 0; i < nDrivers; i++ {
+		m.addTierDriver()
+	}
+	for i := 0; i < 1+g.Intn(2); i++ {
+		m.addDriver()
+	}
+}
+
+// enabledTiers returns the module's tiers in FeatureTiers order so driver
+// selection is deterministic (map iteration order is not).
+func (m *modState) enabledTiers() []string {
+	var out []string
+	for _, t := range FeatureTiers {
+		if m.tiers[t] {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (m *modState) addTierDecls() {
+	if m.tiers["generators"] {
+		m.addGenerator()
+		if m.g.Intn(2) == 0 {
+			m.addDelegatingGenerator()
+		}
+	}
+	if m.tiers["proxy"] {
+		m.addProxy()
+	}
+	if m.tiers["esm"] && m.esm {
+		m.addLiveBindingPair()
+	}
+}
+
+func (m *modState) addTierDriver() {
+	g := m.g
+	tiers := m.enabledTiers()
+	if len(tiers) == 0 {
+		m.addDriver()
+		return
+	}
+	var stmt string
+	switch tiers[g.Intn(len(tiers))] {
+	case "generators":
+		stmt = m.generatorDriver()
+	case "combinators":
+		stmt = m.combinatorDriver()
+	case "proxy":
+		stmt = m.proxyDriver()
+	case "esm":
+		stmt = m.esmDriver()
+	}
+	if stmt == "" {
+		m.addDriver()
+		return
+	}
+	m.drivers = append(m.drivers, m.wrap(stmt))
+}
+
+// ----------------------------------------------------------- generator tier
+
+// addGenerator declares a generator yielding callables: the iterator
+// protocol then carries functions, so consuming the generator produces call
+// edges the static model must reach through the $elem/$genret pseudo-props.
+func (m *modState) addGenerator() {
+	g := m.g
+	name := g.fresh("gen")
+	_, c1, ok := m.callableRef()
+	if !ok {
+		return
+	}
+	_, c2, _ := m.callableRef()
+	var body []string
+	body = append(body, fmt.Sprintf("  yield %s;", c1))
+	switch g.Intn(3) {
+	case 0:
+		body = append(body, fmt.Sprintf("  yield* [%s, %s];", c2, c1))
+	case 1:
+		body = append(body, fmt.Sprintf("  if (a === %d) { yield %s; }", g.Intn(2), c2))
+	default:
+		body = append(body, fmt.Sprintf("  yield %s;", c2))
+	}
+	ret := ""
+	if g.Intn(2) == 0 {
+		ret = fmt.Sprintf("  return %s;", c1)
+	}
+	m.decls = append(m.decls, fmt.Sprintf("function* %s() {\n%s\n%s}",
+		name, strings.Join(body, "\n"), ret))
+	m.gens = append(m.gens, name)
+}
+
+// addDelegatingGenerator declares a generator that yield*-delegates to a
+// previously declared one.
+func (m *modState) addDelegatingGenerator() {
+	g := m.g
+	if len(m.gens) == 0 {
+		return
+	}
+	name := g.fresh("gen")
+	inner := g.pick(m.gens)
+	_, c, ok := m.callableRef()
+	if !ok {
+		return
+	}
+	m.decls = append(m.decls, fmt.Sprintf("function* %s() {\n  yield* %s();\n  yield %s;\n}",
+		name, inner, c))
+	m.gens = append(m.gens, name)
+}
+
+// genRefs returns generator references: local ones and generators exported
+// by required modules.
+func (m *modState) genRefs() []string {
+	var out []string
+	out = append(out, m.gens...)
+	for _, imp := range m.imports {
+		for _, gname := range imp.mod.gens {
+			out = append(out, imp.local+"."+gname)
+		}
+	}
+	return out
+}
+
+func (m *modState) generatorDriver() string {
+	g := m.g
+	refs := m.genRefs()
+	if len(refs) == 0 {
+		return ""
+	}
+	gen := refs[g.Intn(len(refs))]
+	switch g.Intn(4) {
+	case 0:
+		// for-of consumes the yields and calls each.
+		v := g.fresh("v")
+		return fmt.Sprintf("for (var %s of %s()) {\n  try { %s(%d, %d); } catch (e) { res = e; }\n}",
+			v, gen, v, g.Intn(9), g.Intn(9))
+	case 1:
+		// Manual iterator protocol: .next().value is callable.
+		it := g.fresh("it")
+		n := g.fresh("n")
+		return fmt.Sprintf("var %s = %s();\nvar %s = %s.next();\nif (%s.value) { res = %s.value(%d, %d); }\nres = %s.next().value;",
+			it, gen, n, it, n, n, g.Intn(9), g.Intn(9), it)
+	case 2:
+		// Spread drains the generator into an array; indexed call.
+		arr := g.fresh("sp")
+		return fmt.Sprintf("var %s = [...%s()];\nif (%s.length > 0) { res = %s[0](%d, %d); }",
+			arr, gen, arr, arr, g.Intn(9), g.Intn(9))
+	default:
+		// .return() threads its argument through the iterator result.
+		it := g.fresh("it")
+		rv := g.fresh("rv")
+		_, c, ok := m.callableRef()
+		if !ok {
+			return ""
+		}
+		return fmt.Sprintf("var %s = %s();\n%s.next();\nvar %s = %s.return(%s);\nif (%s.value) { res = %s.value(%d, %d); }",
+			it, gen, it, rv, it, c, rv, rv, g.Intn(9), g.Intn(9))
+	}
+}
+
+// ---------------------------------------------------------- combinator tier
+
+// combinatorDriver builds Promise.all/race/allSettled/any chains whose
+// settled payloads are callables, invoked inside .then callbacks.
+func (m *modState) combinatorDriver() string {
+	g := m.g
+	_, c1, ok := m.callableRef()
+	if !ok {
+		return ""
+	}
+	_, c2, _ := m.callableRef()
+	wrap1 := c1
+	if g.Intn(2) == 0 {
+		wrap1 = fmt.Sprintf("Promise.resolve(%s)", c1)
+	}
+	switch g.Intn(4) {
+	case 0:
+		return fmt.Sprintf(
+			"Promise.all([%s, %s]).then(function (vs) {\n  try { res = vs[0](%d, %d); } catch (e) { res = e; }\n  try { res = vs[1](%d, %d); } catch (e) { res = e; }\n});",
+			wrap1, c2, g.Intn(9), g.Intn(9), g.Intn(9), g.Intn(9))
+	case 1:
+		return fmt.Sprintf(
+			"Promise.race([%s, %s]).then(function (w) {\n  try { res = w(%d, %d); } catch (e) { res = e; }\n});",
+			wrap1, c2, g.Intn(9), g.Intn(9))
+	case 2:
+		return fmt.Sprintf(
+			"Promise.any([%s]).then(function (w) {\n  try { res = w(%d, %d); } catch (e) { res = e; }\n});",
+			wrap1, g.Intn(9), g.Intn(9))
+	default:
+		return fmt.Sprintf(
+			"Promise.allSettled([%s, %s]).then(function (ss) {\n  var s0 = ss[%d];\n  if (s0 && s0.value) { try { res = s0.value(%d, %d); } catch (e) { res = e; } }\n});",
+			wrap1, c2, g.Intn(2), g.Intn(9), g.Intn(9))
+	}
+}
+
+// --------------------------------------------------------------- proxy tier
+
+// addProxy declares a Proxy over a method table (creating the table when
+// none exists) with a deterministic subset of traps.
+func (m *modState) addProxy() {
+	g := m.g
+	if len(m.tables) == 0 {
+		m.addTable()
+	}
+	if len(m.tables) == 0 {
+		return
+	}
+	t := m.tables[g.Intn(len(m.tables))]
+	name := g.fresh("px")
+	var traps []string
+	switch g.Intn(4) {
+	case 0:
+		traps = append(traps, "  get: function (t, k) { return t[k]; }")
+	case 1:
+		traps = append(traps,
+			"  get: function (t, k) { return t[k]; }",
+			"  set: function (t, k, v) { t[k] = v; return true; }")
+	case 2:
+		traps = append(traps, "  has: function (t, k) { return true; }")
+	default:
+		// trapless forwarder
+	}
+	m.decls = append(m.decls, fmt.Sprintf("var %s = new Proxy(%s, {\n%s\n});",
+		name, t.name, strings.Join(traps, ",\n")))
+	m.proxies = append(m.proxies, proxyInfo{name: name, methods: t.methods})
+}
+
+// proxyRefs returns proxy references: local ones and proxies exported by
+// required modules.
+func (m *modState) proxyRefs() []proxyInfo {
+	var out []proxyInfo
+	out = append(out, m.proxies...)
+	for _, imp := range m.imports {
+		for _, p := range imp.mod.proxies {
+			out = append(out, proxyInfo{name: imp.local + "." + p.name, methods: p.methods})
+		}
+	}
+	return out
+}
+
+func (m *modState) proxyDriver() string {
+	g := m.g
+	switch g.Intn(6) {
+	case 0:
+		// Named member call through the proxy (get trap or forwarder).
+		refs := m.proxyRefs()
+		if len(refs) == 0 {
+			return ""
+		}
+		p := refs[g.Intn(len(refs))]
+		return fmt.Sprintf("res = %s.%s(%d);", p.name, g.pick(p.methods), g.Intn(9))
+	case 1:
+		// Computed member call through the proxy.
+		refs := m.proxyRefs()
+		if len(refs) == 0 {
+			return ""
+		}
+		p := refs[g.Intn(len(refs))]
+		setup, k := m.keyExpr(p.methods)
+		return fmt.Sprintf("%s\nres = %s[%s](%d);", setup, p.name, k, g.Intn(9))
+	case 2:
+		// Write through the proxy, read the value back, call it.
+		refs := m.proxyRefs()
+		_, c, ok := m.callableRef()
+		if len(refs) == 0 || !ok {
+			return ""
+		}
+		p := refs[g.Intn(len(refs))]
+		got := g.fresh("pv")
+		return fmt.Sprintf("%s.zap = %s;\nvar %s = %s.zap;\nif (%s) { res = %s(%d, %d); }",
+			p.name, c, got, p.name, got, got, g.Intn(9), g.Intn(9))
+	case 3:
+		// `in` fires the has trap; apply-trap proxy over a callable.
+		if g.Intn(2) == 0 {
+			refs := m.proxyRefs()
+			if len(refs) == 0 {
+				return ""
+			}
+			p := refs[g.Intn(len(refs))]
+			return fmt.Sprintf("if (%q in %s) { acc = acc + 1; }", g.pick(p.methods), p.name)
+		}
+		_, c, ok := m.callableRef()
+		if !ok {
+			return ""
+		}
+		pa := g.fresh("pa")
+		return fmt.Sprintf(
+			"var %s = new Proxy(%s, {\n  apply: function (t, self, args) { return t(args[0], %d); }\n});\nres = %s(%d, %d);",
+			pa, c, g.Intn(9), pa, g.Intn(9), g.Intn(9))
+	case 4:
+		// Reflect.apply / Reflect.get drive calls through the namespace.
+		_, c, ok := m.callableRef()
+		if !ok {
+			return ""
+		}
+		if g.Intn(2) == 0 || len(m.tables) == 0 {
+			return fmt.Sprintf("res = Reflect.apply(%s, null, [%d, %d]);", c, g.Intn(9), g.Intn(9))
+		}
+		t := m.tables[g.Intn(len(m.tables))]
+		rg := g.fresh("rg")
+		return fmt.Sprintf("var %s = Reflect.get(%s, %q);\nif (%s) { res = %s(%d); }",
+			rg, t.name, g.pick(t.methods), rg, rg, g.Intn(9))
+	default:
+		// Reflect.set installs a callable; read back and call. ownKeys
+		// enumerates a table.
+		_, c, ok := m.callableRef()
+		if !ok {
+			return ""
+		}
+		o := g.fresh("ro")
+		lines := []string{
+			fmt.Sprintf("var %s = {};", o),
+			fmt.Sprintf("Reflect.set(%s, \"hit\", %s);", o, c),
+			fmt.Sprintf("res = %s.hit(%d, %d);", o, g.Intn(9), g.Intn(9)),
+		}
+		if len(m.tables) > 0 && g.Intn(2) == 0 {
+			t := m.tables[g.Intn(len(m.tables))]
+			ks := g.fresh("ks")
+			lines = append(lines,
+				fmt.Sprintf("var %s = Reflect.ownKeys(%s);", ks, t.name),
+				fmt.Sprintf("acc = acc + %s.length;", ks))
+		}
+		return strings.Join(lines, "\n")
+	}
+}
+
+// ----------------------------------------------------------------- esm tier
+
+// addLiveBindingPair declares an exported var holding a callable plus an
+// exported mutator that rebinds it — the canonical live-binding shape: an
+// importer calling the binding before and after the mutator reaches two
+// different functions through one import.
+func (m *modState) addLiveBindingPair() {
+	g := m.g
+	_, c1, ok := m.callableRef()
+	if !ok {
+		return
+	}
+	_, c2, _ := m.callableRef()
+	pick := g.fresh("pick")
+	bump := g.fresh("bump")
+	m.decls = append(m.decls,
+		fmt.Sprintf("export var %s = %s;", pick, c1),
+		fmt.Sprintf("export function %s() { %s = %s; }", bump, pick, c2))
+	m.exportsLive = append(m.exportsLive, liveBinding{pick: pick, bump: bump})
+}
+
+// addESMExports emits ESM export statements for the module's driveable
+// declarations: a renaming export list (the defineProperty-getter path) for
+// some, plain `export {name}` for the rest.
+func (m *modState) addESMExports() {
+	g := m.g
+	names := m.exportedNames()
+	if len(names) == 0 {
+		return
+	}
+	m.exports = append(m.exports, fmt.Sprintf("export { %s };", strings.Join(names, ", ")))
+	if g.Intn(2) == 0 {
+		// Also export the last name under an alias (the export-list rename
+		// path); the original stays exported so namespace access by declared
+		// name keeps working.
+		orig := names[len(names)-1]
+		alias := g.fresh("vis")
+		m.esmRenames = map[string]string{orig: alias}
+		m.exports = append(m.exports, fmt.Sprintf("export { %s as %s };", orig, alias))
+	}
+}
+
+// esmExportedAs maps a declared name to the name importers see.
+func (m *modState) esmExportedAs(name string) string {
+	if alias, ok := m.esmRenames[name]; ok {
+		return alias
+	}
+	return name
+}
+
+// addESMImport imports a library module with ESM syntax: a namespace import
+// (so the generic drivers can reach members as ns.name), and named imports
+// for the module's live bindings.
+func (m *modState) addESMImport(p *modState) {
+	g := m.g
+	ns := g.fresh("ns")
+	m.decls = append(m.decls, fmt.Sprintf("import * as %s from %q;", ns, p.spec))
+	m.imports = append(m.imports, importInfo{local: ns, mod: p})
+	for _, lb := range p.exportsLive {
+		lp := g.fresh("lp")
+		lbm := g.fresh("lb")
+		m.decls = append(m.decls, fmt.Sprintf("import { %s as %s, %s as %s } from %q;",
+			lb.pick, lp, lb.bump, lbm, p.spec))
+		m.importedLive = append(m.importedLive, liveBinding{pick: lp, bump: lbm})
+	}
+}
+
+// esmDriver drives a live binding — call, mutate, call again — through a
+// named import when one is in scope, else through a namespace member (both
+// must observe the post-mutation binding).
+func (m *modState) esmDriver() string {
+	g := m.g
+	if len(m.importedLive) > 0 {
+		lb := m.importedLive[g.Intn(len(m.importedLive))]
+		return fmt.Sprintf("res = %s(%d, %d);\n%s();\nres = %s(%d, %d);",
+			lb.pick, g.Intn(9), g.Intn(9), lb.bump, lb.pick, g.Intn(9), g.Intn(9))
+	}
+	if len(m.exportsLive) > 0 {
+		// Library module driving its own binding locally.
+		lb := m.exportsLive[g.Intn(len(m.exportsLive))]
+		return fmt.Sprintf("res = %s(%d, %d);\n%s();\nres = %s(%d, %d);",
+			lb.pick, g.Intn(9), g.Intn(9), lb.bump, lb.pick, g.Intn(9), g.Intn(9))
+	}
+	// Namespace member call through a computed key.
+	var pool []importInfo
+	for _, imp := range m.imports {
+		if len(imp.mod.callables) > 0 {
+			pool = append(pool, imp)
+		}
+	}
+	if len(pool) == 0 {
+		return ""
+	}
+	imp := pool[g.Intn(len(pool))]
+	var names []string
+	for _, c := range imp.mod.callables {
+		names = append(names, imp.mod.esmExportedAs(c))
+	}
+	setup, k := m.keyExpr(names)
+	return fmt.Sprintf("%s\nres = %s[%s](%d, %d);", setup, imp.local, k, g.Intn(9), g.Intn(9))
+}

@@ -81,6 +81,22 @@ type modState struct {
 	ctors     []ctorInfo
 	tables    []tableInfo
 	imports   []importInfo
+
+	// Feature-tier state (GenFeatureProject only; nil/empty for GenProject).
+	tiers        map[string]bool
+	esm          bool        // module uses ESM export syntax
+	gens         []string    // generator functions yielding callables
+	proxies      []proxyInfo // Proxy objects over method tables
+	exportsLive  []liveBinding
+	importedLive []liveBinding
+	esmRenames   map[string]string // declared name -> extra exported alias
+}
+
+// liveBinding pairs an exported-var binding holding a callable with the
+// exported mutator that rebinds it.
+type liveBinding struct {
+	pick string
+	bump string
 }
 
 func (m *modState) source() string {
@@ -152,6 +168,10 @@ func (m *modState) exportedNames() []string {
 	}
 	for _, c := range m.ctors {
 		out = append(out, c.name)
+	}
+	out = append(out, m.gens...)
+	for _, p := range m.proxies {
+		out = append(out, p.name)
 	}
 	return out
 }
