@@ -28,6 +28,16 @@
 // -approx-deadline budget), and contained faults degrade hints per module
 // and are reported in the response — one bad module never takes down a
 // request, and one bad request never takes down the service.
+//
+// Concurrency: requests against one session serialize on the session lock;
+// requests against different sessions run their analyses in parallel, and
+// -max-concurrency bounds how many analyses (full, delta, or provenance)
+// may run at once across all sessions — excess requests queue on the
+// global semaphore instead of oversubscribing the host. -solver-workers
+// selects the constraint-propagation engine for every solve (the sharded
+// epoch engine when >= 1); a request may override it per call with
+// "solver_workers", which is always safe: reports are byte-identical at
+// every worker count.
 package main
 
 import (
@@ -36,6 +46,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
@@ -64,10 +75,14 @@ type deltaPayload struct {
 
 // analyzeRequest is the POST /analyze body: exactly one of Project (full
 // analysis, opens/replaces the session) or Delta (requires Session).
+// SolverWorkers, when present, overrides the daemon's -solver-workers for
+// this request only (0 = sequential engine, >= 1 = sharded epoch engine;
+// reports are identical at every value, only the wall time changes).
 type analyzeRequest struct {
-	Session string          `json:"session,omitempty"`
-	Project *projectPayload `json:"project,omitempty"`
-	Delta   *deltaPayload   `json:"delta,omitempty"`
+	Session       string          `json:"session,omitempty"`
+	Project       *projectPayload `json:"project,omitempty"`
+	Delta         *deltaPayload   `json:"delta,omitempty"`
+	SolverWorkers *int            `json:"solver_workers,omitempty"`
 }
 
 // graphSummary is the per-graph slice of an analysis response.
@@ -158,17 +173,29 @@ type server struct {
 	store          *cache.Store
 	approxDeadline time.Duration
 	maxSessions    int
+	solverWorkers  int
+
+	// sem bounds how many analyses run at once across all sessions.
+	// Acquired before the session lock, so a queued request waits here,
+	// not inside a session, and independent sessions proceed in parallel
+	// up to the bound.
+	sem chan struct{}
 }
 
-func newServer(store *cache.Store, approxDeadline time.Duration, maxSessions int) *server {
+func newServer(store *cache.Store, approxDeadline time.Duration, maxSessions, solverWorkers, maxConcurrency int) *server {
 	if maxSessions < 1 {
 		maxSessions = 1
+	}
+	if maxConcurrency < 1 {
+		maxConcurrency = runtime.NumCPU()
 	}
 	return &server{
 		sessions:       map[string]*session{},
 		store:          store,
 		approxDeadline: approxDeadline,
 		maxSessions:    maxSessions,
+		solverWorkers:  solverWorkers,
+		sem:            make(chan struct{}, maxConcurrency),
 	}
 }
 
@@ -265,7 +292,11 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, err := s.analyze(sess, req.Delta)
+	solverWorkers := s.solverWorkers
+	if req.SolverWorkers != nil && *req.SolverWorkers >= 0 {
+		solverWorkers = *req.SolverWorkers
+	}
+	resp, err := s.analyze(sess, req.Delta, solverWorkers)
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{err.Error()})
 		return
@@ -363,6 +394,8 @@ func (s *server) provenance(sess *session) (resp *provenanceResponse, err error)
 			err = fmt.Errorf("attribution panicked (contained): %v", r)
 		}
 	}()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
@@ -387,6 +420,7 @@ func (s *server) provenance(sess *session) (resp *provenanceResponse, err error)
 	_, ext, err := static.AnalyzeBoth(project, static.Options{
 		Mode: static.WithHints, Hints: ar.Hints, EvalHints: true,
 		DegradeFiles: ar.FaultedModules(), Provenance: true,
+		SolverWorkers: s.solverWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("static: %w", err)
@@ -426,14 +460,18 @@ func (s *server) provenance(sess *session) (resp *provenanceResponse, err error)
 // pipeline, all under sess.mu — the delta is applied inside the lock so
 // every read and write of the resident project is serialized per session
 // and an edit can never land while another request is mid-analysis. The
-// panic guard converts a panicking analysis into an error response,
-// keeping the daemon and the session map alive.
-func (s *server) analyze(sess *session, delta *deltaPayload) (resp *analyzeResponse, err error) {
+// global semaphore is taken first, bounding concurrent analyses across
+// sessions while independent sessions still run in parallel. The panic
+// guard converts a panicking analysis into an error response, keeping the
+// daemon and the session map alive.
+func (s *server) analyze(sess *session, delta *deltaPayload, solverWorkers int) (resp *analyzeResponse, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("analysis panicked (contained): %v", r)
 		}
 	}()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
@@ -459,6 +497,7 @@ func (s *server) analyze(sess *session, delta *deltaPayload) (resp *analyzeRespo
 
 	base, ext, reused, err := sess.ds.Analyze(static.Options{
 		Mode: static.WithHints, Hints: ar.Hints, DegradeFiles: ar.FaultedModules(),
+		SolverWorkers: solverWorkers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("static: %w", err)
@@ -504,6 +543,8 @@ func main() {
 		cacheDir       = flag.String("cache-dir", "", "persistent artifact cache directory shared across sessions (empty = in-memory only)")
 		approxDeadline = flag.Duration("approx-deadline", 2*time.Second, "per-worklist-item deadline of the pre-analysis; tripped items become contained faults and degrade their module's hints (0 = unlimited)")
 		maxSessions    = flag.Int("max-sessions", 64, "maximum resident sessions; opening one more evicts the least recently used")
+		solverWorkers  = flag.Int("solver-workers", 0, "constraint-solver workers per analysis (0 = sequential engine; >= 1 the sharded epoch engine — reports are identical at every value); overridable per request with \"solver_workers\"")
+		maxConcurrency = flag.Int("max-concurrency", 0, "maximum analyses running at once across all sessions (0 = NumCPU); excess requests queue")
 	)
 	flag.Parse()
 
@@ -514,7 +555,7 @@ func main() {
 			log.Fatalf("analyzed: %v", err)
 		}
 	}
-	srv := newServer(store, *approxDeadline, *maxSessions)
+	srv := newServer(store, *approxDeadline, *maxSessions, *solverWorkers, *maxConcurrency)
 	log.Printf("analyzed: listening on %s (cache: %q)", *addr, *cacheDir)
 	log.Fatal(http.ListenAndServe(*addr, srv.handler()))
 }

@@ -50,7 +50,7 @@ func post(t *testing.T, ts *httptest.Server, req analyzeRequest) (int, analyzeRe
 
 func newTestServer(t *testing.T, store *cache.Store) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(store, 2*time.Second, 64).handler())
+	ts := httptest.NewServer(newServer(store, 2*time.Second, 64, 0, 0).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -242,6 +242,72 @@ func TestConcurrentDeltaRequests(t *testing.T) {
 	}
 }
 
+// TestConcurrentSessionsMixedRequests drives several independent sessions
+// at once — each worker opens its own session with the parallel solver
+// engine, then alternates edit deltas and no-op deltas against it while a
+// separate worker keeps opening fresh full-analysis sessions — through a
+// server with a deliberately small -max-concurrency, so requests queue on
+// the global semaphore under -race. Every response must succeed, deltas
+// must land on the right session, and the per-session metrics must match a
+// single-threaded run of the same requests.
+func TestConcurrentSessionsMixedRequests(t *testing.T) {
+	ts := httptest.NewServer(newServer(nil, 2*time.Second, 64, 2, 2).handler())
+	t.Cleanup(ts.Close)
+
+	// Reference: the same project and edit, analyzed serially.
+	_, refFull := post(t, ts, analyzeRequest{Project: testProjectPayload()})
+	edited := "var lib = require('./lib');\nlib.go();\nlib.extra();\n"
+	_, refEdit := post(t, ts, analyzeRequest{
+		Session: refFull.Session,
+		Delta:   &deltaPayload{Changed: map[string]string{"/app/index.js": edited}},
+	})
+
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*8)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sw := i % 3 // mix sequential and epoch engines per session
+			status, full := post(t, ts, analyzeRequest{Project: testProjectPayload(), SolverWorkers: &sw})
+			if status != http.StatusOK {
+				errs <- fmt.Sprintf("worker %d: full analysis status %d", i, status)
+				return
+			}
+			if full.Extended != refFull.Extended {
+				errs <- fmt.Sprintf("worker %d: full metrics %+v, want %+v", i, full.Extended, refFull.Extended)
+				return
+			}
+			for j := 0; j < 3; j++ {
+				status, del := post(t, ts, analyzeRequest{
+					Session: full.Session,
+					Delta:   &deltaPayload{Changed: map[string]string{"/app/index.js": edited}},
+				})
+				if status != http.StatusOK {
+					errs <- fmt.Sprintf("worker %d: delta status %d", i, status)
+					return
+				}
+				if del.Extended != refEdit.Extended {
+					errs <- fmt.Sprintf("worker %d: delta metrics %+v, want %+v", i, del.Extended, refEdit.Extended)
+					return
+				}
+				// A no-op delta against the same session must reuse.
+				status, noop := post(t, ts, analyzeRequest{Session: full.Session, Delta: &deltaPayload{}})
+				if status != http.StatusOK || !noop.Reused {
+					errs <- fmt.Sprintf("worker %d: no-op delta status %d reused %t", i, status, noop.Reused)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
 func TestSessionClose(t *testing.T) {
 	ts := newTestServer(t, nil)
 	_, full := post(t, ts, analyzeRequest{Project: testProjectPayload()})
@@ -286,7 +352,7 @@ func TestSessionClose(t *testing.T) {
 // TestSessionLRUEviction caps the server at two sessions and opens three:
 // the least recently used must be evicted, the others stay resident.
 func TestSessionLRUEviction(t *testing.T) {
-	ts := httptest.NewServer(newServer(nil, 2*time.Second, 2).handler())
+	ts := httptest.NewServer(newServer(nil, 2*time.Second, 2, 0, 0).handler())
 	t.Cleanup(ts.Close)
 
 	_, s1 := post(t, ts, analyzeRequest{Project: testProjectPayload()})

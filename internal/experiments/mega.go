@@ -44,10 +44,13 @@ func RunMegaBench(nModules int, workers []int) (*perf.ParallelSnapshot, error) {
 			SolverWorkers:    w,
 			SolveWallMS:      float64(res.SolveWall.Microseconds()) / 1000,
 			ScanMS:           float64(res.Parallel.ScanNS) / 1e6,
-			BarrierMS:        float64(res.Parallel.BarrierNS) / 1e6,
+			ApplyMS:          float64(res.Parallel.ApplyNS) / 1e6,
+			SerialTailMS:     float64(res.Parallel.TailNS) / 1e6,
+			SweepOverlapMS:   float64(res.Parallel.SweepOverlapNS) / 1e6,
 			Epochs:           res.Parallel.Epochs,
 			Steals:           res.Parallel.Steals,
 			CrossShard:       res.Parallel.CrossShard,
+			AsyncSweeps:      res.Parallel.AsyncSweeps,
 			SolveIterations:  res.SolveIterations,
 			TokensDelivered:  res.TokensDelivered,
 			CyclesCollapsed:  res.Structure.CyclesCollapsed,
@@ -62,7 +65,8 @@ func RunMegaBench(nModules int, workers []int) (*perf.ParallelSnapshot, error) {
 				row.CyclesCollapsed != ref.CyclesCollapsed ||
 				row.RedundantSkipped != ref.RedundantSkipped ||
 				row.Epochs != ref.Epochs ||
-				row.CrossShard != ref.CrossShard {
+				row.CrossShard != ref.CrossShard ||
+				row.AsyncSweeps != ref.AsyncSweeps {
 				return nil, fmt.Errorf(
 					"mega workers=%d: deterministic counters diverged from workers=%d: %+v vs %+v",
 					w, ref.SolverWorkers, row, *ref)
@@ -75,7 +79,7 @@ func RunMegaBench(nModules int, workers []int) (*perf.ParallelSnapshot, error) {
 		snap.SpeedupAt4 = r0.SolveWallMS / r4.SolveWallMS
 	}
 	if r1 := snap.Row(1); r1 != nil && r1.SolveWallMS > 0 {
-		snap.ParallelShare = r1.ScanMS / r1.SolveWallMS
+		snap.ParallelShare = (r1.ScanMS + r1.ApplyMS) / r1.SolveWallMS
 	}
 	return snap, nil
 }

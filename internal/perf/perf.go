@@ -78,15 +78,20 @@ type Counters struct {
 	redundantSkipped  atomic.Int64
 
 	// Parallel-solver activity (zero when the sequential engine ran):
-	// epoch barriers crossed, chunks stolen across workers, deliveries
-	// whose target landed in a different shard than the source, and the
-	// wall time split between the read-only scan phase and the
-	// deterministic merge barrier.
-	solverEpochs     atomic.Int64
-	solverSteals     atomic.Int64
-	solverCrossShard atomic.Int64
-	solverScanNS     atomic.Int64
-	solverBarrierNS  atomic.Int64
+	// epochs crossed, chunks stolen across workers, deliveries whose target
+	// landed in a different shard than the source, concurrent Tarjan sweeps
+	// launched, and the wall time split between the pipeline phases — the
+	// read-only scan+winnow, the shard-owned parallel apply pass, and the
+	// serial reconciliation tail — plus the sweep compute time hidden
+	// behind the parallel phases.
+	solverEpochs         atomic.Int64
+	solverSteals         atomic.Int64
+	solverCrossShard     atomic.Int64
+	solverAsyncSweeps    atomic.Int64
+	solverScanNS         atomic.Int64
+	solverApplyNS        atomic.Int64
+	solverTailNS         atomic.Int64
+	solverSweepOverlapNS atomic.Int64
 
 	// Persistent-cache activity (zero when no cache store is attached):
 	// artifact loads served from disk, loads that missed (including
@@ -152,13 +157,17 @@ func (c *Counters) AddSolveStructure(cycles, unified, substituted, deduped, skip
 }
 
 // AddSolverParallel accrues one parallel-solver run: epochs crossed,
-// chunks stolen, cross-shard deliveries, and scan/barrier wall time.
-func (c *Counters) AddSolverParallel(epochs, steals, crossShard, scanNS, barrierNS int64) {
+// chunks stolen, cross-shard deliveries, concurrent sweeps launched, and
+// the scan/apply/tail/sweep-overlap wall-time split.
+func (c *Counters) AddSolverParallel(epochs, steals, crossShard, asyncSweeps, scanNS, applyNS, tailNS, sweepOverlapNS int64) {
 	c.solverEpochs.Add(epochs)
 	c.solverSteals.Add(steals)
 	c.solverCrossShard.Add(crossShard)
+	c.solverAsyncSweeps.Add(asyncSweeps)
 	c.solverScanNS.Add(scanNS)
-	c.solverBarrierNS.Add(barrierNS)
+	c.solverApplyNS.Add(applyNS)
+	c.solverTailNS.Add(tailNS)
+	c.solverSweepOverlapNS.Add(sweepOverlapNS)
 }
 
 // AddCacheHit counts one artifact load served by the persistent store.
@@ -224,8 +233,11 @@ func (c *Counters) Reset() {
 	c.solverEpochs.Store(0)
 	c.solverSteals.Store(0)
 	c.solverCrossShard.Store(0)
+	c.solverAsyncSweeps.Store(0)
 	c.solverScanNS.Store(0)
-	c.solverBarrierNS.Store(0)
+	c.solverApplyNS.Store(0)
+	c.solverTailNS.Store(0)
+	c.solverSweepOverlapNS.Store(0)
 	c.cacheHits.Store(0)
 	c.cacheMisses.Store(0)
 	c.cacheBytesWritten.Store(0)
@@ -265,14 +277,18 @@ type Snapshot struct {
 	RedundantSkipped  int64 `json:"redundant_deliveries_skipped,omitempty"`
 
 	// Parallel-solver activity (zero when the sequential engine ran).
-	// SolverEpochs and SolverCrossShard are deterministic for a given
-	// worker count; SolverSteals and the scan/barrier times are
-	// scheduling-dependent diagnostics.
-	SolverEpochs     int64   `json:"solver_epochs,omitempty"`
-	SolverSteals     int64   `json:"solver_steals,omitempty"`
-	SolverCrossShard int64   `json:"solver_cross_shard_deliveries,omitempty"`
-	SolverScanMS     float64 `json:"solver_scan_ms,omitempty"`
-	SolverBarrierMS  float64 `json:"solver_barrier_ms,omitempty"`
+	// SolverEpochs, SolverCrossShard, and SolverAsyncSweeps are
+	// deterministic for a given worker count; SolverSteals and the phase
+	// times (scan+winnow / parallel apply / serial tail / sweep overlap)
+	// are scheduling-dependent diagnostics.
+	SolverEpochs         int64   `json:"solver_epochs,omitempty"`
+	SolverSteals         int64   `json:"solver_steals,omitempty"`
+	SolverCrossShard     int64   `json:"solver_cross_shard_deliveries,omitempty"`
+	SolverAsyncSweeps    int64   `json:"solver_async_sweeps,omitempty"`
+	SolverScanMS         float64 `json:"solver_scan_ms,omitempty"`
+	SolverApplyMS        float64 `json:"solver_apply_ms,omitempty"`
+	SolverTailMS         float64 `json:"solver_serial_tail_ms,omitempty"`
+	SolverSweepOverlapMS float64 `json:"solver_sweep_overlap_ms,omitempty"`
 
 	// Persistent-cache activity (zero when no cache store is attached).
 	CacheHits         int64 `json:"cache_hits,omitempty"`
@@ -306,8 +322,11 @@ func (c *Counters) Snapshot() Snapshot {
 		SolverEpochs:         c.solverEpochs.Load(),
 		SolverSteals:         c.solverSteals.Load(),
 		SolverCrossShard:     c.solverCrossShard.Load(),
+		SolverAsyncSweeps:    c.solverAsyncSweeps.Load(),
 		SolverScanMS:         float64(c.solverScanNS.Load()) / 1e6,
-		SolverBarrierMS:      float64(c.solverBarrierNS.Load()) / 1e6,
+		SolverApplyMS:        float64(c.solverApplyNS.Load()) / 1e6,
+		SolverTailMS:         float64(c.solverTailNS.Load()) / 1e6,
+		SolverSweepOverlapMS: float64(c.solverSweepOverlapNS.Load()) / 1e6,
 		CacheHits:            c.cacheHits.Load(),
 		CacheMisses:          c.cacheMisses.Load(),
 		CacheBytesWritten:    c.cacheBytesWritten.Load(),
@@ -366,8 +385,9 @@ func (s Snapshot) Render(w io.Writer) {
 			s.CyclesCollapsed, s.VarsUnified, s.CopiesSubstituted, s.EdgesDeduped, s.RedundantSkipped)
 	}
 	if s.SolverEpochs > 0 {
-		fmt.Fprintf(w, "parallel solver:    %d epochs, %d steals, %d cross-shard deliveries, scan %.1f ms / barrier %.1f ms\n",
-			s.SolverEpochs, s.SolverSteals, s.SolverCrossShard, s.SolverScanMS, s.SolverBarrierMS)
+		fmt.Fprintf(w, "parallel solver:    %d epochs, %d steals, %d cross-shard deliveries, %d async sweeps, scan %.1f ms / apply %.1f ms / tail %.1f ms (sweep overlap %.1f ms)\n",
+			s.SolverEpochs, s.SolverSteals, s.SolverCrossShard, s.SolverAsyncSweeps,
+			s.SolverScanMS, s.SolverApplyMS, s.SolverTailMS, s.SolverSweepOverlapMS)
 	}
 	if s.CacheHits+s.CacheMisses > 0 {
 		rate := 100 * float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)

@@ -351,7 +351,8 @@ func newAnalyzer(project *modules.Project, opts Options) *analyzer {
 func (a *analyzer) recordParallelStats() ParallelSolveStats {
 	ps := a.s.parallelStats()
 	if a.s.par != nil {
-		perf.Global().AddSolverParallel(ps.Epochs, ps.Steals, ps.CrossShard, ps.ScanNS, ps.BarrierNS)
+		perf.Global().AddSolverParallel(ps.Epochs, ps.Steals, ps.CrossShard, ps.AsyncSweeps,
+			ps.ScanNS, ps.ApplyNS, ps.TailNS, ps.SweepOverlapNS)
 	}
 	return ps
 }

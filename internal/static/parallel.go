@@ -3,49 +3,80 @@ package static
 // The sharded, work-stealing propagation engine. It computes the same least
 // fixpoint as the sequential pop loop in solve(), with the same counter
 // values for any worker count ≥ 1, by splitting each round of propagation
-// into two phases:
+// into a pipeline of phases:
 //
 //   - a scan phase that is strictly read-only over solver state: the pending
 //     frontier (everything queued since the last round) is partitioned into
 //     shards keyed by union-find representative, cut into fixed-size chunks,
 //     and scanned by the workers — each delivery's edge list is walked and
 //     the destinations that would newly receive the token are recorded as
-//     proposals, together with the frozen edge/self-edge counts the barrier
-//     needs for exact effort accounting. Chunks are distributed round-robin
-//     over per-worker Chase-Lev deques; an idle worker steals from the top
-//     of a victim's deque while owners pop from the bottom.
+//     proposals, together with the frozen edge/self-edge counts the apply
+//     pass needs for exact effort accounting. Chunks are distributed
+//     round-robin over per-worker Chase-Lev deques; an idle worker steals
+//     from the top of a victim's deque while owners pop from the bottom.
 //
-//   - a barrier phase on the solver goroutine that replays the frontier in a
-//     fixed order (shards ascending, per-shard sequence order): proposals
-//     are applied, deliveries are marked processed, and triggers fire —
-//     every mutation of solver or analyzer state happens here, sequentially.
-//     Trigger-added edges invisible to the scan (appended during the barrier
-//     itself) are covered by an incremental delta scan per delivery.
+//   - a winnow phase (parallel, partitioned by destination shard) that
+//     resolves same-epoch duplicate proposals to exactly one winner per
+//     (destination, token) pair and pre-filters lazy-cycle-detection pairs.
+//
+//   - a shard-owned apply pass (parallel, partitioned by variable shard):
+//     each worker walks every chunk in the fixed barrier order and performs
+//     the mutations it owns — winning token inserts into destinations of its
+//     shards, and source-side bookkeeping (liveness, processed-prefix swaps,
+//     delivered advance, effort accounting into per-worker accumulators) for
+//     frontier deliveries of its shards. A variable's shard is the same
+//     whether it acts as a source or a destination, so all mutation of one
+//     varState stays on one worker, in the same relative order the serial
+//     barrier would have used. Cross-shard effects are not applied here:
+//     queue scheduling, cycle evidence, and trigger firing are deferred to
+//     the tail.
+//
+//   - a short serial tail on the solver goroutine that replays the epoch in
+//     the fixed order (shards ascending, per-shard sequence order): winning
+//     inserts are scheduled on the delivery queue, surviving cycle-evidence
+//     pairs go through noteLCD, per-worker effort accumulators fold into the
+//     solver counters (integer sums, so the split is invisible), and each
+//     live delivery's triggers fire against the epoch-advanced state.
+//     Trigger-added edges push their processed-prefix as next-epoch scan
+//     tasks (pushTask); because every delivery of this epoch advanced
+//     `delivered` in the apply pass before any trigger ran, the recorded
+//     prefix bound already covers the whole epoch, which is what lets the
+//     old per-delivery delta scan disappear from the serial path entirely.
+//
+// Batched Tarjan cycle sweeps run concurrently with the parallel phases: a
+// sweep is launched between epochs (at the same deterministic points the
+// sequential engine would run collapseAllSCCs) as a read-only traversal of
+// the epoch-frozen edge/parent state on its own goroutine, joined at the
+// start of the serial tail (before triggers mutate edge lists), and its
+// components are collapsed at the next between-epoch point — edges only get
+// added in the interim, so a snapshot SCC is still an SCC when it lands.
 //
 // Exactness: the constraint system is monotone, so its least fixpoint is
 // independent of delivery order — the same argument that makes the
 // incremental baseline→extended resume exact. Determinism: proposal slots
 // are keyed by (shard, sequence), which depends only on the epoch-start
-// state, never on which worker scanned a chunk or in what order; the
-// barrier then consumes them in one fixed order. Hence reports *and* effort
-// counters are identical across worker counts, and identical between the
-// concurrent path and the inline path used for small frontiers.
+// state, never on which worker scanned or applied a chunk or in what order;
+// ownership splits (shard mod workers) change which goroutine performs an
+// operation but not its position in the fixed replay order, and everything
+// order-sensitive (queue scheduling, LCD notes, triggers) runs in the serial
+// tail. Hence reports *and* effort counters are identical across worker
+// counts, and identical between the concurrent path and the inline path
+// used for small frontiers.
 //
 // Relative to the sequential engine, results (token sets, trigger firings,
 // call graphs) are identical, but effort counters may differ slightly: the
 // sequential loop can collapse a detected cycle before the very next pop,
-// while the epoch engine collapses between epochs, so on cycle-dense inputs
-// some deliveries that the sequential engine short-circuits are still paid
-// here (and vice versa — epoch batching can also collapse sooner than a
-// pop-interleaved LCD would). cmd/benchcheck bounds this divergence at
-// workers=1 (no sequential-path tax beyond tolerance) rather than demanding
-// equality, which would serialize the scan.
+// while the epoch engine collapses between epochs (and a concurrent sweep's
+// components land one epoch after its launch), so on cycle-dense inputs some
+// deliveries that the sequential engine short-circuits are still paid here
+// (and vice versa). cmd/benchcheck bounds this divergence at workers=1
+// rather than demanding equality, which would serialize the engine.
 //
 // A collapsed SCC never spans shards: sharding hashes the union-find
 // representative, so every member of a unified group lands wherever its
-// representative lands. All unification (LCD, periodic sweeps) runs between
-// epochs on the solver goroutine, exactly like the sequential engine runs
-// it between pops.
+// representative lands. All unification (LCD, sweep reconciliation) runs
+// between epochs on the solver goroutine, exactly like the sequential
+// engine runs it between pops.
 //
 // The exact no-unify mode (rollback windows, the reference engine) falls
 // back to the sequential pop loop — see solve().
@@ -69,16 +100,6 @@ const (
 	// enough that deque traffic stays a fraction of scan work.
 	epochChunk = 64
 
-	// lcdEpochStride is how many epochs of pending cycle evidence may
-	// accumulate before a collapse round (inline push flush + runLCD) is
-	// forced. The deferral only applies while deferred pushes are pending —
-	// flushing those inline is the collapse round's real cost, so when none
-	// are pending the engine collapses immediately, like the sequential
-	// engine does before every pop. The differential tests bound how far the
-	// deferred collapses can drift the effort counters from the sequential
-	// engine's.
-	lcdEpochStride = 2
-
 	// cycleEpochCap bounds the deliveries consumed per epoch while lazy
 	// cycle detection has pending evidence. The sequential engine collapses
 	// a detected cycle before the very next pop; unbounded epochs would
@@ -93,19 +114,31 @@ const (
 )
 
 // inlineFrontierMax is the frontier size at or below which the epoch runs
-// entirely on the solver goroutine (same scan/barrier algorithm, no
-// goroutine handoff). Results and counters are identical on both paths;
+// entirely on the solver goroutine (same scan/winnow/apply/tail algorithm,
+// no goroutine handoff). Results and counters are identical on both paths;
 // this only avoids paying synchronization on the small frontiers that
 // dominate per-module solves of the 141-project corpus. A variable so
 // tests can force the concurrent path under the race detector.
 var inlineFrontierMax = 512
 
+// asyncSweepMinFrontier is the pending-frontier size below which a batched
+// Tarjan sweep runs synchronously instead of concurrently. A concurrent
+// sweep's components land one epoch after its launch, so the launch epoch
+// pays redundant deliveries a synchronous collapse would have avoided;
+// with a large frontier that cost is dwarfed by the sweep compute hidden
+// behind the parallel phases, but on a small frontier there is nothing to
+// overlap with and the deferral is pure loss. The gate reads only
+// deterministic solver state (queue depth at a between-epoch point), so
+// AsyncSweeps stays identical at every worker count. A variable so tests
+// can force the concurrent path under the race detector.
+var asyncSweepMinFrontier = 1024
+
 // ParallelSolveStats describes one solver's epoch-engine activity.
-// Epochs, CrossShard, and ShardDelivered are deterministic (identical for
-// every worker count); Steals and the phase times depend on scheduling and
-// are diagnostics only.
+// Epochs, CrossShard, AsyncSweeps, and ShardDelivered are deterministic
+// (identical for every worker count); Steals and the phase times depend on
+// scheduling and are diagnostics only.
 type ParallelSolveStats struct {
-	// Epochs is the number of scan/barrier rounds run.
+	// Epochs is the number of pipeline rounds run.
 	Epochs int64
 	// Steals counts chunks an idle worker took from another worker's deque.
 	Steals int64
@@ -113,10 +146,19 @@ type ParallelSolveStats struct {
 	// in a different shard than the delivery that produced them — the
 	// cross-shard edge traffic the steal deques exist to balance.
 	CrossShard int64
-	// ScanNS and BarrierNS split solver wall time into the parallelizable
-	// phases (scan + winnow) and the sequential reconciliation barrier.
-	ScanNS    int64
-	BarrierNS int64
+	// AsyncSweeps counts batched Tarjan sweeps launched concurrently with
+	// the parallel phases. The launch policy reads only deterministic solver
+	// state, so the count is identical at every worker count.
+	AsyncSweeps int64
+	// ScanNS covers the parallelizable read-only phases (scan + winnow);
+	// ApplyNS the parallel shard-owned apply pass; TailNS the serial tail
+	// (sweep join wait, log replay, trigger firing). SweepOverlapNS is the
+	// portion of concurrent-sweep compute time hidden behind the parallel
+	// phases rather than paid as tail join wait.
+	ScanNS         int64
+	ApplyNS        int64
+	TailNS         int64
+	SweepOverlapNS int64
 }
 
 // shardOfRep maps a representative variable to its shard. Fibonacci
@@ -126,10 +168,11 @@ func shardOfRep(v Var) int32 {
 	return int32((uint32(v) * 0x9E3779B9) >> (32 - shardBits))
 }
 
-// findRO resolves v's representative without path compression. The scan
-// phase runs it concurrently from many workers; the parent forest is
-// read-only for the whole phase (all unification happens between epochs),
-// so the walk is race-free.
+// findRO resolves v's representative without path compression. The scan and
+// apply phases run it concurrently from many workers, and partition uses it
+// while a concurrent sweep holds a read-only view of the parent forest; the
+// forest is never written during any of those windows (all unification
+// happens between epochs, after sweep join), so the walk is race-free.
 func (s *solver) findRO(v Var) Var {
 	for s.parent[v] != v {
 		v = s.parent[v]
@@ -139,17 +182,27 @@ func (s *solver) findRO(v Var) Var {
 
 // pushTask is a deferred addEdge prefix push: deliver from's first lim
 // processed tokens across the new from→to edge. Tasks are recorded when a
-// barrier-time trigger adds an edge (the sequential engine pushes inline at
+// tail-time trigger adds an edge (the sequential engine pushes inline at
 // that point) and executed as scan work in the next epoch, which moves the
 // membership checks — the dominant cost on dispatch-dense graphs, where
 // most flow happens through call-resolution edges discovered mid-solve —
-// onto the workers. from and to are representatives and tokens[0:lim] is an
-// immutable prefix for the task's whole lifetime, because unification only
-// runs on epochs with no pending pushes.
+// onto the workers. Because the tail runs after every delivery of its epoch
+// advanced `delivered`, lim covers the whole epoch, including tokens the
+// old serial barrier could only reach with a per-delivery delta scan.
+//
+// A freshly recorded task references from's token prefix in place: from and
+// to are representatives and tokens[0:lim] is immutable until the next
+// unification. A collapse round pending while tasks are deferred does not
+// wait for them (that would either serialize the push work inline or defer
+// the collapse past an epoch of redundant deliveries): materializePushes
+// copies each prefix into toks first, after which merges may rebuild token
+// arrays and retire reps freely — partition re-resolves from/to against the
+// post-collapse forest.
 type pushTask struct {
 	from Var
 	to   Var
 	lim  int32
+	toks []Token
 }
 
 // Chunk kinds: a chunk scans either a slice of a shard's delivery frontier
@@ -181,13 +234,26 @@ type chunkOut struct {
 	edgeCnt []int32
 	selfCnt []int32
 	// idx caches each delivery token's position in its variable's token
-	// array at scan time, saving the barrier a membership lookup. Earlier
-	// barrier processing of the same variable can move the token (merge
-	// swaps), so the barrier validates tokens[idx] == t before trusting it.
+	// array at scan time, saving the apply pass a membership lookup. Earlier
+	// apply-pass processing of the same variable (same owner, earlier in the
+	// fixed order) can move the token via merge swaps, so the apply pass
+	// validates tokens[idx] == t before trusting it.
 	idx []int32
+	// trig freezes each delivery's trigger count at scan time. The tail
+	// fires exactly triggers[0:trig[i]]: anything registered later was
+	// registered during this tail, after every delivery of the epoch
+	// advanced `delivered`, so its registration-time replay already covered
+	// these tokens — firing it from the tail loop too would double-fire.
+	trig []int32
+	// live records the apply pass's per-delivery liveness verdict (written
+	// by the source shard's owner): false when the delivery was redundant at
+	// epoch start (edgeCnt -1) or was a same-epoch duplicate whose earlier
+	// occurrence already advanced `delivered`. The tail skips dead
+	// deliveries entirely, as the serial barrier did.
+	live []bool
 	// lcdDests are the destinations whose sets already contained the token
 	// at scan time — the sequential engine's lazy-cycle-detection signal —
-	// delimited per delivery by lcdEnds. The barrier replays them through
+	// delimited per delivery by lcdEnds. The tail replays them through
 	// noteLCD so cycle detection sees the same redundant-delivery evidence
 	// the sequential engine would, just at epoch rather than pop granularity.
 	lcdDests []Var
@@ -196,7 +262,10 @@ type chunkOut struct {
 	// code and lcdKeep are written by the winnow phase, one entry per dests /
 	// lcdDests slot. Each slot is written by exactly one winnow worker (the
 	// owner of the destination's shard), so concurrent writes never alias.
-	code    []int8 // winnowWinner / winnowDup / winnowDupNewPair
+	// The apply pass may downgrade a winner to winnowStale (same ownership:
+	// the destination shard's worker), which the tail converts to cycle
+	// evidence instead of a queue entry.
+	code    []int8 // winnowWinner / winnowDup / winnowDupNewPair / winnowStale
 	lcdKeep []bool
 
 	// Push-chunk output (kind chunkPush): pushToks holds the membership-
@@ -215,6 +284,13 @@ const (
 	winnowWinner     = int8(iota) // first proposal of its (dest, token) this epoch: insert
 	winnowDup                     // duplicate, LCD pair already known: skip entirely
 	winnowDupNewPair              // duplicate carrying a new cycle-detection pair
+	// winnowStale marks a winner whose destination already held the token
+	// when the apply pass reached it. With the delta scan gone no same-epoch
+	// insert can race a winner anymore — winnow guarantees one winner per
+	// (dest, token) across both chunk kinds and scan verified absence at
+	// epoch start — so this is a defensive downgrade path; the tail turns it
+	// into cycle evidence, mirroring the old barrier's quiet-insert failure.
+	winnowStale
 )
 
 // winKey identifies a proposed insertion within an epoch.
@@ -284,33 +360,59 @@ func (d *wsDeque) stealTop() (chunkRef, bool, bool) {
 	return c, true, true
 }
 
+// applyAcc is one apply-pass worker's effort accumulator. The tail folds
+// the accumulators into the solver counters with plain integer sums, which
+// are independent of how deliveries were split across workers, so counters
+// stay identical at every worker count. Padded against false sharing.
+type applyAcc struct {
+	iterations int64
+	delivered  int64
+	redundant  int64
+	crossShard int64
+	_          [32]byte
+}
+
 // parallelEngine holds the reusable epoch state of one solver. All fields
-// are owned by the solver goroutine outside the scan phase; during a scan,
-// shardFrontier/chunks are read-only, outs entries are written by exactly
-// one worker each (chunks are claimed exactly once), and the deques
-// synchronize claiming.
+// are owned by the solver goroutine outside the parallel phases; during a
+// scan or apply pass, shardFrontier/chunks are read-only, outs entries are
+// written by exactly one worker each (chunks are claimed exactly once in
+// the scan; the winnow and apply passes partition slots by shard), and the
+// deques synchronize claiming.
 type parallelEngine struct {
 	workers int
 	stats   ParallelSolveStats
-	// shardDelivered counts barrier-processed deliveries per shard —
-	// deterministic, used to observe shard balance.
+	// shardDelivered counts apply-pass-processed deliveries per shard —
+	// deterministic, used to observe shard balance. Written only by each
+	// shard's owning worker.
 	shardDelivered [nShards]int64
 
 	shardFrontier [nShards][]delivery
 	chunks        []chunkRef
 	outs          []chunkOut
 	deques        []wsDeque
+	accs          []applyAcc
 
-	// deferPush is set for the duration of a barrier: addEdge calls from
-	// triggers record pushTasks instead of pushing token prefixes inline.
-	// partition moves the accumulated tasks into pushActive, whose chunks
-	// the next scan executes.
+	// deferPush is set for the duration of a serial tail: addEdge calls
+	// from triggers record pushTasks instead of pushing token prefixes
+	// inline. partition moves the accumulated tasks into pushActive, whose
+	// chunks the next scan executes.
 	deferPush  bool
 	pushTasks  []pushTask
 	pushActive []pushTask
-	// sinceLCD counts epochs since the last collapse round, pacing
-	// lcdEpochStride.
-	sinceLCD int
+
+	// Concurrent-sweep state. A sweep runs on its own goroutine from a
+	// between-epoch launch point to the next tail's join; sweepLive is true
+	// for exactly that window (set and cleared on the solver goroutine, so
+	// reads from partition are unsynchronized but safe). sweepComps holds
+	// the joined components until the next between-epoch point collapses
+	// them; sweepDone distinguishes "joined, reconciliation pending" from
+	// "no sweep activity".
+	sweepLive      bool
+	sweepDone      bool
+	sweepComps     [][]Var
+	sweepJoin      chan struct{}
+	sweepComputeNS int64
+	sweepScratch   sweepScratch
 
 	// Winnow scratch: per-destination-shard stamp maps. An entry is live
 	// only when its value equals winStamp, so epochs never clear them; the
@@ -328,7 +430,11 @@ func newParallelEngine(workers int) *parallelEngine {
 	if workers < 1 {
 		workers = 1
 	}
-	return &parallelEngine{workers: workers, deques: make([]wsDeque, workers)}
+	return &parallelEngine{
+		workers: workers,
+		deques:  make([]wsDeque, workers),
+		accs:    make([]applyAcc, workers),
+	}
 }
 
 // configureParallel switches the solver to the epoch engine with the given
@@ -342,56 +448,222 @@ func (s *solver) configureParallel(workers int) {
 }
 
 // solveParallel is the epoch-engine counterpart of the sequential pop loop
-// in solve. Between epochs it runs the identical LCD/sweep cadence; within
-// an epoch the frontier is scanned in parallel and reconciled at the
-// barrier.
+// in solve. Between epochs it runs the LCD/sweep cadence (with batched
+// Tarjan sweeps handed to a concurrent worker); within an epoch the
+// frontier is scanned, winnowed, and applied in parallel, then reconciled
+// by the serial tail.
 func (s *solver) solveParallel() {
 	p := s.par
-	// Entry sweep, as in the sequential engine.
+	// Entry sweep, as in the sequential engine: synchronous, since there is
+	// no parallel work to overlap it with yet.
 	s.collapseAllSCCs()
-	for s.head < len(s.queue) || len(p.pushTasks) > 0 {
+	for s.head < len(s.queue) || len(p.pushTasks) > 0 || p.sweepLive || p.sweepDone {
+		if p.sweepDone {
+			// Reconcile the sweep joined by the previous tail: collapse its
+			// components. Edges were only added since the sweep's snapshot
+			// (no unification ran — it is gated off while a sweep is live or
+			// unreconciled), so each snapshot SCC is still an SCC and its
+			// members are still representatives.
+			p.sweepDone = false
+			if len(p.sweepComps) > 0 {
+				p.materializePushes(s)
+				for _, comp := range p.sweepComps {
+					s.collapse(comp)
+				}
+				p.sweepComps = nil
+			}
+		}
 		budget := 0 // unlimited
 		if len(s.lcdPending) > 0 {
-			// Keep epochs short while cycle evidence is outstanding, so the
-			// next collapse round arrives after a bounded amount of possibly
-			// redundant work.
+			// Keep the epoch short when cycle evidence was still pending at
+			// its start: collapse rounds run below, but a path search can
+			// miss its cycle (budget exhaustion) and an async sweep's
+			// components land one epoch late, so the frontier consumed on
+			// possibly-uncollapsed state stays bounded.
 			budget = cycleEpochCap
-			p.sinceLCD++
 		}
-		if (len(s.lcdPending) > 0 && (len(p.pushTasks) == 0 || p.sinceLCD >= lcdEpochStride)) || s.iterations >= s.nextSweep {
-			// Unification (cycle collapse, periodic sweeps) may rebuild token
-			// arrays and retire representatives, which would invalidate the
-			// frozen prefixes and frozen reps of pending push tasks — so any
-			// still-deferred pushes are applied inline (the sequential
-			// addEdge path, same accounting) before collapsing. Cycle-dense
-			// stretches thereby degrade toward the sequential engine, as the
-			// short-epoch budget above already makes them.
-			p.flushPushes(s)
-			p.sinceLCD = 0
-			if len(s.lcdPending) > 0 {
+		if !p.sweepLive && (len(s.lcdPending) > 0 || s.iterations >= s.nextSweep) {
+			// Collapse round: every epoch that produced cycle evidence gets
+			// one, like the sequential engine collapsing before the next pop.
+			// Deferred pushes never wait for it and never run inline for it —
+			// they are materialized (prefixes copied) so unification cannot
+			// invalidate them, and they stay parallel scan work.
+			periodic := s.iterations >= s.nextSweep
+			if periodic || len(s.lcdPending) >= lcdSweepBatch {
+				// Batched resolution: a whole-graph Tarjan sweep subsumes the
+				// per-pair searches (see runLCD). With a large frontier queued
+				// it runs concurrently with the next epoch's parallel phases
+				// instead of on the critical path — the evidence is consumed
+				// now (the pairs are already in lcdChecked) and the components
+				// land after the next tail; with a small frontier it runs
+				// synchronously, like the sequential engine's sweep.
+				s.lcdPending = s.lcdPending[:0]
+				if periodic {
+					s.nextSweep = s.iterations + s.sweepInterval()
+				}
+				if s.sccDirty {
+					if len(s.queue)-s.head >= asyncSweepMinFrontier {
+						p.launchSweep(s)
+					} else {
+						p.materializePushes(s)
+						s.collapseAllSCCs()
+					}
+				}
+			} else {
+				// Small batch: bounded per-pair searches with inline collapse,
+				// cheap enough to stay synchronous.
+				p.materializePushes(s)
 				s.runLCD()
-			}
-			if s.iterations >= s.nextSweep {
-				s.collapseAllSCCs()
-				s.nextSweep = s.iterations + s.sweepInterval()
 			}
 		}
 		p.partition(s, budget)
 		nw := p.scan(s)
 		p.winnow(s, nw)
-		p.barrier(s)
+		p.apply(s, nw)
+		p.tail(s)
 		p.stats.Epochs++
 	}
 	s.queue = s.queue[:0]
 	s.head = 0
 }
 
+// launchSweep starts a concurrent batched Tarjan sweep over the current
+// (epoch-frozen) edge and parent state. The traversal is strictly read-only
+// (findRO, dedicated scratch) and overlaps the next epoch's partition,
+// scan, winnow, and apply phases, none of which mutate edges or the parent
+// forest; the tail joins it before triggers run. sccDirty is consumed here:
+// edges added while the sweep runs re-dirty the flag, so the next periodic
+// round sees exactly the post-snapshot additions.
+func (p *parallelEngine) launchSweep(s *solver) {
+	p.stats.AsyncSweeps++
+	s.sccDirty = false
+	p.sweepLive = true
+	p.sweepJoin = make(chan struct{})
+	n := s.nVars
+	go func() {
+		t0 := time.Now()
+		p.sweepComps = sccComponents(s, n, &p.sweepScratch)
+		p.sweepComputeNS = time.Since(t0).Nanoseconds()
+		close(p.sweepJoin)
+	}()
+}
+
+// joinSweep blocks until the in-flight sweep (if any) finishes, accounting
+// the overlap between its compute time and the parallel phases it ran under.
+func (p *parallelEngine) joinSweep(s *solver) {
+	if !p.sweepLive {
+		return
+	}
+	w0 := time.Now()
+	<-p.sweepJoin
+	waitNS := time.Since(w0).Nanoseconds()
+	if overlap := p.sweepComputeNS - waitNS; overlap > 0 {
+		p.stats.SweepOverlapNS += overlap
+	}
+	p.sweepLive = false
+	p.sweepDone = true
+}
+
+// sccComponents is the read-only core of collapseAllSCCs: an iterative
+// Tarjan pass over the condensed graph restricted to the first n variables,
+// returning the multi-member components in discovery order without
+// collapsing anything. It resolves edges through findRO (no path
+// compression) so it can run concurrently with phases that read the parent
+// forest.
+func sccComponents(s *solver, n int, sw *sweepScratch) [][]Var {
+	if n == 0 {
+		return nil
+	}
+	if cap(sw.index) < n {
+		sw.index = make([]int32, n)
+		sw.lowlink = make([]int32, n)
+		sw.onStack = make([]bool, n)
+	}
+	sw.index = sw.index[:n]
+	sw.lowlink = sw.lowlink[:n]
+	sw.onStack = sw.onStack[:n]
+	for i := range sw.index {
+		sw.index[i] = 0
+		sw.onStack[i] = false
+	}
+	sw.stack = sw.stack[:0]
+	var comps [][]Var
+	var next int32 = 1
+
+	for root := 0; root < n; root++ {
+		rv := Var(root)
+		if s.parent[rv] != rv || sw.index[root] != 0 {
+			continue
+		}
+		sw.frames = append(sw.frames[:0], sweepFrame{v: rv})
+		for len(sw.frames) > 0 {
+			f := &sw.frames[len(sw.frames)-1]
+			v := f.v
+			if f.edge == 0 {
+				sw.index[v] = next
+				sw.lowlink[v] = next
+				next++
+				sw.stack = append(sw.stack, v)
+				sw.onStack[v] = true
+			}
+			st := s.state(v)
+			advanced := false
+			for f.edge < len(st.edges) {
+				w := s.findRO(st.edges[f.edge])
+				f.edge++
+				if w == v {
+					continue
+				}
+				if sw.index[w] == 0 {
+					sw.frames = append(sw.frames, sweepFrame{v: w})
+					advanced = true
+					break
+				}
+				if sw.onStack[w] && sw.index[w] < sw.lowlink[v] {
+					sw.lowlink[v] = sw.index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished.
+			if sw.lowlink[v] == sw.index[v] {
+				// Pop the component.
+				var comp []Var
+				for {
+					w := sw.stack[len(sw.stack)-1]
+					sw.stack = sw.stack[:len(sw.stack)-1]
+					sw.onStack[w] = false
+					if comp != nil || w != v {
+						comp = append(comp, w)
+					}
+					if w == v {
+						break
+					}
+				}
+				if comp != nil {
+					comps = append(comps, comp)
+				}
+			}
+			sw.frames = sw.frames[:len(sw.frames)-1]
+			if len(sw.frames) > 0 {
+				pf := &sw.frames[len(sw.frames)-1]
+				if sw.lowlink[v] < sw.lowlink[pf.v] {
+					sw.lowlink[pf.v] = sw.lowlink[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
 // partition drains the delivery queue — all of it, or at most budget
 // entries when cycle detection asked for a short epoch — into per-shard
-// frontiers (resolving every address through find — single-threaded here,
-// so path compression is fine) and cuts them into chunks in shard-ascending
-// order. Chunk ids are assigned in that fixed order, making every
-// downstream index deterministic.
+// frontiers and cuts them into chunks in shard-ascending order. Chunk ids
+// are assigned in that fixed order, making every downstream index
+// deterministic. Addresses resolve through find (path compression) when the
+// parent forest is quiescent, or findRO while a concurrent sweep holds a
+// read-only view of it; both return the same representative.
 func (p *parallelEngine) partition(s *solver, budget int) {
 	for i := range p.shardFrontier {
 		p.shardFrontier[i] = p.shardFrontier[i][:0]
@@ -400,10 +672,18 @@ func (p *parallelEngine) partition(s *solver, budget int) {
 	if budget > 0 && n > budget {
 		n = budget
 	}
-	for _, d := range s.queue[s.head : s.head+n] {
-		v := s.find(d.v)
-		sh := shardOfRep(v)
-		p.shardFrontier[sh] = append(p.shardFrontier[sh], delivery{v, d.t})
+	if p.sweepLive {
+		for _, d := range s.queue[s.head : s.head+n] {
+			v := s.findRO(d.v)
+			sh := shardOfRep(v)
+			p.shardFrontier[sh] = append(p.shardFrontier[sh], delivery{v, d.t})
+		}
+	} else {
+		for _, d := range s.queue[s.head : s.head+n] {
+			v := s.find(d.v)
+			sh := shardOfRep(v)
+			p.shardFrontier[sh] = append(p.shardFrontier[sh], delivery{v, d.t})
+		}
 	}
 	s.head += n
 	if s.head == len(s.queue) {
@@ -427,11 +707,27 @@ func (p *parallelEngine) partition(s *solver, budget int) {
 				chunkRef{id: int32(len(p.chunks)), shard: int32(sh), lo: int32(lo), hi: int32(hi)})
 		}
 	}
-	// Deferred prefix pushes from the previous barrier run as scan work this
+	// Deferred prefix pushes from the previous tail run as scan work this
 	// epoch, chunked by token weight so one wide push cannot unbalance the
 	// steal deques. Their chunks follow the frontier chunks in the fixed
-	// barrier order.
+	// replay order. Endpoints are re-resolved first: a collapse round since
+	// the task was recorded may have retired either rep (materialized tasks
+	// only — in-place tasks always precede the next unification). A merge
+	// that joined the two endpoints makes the push internal to one rep;
+	// mergeContents already delivered the tokens, so the task is dropped.
 	p.pushActive, p.pushTasks = p.pushTasks, p.pushActive[:0]
+	live := p.pushActive[:0]
+	for _, tk := range p.pushActive {
+		if p.sweepLive {
+			tk.from, tk.to = s.findRO(tk.from), s.findRO(tk.to)
+		} else {
+			tk.from, tk.to = s.find(tk.from), s.find(tk.to)
+		}
+		if tk.from != tk.to {
+			live = append(live, tk)
+		}
+	}
+	p.pushActive = live
 	const pushChunkWeight = 2048
 	for lo, weight := 0, int32(0); lo < len(p.pushActive); {
 		hi := lo
@@ -447,9 +743,9 @@ func (p *parallelEngine) partition(s *solver, budget int) {
 
 // scan runs the read-only proposal phase over every chunk and returns the
 // effective worker count for the epoch (1 when it ran inline), which the
-// winnow phase reuses. Small frontiers (or a single worker) run inline on
-// the solver goroutine; larger ones are distributed round-robin over the
-// worker deques and scanned concurrently.
+// winnow and apply phases reuse. Small frontiers (or a single worker) run
+// inline on the solver goroutine; larger ones are distributed round-robin
+// over the worker deques and scanned concurrently.
 func (p *parallelEngine) scan(s *solver) int {
 	t0 := time.Now()
 	nc := len(p.chunks)
@@ -542,8 +838,8 @@ func (p *parallelEngine) stealAny(wi, nw int, steals *int64) (chunkRef, bool) {
 
 // scanChunk computes one chunk's proposals. Strictly read-only over solver
 // state: it may only call findRO (no compression), indexOf/hasToken
-// (membership reads), and read edge slices. Its output depends only on the
-// epoch-start state and the chunk bounds — never on scheduling.
+// (membership reads), and read edge and trigger slices. Its output depends
+// only on the epoch-start state and the chunk bounds — never on scheduling.
 func (p *parallelEngine) scanChunk(s *solver, c chunkRef, out *chunkOut) {
 	if c.kind == chunkPush {
 		p.scanPushChunk(s, c, out)
@@ -555,15 +851,19 @@ func (p *parallelEngine) scanChunk(s *solver, c chunkRef, out *chunkOut) {
 	out.edgeCnt = out.edgeCnt[:0]
 	out.selfCnt = out.selfCnt[:0]
 	out.idx = out.idx[:0]
+	out.trig = out.trig[:0]
 	out.lcdDests = out.lcdDests[:0]
 	out.lcdEnds = out.lcdEnds[:0]
 	for _, d := range f {
 		st := s.state(d.v)
 		idx := st.indexOf(d.t)
 		out.idx = append(out.idx, int32(idx))
+		// Trigger lists only grow in serial tails (and between epochs), so
+		// the count is frozen for the whole pipeline round.
+		out.trig = append(out.trig, int32(len(st.triggers)))
 		if idx < st.delivered {
 			// Already processed when the epoch started (a duplicate queue
-			// entry from before a merge); the barrier will skip it too.
+			// entry from before a merge); the apply pass will skip it too.
 			out.edgeCnt = append(out.edgeCnt, -1)
 			out.selfCnt = append(out.selfCnt, 0)
 			out.ends = append(out.ends, int32(len(out.dests)))
@@ -582,7 +882,7 @@ func (p *parallelEngine) scanChunk(s *solver, c chunkRef, out *chunkOut) {
 				// solver has already checked (lcdChecked is written only
 				// between scans, so reading it here is race-free and
 				// deterministic) would be dropped by noteLCD anyway — filter
-				// them in parallel instead of serially in the barrier. On
+				// them in parallel instead of serially in the tail. On
 				// dispatch-heavy graphs this is most of the traffic.
 				if _, done := s.lcdChecked[edgePair{d.v, w}]; !done {
 					out.lcdDests = append(out.lcdDests, w)
@@ -596,7 +896,8 @@ func (p *parallelEngine) scanChunk(s *solver, c chunkRef, out *chunkOut) {
 		out.ends = append(out.ends, int32(len(out.dests)))
 		out.lcdEnds = append(out.lcdEnds, int32(len(out.lcdDests)))
 	}
-	// Pre-size the winnow verdict arrays; the winnow workers fill every slot.
+	// Pre-size the winnow/apply verdict arrays; the winnow workers fill
+	// every code slot, the apply pass every live slot.
 	if cap(out.code) < len(out.dests) {
 		out.code = make([]int8, len(out.dests))
 	}
@@ -605,12 +906,17 @@ func (p *parallelEngine) scanChunk(s *solver, c chunkRef, out *chunkOut) {
 		out.lcdKeep = make([]bool, len(out.lcdDests))
 	}
 	out.lcdKeep = out.lcdKeep[:len(out.lcdDests)]
+	if cap(out.live) < len(f) {
+		out.live = make([]bool, len(f))
+	}
+	out.live = out.live[:len(f)]
 }
 
 // scanPushChunk scans a run of deferred prefix pushes: for each task it
-// membership-filters the frozen token prefix against the destination's set.
-// Read-only like the frontier scan — from/to are stable representatives
-// (no unification while pushes are pending) and the prefix is immutable.
+// membership-filters the token prefix (in place for fresh tasks, the
+// materialized copy after a collapse round) against the destination's set.
+// Read-only like the frontier scan — partition resolved the endpoints and
+// both the in-place prefix and the copy are immutable for the epoch.
 func (p *parallelEngine) scanPushChunk(s *solver, c chunkRef, out *chunkOut) {
 	tasks := p.pushActive[c.lo:c.hi]
 	out.pushToks = out.pushToks[:0]
@@ -618,11 +924,13 @@ func (p *parallelEngine) scanPushChunk(s *solver, c chunkRef, out *chunkOut) {
 	out.pushRed = out.pushRed[:0]
 	for i := range tasks {
 		tk := tasks[i]
-		src := s.state(tk.from)
+		toks := tk.toks
+		if toks == nil {
+			toks = s.state(tk.from).tokens[:tk.lim]
+		}
 		dst := s.state(tk.to)
 		red := false
-		for j := int32(0); j < tk.lim; j++ {
-			t := src.tokens[j]
+		for _, t := range toks {
 			if dst.hasToken(t) {
 				red = true
 			} else {
@@ -642,39 +950,40 @@ func (p *parallelEngine) scanPushChunk(s *solver, c chunkRef, out *chunkOut) {
 	out.pushPairNew = out.pushPairNew[:len(tasks)]
 }
 
-// flushPushes applies any pending deferred pushes inline, exactly as the
-// sequential addEdge would have at trigger time: counted attempts and one
-// cycle note per redundant push. Called before unification, whose merges
-// would invalidate the tasks' frozen prefixes.
-func (p *parallelEngine) flushPushes(s *solver) {
-	for _, tk := range p.pushTasks {
-		st := s.state(tk.from)
-		noted := false
-		for i := int32(0); i < tk.lim; i++ {
-			if !s.addTokenRep(tk.to, st.tokens[i]) && !noted {
-				s.noteLCD(tk.from, tk.to)
-				noted = true
-			}
+// materializePushes detaches every pending deferred push from the solver
+// state it references: the frozen token prefix is copied into the task.
+// Called before any unification while pushes are pending — merges rebuild
+// token arrays and retire representatives, which would invalidate the
+// in-place prefixes, but a materialized task survives any merge (partition
+// re-resolves its endpoints against the post-collapse forest). This is what
+// lets collapse rounds run immediately on fresh cycle evidence without
+// either serializing the pending push work inline or deferring the collapse
+// past an epoch of redundant deliveries.
+func (p *parallelEngine) materializePushes(s *solver) {
+	for i := range p.pushTasks {
+		tk := &p.pushTasks[i]
+		if tk.toks != nil {
+			continue
 		}
+		tk.toks = append([]Token(nil), s.state(tk.from).tokens[:tk.lim]...)
 	}
-	p.pushTasks = p.pushTasks[:0]
 }
 
-// winnow is the combining phase between scan and barrier: it walks every
-// chunk's proposals in exact barrier order and, per destination shard,
+// winnow is the combining phase between scan and apply: it walks every
+// chunk's proposals in exact replay order and, per destination shard,
 // resolves same-epoch duplicates — diamond-shaped graphs propose the same
 // (destination, token) pair from many sources within one epoch, and without
-// this phase every duplicate would cost the sequential barrier a membership
-// lookup plus a cycle-pair lookup. The first proposal in barrier order wins
+// this phase every duplicate would cost the apply pass a membership lookup
+// plus the tail a cycle-pair lookup. The first proposal in replay order wins
 // (winnowWinner); later ones are marked winnowDup, or winnowDupNewPair for
 // the first duplicate carrying a source→dest pair that lazy cycle detection
 // has not checked yet. lcdDests slots get the same per-pair dedup.
 //
 // Determinism: verdicts for a destination shard depend only on that shard's
 // proposal sequence in fixed chunk order and on epoch-start lcdChecked —
-// never on which worker processed the shard — so the barrier's behavior
-// (and hence all counters) is identical at every worker count, and
-// identical to running this phase inline. Workers partition by destination
+// never on which worker processed the shard — so the apply pass and tail
+// behave (and hence all counters are) identically at every worker count, and
+// identically to running this phase inline. Workers partition by destination
 // shard (shard mod nw), so scratch maps are never shared; verdict slots are
 // written by exactly one worker each.
 func (p *parallelEngine) winnow(s *solver, nw int) {
@@ -697,7 +1006,7 @@ func (p *parallelEngine) winnow(s *solver, nw int) {
 }
 
 // winnowShards computes the verdicts of every destination shard congruent to
-// first modulo stride, walking all chunks in barrier order.
+// first modulo stride, walking all chunks in replay order.
 func (p *parallelEngine) winnowShards(s *solver, first, stride int32) {
 	stamp := p.winStamp
 	for ci := range p.chunks {
@@ -785,8 +1094,8 @@ func (p *parallelEngine) winnowPushChunk(s *solver, c chunkRef, out *chunkOut, f
 
 // winnowPair classifies a redundant delivery's source→dest pair: the first
 // sighting this epoch of a pair lazy cycle detection has not checked yet is
-// the one the barrier must hand to noteLCD. lcdChecked is written only
-// between epochs, so reading it here is race-free.
+// the one the tail must hand to noteLCD. lcdChecked is written only
+// between epochs and in tails, so reading it here is race-free.
 func (p *parallelEngine) winnowPair(s *solver, sh int32, pair edgePair, stamp int32) int8 {
 	if _, done := s.lcdChecked[pair]; done {
 		return winnowDup
@@ -803,24 +1112,199 @@ func (p *parallelEngine) winnowPair(s *solver, sh int32, pair edgePair, stamp in
 	return winnowDupNewPair
 }
 
-// barrier replays the frontier in fixed order (shards ascending, per-shard
-// sequence order), applying each delivery exactly as the sequential pop
-// loop would have: proposals insert and schedule their token, effort
-// counters account the scanned edges, edges added *during* this barrier by
-// earlier triggers are covered by the delta scan, and the delivery's
-// triggers fire last. All mutation of solver and analyzer state happens
-// here, on the solver goroutine.
-func (p *parallelEngine) barrier(s *solver) {
+// apply is the shard-owned parallel mutation pass: every worker walks all
+// chunks in the fixed replay order and performs exactly the operations whose
+// variable it owns (variable shard mod worker count). Ownership covers both
+// roles a variable can play in an epoch — frontier source (liveness,
+// processed-prefix swap, delivered advance, effort accounting) and proposal
+// destination (winning token inserts) — because both key off the same shard,
+// so one varState is only ever touched by one worker, in the same relative
+// order the serial barrier used.
+//
+// The pass mutates token sets and per-worker accumulators only; everything
+// order-sensitive across shards (queue scheduling, cycle evidence, trigger
+// firing) is staged for the serial tail via the verdict arrays. No edge or
+// parent state is written, which is what lets a concurrent sweep overlap it.
+func (p *parallelEngine) apply(s *solver, nw int) {
 	t0 := time.Now()
-	// Triggers fired below may add edges; their prefix pushes are deferred
-	// into next epoch's scan (see addEdge).
-	p.deferPush = true
-	defer func() { p.deferPush = false }()
+	if nw <= 1 {
+		p.applyWorker(s, 0, 1)
+	} else {
+		var wg sync.WaitGroup
+		for wi := 0; wi < nw; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				p.applyWorker(s, wi, nw)
+			}(wi)
+		}
+		wg.Wait()
+	}
+	// Fold the per-worker effort accumulators into the solver counters.
+	// Integer sums are independent of the ownership split, so the totals are
+	// identical at every worker count.
+	for wi := 0; wi < nw; wi++ {
+		acc := &p.accs[wi]
+		s.iterations += acc.iterations
+		s.tokensDelivered += acc.delivered
+		s.redundantSkipped += acc.redundant
+		p.stats.CrossShard += acc.crossShard
+		*acc = applyAcc{}
+	}
+	p.stats.ApplyNS += time.Since(t0).Nanoseconds()
+}
+
+// applyWorker performs worker wi's owned share of the apply pass.
+func (p *parallelEngine) applyWorker(s *solver, wi, nw int) {
+	acc := &p.accs[wi]
 	for ci := range p.chunks {
 		c := p.chunks[ci]
 		out := &p.outs[c.id]
 		if c.kind == chunkPush {
-			p.applyPushChunk(s, c, out)
+			p.applyPushChunk(s, c, out, acc, wi, nw)
+			continue
+		}
+		srcOwned := nw <= 1 || int(c.shard)%nw == wi
+		f := p.shardFrontier[c.shard][c.lo:c.hi]
+		pstart := int32(0)
+		for di := range f {
+			d := f[di]
+			pend := out.ends[di]
+			if srcOwned {
+				// Source-side bookkeeping, exactly as the serial barrier's
+				// prologue: one iteration per frontier delivery, dead ones
+				// (already processed at epoch start, or a same-epoch duplicate
+				// whose earlier occurrence — same variable, same owner, earlier
+				// in the fixed order — advanced delivered) count one redundant
+				// skip and nothing else.
+				acc.iterations++
+				live := out.edgeCnt[di] >= 0
+				if live {
+					st := s.state(d.v)
+					idx := int(out.idx[di])
+					if idx >= len(st.tokens) || st.tokens[idx] != d.t {
+						// The scan-time position went stale (an earlier
+						// merge-swap by this worker moved the token); fall back
+						// to a lookup.
+						idx = st.indexOf(d.t)
+					}
+					if idx < st.delivered {
+						live = false
+					} else {
+						// Exact sequential accounting: every non-self edge was
+						// one delivery attempt, every self-edge one redundant
+						// skip.
+						acc.delivered += int64(out.edgeCnt[di] - out.selfCnt[di])
+						acc.redundant += int64(out.selfCnt[di])
+						if idx != st.delivered {
+							st.swapTokens(idx, st.delivered)
+						}
+						st.delivered++
+						p.shardDelivered[c.shard]++
+					}
+				}
+				if !live {
+					acc.redundant++
+				}
+				out.live[di] = live
+			}
+			// Destination-side winning inserts. A dead delivery never owns a
+			// winner slot — its earlier live duplicate scanned the identical
+			// proposal list and took every (dest, token) stamp first, and
+			// scan-dead deliveries record no proposals at all — so no liveness
+			// check is needed here (and none is possible: the source owner may
+			// not have reached this delivery yet).
+			for pi := pstart; pi < pend; pi++ {
+				if out.code[pi] != winnowWinner {
+					continue
+				}
+				w := out.dests[pi]
+				sh := shardOfRep(w)
+				if nw > 1 && int(sh)%nw != wi {
+					continue
+				}
+				ws := s.state(w)
+				if ws.hasToken(d.t) {
+					// Defensive: with the delta scan gone nothing can insert a
+					// winnowed (dest, token) before its winner (see
+					// winnowStale). Downgrade to cycle evidence if it ever did.
+					out.code[pi] = winnowStale
+					continue
+				}
+				ws.appendToken(d.t)
+				if sh != c.shard {
+					acc.crossShard++
+				}
+			}
+			pstart = pend
+		}
+	}
+}
+
+// applyPushChunk performs worker wi's owned share of a push chunk: winning
+// token inserts into each task's destination, with the sequential addEdge's
+// exact accounting — every token of the frozen prefix was one delivery
+// attempt (accumulated by the destination's owner so it is added exactly
+// once).
+func (p *parallelEngine) applyPushChunk(s *solver, c chunkRef, out *chunkOut, acc *applyAcc, wi, nw int) {
+	tasks := p.pushActive[c.lo:c.hi]
+	pstart := int32(0)
+	for ti := range tasks {
+		tk := tasks[ti]
+		pend := out.pushEnds[ti]
+		sh := shardOfRep(tk.to)
+		if nw > 1 && int(sh)%nw != wi {
+			pstart = pend
+			continue
+		}
+		dst := s.state(tk.to)
+		shFrom := shardOfRep(tk.from)
+		for pi := pstart; pi < pend; pi++ {
+			if out.pushCode[pi] != winnowWinner {
+				continue
+			}
+			t := out.pushToks[pi]
+			if dst.hasToken(t) {
+				out.pushCode[pi] = winnowStale
+				continue
+			}
+			dst.appendToken(t)
+			if sh != shFrom {
+				acc.crossShard++
+			}
+		}
+		acc.delivered += int64(tk.lim)
+		pstart = pend
+	}
+}
+
+// tail is the serial reconciliation of one epoch: it joins the concurrent
+// sweep (if one is in flight — triggers below mutate the edge lists the
+// sweep reads), then replays the epoch in the fixed order (shards ascending,
+// per-shard sequence order). Per live delivery: winning inserts are
+// scheduled on the delivery queue (in slot order, so next epoch's frontier
+// order is scheduling-independent), surviving cycle evidence goes through
+// noteLCD, and the delivery's triggers fire — each against the
+// epoch-advanced state, with the scan-frozen trigger count guaranteeing
+// exactly-once firing (triggers registered during this very tail replayed
+// the advanced prefix at registration instead). All mutation of analyzer
+// state and all order-sensitive solver mutation happens here, on the solver
+// goroutine.
+func (p *parallelEngine) tail(s *solver) {
+	t0 := time.Now()
+	p.joinSweep(s)
+	// Triggers fired below may add edges; their prefix pushes are deferred
+	// into next epoch's scan (see addEdge).
+	p.deferPush = true
+	defer func() {
+		p.deferPush = false
+		p.stats.TailNS += time.Since(t0).Nanoseconds()
+	}()
+	for ci := range p.chunks {
+		c := p.chunks[ci]
+		out := &p.outs[c.id]
+		if c.kind == chunkPush {
+			p.tailPushChunk(s, c, out)
 			continue
 		}
 		f := p.shardFrontier[c.shard][c.lo:c.hi]
@@ -828,39 +1312,20 @@ func (p *parallelEngine) barrier(s *solver) {
 		for di := range f {
 			d := f[di]
 			pend, lend := out.ends[di], out.lcdEnds[di]
-			s.iterations++
-			st := s.state(d.v)
-			idx := int(out.idx[di])
-			if idx >= len(st.tokens) || st.tokens[idx] != d.t {
-				// The scan-time position went stale (an earlier merge-swap in
-				// this barrier moved the token); fall back to a lookup.
-				idx = st.indexOf(d.t)
-			}
-			if idx < st.delivered {
-				// Redundant: either the scan already saw it processed, or a
-				// duplicate earlier in this barrier processed it (duplicates
-				// carry identical proposals, so nothing is lost).
-				s.redundantSkipped++
+			if !out.live[di] {
+				// Redundant (skip already accounted by the apply pass);
+				// duplicates carry identical proposals, so nothing is lost.
 				pstart, lstart = pend, lend
 				continue
 			}
-			ec := out.edgeCnt[di]
 			for pi := pstart; pi < pend; pi++ {
 				w := out.dests[pi]
 				switch out.code[pi] {
 				case winnowWinner:
-					// The scan counted this attempt (below); insert quietly.
-					// A delta-scan insert from an earlier delivery may have
-					// landed already — addTokenQuiet's membership check
-					// absorbs it, and the redundant insert is cycle-detection
-					// evidence exactly as in the sequential engine.
-					if !s.addTokenQuiet(w, d.t) {
-						s.noteLCD(d.v, w)
-					} else if shardOfRep(w) != c.shard {
-						p.stats.CrossShard++
-					}
-				case winnowDupNewPair:
-					// noteLCD re-checks lcdChecked: an inline quiet-fail above
+					// Inserted by the apply pass; schedule its processing.
+					s.queue = append(s.queue, delivery{w, d.t})
+				case winnowDupNewPair, winnowStale:
+					// noteLCD re-checks lcdChecked: an earlier note this tail
 					// may have claimed the pair first.
 					s.noteLCD(d.v, w)
 				}
@@ -871,47 +1336,23 @@ func (p *parallelEngine) barrier(s *solver) {
 				}
 			}
 			pstart, lstart = pend, lend
-			// Exact sequential accounting: every non-self edge was one
-			// delivery attempt, every self-edge one redundant skip.
-			s.tokensDelivered += int64(ec - out.selfCnt[di])
-			s.redundantSkipped += int64(out.selfCnt[di])
-			// Delta scan: edges appended to this variable during the barrier
-			// (by triggers of earlier deliveries) are invisible to the scan
-			// phase; deliver across them now, with the sequential engine's
-			// counting and lazy-cycle-detection signal. No collapse runs
-			// during a barrier, so edges[ec:] is exactly the appended delta.
-			for j := int(ec); j < len(st.edges); j++ {
-				to := s.find(st.edges[j])
-				if to == d.v {
-					s.redundantSkipped++
-					continue
-				}
-				if !s.addTokenRep(to, d.t) {
-					s.noteLCD(d.v, to)
-				}
-			}
-			if idx != st.delivered {
-				st.swapTokens(idx, st.delivered)
-			}
-			st.delivered++
-			p.shardDelivered[c.shard]++
-			// Trigger snapshot, as in the sequential loop: triggers
-			// registered by these very triggers already saw d.t through the
-			// registration-time replay.
-			n := len(st.triggers)
+			// Trigger snapshot from scan time: triggers registered since (by
+			// this tail's own triggers) already saw d.t through the
+			// registration-time replay of the epoch-advanced prefix.
+			st := s.state(d.v)
+			n := int(out.trig[di])
 			for i := 0; i < n; i++ {
 				st.triggers[i](d.t)
 			}
 		}
 	}
-	p.stats.BarrierNS += time.Since(t0).Nanoseconds()
 }
 
-// applyPushChunk applies a push chunk's winnowed proposals with the
-// sequential addEdge's exact accounting: every token of the frozen prefix
-// was one delivery attempt, and a redundant push notes its (from, to) pair
-// for lazy cycle detection at most once.
-func (p *parallelEngine) applyPushChunk(s *solver, c chunkRef, out *chunkOut) {
+// tailPushChunk replays a push chunk's order-sensitive effects: winning
+// inserts are scheduled, and a redundant push notes its (from, to) pair for
+// lazy cycle detection at most once — the same one-note-per-push evidence
+// as the inline addEdge path.
+func (p *parallelEngine) tailPushChunk(s *solver, c chunkRef, out *chunkOut) {
 	tasks := p.pushActive[c.lo:c.hi]
 	pstart := int32(0)
 	for ti := range tasks {
@@ -919,26 +1360,19 @@ func (p *parallelEngine) applyPushChunk(s *solver, c chunkRef, out *chunkOut) {
 		pend := out.pushEnds[ti]
 		noted := false
 		for pi := pstart; pi < pend; pi++ {
-			if out.pushCode[pi] != winnowWinner {
-				continue
-			}
-			// A winner can still lose to an insert applied earlier in this
-			// same barrier (a frontier proposal or another push); the
-			// membership check in addTokenQuiet absorbs it, with the same
-			// one-note-per-push cycle evidence as the inline path.
-			if !s.addTokenQuiet(tk.to, out.pushToks[pi]) {
+			switch out.pushCode[pi] {
+			case winnowWinner:
+				s.queue = append(s.queue, delivery{tk.to, out.pushToks[pi]})
+			case winnowStale:
 				if !noted {
 					s.noteLCD(tk.from, tk.to)
 					noted = true
 				}
-			} else if shardOfRep(tk.to) != shardOfRep(tk.from) {
-				p.stats.CrossShard++
 			}
 		}
 		if out.pushPairNew[ti] {
 			s.noteLCD(tk.from, tk.to)
 		}
-		s.tokensDelivered += int64(tk.lim)
 		pstart = pend
 	}
 }
@@ -950,18 +1384,4 @@ func (s *solver) parallelStats() ParallelSolveStats {
 		return ParallelSolveStats{}
 	}
 	return s.par.stats
-}
-
-// addTokenQuiet inserts t into representative v's set and schedules its
-// processing, without counting a delivery attempt: the barrier accounts
-// attempts from the scan-phase edge counts, so counting here would double
-// them. Used only for applying scan proposals.
-func (s *solver) addTokenQuiet(v Var, t Token) bool {
-	st := s.state(v)
-	if st.hasToken(t) {
-		return false
-	}
-	st.appendToken(t)
-	s.queue = append(s.queue, delivery{v, t})
-	return true
 }

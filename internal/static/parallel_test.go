@@ -96,11 +96,17 @@ func TestParallelSolverMatchesSequential(t *testing.T) {
 }
 
 // TestParallelDeterministicAcrossWorkers pins the stronger property the
-// epoch barrier is designed for: not just that every worker count matches
+// epoch pipeline is designed for: not just that every worker count matches
 // the sequential engine, but that the scheduling-independent parallel
-// diagnostics (epochs, per-shard delivery totals, cross-shard deliveries)
-// are themselves identical at every worker count.
+// diagnostics (epochs, cross-shard deliveries, async sweep launches) are
+// themselves identical at every worker count — with every epoch forced
+// through the goroutine-and-deque path so chunks really are claimed and
+// stolen concurrently at workers 2..8, not served by the inline path.
 func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	savedInline := inlineFrontierMax
+	inlineFrontierMax = 0
+	defer func() { inlineFrontierMax = savedInline }()
+
 	for seed := int64(0); seed < 6; seed++ {
 		var refStats *ParallelSolveStats
 		for _, workers := range workerCounts {
@@ -112,11 +118,94 @@ func TestParallelDeterministicAcrossWorkers(t *testing.T) {
 				refStats = &st
 				continue
 			}
-			if st.Epochs != refStats.Epochs || st.CrossShard != refStats.CrossShard {
+			if st.Epochs != refStats.Epochs || st.CrossShard != refStats.CrossShard ||
+				st.AsyncSweeps != refStats.AsyncSweeps {
 				t.Fatalf("seed %d workers %d: scheduling-independent stats differ: %+v vs %+v at workers=1",
 					seed, workers, st, *refStats)
 			}
 		}
+	}
+}
+
+// TestParallelPipelinePropertyConcurrentMatchesInline is the pipeline
+// property test for the split barrier: the parallel apply pass plus staged
+// serial tail, run fully concurrently (every epoch on the goroutine path,
+// every batched sweep on the concurrent sweep worker), must be
+// indistinguishable — results, trigger firings, frozen checkpoint views,
+// effort counters, structure counters, and the deterministic parallel
+// diagnostics — from the same pipeline applied inline on the solver
+// goroutine at workers=1. Under -race this is also the test that drives
+// the shard-owned apply workers and the read-only Tarjan sweep against the
+// scan/winnow/partition phases they overlap.
+func TestParallelPipelinePropertyConcurrentMatchesInline(t *testing.T) {
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 8
+	}
+	savedInline, savedSweep := inlineFrontierMax, asyncSweepMinFrontier
+	defer func() { inlineFrontierMax, asyncSweepMinFrontier = savedInline, savedSweep }()
+
+	totalSweeps := int64(0)
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x9a7a))
+		nVars := 20 + rng.Intn(60)
+		rounds := 1 + rng.Intn(3)
+
+		// Inline arm: one worker, everything on the solver goroutine, but
+		// with batched sweeps still routed through the async launch/join
+		// machinery so both arms run the same collapse policy.
+		asyncSweepMinFrontier = 0
+		inlineFrontierMax = 1 << 30
+		si := newSolver()
+		si.configureParallel(1)
+		cpsInline, firedInline := randomOps(seed, si, nVars, rounds)
+		inlineIters, inlineDelivered := si.stats()
+		inlineStruct, inlineStats := si.structure(), si.parallelStats()
+
+		for _, workers := range []int{4, 8} {
+			// Concurrent arm: every epoch through the deque path.
+			inlineFrontierMax = 0
+			sc := newSolver()
+			sc.configureParallel(workers)
+			cpsConc, firedConc := randomOps(seed, sc, nVars, rounds)
+
+			for v := 0; v < nVars; v++ {
+				if !tokensEqual(sortedTokens(si.tokens(Var(v))), sortedTokens(sc.tokens(Var(v)))) {
+					t.Fatalf("seed %d workers %d: var %d final sets differ between inline and concurrent pipeline",
+						seed, workers, v)
+				}
+				for k := range cpsInline {
+					if !tokensEqual(sortedTokens(si.tokensAt(cpsInline[k], Var(v))),
+						sortedTokens(sc.tokensAt(cpsConc[k], Var(v)))) {
+						t.Fatalf("seed %d workers %d: var %d checkpoint %d frozen views differ between inline and concurrent pipeline",
+							seed, workers, v, k)
+					}
+				}
+			}
+			if len(firedConc) != len(firedInline) {
+				t.Fatalf("seed %d workers %d: trigger deliveries differ: concurrent %d pairs, inline %d",
+					seed, workers, len(firedConc), len(firedInline))
+			}
+			concIters, concDelivered := sc.stats()
+			if concIters != inlineIters || concDelivered != inlineDelivered {
+				t.Fatalf("seed %d workers %d: effort counters differ from inline pipeline: %d iters / %d tokens vs %d / %d",
+					seed, workers, concIters, concDelivered, inlineIters, inlineDelivered)
+			}
+			if cs := sc.structure(); cs != inlineStruct {
+				t.Fatalf("seed %d workers %d: structure counters differ from inline pipeline: %+v vs %+v",
+					seed, workers, cs, inlineStruct)
+			}
+			concStats := sc.parallelStats()
+			if concStats.Epochs != inlineStats.Epochs || concStats.CrossShard != inlineStats.CrossShard ||
+				concStats.AsyncSweeps != inlineStats.AsyncSweeps {
+				t.Fatalf("seed %d workers %d: deterministic parallel stats differ from inline pipeline: %+v vs %+v",
+					seed, workers, concStats, inlineStats)
+			}
+			totalSweeps += concStats.AsyncSweeps
+		}
+	}
+	if totalSweeps == 0 {
+		t.Fatalf("no concurrent cycle sweep ran across %d seeds; the overlap path is untested", seeds)
 	}
 }
 
